@@ -1,0 +1,50 @@
+"""Ablation — output backend cost on a Figure-13-sized schedule.
+
+The command-line mode exists for batch figure production ("hundreds or
+thousands of schedules"), so backend throughput matters.  This ablation
+renders the same 834-job, 1024-row schedule with every backend and reports
+size and speed; vector formats scale with primitive count, raster formats
+with pixel count.
+"""
+
+from __future__ import annotations
+
+import pytest
+from conftest import report
+
+from repro.render.api import OUTPUT_FORMATS, render_drawing
+from repro.render.layout import LayoutOptions, layout_schedule
+from repro.workloads.bridge import workload_colormap, workload_schedule
+from repro.workloads.scheduler import simulate_jobs
+from repro.workloads.thunder import (
+    THUNDER_NODES,
+    THUNDER_RESERVED,
+    ThunderSpec,
+    generate_thunder_day,
+)
+
+
+def _figure13_drawing():
+    spec = ThunderSpec()
+    jobs = generate_thunder_day(spec)
+    scheduled = simulate_jobs(jobs, THUNDER_NODES, policy="easy",
+                              reserved_nodes=THUNDER_RESERVED)
+    window = (spec.warmup_seconds, spec.warmup_seconds + spec.day_seconds)
+    schedule = workload_schedule(scheduled, THUNDER_NODES, window=window)
+    return layout_schedule(schedule, cmap=workload_colormap(),
+                           options=LayoutOptions(width=1200, height=700))
+
+
+@pytest.fixture(scope="module")
+def drawing():
+    return _figure13_drawing()
+
+
+@pytest.mark.parametrize("fmt", sorted(OUTPUT_FORMATS))
+def test_ablation_backend(benchmark, drawing, fmt):
+    data = benchmark(render_drawing, drawing, fmt)
+    report(f"Ablation (backend {fmt}, 834-job day)", [
+        ("output size", "(format dependent)", f"{len(data):,} bytes"),
+        ("primitives", "(shared layout)", str(len(drawing))),
+    ])
+    assert len(data) > 500

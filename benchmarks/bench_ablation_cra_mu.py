@@ -1,0 +1,49 @@
+"""Ablation — the mu parameter of the CRA share formula.
+
+``beta_i = mu/|A| + (1-mu) * W(i)/sum W(j)``: mu = 1 splits equally, mu = 0
+splits purely by work.  The paper notes mu "give[s] more importance to the
+work while distributing the resources"; this ablation sweeps it and shows
+the classic makespan/fairness trade-off the Section IV evaluation studies.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.dag.generators import LayeredDagSpec, layered_dag
+from repro.dag.moldable import AmdahlModel
+from repro.platform.builders import homogeneous_cluster
+from repro.sched.cpa import cpa_schedule
+from repro.sched.cra import cra_schedule
+from repro.sched.metrics import jain_fairness, stretches
+
+MODEL = AmdahlModel(0.05)
+
+
+def test_ablation_cra_mu(benchmark):
+    platform = homogeneous_cluster(20, 1e9)
+    sizes = (30, 18, 10, 6)  # very uneven applications
+    graphs = [layered_dag(LayeredDagSpec(n_tasks=n, layers=4), seed=20 + i)
+              for i, n in enumerate(sizes)]
+    dedicated = [cpa_schedule(g, platform, MODEL).makespan for g in graphs]
+
+    rows = []
+    sweep = {}
+    for mu in (0.0, 0.25, 0.5, 0.75, 1.0):
+        result = cra_schedule(graphs, platform, MODEL, policy="work", mu=mu)
+        contended = [r.sim.schedule.end_time for r in result.app_results]
+        s = stretches(contended, dedicated)
+        sweep[mu] = (result.makespan, jain_fairness(s), result.shares)
+        rows.append((f"mu={mu:.2f}", "shares/makespan/fairness",
+                     f"{'/'.join(map(str, result.shares))}  "
+                     f"{result.makespan:6.2f} s  {jain_fairness(s):.3f}"))
+    report("Ablation (CRA mu sweep, 4 uneven apps on 20 procs)", rows)
+
+    # mu=0 gives the heavy app the biggest share; mu=1 splits equally
+    heavy = max(range(4), key=lambda i: graphs[i].total_work())
+    assert sweep[0.0][2][heavy] == max(sweep[0.0][2])
+    assert sweep[1.0][2] == (5, 5, 5, 5)
+    # work-aware splitting beats the equal split on batch makespan here
+    assert sweep[0.0][0] <= sweep[1.0][0] + 1e-9
+
+    benchmark(cra_schedule, graphs, platform, MODEL, policy="work", mu=0.5)

@@ -1,0 +1,70 @@
+"""Figure 2 — the color map XML with a composite rule.
+
+Reproduces the exact document of Figure 2 (standard_map: white-on-blue
+computation, black-on-red transfer, white-on-orange composite of the two),
+checks color resolution against the figure's hex values, and times color-map
+resolution over a large schedule.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.colormap import Color
+from repro.core.model import Configuration, Schedule, Task
+from repro.io import colormap_xml
+
+FIGURE2_DOC = """\
+<cmap name="standard_map">
+  <conf name="min_font_size_label" value="11"/>
+  <conf name="font_size_label" value="13"/>
+  <conf name="font_size_axes" value="12"/>
+  <task id="computation">
+    <color type="fg" rgb="FFFFFF"/>
+    <color type="bg" rgb="0000FF"/>
+  </task>
+  <task id="transfer">
+    <color type="fg" rgb="000000"/>
+    <color type="bg" rgb="f10000"/>
+  </task>
+  <composite>
+    <task id="computation"/>
+    <task id="transfer"/>
+    <color type="fg" rgb="FFFFFF"/>
+    <color type="bg" rgb="ff6200"/>
+  </composite>
+</cmap>
+"""
+
+
+def test_figure2_colormap(benchmark):
+    cmap = colormap_xml.loads(FIGURE2_DOC)
+    comp = cmap.style_for_type("computation")
+    xfer = cmap.style_for_type("transfer")
+    rule = cmap.composite_style(["computation", "transfer"])
+    assert rule is not None
+    report("Figure 2 (color map XML)", [
+        ("map name", "standard_map", cmap.name),
+        ("computation bg", "0000FF", comp.bg.hex()),
+        ("computation fg", "FFFFFF", comp.fg.hex()),
+        ("transfer bg", "F10000", xfer.bg.hex()),
+        ("transfer fg", "000000", xfer.fg.hex()),
+        ("composite bg", "FF6200", rule.bg.hex()),
+        ("min_font_size_label", "11", cmap.config["min_font_size_label"]),
+    ])
+    assert comp.bg == Color.from_hex("0000FF")
+    assert rule.bg == Color.from_hex("FF6200")
+
+    # resolution throughput over a synthetic schedule with composites
+    tasks = []
+    for i in range(5000):
+        t = Task(str(i), "composite" if i % 3 == 0 else "computation",
+                 0, 1, [Configuration("0", [(0, 1)])],
+                 {"member_types": "computation,transfer"})
+        tasks.append(t)
+
+    def resolve_all():
+        return [cmap.style_for_task(t) for t in tasks]
+
+    styles = benchmark(resolve_all)
+    assert len(styles) == 5000

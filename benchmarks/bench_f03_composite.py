@@ -1,0 +1,76 @@
+"""Figure 3 — a schedule with composite tasks.
+
+"The schedule in this example contains two types of tasks, communication
+tasks, marked red, and computation tasks, marked blue.  In order to mark the
+time when a host performs communication and computation operations at the
+same time, an orange composite task is introduced."
+
+Builds a schedule where computations and communications overlap on shared
+hosts, synthesizes the composites, renders the figure, and checks the
+composite regions are exactly the overlaps.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from conftest import report
+
+from repro.core.colormap import default_colormap
+from repro.core.composite import build_composite_tasks, with_composites
+from repro.core.model import Schedule
+from repro.render.api import export_schedule
+from repro.render.png_codec import decode_png
+
+
+def figure3_schedule() -> Schedule:
+    """Computation phases overlapped by communications on subsets of hosts."""
+    s = Schedule(meta={"figure": "3"})
+    s.new_cluster(0, 8)
+    # two computation waves on all hosts
+    s.new_task("c1", "computation", 0.0, 4.0, cluster=0, host_start=0, host_nb=8)
+    s.new_task("c2", "computation", 5.0, 9.0, cluster=0, host_start=0, host_nb=8)
+    # communications overlapping the tail/head of the computations
+    s.new_task("t1", "transfer", 3.0, 5.5, cluster=0, host_start=0, host_nb=4)
+    s.new_task("t2", "transfer", 8.0, 10.0, cluster=0, host_start=4, host_nb=4)
+    return s
+
+
+def test_figure3_composites(benchmark, artifacts_dir):
+    s = figure3_schedule()
+    enriched = with_composites(s)
+    composites = [t for t in enriched if t.type == "composite"]
+    overlap_area = sum(c.duration * c.num_hosts for c in composites)
+    # expected overlaps: t1 on c1 (1s x 4 hosts) + t1 on c2 (0.5s x 4)
+    # + t2 on c2 (1s x 4 hosts)
+    expected = 1.0 * 4 + 0.5 * 4 + 1.0 * 4
+    report("Figure 3 (composite tasks)", [
+        ("composite task type", "composite", composites[0].type),
+        ("composite color", "orange (FF6200)",
+         default_colormap().style_for_task(composites[0]).bg.hex()),
+        ("overlap regions", "comp+comm overlaps", str(len(composites))),
+        ("overlap area (host*s)", f"{expected:g}", f"{overlap_area:g}"),
+    ])
+    assert overlap_area == expected
+    assert len(composites) == 3
+
+    png_path = export_schedule(enriched, artifacts_dir / "figure03.png",
+                               width=800, height=400)
+    export_schedule(enriched, artifacts_dir / "figure03.svg")
+    img = decode_png(png_path.read_bytes())
+    orange = np.all(img == [255, 98, 0], axis=-1).sum()
+    blue = np.all(img == [0, 0, 255], axis=-1).sum()
+    red = np.all(img == [241, 0, 0], axis=-1).sum()
+    assert orange > 100 and blue > 100 and red > 100  # all three colors visible
+
+    # scaling: composite construction over many overlapping tasks
+    big = Schedule()
+    big.new_cluster(0, 64)
+    rng = np.random.default_rng(1)
+    for i in range(800):
+        start = float(rng.uniform(0, 100))
+        h = int(rng.integers(0, 60))
+        big.new_task(f"c{i}", "computation", start, start + 3.0,
+                     cluster=0, host_start=h, host_nb=4)
+
+    result = benchmark(build_composite_tasks, big.tasks)
+    assert result  # dense random schedules always overlap somewhere

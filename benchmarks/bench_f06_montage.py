@@ -1,0 +1,56 @@
+"""Figure 6 — the structure of the Montage workflow.
+
+"The structure of the Montage workflow is given in Figure 6 (nodes with the
+same color are of same task type)."  The paper's instance has 50 compute
+nodes.  This bench regenerates the 50-task instance, prints the per-stage
+structure the figure shows, and times workflow generation.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.dag.montage import MONTAGE_TASK_TYPES, montage_50, montage_workflow
+
+
+def test_figure6_montage_structure(benchmark, artifacts_dir):
+    g = montage_50()
+    counts: dict[str, int] = {t: 0 for t in MONTAGE_TASK_TYPES}
+    for node in g:
+        counts[node.type] += 1
+    levels = g.precedence_levels()
+    depth = max(levels.values()) + 1
+
+    report("Figure 6 (Montage workflow, 50 compute nodes)", [
+        ("total tasks", "50", str(len(g))),
+        ("mProject", "one per image", str(counts["mProject"])),
+        ("mDiffFit", "one per overlap", str(counts["mDiffFit"])),
+        ("mConcatFit/mBgModel", "1 each",
+         f"{counts['mConcatFit']}/{counts['mBgModel']}"),
+        ("mBackground", "one per image", str(counts["mBackground"])),
+        ("mImgtbl/mAdd/mShrink/mJPEG", "1 each",
+         "/".join(str(counts[t]) for t in
+                  ("mImgtbl", "mAdd", "mShrink", "mJPEG"))),
+        ("pipeline depth", "9 stages", str(depth)),
+        ("edges", "(dense diff/fit joins)", str(len(g.edges))),
+        ("single sink", "mJPEG", g.sinks()[0]),
+    ])
+
+    assert len(g) == 50
+    assert depth == 9
+    assert g.sinks() == ("mJPEG",)
+    # per-level type homogeneity: "nodes with the same color are of same
+    # task type" and Montage levels are single-stage
+    for lv in range(depth):
+        types = {g.node(v).type for v in g.tasks_at_level(lv)}
+        assert len(types) == 1
+
+    # the actual Figure 6 artifact: the layered node-link diagram
+    from repro.render.daglayout import export_dag
+
+    export_dag(g, artifacts_dir / "figure06_montage.png",
+               width=1100, height=600, title="Montage workflow (50 tasks)")
+    export_dag(g, artifacts_dir / "figure06_montage.svg",
+               width=1100, height=600, title="Montage workflow (50 tasks)")
+
+    benchmark(montage_workflow, 10, 24)

@@ -1,0 +1,64 @@
+"""Figure 7 — the heterogeneous 4-cluster platform.
+
+"Two of them comprise four processors running at 1.65 Gflop/s, while the
+two other clusters only have two processors running twice as fast
+(3.3 Gflop/s).  Each processor has its own communication link.  Processors
+within a cluster are interconnected through a switch.  Finally all clusters
+are interconnected by a single backbone."
+
+Verifies the topology and the communication-cost structure in both the
+flat-backbone (buggy) and realistic descriptions, and times route/cost
+evaluation.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.platform.builders import FAST_SPEED, SLOW_SPEED, heterogeneous_platform
+from repro.platform.network import CommModel, comm_time
+
+
+def test_figure7_platform(benchmark):
+    flat = heterogeneous_platform(flat_backbone=True)
+    real = heterogeneous_platform()
+
+    size = 1e6
+    local = comm_time(flat, 0, 1, size)
+    remote_flat = comm_time(flat, 0, 6, size)
+    remote_real = comm_time(real, 0, 6, size)
+
+    report("Figure 7 (heterogeneous platform)", [
+        ("clusters", "4", str(len(real.clusters))),
+        ("fast clusters", "2 x 2 procs @ 3.3 Gflop/s",
+         f"{sum(1 for c in real.clusters if c.speed == FAST_SPEED)} x "
+         f"{[c.size for c in real.clusters if c.speed == FAST_SPEED][0]} "
+         f"@ {FAST_SPEED / 1e9:.2f}e9"),
+        ("slow clusters", "2 x 4 procs @ 1.65 Gflop/s",
+         f"{sum(1 for c in real.clusters if c.speed == SLOW_SPEED)} x "
+         f"{[c.size for c in real.clusters if c.speed == SLOW_SPEED][0]} "
+         f"@ {SLOW_SPEED / 1e9:.2f}e9"),
+        ("total processors", "12", str(real.size)),
+        ("speed ratio", "2x", f"{FAST_SPEED / SLOW_SPEED:.1f}x"),
+        ("intra-cluster 1MB", "(baseline)", f"{local * 1e3:.3f} ms"),
+        ("inter-cluster 1MB, flat", "~= intra (the bug)",
+         f"{remote_flat * 1e3:.3f} ms"),
+        ("inter-cluster 1MB, realistic", ">> intra (the fix)",
+         f"{remote_real * 1e3:.3f} ms"),
+    ])
+
+    assert real.size == 12
+    assert [c.size for c in real.clusters] == [2, 4, 2, 4]
+    assert remote_flat < 1.1 * local
+    assert remote_real > 2 * local
+
+    comm = CommModel(real)
+
+    def eval_costs():
+        total = 0.0
+        for a in range(12):
+            for b in range(12):
+                total += comm.time(a, b, size)
+        return total
+
+    benchmark(eval_costs)

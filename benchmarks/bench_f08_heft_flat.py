@@ -1,0 +1,64 @@
+"""Figure 8 — HEFT schedule of Montage on the flat-backbone platform.
+
+"We can see that the last task executed on processor 2 implies a strange
+scheduling decision. ... sending data to another cluster is as costly as
+executing the task locally.  The reason ... was in fact the description of
+the execution platform: the latency of the backbone connecting the
+different clusters was the same as the one for the links connecting the
+processors of a same cluster."
+
+Regenerates the buggy-platform schedule and quantifies the anomaly: tasks
+freely spread across clusters because remote == local.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.colormap import auto_colormap
+from repro.dag.montage import montage_50
+from repro.platform.builders import heterogeneous_platform
+from repro.render.api import export_schedule
+from repro.sched.heft import heft_schedule
+
+
+def cross_cluster_edges(graph, platform, assignment) -> int:
+    return sum(1 for e in graph.edges
+               if platform.host(assignment[e.src]).cluster_id
+               != platform.host(assignment[e.dst]).cluster_id)
+
+
+def test_figure8_heft_flat_backbone(benchmark, artifacts_dir):
+    graph = montage_50(data_scale=10)
+    platform = heterogeneous_platform(flat_backbone=True)
+    result = heft_schedule(graph, platform)
+
+    cross = cross_cluster_edges(graph, platform, result.assignment)
+    mbackground_clusters = sorted(
+        platform.host(h).cluster_id
+        for v, h in result.assignment.items() if v.startswith("mBackground"))
+
+    report("Figure 8 (HEFT, Montage-50, flat backbone)", [
+        ("makespan", "140.9 s (authors' instance)",
+         f"{result.makespan:.1f} s (our instance)"),
+        ("cross-cluster edges", "many (remote == local)",
+         f"{cross}/{len(graph.edges)}"),
+        ("mBackground spread", "anomalous cross-cluster placement",
+         ",".join(mbackground_clusters)),
+        ("anomaly", "present", "present" if cross > len(graph.edges) // 2
+         else "absent"),
+    ])
+
+    # the anomaly: with a flat backbone, over half the dataflow crosses
+    # clusters although the platform has only 4 clusters
+    assert cross > len(graph.edges) // 2
+    assert len(set(mbackground_clusters)) > 2  # one task type, many clusters
+
+    export_schedule(result.schedule, artifacts_dir / "figure08_heft_flat.png",
+                    cmap=auto_colormap(result.schedule),
+                    width=900, height=500, title="HEFT, flat backbone")
+    export_schedule(result.schedule, artifacts_dir / "figure08_heft_flat.pdf",
+                    cmap=auto_colormap(result.schedule),
+                    width=900, height=500)
+
+    benchmark(heft_schedule, graph, platform)

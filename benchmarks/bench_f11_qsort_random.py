@@ -1,0 +1,63 @@
+"""Figure 11 — Quicksort of 10,000,000 random integers on the Altix.
+
+"Task execution times are highlighted in blue and waiting times are colored
+red.  It can be noticed that due to an accidental bad choice of the pivot
+element, the initial array is not split into nearly equal-sized sub-arrays.
+... there is a long delay of the parallel execution.  But even after a
+short period of parallel execution there are still some periods with low
+utilization with only 2-4 processors actually running."
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.stats import utilization_profile
+from repro.render.api import export_schedule
+from repro.taskpool.numa import altix_4700
+from repro.taskpool.pool import TaskPoolSim
+from repro.taskpool.quicksort import QuicksortApp
+from repro.taskpool.trace import pool_result_to_schedule
+
+N = 10_000_000
+WORKERS = 64
+
+
+def test_figure11_quicksort_random(benchmark, artifacts_dir):
+    app = QuicksortApp(N, variant="random", first_split=0.05, seed=7)
+    res = TaskPoolSim(altix_4700(WORKERS), app).run()
+    schedule = pool_result_to_schedule(res)
+    prof = utilization_profile(schedule, types=["computation"])
+
+    early = prof.value_at(0.05 * res.makespan)
+    t_ramped = next((t for t, c in zip(prof.times, prof.counts) if c >= 16),
+                    None)
+    low_after = prof.time_with_count(lambda c: 1 <= c <= 4)
+
+    report("Figure 11 (Quicksort, 10M random integers, 64 workers)", [
+        ("input", "10,000,000 random ints", f"{N:,} elements"),
+        ("tasks created", "(thousands)", f"{res.total_tasks:,}"),
+        ("makespan", "(authors' machine)", f"{res.makespan:.3f} s"),
+        ("parallelism at 5% of run", "tiny (bad first pivot)", str(early)),
+        ("ramp to >=16 busy at", "delayed",
+         f"{t_ramped / res.makespan:.0%} of run" if t_ramped else "never"),
+        ("time at 2-4 busy procs", "low-utilization periods persist",
+         f"{low_after:.3f} s ({low_after / res.makespan:.0%})"),
+        ("peak parallelism", "64", str(prof.peak)),
+    ])
+
+    assert early <= 4
+    assert t_ramped is not None
+    assert low_after > 0
+    assert prof.peak == WORKERS
+
+    export_schedule(
+        pool_result_to_schedule(res, min_duration=res.makespan / 2000),
+        artifacts_dir / "figure11_qsort_random.png",
+        width=1000, height=600, title="Quicksort, 10M random integers")
+
+    def simulate():
+        a = QuicksortApp(N, variant="random", first_split=0.05, seed=7)
+        return TaskPoolSim(altix_4700(WORKERS), a).run()
+
+    benchmark.pedantic(simulate, rounds=3, iterations=1)

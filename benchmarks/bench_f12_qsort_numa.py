@@ -1,0 +1,115 @@
+"""Figure 12 — Quicksort of 200,000,000 inversely sorted integers.
+
+"With a specially crafted input array (inversely sorted numbers and
+selecting the middle element as pivot element) ... only one processor is
+busy in almost half the total execution time.  Since the processor has to
+swap every pair of numbers, it takes much longer than for the random input
+case.  After this initial task is finished two processors can start working
+concurrently, then 4 and so on.  Interestingly, after some time of parallel
+execution with all processors, there is another hole where only a few
+processors are used.  This is due to the high memory bandwidth requirements
+and the NUMA architecture."
+
+The deterministic fluid-contention model alone places the desync window at
+the end of the parallel phase; with the run-to-run duration variance of a
+real machine (``duration_jitter``), the *mid-run* hole of the figure —
+full width, a dip to a few processors, full width again — appears as well,
+which the second half of this bench demonstrates.
+"""
+
+from __future__ import annotations
+
+from conftest import report
+
+from repro.core.stats import utilization_profile
+from repro.render.api import export_schedule
+from repro.taskpool.numa import NumaMachine, altix_4700
+from repro.taskpool.pool import TaskPoolSim
+from repro.taskpool.quicksort import QuicksortApp
+from repro.taskpool.trace import pool_result_to_schedule
+
+N = 200_000_000
+WORKERS = 64
+
+
+def _run(bandwidth: float | None, jitter: float = 0.0):
+    app = QuicksortApp(N, variant="inverse", seed=7)
+    machine = altix_4700(WORKERS) if bandwidth is None else \
+        NumaMachine(WORKERS // 2, 2, 1.6e9, bandwidth)
+    return TaskPoolSim(machine, app, duration_jitter=jitter,
+                       jitter_seed=42).run()
+
+
+def _midrun_holes(result, threshold=16, min_frac=0.005):
+    """Low-utilization windows strictly between two full-width phases."""
+    from repro.core.stats import low_utilization_windows
+
+    s = pool_result_to_schedule(result)
+    prof = utilization_profile(s, types=["computation"])
+    highs = [t for t, c in zip(prof.times, prof.counts) if c >= WORKERS - 8]
+    if not highs:
+        return []
+    t_first, t_last = min(highs), max(highs)
+    return [(a, b) for a, b in low_utilization_windows(
+                s, threshold, min_duration=result.makespan * min_frac,
+                types=["computation"])
+            if t_first < a and b < t_last]
+
+
+def test_figure12_quicksort_inverse(benchmark, artifacts_dir):
+    res = _run(None)
+    ideal = _run(1e15)  # infinite-bandwidth ablation
+
+    schedule = pool_result_to_schedule(res)
+    prof = utilization_profile(schedule, types=["computation"])
+
+    single = prof.time_with_count(lambda c: c == 1)
+    doubling = [k for k in (1, 2, 4, 8, 16, 32)
+                if any(c == k for c in prof.counts)]
+
+    def late_partial(result):
+        p = utilization_profile(pool_result_to_schedule(result),
+                                types=["computation"])
+        t_full = next(t for t, c in zip(p.times, p.counts) if c >= WORKERS)
+        return sum(p.times[i + 1] - p.times[i]
+                   for i in range(len(p.times) - 1)
+                   if p.times[i] >= t_full and p.counts[i] < WORKERS)
+
+    jittered = _run(None, jitter=0.3)
+    holes = _midrun_holes(jittered)
+
+    report("Figure 12 (Quicksort, 200M inversely sorted integers)", [
+        ("input", "200,000,000 inverse ints", f"{N:,} elements"),
+        ("single-proc phase", "almost half the run",
+         f"{single / res.makespan:.0%} of {res.makespan:.2f} s"),
+        ("parallelism doubling", "1, 2, 4, ... processors",
+         ",".join(str(k) for k in doubling)),
+        ("peak parallelism", "64", str(prof.peak)),
+        ("NUMA slowdown vs infinite bw", "contention matters",
+         f"{res.makespan / ideal.makespan:.2f}x"),
+        ("contention hole (partial util after full)", "present",
+         f"{late_partial(res) * 1e3:.1f} ms vs {late_partial(ideal) * 1e3:.1f} ms ideal"),
+        ("mid-run hole (with duration variance)",
+         "hole between two full phases",
+         f"{len(holes)} hole(s), e.g. "
+         + (f"[{holes[0][0]:.2f}, {holes[0][1]:.2f}] s" if holes else "-")),
+    ])
+
+    assert 0.25 < single / res.makespan < 0.65
+    assert doubling == [1, 2, 4, 8, 16, 32]
+    assert prof.peak == WORKERS
+    assert res.makespan > 1.02 * ideal.makespan
+    assert late_partial(res) > 5 * late_partial(ideal)
+    assert holes, "duration variance must open a mid-run utilization hole"
+
+    export_schedule(
+        pool_result_to_schedule(res, min_duration=res.makespan / 2000),
+        artifacts_dir / "figure12_qsort_inverse.png",
+        width=1000, height=600, title="Quicksort, 200M inversely sorted")
+    export_schedule(
+        pool_result_to_schedule(jittered, min_duration=jittered.makespan / 2000),
+        artifacts_dir / "figure12_qsort_inverse_jitter.png",
+        width=1000, height=600,
+        title="Quicksort, 200M inversely sorted (duration variance)")
+
+    benchmark.pedantic(lambda: _run(None), rounds=3, iterations=1)

@@ -1,0 +1,31 @@
+"""Shared helpers for the figure-reproduction benchmarks.
+
+Every ``bench_fNN_*.py`` regenerates one figure of the paper: it builds the
+experiment, prints the quantities the figure conveys (paper claim vs. what
+we measure), asserts the *shape* of the result, renders the figure to
+``benchmarks/artifacts/``, and times the computational core with
+pytest-benchmark.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+ARTIFACTS = Path(__file__).parent / "artifacts"
+
+
+@pytest.fixture(scope="session")
+def artifacts_dir() -> Path:
+    ARTIFACTS.mkdir(exist_ok=True)
+    return ARTIFACTS
+
+
+def report(figure: str, rows: list[tuple[str, str, str]]) -> None:
+    """Print a paper-vs-measured table for one figure."""
+    print(f"\n=== {figure} ===")
+    width = max((len(r[0]) for r in rows), default=20)
+    print(f"{'quantity':<{width}}  {'paper':>24}  {'measured':>24}")
+    for name, paper, measured in rows:
+        print(f"{name:<{width}}  {paper:>24}  {measured:>24}")

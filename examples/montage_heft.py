@@ -1,0 +1,56 @@
+#!/usr/bin/env python
+"""Case study 3 — finding a platform-description bug with Jedule.
+
+Reenacts Section V: schedule a 50-task Montage workflow with HEFT onto the
+heterogeneous 4-cluster platform of Figure 7, once with the buggy flat
+backbone (Figure 8) and once with a realistic backbone (Figure 9), and show
+how the visualization-level quantities expose the bug that the makespan
+metric hides.
+
+Run:  python examples/montage_heft.py
+"""
+
+from collections import Counter
+from pathlib import Path
+
+from repro.core.colormap import auto_colormap
+from repro.dag.montage import montage_50
+from repro.platform.builders import heterogeneous_platform
+from repro.render.api import export_schedule
+from repro.sched.heft import heft_schedule
+
+OUT = Path(__file__).parent / "output"
+OUT.mkdir(exist_ok=True)
+
+graph = montage_50(data_scale=10)
+print(f"Montage instance: {len(graph)} tasks, {len(graph.edges)} edges")
+
+for label, platform in (("flat backbone (Fig. 8)",
+                         heterogeneous_platform(flat_backbone=True)),
+                        ("realistic backbone (Fig. 9)",
+                         heterogeneous_platform())):
+    result = heft_schedule(graph, platform)
+    cross = sum(1 for e in graph.edges
+                if platform.host(result.assignment[e.src]).cluster_id
+                != platform.host(result.assignment[e.dst]).cluster_id)
+    usage = Counter(platform.host(h).cluster_id
+                    for h in result.assignment.values())
+    print(f"\n--- {label} ---")
+    print(f"makespan:            {result.makespan:.1f} s")
+    print(f"cross-cluster edges: {cross}/{len(graph.edges)}")
+    print(f"tasks per cluster:   {dict(sorted(usage.items()))}")
+    mb = sorted(platform.host(result.assignment[v]).cluster_id
+                for v in result.assignment if v.startswith("mBackground"))
+    print(f"mBackground spread:  clusters {','.join(mb)}")
+
+    stem = "heft_flat" if "flat" in label else "heft_realistic"
+    export_schedule(result.schedule, OUT / f"{stem}.png",
+                    cmap=auto_colormap(result.schedule),
+                    width=1000, height=550, title=label)
+    export_schedule(result.schedule, OUT / f"{stem}_scaled.png",
+                    cmap=auto_colormap(result.schedule), mode="scaled",
+                    width=1000, height=600, title=f"{label} (scaled view)")
+
+print(f"\nThe makespans are nearly identical — \"if we had only relied on "
+      f"this metric\nto detect suspect behaviors, we would have missed the "
+      f"issue\" (Section V-B).\nImages written to {OUT}/heft_*.png")

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Case study 5 — a bird's-eye view of a production cluster workload.
+
+Reenacts Section VII: build one day of an LLNL-Thunder-like workload (1024
+nodes, nodes 0-19 reserved, ~834 jobs finishing on the day), highlight one
+user's jobs in yellow, and export the Figure 13 overview.  Also writes the
+workload as an SWF file, the Parallel Workloads Archive format, so the same
+pipeline can ingest a real ``LLNL-Thunder-2007`` trace.
+
+Run:  python examples/workload_browser.py
+"""
+
+from pathlib import Path
+
+from repro.core.stats import utilization, utilization_profile
+from repro.io import swf
+from repro.render.api import export_schedule
+from repro.workloads import (
+    THUNDER_NODES,
+    THUNDER_RESERVED,
+    THUNDER_USER,
+    ThunderSpec,
+    generate_thunder_day,
+    jobs_to_swf,
+    simulate_jobs,
+    workload_colormap,
+    workload_schedule,
+)
+
+OUT = Path(__file__).parent / "output"
+OUT.mkdir(exist_ok=True)
+
+spec = ThunderSpec()
+jobs = generate_thunder_day(spec)
+print(f"generated {len(jobs)} jobs for a Thunder-like day")
+
+# persist as SWF (drop-in replaceable by a real PWA trace)
+trace = jobs_to_swf(jobs, max_procs=THUNDER_NODES)
+trace.header["Computer"] = "Synthetic Thunder"
+swf_path = OUT / "thunder_day.swf"
+swf.dump(trace, swf_path)
+print(f"wrote {swf_path}")
+
+# run the EASY-backfilling scheduler and keep jobs finishing on the day
+scheduled = simulate_jobs(jobs, THUNDER_NODES, policy="easy",
+                          reserved_nodes=THUNDER_RESERVED)
+window = (spec.warmup_seconds, spec.warmup_seconds + spec.day_seconds)
+schedule = workload_schedule(scheduled, THUNDER_NODES,
+                             highlight_user=THUNDER_USER, window=window)
+
+highlighted = schedule.tasks_of_type("job:highlight")
+print(f"jobs finishing on the day: {len(schedule)}  (paper: 834)")
+print(f"user {THUNDER_USER}: {len(highlighted)} jobs highlighted in yellow")
+print(f"cluster utilization over the day: {utilization(schedule):.2f}")
+
+profile = utilization_profile(schedule)
+peak = profile.peak
+print(f"peak busy nodes: {peak} of {THUNDER_NODES}"
+      f" (nodes 0-{len(THUNDER_RESERVED) - 1} always idle)")
+
+export_schedule(schedule, OUT / "thunder_day.png", cmap=workload_colormap(),
+                width=1200, height=700, title="LLNL-Thunder-like day")
+print(f"wrote {OUT / 'thunder_day.png'}")
+print("\nTo browse interactively:  jedule view <schedule file>")

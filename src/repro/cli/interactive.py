@@ -1,0 +1,199 @@
+"""Interactive terminal mode.
+
+The original tool opens a Swing window; here the interactive mode is a
+terminal REPL over the same viewport/selection machinery
+(:mod:`repro.core.viewport`, :mod:`repro.core.select`), so every GUI
+affordance of Section II-D-1 has a command equivalent:
+
+========================  =====================================================
+GUI action                command
+========================  =====================================================
+mouse-wheel zoom           ``+`` / ``-`` (zoom in/out about the view center)
+drag to pan                ``h`` / ``l`` (left/right), ``j`` / ``k`` (down/up)
+rubber-band zoom           ``w T0 T1`` (time window), ``r R0 R1`` (row window)
+click a task               ``i TASKID`` (prints start/finish + resource list)
+select a cluster           ``c CLUSTERID`` (restrict to one cluster)
+filter by type             ``t TYPE [TYPE...]``
+reread file / reset        ``f`` (fit = reset view), ``reload``
+snapshot/export            ``x FILE`` (any supported image format)
+composite toggle           ``o``
+quit                       ``q``
+========================  =====================================================
+
+The viewer reads commands from an injectable stream, so the whole mode is
+unit-testable without a TTY.
+"""
+
+from __future__ import annotations
+
+import shlex
+import sys
+from pathlib import Path
+from typing import IO
+
+from repro.core.composite import with_composites
+from repro.core.model import Schedule
+from repro.core.select import Selection, describe_task
+from repro.core.viewport import Viewport
+from repro.errors import ReproError
+from repro.io import load_schedule
+from repro.render.api import export_schedule
+from repro.render.backends.ascii_art import render_ascii
+
+__all__ = ["InteractiveViewer"]
+
+
+class InteractiveViewer:
+    """A REPL over a schedule, mirroring the Swing interactive mode."""
+
+    PROMPT = "jedule> "
+
+    def __init__(
+        self,
+        schedule: Schedule,
+        *,
+        width: int = 100,
+        ansi: bool = False,
+        source_path: str | Path | None = None,
+        stdin: IO[str] | None = None,
+        stdout: IO[str] | None = None,
+    ):
+        self._original = schedule
+        self.schedule = schedule
+        self.width = width
+        self.ansi = ansi
+        self.source_path = Path(source_path) if source_path else None
+        self.viewport = Viewport.fit(schedule)
+        self.selection = Selection(schedule)
+        self.show_composites = False
+        self._stdin = stdin if stdin is not None else sys.stdin
+        self._stdout = stdout if stdout is not None else sys.stdout
+
+    # ------------------------------------------------------------------ io
+    def _print(self, text: str = "") -> None:
+        self._stdout.write(text + "\n")
+
+    def draw(self) -> None:
+        """Render the current view to the output stream."""
+        schedule = self.schedule
+        if self.show_composites:
+            schedule = with_composites(schedule)
+        self._print(render_ascii(schedule, width=self.width, ansi=self.ansi,
+                                 viewport=self.viewport))
+
+    # ------------------------------------------------------------ commands
+    def handle(self, line: str) -> bool:
+        """Execute one command line; returns False when the session ends."""
+        try:
+            parts = shlex.split(line)
+        except ValueError as exc:
+            self._print(f"parse error: {exc}")
+            return True
+        if not parts:
+            return True
+        cmd, *args = parts
+        try:
+            return self._dispatch(cmd, args)
+        except (ReproError, ValueError, IndexError) as exc:
+            self._print(f"error: {exc}")
+            return True
+
+    def _dispatch(self, cmd: str, args: list[str]) -> bool:
+        if cmd == "q":
+            return False
+        if cmd == "+":
+            self.viewport = self.viewport.zoom(1.5)
+        elif cmd == "-":
+            self.viewport = self.viewport.zoom(1 / 1.5).clamped_to(
+                Viewport.fit(self.schedule))
+        elif cmd == "h":
+            self.viewport = self.viewport.pan_fraction(-0.25)
+        elif cmd == "l":
+            self.viewport = self.viewport.pan_fraction(+0.25)
+        elif cmd == "k":
+            self.viewport = self.viewport.pan_fraction(0, -0.25)
+        elif cmd == "j":
+            self.viewport = self.viewport.pan_fraction(0, +0.25)
+        elif cmd == "f":
+            self.schedule = self._original
+            self.viewport = Viewport.fit(self.schedule)
+        elif cmd == "w":
+            self.viewport = self.viewport.zoom_to(float(args[0]), float(args[1]))
+        elif cmd == "r":
+            self.viewport = self.viewport.zoom_to(
+                self.viewport.t0, self.viewport.t1, float(args[0]), float(args[1]))
+        elif cmd == "i":
+            info = describe_task(self.schedule.task(args[0]))
+            for text in info.lines():
+                self._print(text)
+            return True
+        elif cmd == "s":
+            selected = self.selection.toggle(args[0])
+            self._print(f"task {args[0]} {'selected' if selected else 'deselected'}")
+            return True
+        elif cmd == "c":
+            self.schedule = self._original.filtered(clusters=args)
+            self.viewport = Viewport.fit(self.schedule)
+        elif cmd == "t":
+            self.schedule = self._original.filtered(types=args)
+            self.viewport = Viewport.fit(self.schedule)
+        elif cmd == "o":
+            self.show_composites = not self.show_composites
+            self._print(f"composites {'on' if self.show_composites else 'off'}")
+        elif cmd == "u":
+            self._print(self._utilization_sparkline())
+            return True
+        elif cmd == "x":
+            schedule = with_composites(self.schedule) if self.show_composites \
+                else self.schedule
+            export_schedule(schedule, args[0], viewport=self.viewport)
+            self._print(f"wrote {args[0]}")
+            return True
+        elif cmd == "reload":
+            if self.source_path is None:
+                self._print("no source file to reload")
+                return True
+            self._original = load_schedule(self.source_path)
+            self.schedule = self._original
+            self.selection = Selection(self.schedule)
+            self._print(f"reloaded {self.source_path} ({len(self.schedule)} tasks)")
+        elif cmd in ("help", "?"):
+            self._print(__doc__ or "")
+            return True
+        else:
+            self._print(f"unknown command {cmd!r} (try 'help')")
+            return True
+        self.draw()
+        return True
+
+    def _utilization_sparkline(self) -> str:
+        """Busy-host counts over the visible window as a text sparkline."""
+        from repro.core.stats import utilization_profile
+
+        profile = utilization_profile(self.schedule)
+        blocks = " ▁▂▃▄▅▆▇█"
+        hosts = max(self.schedule.num_hosts, 1)
+        cols = []
+        for i in range(self.width):
+            t = self.viewport.t0 + (i + 0.5) / self.width * self.viewport.time_span
+            level = profile.value_at(t) / hosts
+            cols.append(blocks[min(int(level * (len(blocks) - 1) + 0.5),
+                                   len(blocks) - 1)])
+        peak = profile.peak
+        return f"busy hosts (peak {peak}/{hosts}):\n" + "".join(cols)
+
+    # ---------------------------------------------------------------- loop
+    def run(self) -> int:
+        """Blocking REPL loop; returns a process exit code."""
+        try:
+            self.draw()
+            while True:
+                self._stdout.write(self.PROMPT)
+                self._stdout.flush()
+                line = self._stdin.readline()
+                if not line:  # EOF
+                    return 0
+                if not self.handle(line):
+                    return 0
+        except BrokenPipeError:  # output consumer went away (e.g. | head)
+            return 0

@@ -1,0 +1,345 @@
+"""Command-line mode (paper Section II-D-2).
+
+Subcommands::
+
+    jedule render   schedule.jed -o out.png [--cmap map.xml] [--grayscale] ...
+    jedule convert  schedule.jed out.json
+    jedule info     schedule.jed
+    jedule validate schedule.jed
+    jedule view     schedule.jed          (terminal interactive mode)
+
+``render`` supports the parameters the paper names: output format, color
+map, width/height, scaled/aligned cluster time frames, plus style files,
+grayscale conversion, composite-task synthesis, type/cluster filters and a
+time window — everything needed to batch-produce figures from scripts.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.colormap import ColorMap, auto_colormap, default_colormap
+from repro.core.composite import with_composites
+from repro.core.stats import idle_area, per_type_area, utilization
+from repro.core.timeframe import ViewMode
+from repro.core.validate import validate_schedule
+from repro.core.viewport import Viewport
+from repro.errors import ReproError
+from repro.io import colormap_xml, load_schedule, save_schedule
+from repro.io.registry import available_formats
+from repro.render.api import OUTPUT_FORMATS, export_schedule
+from repro.render.backends.ascii_art import render_ascii
+from repro.render.style import Style, load_style_file
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="jedule",
+        description="Visualize schedules of parallel applications (Jedule reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_input(p: argparse.ArgumentParser) -> None:
+        p.add_argument("input", help="schedule file")
+        p.add_argument("--input-format", choices=available_formats(),
+                       help="force the input format (default: by suffix)")
+
+    render = sub.add_parser("render", help="export schedule pictures")
+    render.add_argument("input", nargs="+",
+                        help="schedule file(s); several inputs need --outdir")
+    render.add_argument("--input-format", choices=available_formats(),
+                        help="force the input format (default: by suffix)")
+    out = render.add_mutually_exclusive_group(required=True)
+    out.add_argument("-o", "--output", help="output image file (single input)")
+    out.add_argument("--outdir", help="output directory for batch rendering "
+                                      "(one image per input; needs --format)")
+    render.add_argument("--format", choices=sorted(OUTPUT_FORMATS),
+                        help="output format (default: by suffix)")
+    render.add_argument("--with-profile", action="store_true",
+                        help="stack the utilization profile under the chart")
+    render.add_argument("--cmap", help="color map XML file")
+    render.add_argument("--grayscale", action="store_true",
+                        help="convert the color map to grayscale")
+    render.add_argument("--style", help="style file (key = value lines)")
+    render.add_argument("--width", type=int, default=900)
+    render.add_argument("--height", type=int, default=480)
+    render.add_argument("--mode", choices=[m.value for m in ViewMode],
+                        default=ViewMode.ALIGNED.value,
+                        help="align cluster time frames or scale them locally")
+    render.add_argument("--title", help="title drawn above the chart")
+    render.add_argument("--composites", action="store_true",
+                        help="synthesize composite tasks for overlaps")
+    render.add_argument("--auto-colors", metavar="METAKEY", nargs="?", const="",
+                        help="auto-assign colors per task type, or per value of a meta key")
+    render.add_argument("--types", nargs="+", help="only draw these task types")
+    render.add_argument("--clusters", nargs="+", help="only draw these clusters")
+    render.add_argument("--window", nargs=2, type=float, metavar=("T0", "T1"),
+                        help="restrict to a time window")
+
+    convert = sub.add_parser("convert", help="convert between schedule formats")
+    add_input(convert)
+    convert.add_argument("output", help="output schedule file")
+    convert.add_argument("--output-format", choices=available_formats())
+
+    info = sub.add_parser("info", help="print schedule statistics")
+    add_input(info)
+    info.add_argument("--json", action="store_true",
+                      help="emit machine-readable JSON instead of text")
+
+    validate = sub.add_parser("validate", help="check schedule invariants")
+    add_input(validate)
+    validate.add_argument("--exclusive", nargs="+", metavar="TYPE", default=[],
+                          help="task types that must not timeshare hosts")
+
+    view = sub.add_parser("view", help="interactive terminal viewer")
+    add_input(view)
+    view.add_argument("--width", type=int, default=100, help="columns of the text view")
+    view.add_argument("--ansi", action="store_true", help="use ANSI background colors")
+
+    compare = sub.add_parser("compare",
+                             help="render several schedules into one picture")
+    compare.add_argument("inputs", nargs="+", help="schedule files")
+    compare.add_argument("-o", "--output", required=True)
+    compare.add_argument("--format", choices=sorted(OUTPUT_FORMATS))
+    compare.add_argument("--width", type=int, default=900)
+    compare.add_argument("--panel-height", type=int, default=350)
+    compare.add_argument("--independent-axes", action="store_true",
+                         help="give each panel its own time frame")
+    compare.add_argument("--horizontal", action="store_true",
+                         help="place panels side by side instead of stacked")
+
+    profile = sub.add_parser("profile",
+                             help="render the busy-host utilization profile")
+    add_input(profile)
+    profile.add_argument("-o", "--output", required=True)
+    profile.add_argument("--format", choices=sorted(OUTPUT_FORMATS))
+    profile.add_argument("--width", type=int, default=900)
+    profile.add_argument("--height", type=int, default=240)
+    profile.add_argument("--types", nargs="+",
+                         help="draw one profile per task type")
+    profile.add_argument("--title")
+
+    diff = sub.add_parser("diff", help="compare two schedules task by task")
+    diff.add_argument("before", help="baseline schedule file")
+    diff.add_argument("after", help="schedule file to compare against it")
+    diff.add_argument("--fail-on-delay", action="store_true",
+                      help="exit nonzero when any task finishes later")
+    return parser
+
+
+def _load_cmap(args: argparse.Namespace, schedule) -> ColorMap:
+    if getattr(args, "cmap", None):
+        cmap = colormap_xml.load(args.cmap)
+    elif getattr(args, "auto_colors", None) is not None:
+        key = args.auto_colors or None
+        cmap = default_colormap().merged_with(auto_colormap(schedule, key=key))
+    else:
+        cmap = default_colormap()
+    if getattr(args, "grayscale", False):
+        cmap = cmap.to_grayscale()
+    return cmap
+
+
+def _render_one(args: argparse.Namespace, input_path: str, output: Path) -> None:
+    schedule = load_schedule(input_path, args.input_format)
+    if args.types or args.clusters or args.window:
+        schedule = schedule.filtered(
+            types=args.types,
+            clusters=args.clusters,
+            time_window=tuple(args.window) if args.window else None,
+        )
+    if args.composites:
+        schedule = with_composites(schedule)
+    cmap = _load_cmap(args, schedule)
+    style = load_style_file(args.style) if args.style else Style()
+    viewport = None
+    if args.window:
+        full = Viewport.fit(schedule)
+        viewport = full.zoom_to(args.window[0], args.window[1])
+
+    if args.with_profile:
+        from repro.render.api import format_from_suffix, render_drawing
+        from repro.render.compose import stack_drawings
+        from repro.render.layout import LayoutOptions, layout_schedule
+        from repro.render.profile import layout_profile
+
+        gantt = layout_schedule(
+            schedule, cmap=cmap, style=style, viewport=viewport,
+            options=LayoutOptions(width=args.width, height=args.height,
+                                  mode=ViewMode.parse(args.mode),
+                                  title=args.title))
+        profile = layout_profile(schedule, cmap=cmap, style=style,
+                                 width=args.width,
+                                 height=max(args.height // 3, 140))
+        drawing = stack_drawings([gantt, profile])
+        fmt = args.format or format_from_suffix(output)
+        output.write_bytes(render_drawing(drawing, fmt))
+    else:
+        export_schedule(
+            schedule, output, args.format,
+            cmap=cmap, style=style, width=args.width, height=args.height,
+            mode=ViewMode.parse(args.mode), title=args.title, viewport=viewport,
+        )
+    print(f"wrote {output}")
+
+
+def _cmd_render(args: argparse.Namespace) -> int:
+    if args.outdir:
+        if not args.format:
+            print("error: --outdir needs --format", file=sys.stderr)
+            return 2
+        outdir = Path(args.outdir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        for input_path in args.input:
+            target = outdir / (Path(input_path).stem + f".{args.format}")
+            _render_one(args, input_path, target)
+        return 0
+    if len(args.input) != 1:
+        print("error: several inputs need --outdir", file=sys.stderr)
+        return 2
+    _render_one(args, args.input[0], Path(args.output))
+    return 0
+
+
+def _cmd_convert(args: argparse.Namespace) -> int:
+    schedule = load_schedule(args.input, args.input_format)
+    save_schedule(schedule, args.output, args.output_format)
+    print(f"wrote {args.output} ({len(schedule)} tasks)")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    schedule = load_schedule(args.input, args.input_format)
+    if getattr(args, "json", False):
+        import json
+
+        payload = {
+            "file": str(args.input),
+            "clusters": {c.id: c.num_hosts for c in schedule.clusters},
+            "hosts": schedule.num_hosts,
+            "tasks": len(schedule),
+            "types": list(schedule.task_types()),
+            "start_time": schedule.start_time,
+            "end_time": schedule.end_time,
+            "makespan": schedule.makespan,
+            "utilization": utilization(schedule),
+            "idle_area": idle_area(schedule),
+            "area_per_type": per_type_area(schedule),
+            "meta": dict(schedule.meta),
+        }
+        print(json.dumps(payload, indent=2))
+        return 0
+    print(f"file:      {args.input}")
+    print(f"clusters:  {len(schedule.clusters)}"
+          f"  ({', '.join(f'{c.id}:{c.num_hosts}' for c in schedule.clusters)})")
+    print(f"hosts:     {schedule.num_hosts}")
+    print(f"tasks:     {len(schedule)}")
+    print(f"types:     {', '.join(schedule.task_types()) or '-'}")
+    print(f"span:      [{schedule.start_time:.6g}, {schedule.end_time:.6g}]")
+    print(f"makespan:  {schedule.makespan:.6g}")
+    print(f"utilization: {utilization(schedule):.3f}")
+    print(f"idle area:   {idle_area(schedule):.6g}")
+    for task_type, area in sorted(per_type_area(schedule).items()):
+        print(f"  area[{task_type}] = {area:.6g}")
+    for k, v in sorted(schedule.meta.items()):
+        print(f"meta {k} = {v}")
+    return 0
+
+
+def _cmd_validate(args: argparse.Namespace) -> int:
+    schedule = load_schedule(args.input, args.input_format)
+    violations = validate_schedule(schedule, forbid_overlap_types=args.exclusive)
+    if not violations:
+        print("OK: no violations")
+        return 0
+    for v in violations:
+        print(str(v))
+    print(f"{len(violations)} violation(s)")
+    return 1
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.render.api import format_from_suffix, render_drawing
+    from repro.render.compose import compare_schedules
+
+    schedules = [load_schedule(path) for path in args.inputs]
+    titles = [Path(p).stem for p in args.inputs]
+    drawing = compare_schedules(
+        schedules, titles, width=args.width, panel_height=args.panel_height,
+        share_time_axis=not args.independent_axes, horizontal=args.horizontal)
+    fmt = args.format or format_from_suffix(args.output)
+    Path(args.output).write_bytes(render_drawing(drawing, fmt))
+    print(f"wrote {args.output} ({len(schedules)} panels)")
+    return 0
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from repro.render.profile import export_profile
+
+    schedule = load_schedule(args.input, args.input_format)
+    export_profile(schedule, args.output, format=args.format,
+                   width=args.width, height=args.height, types=args.types,
+                   title=args.title)
+    print(f"wrote {args.output}")
+    return 0
+
+
+def _cmd_diff(args: argparse.Namespace) -> int:
+    from repro.core.diff import diff_schedules
+
+    before = load_schedule(args.before)
+    after = load_schedule(args.after)
+    diff = diff_schedules(before, after)
+    print(diff.summary())
+    for delta in diff.deltas:
+        print(f"  {delta}")
+    for task_id in diff.added:
+        print(f"  {task_id}: added")
+    for task_id in diff.removed:
+        print(f"  {task_id}: removed")
+    if args.fail_on_delay and diff.delayed_tasks():
+        print(f"{len(diff.delayed_tasks())} task(s) delayed")
+        return 1
+    return 0
+
+
+def _cmd_view(args: argparse.Namespace) -> int:
+    from repro.cli.interactive import InteractiveViewer
+
+    schedule = load_schedule(args.input, args.input_format)
+    viewer = InteractiveViewer(schedule, width=args.width, ansi=args.ansi)
+    return viewer.run()
+
+
+_COMMANDS = {
+    "render": _cmd_render,
+    "convert": _cmd_convert,
+    "info": _cmd_info,
+    "validate": _cmd_validate,
+    "view": _cmd_view,
+    "compare": _cmd_compare,
+    "profile": _cmd_profile,
+    "diff": _cmd_diff,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except FileNotFoundError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

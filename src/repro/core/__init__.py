@@ -1,0 +1,91 @@
+"""Core schedule model: the paper's primary contribution.
+
+Re-exports the central types so ``from repro.core import Schedule, Task``
+works without knowing the module layout.
+"""
+
+from repro.core.colormap import (
+    Color,
+    ColorMap,
+    CompositeRule,
+    TaskStyle,
+    auto_colormap,
+    auto_colormap_types,
+    default_colormap,
+    grayscale_colormap,
+)
+from repro.core.composite import build_composite_tasks, with_composites
+from repro.core.diff import ScheduleDiff, TaskDelta, diff_schedules
+from repro.core.model import (
+    COMPOSITE_TYPE,
+    Cluster,
+    Configuration,
+    HostRange,
+    Schedule,
+    Task,
+    hosts_to_ranges,
+    merge_host_ranges,
+)
+from repro.core.select import Selection, describe_task, hit_test, tasks_in_region
+from repro.core.stats import (
+    UtilizationProfile,
+    area_lower_bound,
+    busy_hosts_at,
+    idle_area,
+    low_utilization_windows,
+    per_host_busy_time,
+    per_type_area,
+    total_busy_area,
+    utilization,
+    utilization_profile,
+)
+from repro.core.timeframe import TimeFrame, ViewMode, cluster_frame, frames_for, global_frame
+from repro.core.validate import Violation, assert_valid, validate_schedule
+from repro.core.viewport import Viewport
+
+__all__ = [
+    "COMPOSITE_TYPE",
+    "Cluster",
+    "ScheduleDiff",
+    "TaskDelta",
+    "Color",
+    "ColorMap",
+    "CompositeRule",
+    "Configuration",
+    "HostRange",
+    "Schedule",
+    "Selection",
+    "Task",
+    "TaskStyle",
+    "TimeFrame",
+    "UtilizationProfile",
+    "ViewMode",
+    "Viewport",
+    "Violation",
+    "area_lower_bound",
+    "assert_valid",
+    "auto_colormap",
+    "auto_colormap_types",
+    "build_composite_tasks",
+    "busy_hosts_at",
+    "cluster_frame",
+    "default_colormap",
+    "describe_task",
+    "diff_schedules",
+    "frames_for",
+    "global_frame",
+    "grayscale_colormap",
+    "hit_test",
+    "hosts_to_ranges",
+    "idle_area",
+    "low_utilization_windows",
+    "merge_host_ranges",
+    "per_host_busy_time",
+    "per_type_area",
+    "tasks_in_region",
+    "total_busy_area",
+    "utilization",
+    "utilization_profile",
+    "validate_schedule",
+    "with_composites",
+]

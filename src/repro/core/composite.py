@@ -1,0 +1,132 @@
+"""Composite task construction (paper Section II-C-3).
+
+A parallel system may execute tasks concurrently on the same resources.  For
+each resource shared by several tasks during some interval, Jedule creates a
+*composite task*: its identifier is the concatenation of the member task ids
+and its type is ``"composite"`` — rendered in its own color (e.g. the orange
+"computation over communication" regions of Figure 3).
+
+The algorithm here is a per-host sweep line:
+
+1. bucket task intervals by (cluster, host);
+2. per host, sweep the sorted start/end events and emit, for every maximal
+   interval during which two or more tasks hold the host, one *overlap
+   fragment* carrying the member id set;
+3. group fragments with identical (member set, interval) across hosts and
+   compress their host sets back into ranges, yielding one composite task
+   (possibly with multiple rectangles) per distinct overlap.
+
+The decomposition is exact: composite fragments cover exactly the host-time
+region where >= 2 member tasks coexist, and non-overlapping parts of the
+original tasks remain visible underneath (composites are *added* to the
+schedule, drawn on top).
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections.abc import Iterable, Sequence
+
+from repro.core.model import (
+    COMPOSITE_TYPE,
+    Configuration,
+    Schedule,
+    Task,
+    hosts_to_ranges,
+)
+
+__all__ = ["composite_id", "find_overlaps", "build_composite_tasks", "with_composites"]
+
+
+def composite_id(member_ids: Sequence[str]) -> str:
+    """Identifier of a composite task: the sorted member ids joined by '+'."""
+    return "+".join(sorted(member_ids))
+
+
+def find_overlaps(
+    tasks: Iterable[Task],
+) -> dict[tuple[frozenset[str], float, float], set[tuple[str, int]]]:
+    """Locate all overlap fragments.
+
+    Returns a mapping from ``(member_id_set, t0, t1)`` to the set of
+    ``(cluster_id, host)`` resources on which exactly that member set
+    coexists during exactly ``[t0, t1)``.
+    """
+    by_host: dict[tuple[str, int], list[Task]] = {}
+    for t in tasks:
+        if t.duration <= 0:
+            continue
+        for conf in t.configurations:
+            for r in conf.host_ranges:
+                for h in r.hosts():
+                    by_host.setdefault((conf.cluster_id, h), []).append(t)
+
+    fragments: dict[tuple[frozenset[str], float, float], set[tuple[str, int]]] = {}
+    for key, holders in by_host.items():
+        if len(holders) < 2:
+            continue
+        events: list[tuple[float, int, str]] = []
+        for t in holders:
+            events.append((t.start_time, +1, t.id))
+            events.append((t.end_time, -1, t.id))
+        # Process ends before starts at equal times so touching intervals
+        # ([a,b) then [b,c)) do not count as overlapping.
+        events.sort(key=lambda e: (e[0], e[1]))
+        active: set[str] = set()
+        seg_start = 0.0
+        for time, kind, task_id in events:
+            if len(active) >= 2 and time > seg_start:
+                frag = (frozenset(active), seg_start, time)
+                fragments.setdefault(frag, set()).add(key)
+            if kind > 0:
+                active.add(task_id)
+            else:
+                active.discard(task_id)
+            seg_start = time
+    return fragments
+
+
+def build_composite_tasks(tasks: Iterable[Task]) -> list[Task]:
+    """Synthesize one composite task per distinct overlap fragment.
+
+    Composite ids get a ``#k`` suffix when the same member set overlaps in
+    several disjoint time windows, keeping ids unique.
+    """
+    fragments = find_overlaps(tasks)
+    # Deterministic order: by start time, then id.
+    ordered = sorted(fragments.items(), key=lambda kv: (kv[0][1], kv[0][2], composite_id(kv[0][0])))
+    counts: dict[str, int] = {}
+    composites: list[Task] = []
+    for (members, t0, t1), resources in ordered:
+        base = composite_id(tuple(members))
+        n = counts.get(base, 0)
+        counts[base] = n + 1
+        task_id = base if n == 0 else f"{base}#{n}"
+        confs = []
+        by_cluster: dict[str, list[int]] = {}
+        for cluster_id, host in resources:
+            by_cluster.setdefault(cluster_id, []).append(host)
+        for cluster_id in sorted(by_cluster):
+            confs.append(Configuration(cluster_id, hosts_to_ranges(by_cluster[cluster_id])))
+        composites.append(Task(
+            task_id, COMPOSITE_TYPE, t0, t1, confs,
+            meta={"members": ",".join(sorted(members))},
+        ))
+    return composites
+
+
+def with_composites(schedule: Schedule) -> Schedule:
+    """A copy of ``schedule`` with composite tasks appended.
+
+    Original tasks are kept; renderers draw composites on top because they
+    come later in task order.  Member types of each overlap are recorded in
+    the composite's ``meta["member_types"]`` so color maps can select the
+    right composite rule (paper Figure 2 defines composite colors per member
+    type combination).
+    """
+    out = Schedule(schedule.clusters, schedule.tasks, schedule.meta)
+    for comp in build_composite_tasks(schedule.tasks):
+        member_ids = comp.meta["members"].split(",")
+        member_types = sorted({schedule.task(mid).type for mid in member_ids})
+        out.add_task(comp.with_meta(member_types=",".join(member_types)))
+    return out

@@ -1,0 +1,105 @@
+"""Schedule diffing.
+
+Section IV-B: "A comparison of the Jedule outputs with and without
+backfilling allows for a check that no task is delayed by this step."
+This module performs that comparison programmatically: given two schedules
+(before/after some transformation), it classifies every task as unchanged,
+moved in time, reallocated (different hosts), retyped, added or removed —
+and summarizes time deltas so "no task is delayed" is one assertion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.model import Schedule, Task
+
+__all__ = ["TaskDelta", "ScheduleDiff", "diff_schedules"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class TaskDelta:
+    """How one task differs between the two schedules."""
+
+    task_id: str
+    kind: str                    # moved | reallocated | retyped | resized
+    start_delta: float = 0.0     # after - before
+    end_delta: float = 0.0
+
+    def __str__(self) -> str:
+        extras = ""
+        if self.kind in ("moved", "resized"):
+            extras = f" (start {self.start_delta:+.6g}, end {self.end_delta:+.6g})"
+        return f"{self.task_id}: {self.kind}{extras}"
+
+
+@dataclass
+class ScheduleDiff:
+    """The full comparison result."""
+
+    unchanged: list[str] = field(default_factory=list)
+    deltas: list[TaskDelta] = field(default_factory=list)
+    added: list[str] = field(default_factory=list)
+    removed: list[str] = field(default_factory=list)
+    makespan_delta: float = 0.0
+
+    @property
+    def identical(self) -> bool:
+        return not (self.deltas or self.added or self.removed)
+
+    def delayed_tasks(self, eps: float = _EPS) -> list[TaskDelta]:
+        """Tasks finishing later in the second schedule — the backfilling
+        no-delay check is ``diff.delayed_tasks() == []``."""
+        return [d for d in self.deltas if d.end_delta > eps]
+
+    def moved_earlier(self, eps: float = _EPS) -> list[TaskDelta]:
+        return [d for d in self.deltas if d.end_delta < -eps]
+
+    def summary(self) -> str:
+        lines = [
+            f"unchanged: {len(self.unchanged)}",
+            f"changed:   {len(self.deltas)}",
+            f"added:     {len(self.added)}",
+            f"removed:   {len(self.removed)}",
+            f"makespan:  {self.makespan_delta:+.6g}",
+            f"delayed:   {len(self.delayed_tasks())}",
+        ]
+        return "\n".join(lines)
+
+
+def _classify(before: Task, after: Task) -> TaskDelta | None:
+    if after.type != before.type:
+        return TaskDelta(before.id, "retyped")
+    if after.configurations != before.configurations:
+        return TaskDelta(before.id, "reallocated",
+                         after.start_time - before.start_time,
+                         after.end_time - before.end_time)
+    ds = after.start_time - before.start_time
+    de = after.end_time - before.end_time
+    if abs(ds) <= _EPS and abs(de) <= _EPS:
+        return None
+    if abs(after.duration - before.duration) <= _EPS:
+        return TaskDelta(before.id, "moved", ds, de)
+    return TaskDelta(before.id, "resized", ds, de)
+
+
+def diff_schedules(before: Schedule, after: Schedule) -> ScheduleDiff:
+    """Compare two schedules task-by-task (matched on task id)."""
+    diff = ScheduleDiff(
+        makespan_delta=after.makespan - before.makespan,
+    )
+    before_ids = {t.id for t in before}
+    after_ids = {t.id for t in after}
+    diff.removed = sorted(before_ids - after_ids)
+    diff.added = sorted(after_ids - before_ids)
+    for t in before:
+        if t.id not in after_ids:
+            continue
+        delta = _classify(t, after.task(t.id))
+        if delta is None:
+            diff.unchanged.append(t.id)
+        else:
+            diff.deltas.append(delta)
+    return diff

@@ -1,0 +1,184 @@
+"""Selection, hit-testing and task inspection (interactive mode logic).
+
+In the original Swing GUI, clicking a task rectangle pops up the task's
+start/finish times and its resource list; typing filters restrict the view
+to clusters, types, or users.  This module implements that logic as pure
+functions over the schedule plane, where time is the x axis and global
+resource rows (see :meth:`repro.core.model.Schedule.cluster_offset`) the
+y axis: resource row ``k`` spans ``[k, k+1)``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass, field
+
+from repro.core.model import Schedule, Task
+
+__all__ = ["TaskInfo", "hit_test", "tasks_in_region", "describe_task", "Selection"]
+
+
+def _task_rows(schedule: Schedule, task: Task) -> list[tuple[int, int]]:
+    """Global row intervals ``[lo, hi)`` covered by a task's rectangles."""
+    rows: list[tuple[int, int]] = []
+    for conf in task.configurations:
+        off = schedule.cluster_offset(conf.cluster_id)
+        for r in conf.host_ranges:
+            rows.append((off + r.start, off + r.stop))
+    return rows
+
+
+def hit_test(schedule: Schedule, t: float, row: float) -> Task | None:
+    """The topmost task whose rectangle contains plane point ``(t, row)``.
+
+    "Topmost" is the task registered last, matching draw order where later
+    tasks (e.g. composites) paint over earlier ones.  Returns ``None`` when
+    the point lies on idle background.
+    """
+    hit: Task | None = None
+    for task in schedule:
+        if not (task.start_time <= t < task.end_time):
+            continue
+        for lo, hi in _task_rows(schedule, task):
+            if lo <= row < hi:
+                hit = task
+                break
+    return hit
+
+
+def tasks_in_region(
+    schedule: Schedule, t0: float, t1: float, row0: float, row1: float
+) -> tuple[Task, ...]:
+    """All tasks whose rectangles intersect the given plane region."""
+    if t1 < t0:
+        t0, t1 = t1, t0
+    if row1 < row0:
+        row0, row1 = row1, row0
+    found = []
+    for task in schedule:
+        if not (task.start_time < t1 and t0 < task.end_time):
+            continue
+        if any(lo < row1 and row0 < hi for lo, hi in _task_rows(schedule, task)):
+            found.append(task)
+    return tuple(found)
+
+
+@dataclass(frozen=True, slots=True)
+class TaskInfo:
+    """Inspector payload shown when a task is clicked."""
+
+    task_id: str
+    type: str
+    start_time: float
+    end_time: float
+    duration: float
+    num_hosts: int
+    resources: tuple[tuple[str, tuple[int, ...]], ...]
+    meta: tuple[tuple[str, str], ...]
+
+    def lines(self) -> list[str]:
+        """Human-readable inspector text."""
+        out = [
+            f"task {self.task_id} ({self.type})",
+            f"  start:    {self.start_time:.6g}",
+            f"  finish:   {self.end_time:.6g}",
+            f"  duration: {self.duration:.6g}",
+            f"  hosts:    {self.num_hosts}",
+        ]
+        for cluster_id, hosts in self.resources:
+            out.append(f"  cluster {cluster_id}: {_format_hosts(hosts)}")
+        for k, v in self.meta:
+            out.append(f"  {k} = {v}")
+        return out
+
+
+def _format_hosts(hosts: tuple[int, ...]) -> str:
+    """Compact host list: '0-7' or '0-3,8,12-13'."""
+    from repro.core.model import hosts_to_ranges
+
+    parts = []
+    for r in hosts_to_ranges(hosts):
+        parts.append(str(r.start) if r.nb == 1 else f"{r.start}-{r.stop - 1}")
+    return ",".join(parts)
+
+
+def describe_task(task: Task) -> TaskInfo:
+    """Build the inspector payload for a task."""
+    return TaskInfo(
+        task_id=task.id,
+        type=task.type,
+        start_time=task.start_time,
+        end_time=task.end_time,
+        duration=task.duration,
+        num_hosts=task.num_hosts,
+        resources=tuple((c.cluster_id, c.hosts()) for c in task.configurations),
+        meta=tuple(sorted(task.meta.items())),
+    )
+
+
+class Selection:
+    """A mutable set of selected task ids with toggle semantics.
+
+    Models click-to-select / click-again-to-deselect of the GUI, plus
+    predicate-based bulk selection (e.g. "select all of user 6447").
+    """
+
+    def __init__(self, schedule: Schedule):
+        self._schedule = schedule
+        self._ids: set[str] = set()
+
+    @property
+    def ids(self) -> frozenset[str]:
+        return frozenset(self._ids)
+
+    @property
+    def tasks(self) -> tuple[Task, ...]:
+        return tuple(t for t in self._schedule if t.id in self._ids)
+
+    def __len__(self) -> int:
+        return len(self._ids)
+
+    def __contains__(self, task_id: object) -> bool:
+        return task_id in self._ids
+
+    def toggle(self, task_id: str) -> bool:
+        """Toggle one task; returns True when it ends up selected."""
+        self._schedule.task(task_id)  # validate existence
+        if task_id in self._ids:
+            self._ids.discard(task_id)
+            return False
+        self._ids.add(task_id)
+        return True
+
+    def select_where(self, predicate: Callable[[Task], bool]) -> int:
+        """Add every matching task; returns how many were added."""
+        added = 0
+        for t in self._schedule:
+            if predicate(t) and t.id not in self._ids:
+                self._ids.add(t.id)
+                added += 1
+        return added
+
+    def select_meta(self, key: str, value: str) -> int:
+        """Select all tasks whose meta ``key`` equals ``value``."""
+        return self.select_where(lambda t: t.meta.get(key) == value)
+
+    def clear(self) -> None:
+        self._ids.clear()
+
+    def highlighted_schedule(self, *, highlight_type: str | None = None) -> Schedule:
+        """Copy of the schedule with selected tasks retyped for highlighting.
+
+        Selected tasks get type ``highlight_type`` (default
+        ``"<type>:selected"``) so a color map can paint them distinctly —
+        this is how Figure 13 turns one user's jobs yellow.
+        """
+        out = Schedule(self._schedule.clusters, meta=self._schedule.meta)
+        for t in self._schedule:
+            if t.id in self._ids:
+                new_type = highlight_type if highlight_type else f"{t.type}:selected"
+                out.add_task(Task(t.id, new_type, t.start_time, t.end_time,
+                                  t.configurations, t.meta))
+            else:
+                out.add_task(t)
+        return out

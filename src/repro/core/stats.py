@@ -1,0 +1,210 @@
+"""Schedule statistics: makespan, utilization, idle time, profiles.
+
+The case studies of the paper read quantities like "large holes of idle CPU
+time" (Figure 4), "reduction of the total idle time" by backfilling
+(Section IV-B), or "periods with low utilization with only 2-4 processors
+actually running" (Section VI-B) off the pictures.  This module computes the
+same quantities numerically so benches and tests can assert them.
+
+All functions treat task intervals as half-open ``[start, end)`` and assume
+one unit of work per (host, second) a task holds a host.
+"""
+
+from __future__ import annotations
+
+import bisect
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.model import COMPOSITE_TYPE, Schedule, Task
+
+__all__ = [
+    "UtilizationProfile",
+    "total_busy_area",
+    "utilization",
+    "idle_area",
+    "utilization_profile",
+    "busy_hosts_at",
+    "per_type_area",
+    "per_host_busy_time",
+    "low_utilization_windows",
+    "area_lower_bound",
+]
+
+
+def _real_tasks(schedule: Schedule) -> list[Task]:
+    """Tasks excluding synthesized composites (which double-count work)."""
+    return [t for t in schedule if t.type != COMPOSITE_TYPE]
+
+
+def total_busy_area(schedule: Schedule, *, types: Iterable[str] | None = None) -> float:
+    """Sum of ``duration * num_hosts`` over (optionally type-filtered) tasks."""
+    wanted = set(types) if types is not None else None
+    area = 0.0
+    for t in _real_tasks(schedule):
+        if wanted is not None and t.type not in wanted:
+            continue
+        area += t.duration * t.num_hosts
+    return area
+
+
+def utilization(schedule: Schedule, *, types: Iterable[str] | None = None) -> float:
+    """Busy area divided by total available area ``|P| * makespan``.
+
+    Overlapping tasks on a shared host count each interval once per holding
+    task (the quantity can exceed 1 for heavily timeshared schedules; the
+    space-shared schedules of the case studies stay <= 1).
+    """
+    span = schedule.makespan
+    hosts = schedule.num_hosts
+    if span <= 0 or hosts == 0:
+        return 0.0
+    return total_busy_area(schedule, types=types) / (span * hosts)
+
+
+def idle_area(schedule: Schedule, *, busy_types: Iterable[str] | None = None) -> float:
+    """Total idle host-seconds: available area minus busy area."""
+    return schedule.makespan * schedule.num_hosts - total_busy_area(schedule, types=busy_types)
+
+
+@dataclass(frozen=True, slots=True)
+class UtilizationProfile:
+    """Step function: number of busy hosts over time.
+
+    ``times[i]`` is the instant where the count changes to ``counts[i]``;
+    the profile is right-continuous and ``counts[-1]`` is always 0.
+    """
+
+    times: tuple[float, ...]
+    counts: tuple[int, ...]
+
+    def value_at(self, t: float) -> int:
+        """Busy host count at time ``t`` (0 outside the schedule span)."""
+        if not self.times or t < self.times[0]:
+            return 0
+        idx = bisect.bisect_right(self.times, t) - 1
+        return self.counts[idx]
+
+    @property
+    def peak(self) -> int:
+        return max(self.counts, default=0)
+
+    def average(self) -> float:
+        """Time-averaged busy host count over the profile's span."""
+        if len(self.times) < 2:
+            return 0.0
+        total = 0.0
+        for i in range(len(self.times) - 1):
+            total += self.counts[i] * (self.times[i + 1] - self.times[i])
+        span = self.times[-1] - self.times[0]
+        return total / span if span > 0 else 0.0
+
+    def time_with_count(self, predicate: Callable[[int], bool]) -> float:
+        """Total duration during which ``predicate(busy_count)`` holds."""
+        total = 0.0
+        for i in range(len(self.times) - 1):
+            if predicate(self.counts[i]):
+                total += self.times[i + 1] - self.times[i]
+        return total
+
+
+def utilization_profile(
+    schedule: Schedule, *, types: Iterable[str] | None = None
+) -> UtilizationProfile:
+    """Busy-host step function, counting each held host once per holder.
+
+    Tasks of type ``composite`` are excluded to avoid double counting.
+    """
+    wanted = set(types) if types is not None else None
+    events: dict[float, int] = {}
+    for t in _real_tasks(schedule):
+        if wanted is not None and t.type not in wanted:
+            continue
+        if t.duration <= 0:
+            continue
+        events[t.start_time] = events.get(t.start_time, 0) + t.num_hosts
+        events[t.end_time] = events.get(t.end_time, 0) - t.num_hosts
+    if not events:
+        return UtilizationProfile((), ())
+    times = sorted(events)
+    counts: list[int] = []
+    running = 0
+    for tm in times:
+        running += events[tm]
+        counts.append(running)
+    return UtilizationProfile(tuple(times), tuple(counts))
+
+
+def busy_hosts_at(schedule: Schedule, t: float, *, types: Iterable[str] | None = None) -> int:
+    """Number of busy hosts at instant ``t``."""
+    return utilization_profile(schedule, types=types).value_at(t)
+
+
+def per_type_area(schedule: Schedule) -> dict[str, float]:
+    """Busy area per task type (composites excluded)."""
+    area: dict[str, float] = {}
+    for t in _real_tasks(schedule):
+        area[t.type] = area.get(t.type, 0.0) + t.duration * t.num_hosts
+    return area
+
+
+def per_host_busy_time(
+    schedule: Schedule, *, types: Iterable[str] | None = None
+) -> dict[tuple[str, int], float]:
+    """Busy seconds per (cluster id, host), counting shared intervals once per task."""
+    wanted = set(types) if types is not None else None
+    busy: dict[tuple[str, int], float] = {
+        (c.id, h): 0.0 for c in schedule.clusters for h in c.hosts()
+    }
+    for t in _real_tasks(schedule):
+        if wanted is not None and t.type not in wanted:
+            continue
+        for conf in t.configurations:
+            for r in conf.host_ranges:
+                for h in r.hosts():
+                    busy[(conf.cluster_id, h)] += t.duration
+    return busy
+
+
+def low_utilization_windows(
+    schedule: Schedule,
+    threshold: int,
+    *,
+    min_duration: float = 0.0,
+    types: Iterable[str] | None = None,
+) -> list[tuple[float, float]]:
+    """Maximal windows where at most ``threshold`` hosts are busy.
+
+    This is the programmatic version of spotting the "holes" of Figures 4,
+    11 and 12.  Only windows inside the schedule span and at least
+    ``min_duration`` long are reported.
+    """
+    profile = utilization_profile(schedule, types=types)
+    if len(profile.times) < 2:
+        return []
+    windows: list[tuple[float, float]] = []
+    open_start: float | None = None
+    for i in range(len(profile.times) - 1):
+        low = profile.counts[i] <= threshold
+        if low and open_start is None:
+            open_start = profile.times[i]
+        elif not low and open_start is not None:
+            windows.append((open_start, profile.times[i]))
+            open_start = None
+    if open_start is not None:
+        windows.append((open_start, profile.times[-1]))
+    return [(a, b) for a, b in windows if b - a >= min_duration]
+
+
+def area_lower_bound(schedule: Schedule) -> float:
+    """The paper's ``T_A`` bound: average work per processor.
+
+    ``T_A = (1/P) * sum_v T(v, p_v) * p_v`` is a lower bound on the makespan
+    of any space-shared schedule of the same tasks.
+    """
+    hosts = schedule.num_hosts
+    if hosts == 0:
+        return 0.0
+    return total_busy_area(schedule) / hosts

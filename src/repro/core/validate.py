@@ -1,0 +1,115 @@
+"""Structural sanity checks on schedules.
+
+The paper motivates visualization partly as a *sanity checking* aid (e.g.
+"checking the number of requested and assigned processors for a
+multiprocessor job").  This module provides the programmatic counterpart:
+machine-checkable invariants that schedules produced by correct scheduling
+algorithms must satisfy.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.core.model import Schedule, Task
+from repro.errors import ValidationError
+
+__all__ = ["Violation", "validate_schedule", "check_exclusive_resources", "assert_valid"]
+
+
+@dataclass(frozen=True, slots=True)
+class Violation:
+    """One detected invariant violation."""
+
+    kind: str
+    message: str
+    task_ids: tuple[str, ...] = ()
+
+    def __str__(self) -> str:
+        return f"[{self.kind}] {self.message}"
+
+
+def validate_schedule(
+    schedule: Schedule,
+    *,
+    expected_hosts: dict[str, int] | None = None,
+    forbid_overlap_types: Iterable[str] = (),
+) -> list[Violation]:
+    """Collect violations without raising.
+
+    Structural checks (unknown clusters / out-of-range hosts / negative
+    durations) are enforced at construction time by the model itself, so here
+    we check the *semantic* properties:
+
+    * ``task-hosts``: when ``expected_hosts`` gives a per-task host count
+      (keyed by task id), the bound resources must match the request —
+      the paper's "requested vs assigned processors" sanity check;
+    * ``overlap``: tasks whose type is in ``forbid_overlap_types`` must not
+      share a host while overlapping in time (e.g. two computations cannot
+      timeshare a CPU in a space-shared cluster model).
+    """
+    violations: list[Violation] = []
+    if expected_hosts:
+        for task_id, expected in expected_hosts.items():
+            if not schedule.has_task(task_id):
+                violations.append(Violation(
+                    "task-hosts", f"expected task {task_id!r} is missing", (str(task_id),)))
+                continue
+            task = schedule.task(task_id)
+            if task.num_hosts != expected:
+                violations.append(Violation(
+                    "task-hosts",
+                    f"task {task_id!r} requested {expected} hosts but holds {task.num_hosts}",
+                    (task.id,),
+                ))
+    forbid = set(forbid_overlap_types)
+    if forbid:
+        violations.extend(check_exclusive_resources(
+            [t for t in schedule if t.type in forbid]))
+    return violations
+
+
+def check_exclusive_resources(tasks: Iterable[Task]) -> list[Violation]:
+    """Report every pair of tasks that timeshare at least one host.
+
+    Uses a sweep over start/end events per (cluster, host) so the common
+    non-overlapping case is near-linear instead of quadratic in tasks.
+    """
+    by_host: dict[tuple[str, int], list[Task]] = {}
+    for t in tasks:
+        for conf in t.configurations:
+            for r in conf.host_ranges:
+                for h in r.hosts():
+                    by_host.setdefault((conf.cluster_id, h), []).append(t)
+
+    seen_pairs: set[tuple[str, str]] = set()
+    violations: list[Violation] = []
+    for (cluster_id, host), holders in by_host.items():
+        if len(holders) < 2:
+            continue
+        holders.sort(key=lambda t: (t.start_time, t.end_time))
+        for i, a in enumerate(holders):
+            for b in holders[i + 1:]:
+                if b.start_time >= a.end_time:
+                    break  # sorted by start: no later task can overlap `a`
+                pair = tuple(sorted((a.id, b.id)))
+                if pair in seen_pairs:
+                    continue
+                seen_pairs.add(pair)
+                violations.append(Violation(
+                    "overlap",
+                    f"tasks {pair[0]!r} and {pair[1]!r} timeshare host "
+                    f"{host} of cluster {cluster_id!r}",
+                    pair,
+                ))
+    return violations
+
+
+def assert_valid(schedule: Schedule, **kwargs) -> None:
+    """Raise :class:`ValidationError` listing all violations, if any."""
+    violations = validate_schedule(schedule, **kwargs)
+    if violations:
+        raise ValidationError(
+            f"{len(violations)} violation(s): " + "; ".join(str(v) for v in violations)
+        )

@@ -1,0 +1,141 @@
+"""Viewport model backing the interactive mode (paper Section II-D-1).
+
+The Swing GUI of the original tool lets the user zoom with the mouse wheel,
+zoom into a rubber-band rectangle, drag to pan, and reset.  All of those
+operations are pure transformations of a *viewport*: a window
+``[t0, t1] x [r0, r1]`` over the (time, resource) plane.  This module
+implements that algebra headlessly so it is testable and reusable both by
+the terminal interactive mode and by any GUI embedding.
+
+Resources use fractional units — resource row ``k`` occupies ``[k, k+1)`` —
+so a viewport can cut through the middle of a row when zooming.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.model import Schedule
+from repro.core.timeframe import TimeFrame
+
+__all__ = ["Viewport"]
+
+_MIN_SPAN = 1e-12
+
+
+@dataclass(frozen=True, slots=True)
+class Viewport:
+    """A rectangular window over the schedule plane."""
+
+    t0: float
+    t1: float
+    r0: float
+    r1: float
+
+    def __post_init__(self) -> None:
+        if not (self.t1 > self.t0 and self.r1 > self.r0):
+            raise ValueError(
+                f"degenerate viewport [{self.t0},{self.t1}]x[{self.r0},{self.r1}]"
+            )
+
+    # ----------------------------------------------------------- factories
+    @classmethod
+    def fit(cls, schedule: Schedule, *, pad: float = 0.0) -> "Viewport":
+        """Viewport showing the entire schedule, optionally padded in time."""
+        start, end = schedule.start_time, schedule.end_time
+        if end <= start:
+            end = start + 1.0
+        span = end - start
+        rows = max(schedule.num_hosts, 1)
+        return cls(start - pad * span, end + pad * span, 0.0, float(rows))
+
+    # ----------------------------------------------------------- properties
+    @property
+    def time_span(self) -> float:
+        return self.t1 - self.t0
+
+    @property
+    def resource_span(self) -> float:
+        return self.r1 - self.r0
+
+    @property
+    def time_frame(self) -> TimeFrame:
+        return TimeFrame(self.t0, self.t1)
+
+    @property
+    def center(self) -> tuple[float, float]:
+        return ((self.t0 + self.t1) / 2, (self.r0 + self.r1) / 2)
+
+    def contains(self, t: float, r: float) -> bool:
+        return self.t0 <= t <= self.t1 and self.r0 <= r <= self.r1
+
+    def intersects_time(self, start: float, end: float) -> bool:
+        """True when interval ``[start, end)`` is at least partly visible."""
+        return start < self.t1 and self.t0 < end
+
+    # ------------------------------------------------------------- algebra
+    def zoom(self, factor: float, *, at: tuple[float, float] | None = None) -> "Viewport":
+        """Scale the window by ``1/factor`` about an anchor point.
+
+        ``factor > 1`` zooms in (mouse wheel up), ``0 < factor < 1`` zooms
+        out.  ``at`` is the fixed point (defaults to the center), so zooming
+        at the cursor keeps the schedule feature under the cursor in place.
+        ``zoom(f).zoom(1/f)`` is the identity (up to float rounding).
+        """
+        if factor <= 0:
+            raise ValueError(f"zoom factor must be > 0, got {factor}")
+        ct, cr = at if at is not None else self.center
+        new_tspan = max(self.time_span / factor, _MIN_SPAN)
+        new_rspan = max(self.resource_span / factor, _MIN_SPAN)
+        ft = (ct - self.t0) / self.time_span
+        fr = (cr - self.r0) / self.resource_span
+        t0 = ct - ft * new_tspan
+        r0 = cr - fr * new_rspan
+        return Viewport(t0, t0 + new_tspan, r0, r0 + new_rspan)
+
+    def pan(self, dt: float, dr: float = 0.0) -> "Viewport":
+        """Translate the window (mouse drag)."""
+        return Viewport(self.t0 + dt, self.t1 + dt, self.r0 + dr, self.r1 + dr)
+
+    def pan_fraction(self, ft: float, fr: float = 0.0) -> "Viewport":
+        """Pan by fractions of the current spans (keyboard arrows)."""
+        return self.pan(ft * self.time_span, fr * self.resource_span)
+
+    def zoom_to(self, t0: float, t1: float, r0: float | None = None,
+                r1: float | None = None) -> "Viewport":
+        """Rubber-band zoom: jump to an explicit sub-window.
+
+        Omitted resource bounds keep the current resource window, which is
+        the "specify a time frame that he might be interested in" behaviour.
+        """
+        if r0 is None:
+            r0 = self.r0
+        if r1 is None:
+            r1 = self.r1
+        if t1 - t0 < _MIN_SPAN:
+            mid = (t0 + t1) / 2
+            t0, t1 = mid - _MIN_SPAN / 2, mid + _MIN_SPAN / 2
+        if r1 - r0 < _MIN_SPAN:
+            mid = (r0 + r1) / 2
+            r0, r1 = mid - _MIN_SPAN / 2, mid + _MIN_SPAN / 2
+        return Viewport(t0, t1, r0, r1)
+
+    def clamped_to(self, bounds: "Viewport") -> "Viewport":
+        """Translate/shrink this window so it fits inside ``bounds``.
+
+        Used to stop panning past the edges of the schedule.
+        """
+        tspan = min(self.time_span, bounds.time_span)
+        rspan = min(self.resource_span, bounds.resource_span)
+        t0 = min(max(self.t0, bounds.t0), bounds.t1 - tspan)
+        r0 = min(max(self.r0, bounds.r0), bounds.r1 - rspan)
+        return Viewport(t0, t0 + tspan, r0, r0 + rspan)
+
+    # ------------------------------------------------------- mapping helpers
+    def to_unit(self, t: float, r: float) -> tuple[float, float]:
+        """Map a plane point to [0,1]^2 viewport coordinates."""
+        return ((t - self.t0) / self.time_span, (r - self.r0) / self.resource_span)
+
+    def from_unit(self, x: float, y: float) -> tuple[float, float]:
+        """Inverse of :meth:`to_unit`."""
+        return (self.t0 + x * self.time_span, self.r0 + y * self.resource_span)

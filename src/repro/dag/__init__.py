@@ -1,0 +1,49 @@
+"""Task graphs: DAG container, moldable-task models, generators, Montage."""
+
+from repro.dag.generators import (
+    LayeredDagSpec,
+    fft_dag,
+    fork_join_dag,
+    imbalanced_layer_dag,
+    irregular_dag,
+    layered_dag,
+    long_dag,
+    serial_dag,
+    strassen_dag,
+    wide_dag,
+)
+from repro.dag.graph import DagEdge, DagNode, TaskGraph
+from repro.dag.moldable import (
+    AmdahlModel,
+    CommOverheadModel,
+    DowneyModel,
+    PerfectModel,
+    SpeedupModel,
+    execution_time,
+)
+from repro.dag.montage import MONTAGE_TASK_TYPES, montage_50, montage_workflow
+
+__all__ = [
+    "AmdahlModel",
+    "CommOverheadModel",
+    "DagEdge",
+    "DagNode",
+    "DowneyModel",
+    "LayeredDagSpec",
+    "MONTAGE_TASK_TYPES",
+    "PerfectModel",
+    "SpeedupModel",
+    "TaskGraph",
+    "execution_time",
+    "fft_dag",
+    "fork_join_dag",
+    "imbalanced_layer_dag",
+    "irregular_dag",
+    "layered_dag",
+    "long_dag",
+    "montage_50",
+    "montage_workflow",
+    "serial_dag",
+    "strassen_dag",
+    "wide_dag",
+]

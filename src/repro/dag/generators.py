@@ -1,0 +1,312 @@
+"""Random task-graph generators.
+
+Section III-B of the paper sweeps "several thousand experiments with
+different types of DAGs (long, wide, serial, etc.)".  This module generates
+those families with a layered construction: pick a number of precedence
+layers and a width per layer, then wire edges between consecutive (and,
+with ``jump_prob``, farther) layers.
+
+All generators take an explicit ``numpy`` random generator (or seed) so
+experiments are reproducible.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dag.graph import TaskGraph
+from repro.errors import SchedulingError
+
+__all__ = ["LayeredDagSpec", "layered_dag", "long_dag", "wide_dag", "serial_dag",
+           "irregular_dag", "fork_join_dag", "fft_dag", "strassen_dag",
+           "imbalanced_layer_dag"]
+
+
+def _rng(seed: int | np.random.Generator | None) -> np.random.Generator:
+    if isinstance(seed, np.random.Generator):
+        return seed
+    return np.random.default_rng(seed)
+
+
+@dataclass(frozen=True, slots=True)
+class LayeredDagSpec:
+    """Parameters of the layered random DAG family."""
+
+    n_tasks: int = 50
+    layers: int = 8
+    width_regularity: float = 0.5   # 1 = all layers equal width, 0 = very uneven
+    density: float = 0.4            # fraction of possible inter-layer edges realized
+    jump_prob: float = 0.1          # probability an edge skips one layer
+    work_mean: float = 1e9          # operations per task
+    work_cv: float = 0.5            # coefficient of variation of work
+    data_mean: float = 1e7          # bytes per edge
+    data_cv: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1:
+            raise SchedulingError(f"need >= 1 task, got {self.n_tasks}")
+        if self.layers < 1 or self.layers > self.n_tasks:
+            raise SchedulingError(
+                f"layers must be in [1, n_tasks], got {self.layers} for {self.n_tasks}")
+        for name in ("width_regularity", "density", "jump_prob"):
+            v = getattr(self, name)
+            if not 0.0 <= v <= 1.0:
+                raise SchedulingError(f"{name} must be in [0, 1], got {v}")
+
+
+def _positive_lognormal(rng: np.random.Generator, mean: float, cv: float,
+                        size: int) -> np.ndarray:
+    """Lognormal samples with the requested mean and coefficient of variation."""
+    if mean <= 0:
+        raise SchedulingError(f"mean must be > 0, got {mean}")
+    if cv <= 0:
+        return np.full(size, mean)
+    sigma2 = math.log(1.0 + cv * cv)
+    mu = math.log(mean) - sigma2 / 2.0
+    return rng.lognormal(mu, math.sqrt(sigma2), size)
+
+
+def layered_dag(spec: LayeredDagSpec, seed: int | np.random.Generator | None = 0,
+                *, name: str = "layered") -> TaskGraph:
+    """Generate one layered random DAG.
+
+    Every non-first-layer task gets at least one predecessor in an earlier
+    layer, so the layer index is exactly the precedence level and the graph
+    is connected top-down.
+    """
+    rng = _rng(seed)
+    # Split n_tasks across layers.
+    base = spec.n_tasks / spec.layers
+    widths = np.maximum(
+        1,
+        np.rint(base * (1.0 + (1.0 - spec.width_regularity)
+                        * rng.uniform(-0.9, 0.9, spec.layers))).astype(int),
+    )
+    # Adjust to the exact task count.
+    while widths.sum() > spec.n_tasks:
+        widths[int(rng.integers(spec.layers))] = max(
+            1, widths[int(rng.integers(spec.layers))] - 1)
+        idx = int(np.argmax(widths))
+        if widths.sum() > spec.n_tasks and widths[idx] > 1:
+            widths[idx] -= 1
+    while widths.sum() < spec.n_tasks:
+        widths[int(rng.integers(spec.layers))] += 1
+
+    g = TaskGraph(name)
+    work = _positive_lognormal(rng, spec.work_mean, spec.work_cv, spec.n_tasks)
+    layer_nodes: list[list[str]] = []
+    tid = 0
+    for layer, width in enumerate(widths):
+        nodes = []
+        for _ in range(int(width)):
+            g.add_task(tid, float(work[tid]), layer=str(layer))
+            nodes.append(str(tid))
+            tid += 1
+        layer_nodes.append(nodes)
+
+    for layer in range(1, len(layer_nodes)):
+        for dst in layer_nodes[layer]:
+            # guaranteed parent in the previous layer
+            src = layer_nodes[layer - 1][int(rng.integers(len(layer_nodes[layer - 1])))]
+            g.add_edge(src, dst, float(_positive_lognormal(
+                rng, spec.data_mean, spec.data_cv, 1)[0]))
+            # extra edges by density (previous layer) and jumps (older layers)
+            for src2 in layer_nodes[layer - 1]:
+                if src2 != src and rng.random() < spec.density:
+                    g.add_edge(src2, dst, float(_positive_lognormal(
+                        rng, spec.data_mean, spec.data_cv, 1)[0]))
+            if layer >= 2 and rng.random() < spec.jump_prob:
+                older = layer_nodes[int(rng.integers(layer - 1))]
+                src3 = older[int(rng.integers(len(older)))]
+                if dst not in g.successors(src3):
+                    g.add_edge(src3, dst, float(_positive_lognormal(
+                        rng, spec.data_mean, spec.data_cv, 1)[0]))
+    return g
+
+
+def long_dag(n_tasks: int = 50, seed=0, **kwargs) -> TaskGraph:
+    """Many layers, few tasks per layer — dominated by the critical path."""
+    layers = max(2, int(n_tasks * 0.6))
+    spec = LayeredDagSpec(n_tasks=n_tasks, layers=min(layers, n_tasks), **kwargs)
+    return layered_dag(spec, seed, name="long")
+
+
+def wide_dag(n_tasks: int = 50, seed=0, **kwargs) -> TaskGraph:
+    """Few layers, many tasks per layer — high task parallelism."""
+    layers = max(2, int(math.sqrt(n_tasks) / 2) + 1)
+    spec = LayeredDagSpec(n_tasks=n_tasks, layers=layers, **kwargs)
+    return layered_dag(spec, seed, name="wide")
+
+
+def serial_dag(n_tasks: int = 20, work: float = 1e9, data: float = 1e7,
+               seed=0) -> TaskGraph:
+    """A pure chain: no task parallelism at all."""
+    rng = _rng(seed)
+    g = TaskGraph("serial")
+    work_samples = _positive_lognormal(rng, work, 0.3, n_tasks)
+    for i in range(n_tasks):
+        g.add_task(i, float(work_samples[i]))
+        if i:
+            g.add_edge(i - 1, i, data)
+    return g
+
+
+def fork_join_dag(width: int = 8, stages: int = 3, work: float = 1e9,
+                  data: float = 1e7, seed=0) -> TaskGraph:
+    """Alternating fork/join stages: 1 -> width -> 1 -> width -> ... -> 1."""
+    rng = _rng(seed)
+    g = TaskGraph("forkjoin")
+    tid = 0
+
+    def new_task(w: float) -> str:
+        nonlocal tid
+        g.add_task(tid, w)
+        tid += 1
+        return str(tid - 1)
+
+    prev = new_task(work)
+    for _ in range(stages):
+        mids = []
+        for _ in range(width):
+            m = new_task(float(_positive_lognormal(rng, work, 0.4, 1)[0]))
+            g.add_edge(prev, m, data)
+            mids.append(m)
+        join = new_task(work)
+        for m in mids:
+            g.add_edge(m, join, data)
+        prev = join
+    return g
+
+
+def irregular_dag(n_tasks: int = 60, seed=0, **kwargs) -> TaskGraph:
+    """Uneven widths, long jumps, heavy-tailed work — the stress family."""
+    spec = LayeredDagSpec(n_tasks=n_tasks, layers=max(3, n_tasks // 8),
+                          width_regularity=0.1, density=0.3, jump_prob=0.35,
+                          work_cv=1.2, **kwargs)
+    return layered_dag(spec, seed, name="irregular")
+
+
+def fft_dag(n_points: int = 16, *, work_per_point: float = 1e8,
+            data_per_point: float = 1e5) -> TaskGraph:
+    """The FFT butterfly task graph, a standard mixed-parallel benchmark.
+
+    ``n_points`` (a power of two) leaves feed ``log2(n)`` butterfly levels
+    of ``n`` tasks each; task ``(level, k)`` depends on the two tasks of the
+    previous level whose indices differ in bit ``level-1``.
+    """
+    if n_points < 2 or n_points & (n_points - 1):
+        raise SchedulingError(f"n_points must be a power of two >= 2, got {n_points}")
+    levels = n_points.bit_length() - 1
+    g = TaskGraph(f"fft-{n_points}")
+    for k in range(n_points):
+        g.add_task(f"L0.{k}", work_per_point, level="0")
+    for lv in range(1, levels + 1):
+        stride = 1 << (lv - 1)
+        for k in range(n_points):
+            g.add_task(f"L{lv}.{k}", work_per_point, level=str(lv))
+            g.add_edge(f"L{lv - 1}.{k}", f"L{lv}.{k}", data_per_point)
+            g.add_edge(f"L{lv - 1}.{k ^ stride}", f"L{lv}.{k}", data_per_point)
+    return g
+
+
+def strassen_dag(levels: int = 1, *, base_work: float = 4e9,
+                 base_data: float = 1e7) -> TaskGraph:
+    """Strassen matrix multiplication, the other classic M-task benchmark.
+
+    One recursion level: 7 sub-multiplications fed by 10 matrix
+    additions/subtractions on the inputs and joined by 7 combining
+    additions producing the quadrants.  Deeper levels expand each
+    multiplication recursively with quarter-size work.
+    """
+    if levels < 1:
+        raise SchedulingError(f"levels must be >= 1, got {levels}")
+    g = TaskGraph(f"strassen-{levels}")
+    counter = 0
+
+    def fresh(prefix: str) -> str:
+        nonlocal counter
+        counter += 1
+        return f"{prefix}{counter}"
+
+    def build(level: int, work: float, data: float, parent_in: str | None,
+              parent_out: str | None) -> None:
+        pre = []
+        for _ in range(10):
+            t = fresh("add")
+            g.add_task(t, work / 8, type="addition")
+            if parent_in is not None:
+                g.add_edge(parent_in, t, data)
+            pre.append(t)
+        post = []
+        for _ in range(7):
+            t = fresh("combine")
+            g.add_task(t, work / 8, type="addition")
+            if parent_out is not None:
+                g.add_edge(t, parent_out, data)
+            post.append(t)
+        for i in range(7):
+            if level == 1:
+                m = fresh("mult")
+                g.add_task(m, work, type="multiplication")
+                g.add_edge(pre[i], m, data)
+                g.add_edge(pre[(i + 3) % 10], m, data)
+                g.add_edge(m, post[i], data)
+            else:
+                fork = fresh("split")
+                join = fresh("merge")
+                g.add_task(fork, work / 16, type="addition")
+                g.add_task(join, work / 16, type="addition")
+                g.add_edge(pre[i], fork, data)
+                g.add_edge(pre[(i + 3) % 10], fork, data)
+                g.add_edge(join, post[i], data)
+                build(level - 1, work / 4, data / 4, fork, join)
+
+    source = fresh("input")
+    sink = fresh("result")
+    g.add_task(source, base_work / 32, type="addition")
+    g.add_task(sink, base_work / 32, type="addition")
+    build(levels, base_work, base_data, source, sink)
+    return g
+
+
+def imbalanced_layer_dag(
+    width: int = 6,
+    *,
+    heavy_factor: float = 12.0,
+    base_work: float = 2e9,
+    data: float = 1e7,
+    tail: int = 3,
+    seed=0,
+) -> TaskGraph:
+    """The Figure 4 pathology: one wide layer with very uneven task costs.
+
+    A source task fans out to ``width`` siblings in one precedence layer, one
+    of which carries ``heavy_factor`` times the work of the others (tasks
+    "2 and 5" of the paper's example differ like this).  A short chain of
+    ``tail`` join tasks follows.  On this family MCPA's per-level allocation
+    bound forces the heavy task to run nearly sequentially next to its cheap
+    siblings, producing the idle holes of Figure 4, while CPA grows the heavy
+    task's allocation and stays balanced.
+    """
+    rng = _rng(seed)
+    if width < 2:
+        raise SchedulingError(f"need width >= 2, got {width}")
+    g = TaskGraph("imbalanced")
+    g.add_task(0, base_work / 4)
+    heavy = 1 + int(rng.integers(width))
+    for i in range(1, width + 1):
+        w = base_work * (heavy_factor if i == heavy else 1.0)
+        g.add_task(i, w * float(rng.uniform(0.9, 1.1)))
+        g.add_edge(0, i, data)
+    prev_layer = [str(i) for i in range(1, width + 1)]
+    tid = width + 1
+    for _ in range(tail):
+        g.add_task(tid, base_work / 2)
+        for p in prev_layer:
+            g.add_edge(p, tid, data)
+        prev_layer = [str(tid)]
+        tid += 1
+    return g

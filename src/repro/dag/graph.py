@@ -1,0 +1,254 @@
+"""Directed acyclic task graphs.
+
+The mixed-parallel application model of the paper's Sections III-V: a DAG
+``G = (V, E)`` whose vertices are computational tasks (with an abstract
+amount of *work*, in operations) and whose edges carry the amount of *data*
+communicated between tasks (in bytes).
+
+Implemented from scratch (adjacency maps + Kahn topological order) so the
+scheduling algorithms control every detail; no external graph library.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator, Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulingError
+
+__all__ = ["DagNode", "DagEdge", "TaskGraph"]
+
+
+@dataclass(frozen=True, slots=True)
+class DagNode:
+    """One task of a DAG: an amount of work plus free-form attributes."""
+
+    id: str
+    work: float
+    type: str = "computation"
+    attrs: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.work < 0:
+            raise SchedulingError(f"task {self.id!r}: negative work {self.work}")
+
+
+@dataclass(frozen=True, slots=True)
+class DagEdge:
+    """A precedence/communication edge with a data volume in bytes."""
+
+    src: str
+    dst: str
+    data: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.data < 0:
+            raise SchedulingError(f"edge {self.src}->{self.dst}: negative data {self.data}")
+
+
+class TaskGraph:
+    """A DAG of tasks with weighted communication edges.
+
+    Nodes and edges are added incrementally; acyclicity is verified lazily
+    (``topo_order`` raises on a cycle).  All traversal helpers the
+    scheduling algorithms need live here: topological order, precedence
+    levels, bottom/top levels and the critical path.
+    """
+
+    def __init__(self, name: str = "dag"):
+        self.name = name
+        self._nodes: dict[str, DagNode] = {}
+        self._succ: dict[str, dict[str, DagEdge]] = {}
+        self._pred: dict[str, dict[str, DagEdge]] = {}
+
+    # ------------------------------------------------------------ building
+    def add_task(self, id: str | int, work: float, *, type: str = "computation",
+                 **attrs: str) -> DagNode:
+        node = DagNode(str(id), float(work), type, dict(attrs))
+        if node.id in self._nodes:
+            raise SchedulingError(f"duplicate task id {node.id!r}")
+        self._nodes[node.id] = node
+        self._succ[node.id] = {}
+        self._pred[node.id] = {}
+        return node
+
+    def add_edge(self, src: str | int, dst: str | int, data: float = 0.0) -> DagEdge:
+        s, d = str(src), str(dst)
+        for nid in (s, d):
+            if nid not in self._nodes:
+                raise SchedulingError(f"edge references unknown task {nid!r}")
+        if s == d:
+            raise SchedulingError(f"self loop on task {s!r}")
+        if d in self._succ[s]:
+            raise SchedulingError(f"duplicate edge {s!r} -> {d!r}")
+        edge = DagEdge(s, d, float(data))
+        self._succ[s][d] = edge
+        self._pred[d][s] = edge
+        return edge
+
+    # -------------------------------------------------------------- access
+    @property
+    def tasks(self) -> tuple[DagNode, ...]:
+        return tuple(self._nodes.values())
+
+    @property
+    def task_ids(self) -> tuple[str, ...]:
+        return tuple(self._nodes)
+
+    @property
+    def edges(self) -> tuple[DagEdge, ...]:
+        return tuple(e for succ in self._succ.values() for e in succ.values())
+
+    def node(self, id: str | int) -> DagNode:
+        try:
+            return self._nodes[str(id)]
+        except KeyError:
+            raise SchedulingError(f"no task with id {id!r}") from None
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, id: object) -> bool:
+        return isinstance(id, (str, int)) and str(id) in self._nodes
+
+    def __iter__(self) -> Iterator[DagNode]:
+        return iter(self._nodes.values())
+
+    def successors(self, id: str | int) -> tuple[str, ...]:
+        return tuple(self._succ[str(id)])
+
+    def predecessors(self, id: str | int) -> tuple[str, ...]:
+        return tuple(self._pred[str(id)])
+
+    def edge(self, src: str | int, dst: str | int) -> DagEdge:
+        try:
+            return self._succ[str(src)][str(dst)]
+        except KeyError:
+            raise SchedulingError(f"no edge {src!r} -> {dst!r}") from None
+
+    def in_degree(self, id: str | int) -> int:
+        return len(self._pred[str(id)])
+
+    def out_degree(self, id: str | int) -> int:
+        return len(self._succ[str(id)])
+
+    def sources(self) -> tuple[str, ...]:
+        """Tasks without predecessors."""
+        return tuple(n for n in self._nodes if not self._pred[n])
+
+    def sinks(self) -> tuple[str, ...]:
+        """Tasks without successors."""
+        return tuple(n for n in self._nodes if not self._succ[n])
+
+    # ----------------------------------------------------------- traversal
+    def topo_order(self) -> list[str]:
+        """Kahn topological order; raises :class:`SchedulingError` on cycles."""
+        indeg = {n: len(p) for n, p in self._pred.items()}
+        ready = [n for n, d in indeg.items() if d == 0]
+        order: list[str] = []
+        while ready:
+            n = ready.pop()
+            order.append(n)
+            for m in self._succ[n]:
+                indeg[m] -= 1
+                if indeg[m] == 0:
+                    ready.append(m)
+        if len(order) != len(self._nodes):
+            cyclic = sorted(n for n, d in indeg.items() if d > 0)
+            raise SchedulingError(f"graph has a cycle involving {cyclic[:5]}")
+        return order
+
+    def precedence_levels(self) -> dict[str, int]:
+        """Level of each task: longest edge count from any source.
+
+        This is the grouping MCPA bounds allocations by: the total number of
+        processors allocated to one precedence level must not exceed ``P``.
+        """
+        levels: dict[str, int] = {}
+        for n in self.topo_order():
+            preds = self._pred[n]
+            levels[n] = 0 if not preds else 1 + max(levels[p] for p in preds)
+        return levels
+
+    def tasks_at_level(self, level: int) -> tuple[str, ...]:
+        levels = self.precedence_levels()
+        return tuple(n for n in self._nodes if levels[n] == level)
+
+    def max_level_width(self) -> int:
+        """Largest number of tasks sharing one precedence level."""
+        counts: dict[int, int] = {}
+        for lv in self.precedence_levels().values():
+            counts[lv] = counts.get(lv, 0) + 1
+        return max(counts.values(), default=0)
+
+    def bottom_levels(
+        self,
+        node_cost: Callable[[str], float],
+        edge_cost: Callable[[DagEdge], float] | None = None,
+    ) -> dict[str, float]:
+        """Length of the longest path from each task to a sink, inclusive.
+
+        ``node_cost`` maps a task id to its execution time under the current
+        allocation; ``edge_cost`` (optional) adds communication time along
+        edges.  The maximum bottom level over sources is the critical path
+        length ``T_CP``.
+        """
+        bl: dict[str, float] = {}
+        for n in reversed(self.topo_order()):
+            best = 0.0
+            for m, e in self._succ[n].items():
+                cand = bl[m] + (edge_cost(e) if edge_cost else 0.0)
+                best = max(best, cand)
+            bl[n] = node_cost(n) + best
+        return bl
+
+    def top_levels(
+        self,
+        node_cost: Callable[[str], float],
+        edge_cost: Callable[[DagEdge], float] | None = None,
+    ) -> dict[str, float]:
+        """Length of the longest path from any source to each task, exclusive."""
+        tl: dict[str, float] = {}
+        for n in self.topo_order():
+            best = 0.0
+            for p, e in self._pred[n].items():
+                cand = tl[p] + node_cost(p) + (edge_cost(e) if edge_cost else 0.0)
+                best = max(best, cand)
+            tl[n] = best
+        return tl
+
+    def critical_path(
+        self,
+        node_cost: Callable[[str], float],
+        edge_cost: Callable[[DagEdge], float] | None = None,
+    ) -> tuple[list[str], float]:
+        """The longest path and its length ``T_CP``."""
+        bl = self.bottom_levels(node_cost, edge_cost)
+        if not bl:
+            return [], 0.0
+        start = max(self.sources(), key=lambda n: bl[n])
+        path = [start]
+        current = start
+        while self._succ[current]:
+            nxt = max(
+                self._succ[current].items(),
+                key=lambda kv: bl[kv[0]] + (edge_cost(kv[1]) if edge_cost else 0.0),
+            )[0]
+            path.append(nxt)
+            current = nxt
+        return path, bl[start]
+
+    def total_work(self) -> float:
+        return sum(n.work for n in self._nodes.values())
+
+    def relabeled(self, prefix: str) -> "TaskGraph":
+        """Copy with every task id prefixed (for multi-DAG composition)."""
+        g = TaskGraph(f"{prefix}{self.name}")
+        for n in self._nodes.values():
+            g.add_task(f"{prefix}{n.id}", n.work, type=n.type, **dict(n.attrs))
+        for e in self.edges:
+            g.add_edge(f"{prefix}{e.src}", f"{prefix}{e.dst}", e.data)
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TaskGraph({self.name!r}, {len(self)} tasks, {len(self.edges)} edges)"

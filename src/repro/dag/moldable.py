@@ -1,0 +1,147 @@
+"""Moldable-task execution-time models.
+
+A *moldable* task can run on any number of processors chosen before launch;
+``T(v, p)`` is its execution time on ``p`` processors (paper Section III-A).
+Several classical speedup laws are provided; all are monotone non-increasing
+in ``p`` (adding processors never slows a task down in these models, though
+the gain can vanish), which the CPA family relies on.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.errors import SchedulingError
+
+__all__ = [
+    "SpeedupModel",
+    "PerfectModel",
+    "AmdahlModel",
+    "CommOverheadModel",
+    "DowneyModel",
+    "execution_time",
+]
+
+
+class SpeedupModel(Protocol):
+    """Maps a processor count to a speedup factor ``S(p) >= 1``."""
+
+    def speedup(self, p: int) -> float:
+        """Speedup on ``p`` processors relative to one processor."""
+        ...
+
+
+def _check_p(p: int) -> None:
+    if p < 1:
+        raise SchedulingError(f"processor count must be >= 1, got {p}")
+
+
+@dataclass(frozen=True, slots=True)
+class PerfectModel:
+    """Linear speedup: ``S(p) = p``."""
+
+    def speedup(self, p: int) -> float:
+        _check_p(p)
+        return float(p)
+
+
+@dataclass(frozen=True, slots=True)
+class AmdahlModel:
+    """Amdahl's law with serial fraction ``alpha``:
+    ``S(p) = 1 / (alpha + (1 - alpha)/p)``."""
+
+    alpha: float = 0.05
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.alpha <= 1.0:
+            raise SchedulingError(f"serial fraction must be in [0, 1], got {self.alpha}")
+
+    def speedup(self, p: int) -> float:
+        _check_p(p)
+        return 1.0 / (self.alpha + (1.0 - self.alpha) / p)
+
+
+@dataclass(frozen=True, slots=True)
+class CommOverheadModel:
+    """Linear speedup degraded by a per-processor overhead fraction.
+
+    The raw curve ``S(p) = p / (1 + overhead * p * (p-1))`` peaks around
+    ``p* = sqrt(1/overhead)`` and then declines; since a moldable task can
+    always leave surplus processors idle, the effective speedup is the best
+    achievable with *at most* ``p`` processors, i.e. the running maximum of
+    the raw curve — keeping ``T(v, p)`` non-increasing as the CPA family
+    requires.
+    """
+
+    overhead: float = 0.002
+
+    def __post_init__(self) -> None:
+        if self.overhead < 0:
+            raise SchedulingError(f"overhead must be >= 0, got {self.overhead}")
+
+    def _raw(self, p: int) -> float:
+        return p / (1.0 + self.overhead * p * (p - 1))
+
+    def speedup(self, p: int) -> float:
+        _check_p(p)
+        if self.overhead == 0:
+            return float(p)
+        peak = math.sqrt(1.0 / self.overhead)
+        if p <= peak:
+            return self._raw(p)
+        # best achievable with at most p processors: the integer near the peak
+        best_p = max(1, min(p, int(math.floor(peak))))
+        return max(self._raw(best_p), self._raw(min(p, best_p + 1)))
+
+
+@dataclass(frozen=True, slots=True)
+class DowneyModel:
+    """Downey's empirical speedup model for parallel jobs.
+
+    Parameterized by the average parallelism ``A`` and the coefficient of
+    variation ``sigma``.  For ``sigma <= 1`` (the common case used here)::
+
+        S(p) = A*p / (A + sigma/2 * (p-1))           for 1 <= p <= A
+        S(p) = A*p / (sigma*(A - 1/2) + p*(1 - sigma/2))   for A <= p <= 2A-1
+        S(p) = A                                      for p >= 2A-1
+    """
+
+    A: float = 32.0
+    sigma: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.A < 1:
+            raise SchedulingError(f"average parallelism must be >= 1, got {self.A}")
+        if self.sigma < 0:
+            raise SchedulingError(f"sigma must be >= 0, got {self.sigma}")
+
+    def speedup(self, p: int) -> float:
+        _check_p(p)
+        A, sigma = self.A, self.sigma
+        if sigma <= 1:
+            if p <= A:
+                return A * p / (A + sigma / 2.0 * (p - 1))
+            if p <= 2 * A - 1:
+                return A * p / (sigma * (A - 0.5) + p * (1 - sigma / 2.0))
+            return A
+        # high-variance branch of Downey's model
+        if p < A + A * sigma - sigma:
+            return p * A * (sigma + 1) / (sigma * (p + A - 1) + A)
+        return A
+
+
+def execution_time(work: float, p: int, model: SpeedupModel, *, speed: float = 1.0) -> float:
+    """``T(v, p)``: time of ``work`` operations on ``p`` processors of ``speed`` ops/s.
+
+    The result is clamped to be non-increasing in the model's speedup — a
+    speedup below 1 would mean adding processors hurts, which the moldable
+    model forbids.
+    """
+    if work < 0:
+        raise SchedulingError(f"negative work {work}")
+    if speed <= 0:
+        raise SchedulingError(f"speed must be > 0, got {speed}")
+    s = max(model.speedup(p), 1.0)
+    return work / (speed * s)

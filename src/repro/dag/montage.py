@@ -1,0 +1,158 @@
+"""Montage workflow generator (paper Figure 6).
+
+Montage builds astronomical image mosaics.  Its workflow shape is fixed by
+the pipeline stages (names follow the Montage tools):
+
+* ``mProject``  — one per input image, reprojects it;
+* ``mDiffFit``  — one per *overlapping pair* of reprojected images;
+* ``mConcatFit``— single task merging all fit coefficients;
+* ``mBgModel``  — single task computing background corrections;
+* ``mBackground`` — one per image, applies the correction
+  (depends on ``mBgModel`` and the image's ``mProject``);
+* ``mImgtbl``   — single task building the image table;
+* ``mAdd``      — single task co-adding the mosaic;
+* ``mShrink``   — single task shrinking the mosaic;
+* ``mJPEG``     — single task rendering the preview.
+
+The paper's instance has 50 compute nodes; :func:`montage_50` builds exactly
+that: 10 images and 24 overlap pairs give 10 + 24 + 10 + 6 = 50 tasks.
+Task costs follow published Montage profiling: mProject and mBackground are
+the heavy per-image stages, mDiffFit is cheap, mAdd is heavy and serial.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dag.graph import TaskGraph
+from repro.errors import SchedulingError
+
+__all__ = ["montage_workflow", "montage_50", "MONTAGE_TASK_TYPES"]
+
+MONTAGE_TASK_TYPES = (
+    "mProject", "mDiffFit", "mConcatFit", "mBgModel", "mBackground",
+    "mImgtbl", "mAdd", "mShrink", "mJPEG",
+)
+
+#: relative work of each stage (operations, for a unit image)
+_STAGE_WORK = {
+    "mProject": 20.0e9,
+    "mDiffFit": 2.0e9,
+    "mConcatFit": 1.0e9,
+    "mBgModel": 6.0e9,
+    "mBackground": 10.0e9,
+    "mImgtbl": 1.5e9,
+    "mAdd": 18.0e9,
+    "mShrink": 4.0e9,
+    "mJPEG": 1.0e9,
+}
+
+#: bytes moved along each edge class
+_DATA = {
+    "image": 40e6,       # projected image
+    "fit": 0.5e6,        # fit coefficients
+    "table": 1e6,        # image table / plan
+    "mosaic": 200e6,     # the co-added mosaic
+}
+
+
+def _overlap_pairs(n_images: int, n_overlaps: int,
+                   rng: np.random.Generator) -> list[tuple[int, int]]:
+    """Pick overlapping image pairs: all consecutive pairs first (a strip of
+    sky always overlaps its neighbours), then random extra pairs."""
+    pairs: list[tuple[int, int]] = [(i, i + 1) for i in range(n_images - 1)]
+    if n_overlaps < len(pairs):
+        return pairs[:n_overlaps]
+    existing = set(pairs)
+    candidates = [(i, j) for i in range(n_images) for j in range(i + 1, n_images)
+                  if (i, j) not in existing]
+    rng.shuffle(candidates)
+    pairs.extend(candidates[: n_overlaps - len(pairs)])
+    if len(pairs) < n_overlaps:
+        raise SchedulingError(
+            f"{n_images} images admit only {len(pairs)} overlap pairs, "
+            f"requested {n_overlaps}")
+    return pairs
+
+
+def montage_workflow(
+    n_images: int = 10,
+    n_overlaps: int | None = None,
+    *,
+    work_jitter: float = 0.15,
+    data_scale: float = 1.0,
+    seed: int | None = 0,
+) -> TaskGraph:
+    """Build a Montage task graph for ``n_images`` input images.
+
+    ``n_overlaps`` defaults to roughly ``2.4 * n_images`` (a compact sky
+    grid); ``work_jitter`` perturbs per-task work uniformly by that relative
+    amount so same-type tasks are not artificially identical.  ``data_scale``
+    multiplies every edge's data volume — the Section V case study runs in a
+    data-intensive regime (grid platform), which ``data_scale=10`` models.
+    """
+    if n_images < 2:
+        raise SchedulingError(f"montage needs >= 2 images, got {n_images}")
+    rng = np.random.default_rng(seed)
+    if n_overlaps is None:
+        n_overlaps = min(int(round(2.4 * n_images)),
+                         n_images * (n_images - 1) // 2)
+    g = TaskGraph(f"montage-{n_images}")
+    data = {k: v * data_scale for k, v in _DATA.items()}
+
+    def work(stage: str) -> float:
+        base = _STAGE_WORK[stage]
+        return base * float(rng.uniform(1 - work_jitter, 1 + work_jitter))
+
+    projects = []
+    for i in range(n_images):
+        tid = f"mProject_{i}"
+        g.add_task(tid, work("mProject"), type="mProject", image=str(i))
+        projects.append(tid)
+
+    pairs = _overlap_pairs(n_images, n_overlaps, rng)
+    diffs = []
+    for k, (i, j) in enumerate(pairs):
+        tid = f"mDiffFit_{k}"
+        g.add_task(tid, work("mDiffFit"), type="mDiffFit", pair=f"{i}-{j}")
+        g.add_edge(projects[i], tid, data["image"])
+        g.add_edge(projects[j], tid, data["image"])
+        diffs.append(tid)
+
+    g.add_task("mConcatFit", work("mConcatFit"), type="mConcatFit")
+    for d in diffs:
+        g.add_edge(d, "mConcatFit", data["fit"])
+
+    g.add_task("mBgModel", work("mBgModel"), type="mBgModel")
+    g.add_edge("mConcatFit", "mBgModel", data["fit"])
+
+    backgrounds = []
+    for i in range(n_images):
+        tid = f"mBackground_{i}"
+        g.add_task(tid, work("mBackground"), type="mBackground", image=str(i))
+        g.add_edge("mBgModel", tid, data["fit"])
+        g.add_edge(projects[i], tid, data["image"])
+        backgrounds.append(tid)
+
+    g.add_task("mImgtbl", work("mImgtbl"), type="mImgtbl")
+    for b in backgrounds:
+        g.add_edge(b, "mImgtbl", data["table"])
+
+    g.add_task("mAdd", work("mAdd"), type="mAdd")
+    g.add_edge("mImgtbl", "mAdd", data["table"])
+    for b in backgrounds:
+        g.add_edge(b, "mAdd", data["image"])
+
+    g.add_task("mShrink", work("mShrink"), type="mShrink")
+    g.add_edge("mAdd", "mShrink", data["mosaic"])
+
+    g.add_task("mJPEG", work("mJPEG"), type="mJPEG")
+    g.add_edge("mShrink", "mJPEG", data["mosaic"] / 8)
+    return g
+
+
+def montage_50(seed: int | None = 0, *, data_scale: float = 1.0) -> TaskGraph:
+    """The paper's 50-task Montage instance: 10 images, 24 overlap pairs."""
+    g = montage_workflow(10, 24, seed=seed, data_scale=data_scale)
+    assert len(g) == 50, f"montage_50 built {len(g)} tasks"
+    return g

@@ -1,0 +1,71 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised errors derive from :class:`ReproError` so that callers can
+catch everything coming out of this package with a single ``except`` clause,
+while still being able to discriminate parse errors from model errors.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "ScheduleError",
+    "ValidationError",
+    "ParseError",
+    "ColorError",
+    "RenderError",
+    "PlatformError",
+    "SchedulingError",
+    "SimulationError",
+    "WorkloadError",
+]
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro package."""
+
+
+class ScheduleError(ReproError):
+    """Invalid operation on a schedule or its components."""
+
+
+class ValidationError(ScheduleError):
+    """A schedule violates a structural invariant (see :mod:`repro.core.validate`)."""
+
+
+class ParseError(ReproError):
+    """A schedule / color-map / workload file could not be parsed."""
+
+    def __init__(self, message: str, *, source: str | None = None, line: int | None = None):
+        loc = ""
+        if source is not None:
+            loc += f" in {source}"
+        if line is not None:
+            loc += f" at line {line}"
+        super().__init__(message + loc)
+        self.source = source
+        self.line = line
+
+
+class ColorError(ReproError):
+    """Invalid color specification or color-map lookup failure."""
+
+
+class RenderError(ReproError):
+    """Rendering/layout failure (bad geometry, unsupported canvas op...)."""
+
+
+class PlatformError(ReproError):
+    """Inconsistent platform description (unknown host, bad route...)."""
+
+
+class SchedulingError(ReproError):
+    """A scheduling algorithm received an unusable problem instance."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event simulation reached an inconsistent state."""
+
+
+class WorkloadError(ReproError):
+    """Invalid workload trace or job description."""

@@ -1,0 +1,24 @@
+"""Schedule and color-map IO: Jedule XML, JSON, CSV, SWF, format registry."""
+
+from repro.io import colormap_xml, csv_fmt, jedule_xml, json_fmt, paje, swf
+from repro.io.registry import (
+    FormatSpec,
+    available_formats,
+    load_schedule,
+    register_format,
+    save_schedule,
+)
+
+__all__ = [
+    "FormatSpec",
+    "available_formats",
+    "colormap_xml",
+    "csv_fmt",
+    "jedule_xml",
+    "json_fmt",
+    "paje",
+    "load_schedule",
+    "register_format",
+    "save_schedule",
+    "swf",
+]

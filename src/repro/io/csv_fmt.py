@@ -1,0 +1,147 @@
+"""CSV schedule format for spreadsheet-friendly exchange.
+
+One row per (task, configuration) pair::
+
+    task_id,type,start,end,cluster,hosts
+    1,computation,0.0,0.31,0,0-7
+    2,transfer,0.31,0.5,0,"0-3,6"
+
+``hosts`` uses the compact range syntax ``a-b`` with comma-separated runs.
+Clusters are declared in comment header lines ``# cluster,<id>,<hosts>[,name]``
+so a CSV file round-trips without external platform information; when absent,
+clusters are inferred (one per distinct cluster column value, sized by the
+largest host index seen).
+"""
+
+from __future__ import annotations
+
+import csv
+import io as _io
+from pathlib import Path
+
+from repro.core.model import Cluster, Configuration, HostRange, Schedule, Task
+from repro.errors import ParseError
+
+__all__ = ["loads", "load", "dumps", "dump", "format_hosts", "parse_hosts"]
+
+_COLUMNS = ["task_id", "type", "start", "end", "cluster", "hosts"]
+
+
+def format_hosts(ranges: tuple[HostRange, ...]) -> str:
+    """``0-7`` / ``0-3,6`` compact host syntax."""
+    parts = []
+    for r in ranges:
+        parts.append(str(r.start) if r.nb == 1 else f"{r.start}-{r.stop - 1}")
+    return ",".join(parts)
+
+
+def parse_hosts(text: str, *, source: str = "<string>") -> list[HostRange]:
+    """Inverse of :func:`format_hosts`."""
+    ranges: list[HostRange] = []
+    for part in text.split(","):
+        part = part.strip()
+        if not part:
+            continue
+        try:
+            if "-" in part:
+                lo_s, hi_s = part.split("-", 1)
+                lo, hi = int(lo_s), int(hi_s)
+                if hi < lo:
+                    raise ValueError
+                ranges.append(HostRange(lo, hi - lo + 1))
+            else:
+                ranges.append(HostRange(int(part), 1))
+        except ValueError:
+            raise ParseError(f"bad host spec {part!r}", source=source) from None
+    if not ranges:
+        raise ParseError(f"empty host spec {text!r}", source=source)
+    return ranges
+
+
+def dumps(schedule: Schedule) -> str:
+    """Serialize to CSV with cluster declarations in header comments."""
+    buf = _io.StringIO()
+    for c in schedule.clusters:
+        buf.write(f"# cluster,{c.id},{c.num_hosts},{c.name}\n")
+    writer = csv.writer(buf, lineterminator="\n")
+    writer.writerow(_COLUMNS)
+    for t in schedule.tasks:
+        for conf in t.configurations:
+            writer.writerow([
+                t.id, t.type, repr(t.start_time), repr(t.end_time),
+                conf.cluster_id, format_hosts(conf.host_ranges),
+            ])
+    return buf.getvalue()
+
+
+def loads(text: str, *, source: str = "<string>") -> Schedule:
+    """Parse the CSV schedule format."""
+    schedule = Schedule()
+    data_lines: list[str] = []
+    for line in text.splitlines():
+        if line.startswith("# cluster,"):
+            parts = line[len("# cluster,"):].split(",", 2)
+            if len(parts) < 2:
+                raise ParseError(f"bad cluster declaration {line!r}", source=source)
+            name = parts[2] if len(parts) > 2 else None
+            try:
+                schedule.add_cluster(Cluster(parts[0], int(parts[1]), name))
+            except ValueError:
+                raise ParseError(f"bad cluster declaration {line!r}", source=source) from None
+        elif line.startswith("#") or not line.strip():
+            continue
+        else:
+            data_lines.append(line)
+    if not data_lines:
+        return schedule
+
+    reader = csv.DictReader(data_lines)
+    missing = set(_COLUMNS) - set(reader.fieldnames or [])
+    if missing:
+        raise ParseError(f"missing CSV columns: {sorted(missing)}", source=source)
+
+    # Group rows by task id: multi-configuration tasks span several rows.
+    rows_by_task: dict[str, list[dict[str, str]]] = {}
+    order: list[str] = []
+    for row in reader:
+        tid = row["task_id"]
+        if tid not in rows_by_task:
+            order.append(tid)
+        rows_by_task.setdefault(tid, []).append(row)
+
+    inferred_extent: dict[str, int] = {}
+    for rows in rows_by_task.values():
+        for row in rows:
+            ranges = parse_hosts(row["hosts"], source=source)
+            extent = max(r.stop for r in ranges)
+            cid = row["cluster"]
+            inferred_extent[cid] = max(inferred_extent.get(cid, 0), extent)
+    for cid in sorted(inferred_extent):
+        if not schedule.has_cluster(cid):
+            schedule.add_cluster(Cluster(cid, inferred_extent[cid]))
+
+    for tid in order:
+        rows = rows_by_task[tid]
+        first = rows[0]
+        confs = []
+        for row in rows:
+            if row["type"] != first["type"] or row["start"] != first["start"] \
+                    or row["end"] != first["end"]:
+                raise ParseError(
+                    f"task {tid!r}: inconsistent attributes across its rows", source=source)
+            confs.append(Configuration(row["cluster"], parse_hosts(row["hosts"], source=source)))
+        try:
+            start, end = float(first["start"]), float(first["end"])
+        except ValueError:
+            raise ParseError(f"task {tid!r}: non-numeric times", source=source) from None
+        schedule.add_task(Task(tid, first["type"], start, end, confs))
+    return schedule
+
+
+def dump(schedule: Schedule, path: str | Path) -> None:
+    Path(path).write_text(dumps(schedule), encoding="utf-8")
+
+
+def load(path: str | Path) -> Schedule:
+    path = Path(path)
+    return loads(path.read_text(encoding="utf-8"), source=str(path))

@@ -1,0 +1,95 @@
+"""Pluggable schedule-format registry.
+
+The paper notes that Jedule "is bundled with a parser for the current
+default XML input format [but] one can also extend Jedule with a different
+parser".  This registry is that extension point: formats register a name,
+file suffixes, and load/save callables; :func:`load_schedule` dispatches on
+explicit format name or on the file suffix.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.model import Schedule
+from repro.errors import ParseError
+
+__all__ = ["FormatSpec", "register_format", "available_formats", "format_for",
+           "load_schedule", "save_schedule"]
+
+
+@dataclass(frozen=True, slots=True)
+class FormatSpec:
+    """A registered schedule file format."""
+
+    name: str
+    suffixes: tuple[str, ...]
+    loader: Callable[[str | Path], Schedule]
+    saver: Callable[[Schedule, str | Path], None] | None = None
+
+
+_REGISTRY: dict[str, FormatSpec] = {}
+
+
+def register_format(
+    name: str,
+    suffixes: tuple[str, ...],
+    loader: Callable[[str | Path], Schedule],
+    saver: Callable[[Schedule, str | Path], None] | None = None,
+    *,
+    overwrite: bool = False,
+) -> FormatSpec:
+    """Register (or with ``overwrite=True`` replace) a schedule format."""
+    key = name.lower()
+    if key in _REGISTRY and not overwrite:
+        raise ValueError(f"format {name!r} already registered")
+    spec = FormatSpec(key, tuple(s.lower() for s in suffixes), loader, saver)
+    _REGISTRY[key] = spec
+    return spec
+
+
+def available_formats() -> tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def format_for(path: str | Path, format: str | None = None) -> FormatSpec:
+    """Resolve a format by explicit name or by file suffix."""
+    if format is not None:
+        spec = _REGISTRY.get(format.lower())
+        if spec is None:
+            raise ParseError(
+                f"unknown format {format!r} (available: {', '.join(available_formats())})")
+        return spec
+    suffix = Path(path).suffix.lower()
+    for spec in _REGISTRY.values():
+        if suffix in spec.suffixes:
+            return spec
+    raise ParseError(
+        f"cannot infer schedule format from suffix {suffix!r} of {path}; "
+        f"pass format= (available: {', '.join(available_formats())})")
+
+
+def load_schedule(path: str | Path, format: str | None = None) -> Schedule:
+    """Load a schedule, dispatching on format name or file suffix."""
+    return format_for(path, format).loader(path)
+
+
+def save_schedule(schedule: Schedule, path: str | Path, format: str | None = None) -> None:
+    """Save a schedule, dispatching on format name or file suffix."""
+    spec = format_for(path, format)
+    if spec.saver is None:
+        raise ParseError(f"format {spec.name!r} is read-only")
+    spec.saver(schedule, path)
+
+
+def _register_builtins() -> None:
+    from repro.io import csv_fmt, jedule_xml, json_fmt
+
+    register_format("jedule", (".jed", ".xml"), jedule_xml.load, jedule_xml.dump)
+    register_format("json", (".json",), json_fmt.load, json_fmt.dump)
+    register_format("csv", (".csv",), csv_fmt.load, csv_fmt.dump)
+
+
+_register_builtins()

@@ -1,0 +1,29 @@
+"""Execution platforms: hosts, clusters, links, routing, canned builders."""
+
+from repro.platform.builders import (
+    FAST_SPEED,
+    LOCAL_LATENCY,
+    SLOW_SPEED,
+    heterogeneous_platform,
+    homogeneous_cluster,
+    multi_cluster,
+)
+from repro.platform.model import ClusterSpec, Host, LinkSpec, Platform
+from repro.platform.network import CommModel, Route, comm_time, route_between
+
+__all__ = [
+    "ClusterSpec",
+    "CommModel",
+    "FAST_SPEED",
+    "Host",
+    "LOCAL_LATENCY",
+    "LinkSpec",
+    "Platform",
+    "Route",
+    "SLOW_SPEED",
+    "comm_time",
+    "heterogeneous_platform",
+    "homogeneous_cluster",
+    "multi_cluster",
+    "route_between",
+]

@@ -1,0 +1,165 @@
+"""Execution platform model: hosts, links, clusters, backbone.
+
+A light-weight stand-in for the SimGrid platform descriptions the paper's
+case studies simulate on.  A :class:`Platform` is a set of clusters; each
+cluster has hosts with a compute ``speed`` (operations per second) and a
+private network link to the cluster switch; clusters hang off a shared
+backbone link.  Routes and communication times live in
+:mod:`repro.platform.network`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.errors import PlatformError
+
+__all__ = ["LinkSpec", "Host", "ClusterSpec", "Platform"]
+
+
+@dataclass(frozen=True, slots=True)
+class LinkSpec:
+    """A network link: latency in seconds, bandwidth in bytes/second."""
+
+    latency: float
+    bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.latency < 0:
+            raise PlatformError(f"negative latency {self.latency}")
+        if self.bandwidth <= 0:
+            raise PlatformError(f"bandwidth must be > 0, got {self.bandwidth}")
+
+    def transfer_time(self, size: float) -> float:
+        """Store-and-forward time for ``size`` bytes across this link alone."""
+        if size < 0:
+            raise PlatformError(f"negative message size {size}")
+        return self.latency + size / self.bandwidth
+
+
+@dataclass(frozen=True, slots=True)
+class Host:
+    """One processor: global index, compute speed, owning cluster."""
+
+    index: int
+    speed: float
+    cluster_id: str
+    link: LinkSpec
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise PlatformError(f"host {self.index}: speed must be > 0, got {self.speed}")
+
+    def compute_time(self, work: float) -> float:
+        """Seconds to execute ``work`` operations on this host alone."""
+        if work < 0:
+            raise PlatformError(f"negative work {work}")
+        return work / self.speed
+
+
+@dataclass(frozen=True, slots=True)
+class ClusterSpec:
+    """A homogeneous group of hosts behind one switch."""
+
+    id: str
+    hosts: tuple[Host, ...]
+    name: str = ""
+
+    @property
+    def size(self) -> int:
+        return len(self.hosts)
+
+    @property
+    def speed(self) -> float:
+        """Speed of the cluster's hosts (they are homogeneous by construction)."""
+        return self.hosts[0].speed
+
+
+class Platform:
+    """A multi-cluster platform with a shared backbone."""
+
+    def __init__(self, backbone: LinkSpec | None = None, name: str = "platform"):
+        self.name = name
+        self.backbone = backbone or LinkSpec(latency=1e-4, bandwidth=1.25e9)
+        self._clusters: dict[str, ClusterSpec] = {}
+        self._hosts: list[Host] = []
+
+    # ------------------------------------------------------------ building
+    def add_cluster(
+        self,
+        cluster_id: str | int,
+        n_hosts: int,
+        speed: float,
+        *,
+        link: LinkSpec | None = None,
+        name: str | None = None,
+    ) -> ClusterSpec:
+        """Append a homogeneous cluster; host indices are global and dense."""
+        cid = str(cluster_id)
+        if cid in self._clusters:
+            raise PlatformError(f"duplicate cluster id {cid!r}")
+        if n_hosts < 1:
+            raise PlatformError(f"cluster {cid!r} needs >= 1 host, got {n_hosts}")
+        link = link or LinkSpec(latency=1e-4, bandwidth=1.25e9)
+        base = len(self._hosts)
+        hosts = tuple(Host(base + i, speed, cid, link) for i in range(n_hosts))
+        spec = ClusterSpec(cid, hosts, name or f"cluster {cid}")
+        self._clusters[cid] = spec
+        self._hosts.extend(hosts)
+        return spec
+
+    # -------------------------------------------------------------- access
+    @property
+    def clusters(self) -> tuple[ClusterSpec, ...]:
+        return tuple(self._clusters.values())
+
+    @property
+    def hosts(self) -> tuple[Host, ...]:
+        return tuple(self._hosts)
+
+    @property
+    def size(self) -> int:
+        """Total processor count ``P``."""
+        return len(self._hosts)
+
+    def cluster(self, cluster_id: str | int) -> ClusterSpec:
+        try:
+            return self._clusters[str(cluster_id)]
+        except KeyError:
+            raise PlatformError(f"no cluster with id {cluster_id!r}") from None
+
+    def host(self, index: int) -> Host:
+        if not 0 <= index < len(self._hosts):
+            raise PlatformError(f"host index {index} out of range 0..{len(self._hosts) - 1}")
+        return self._hosts[index]
+
+    def hosts_of(self, cluster_id: str | int) -> tuple[Host, ...]:
+        return self.cluster(cluster_id).hosts
+
+    def local_index(self, host: int | Host) -> int:
+        """Cluster-local index of a host (for Jedule configurations)."""
+        h = host if isinstance(host, Host) else self.host(host)
+        return h.index - self.cluster(h.cluster_id).hosts[0].index
+
+    def same_cluster(self, a: int, b: int) -> bool:
+        return self.host(a).cluster_id == self.host(b).cluster_id
+
+    def is_homogeneous(self) -> bool:
+        speeds = {h.speed for h in self._hosts}
+        return len(speeds) <= 1
+
+    def mean_speed(self) -> float:
+        if not self._hosts:
+            raise PlatformError("platform has no hosts")
+        return sum(h.speed for h in self._hosts) / len(self._hosts)
+
+    def __iter__(self) -> Iterator[Host]:
+        return iter(self._hosts)
+
+    def __len__(self) -> int:
+        return len(self._hosts)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        parts = ", ".join(f"{c.id}:{c.size}x{c.speed:.3g}" for c in self.clusters)
+        return f"Platform({self.name!r}, [{parts}])"

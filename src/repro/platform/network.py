@@ -1,0 +1,123 @@
+"""Routing and communication-time model.
+
+Messages follow the hierarchical route of the platform of Figure 7: source
+host link -> cluster switch -> (backbone if crossing clusters) -> destination
+host link.  Transfer time is the classical latency-plus-bandwidth model::
+
+    T(size) = sum(latencies on route) + size / min(bandwidths on route)
+
+Intra-host communication is free.  The Section V case study hinges on the
+backbone latency term: with a flat (LAN-like) backbone, moving a task across
+clusters costs the same as staying local, which misleads HEFT.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PlatformError
+from repro.platform.model import Host, LinkSpec, Platform
+
+__all__ = ["Route", "route_between", "comm_time", "CommModel"]
+
+
+@dataclass(frozen=True, slots=True)
+class Route:
+    """The ordered links a message traverses."""
+
+    links: tuple[LinkSpec, ...]
+
+    @property
+    def latency(self) -> float:
+        return sum(l.latency for l in self.links)
+
+    @property
+    def bottleneck_bandwidth(self) -> float:
+        if not self.links:
+            return float("inf")
+        return min(l.bandwidth for l in self.links)
+
+    def transfer_time(self, size: float) -> float:
+        if size < 0:
+            raise PlatformError(f"negative message size {size}")
+        if not self.links:
+            return 0.0
+        return self.latency + size / self.bottleneck_bandwidth
+
+
+def route_between(platform: Platform, src: int | Host, dst: int | Host) -> Route:
+    """Route between two hosts (empty when src == dst)."""
+    a = src if isinstance(src, Host) else platform.host(src)
+    b = dst if isinstance(dst, Host) else platform.host(dst)
+    if a.index == b.index:
+        return Route(())
+    if a.cluster_id == b.cluster_id:
+        return Route((a.link, b.link))
+    return Route((a.link, platform.backbone, b.link))
+
+
+def comm_time(platform: Platform, src: int | Host, dst: int | Host, size: float) -> float:
+    """Transfer time of ``size`` bytes between two hosts."""
+    return route_between(platform, src, dst).transfer_time(size)
+
+
+class CommModel:
+    """Cached communication-cost oracle over a platform.
+
+    Also provides the *average* communication cost between two tasks over
+    all host pairs, which HEFT's upward rank needs, and group-to-group
+    costs for multiprocessor (moldable) task redistribution.
+    """
+
+    def __init__(self, platform: Platform):
+        self.platform = platform
+        # Average over distinct ordered host pairs of (latency, 1/bandwidth).
+        n = platform.size
+        if n > 1:
+            lat_total = 0.0
+            inv_bw_total = 0.0
+            for a in platform:
+                for b in platform:
+                    if a.index == b.index:
+                        continue
+                    r = route_between(platform, a, b)
+                    lat_total += r.latency
+                    inv_bw_total += 1.0 / r.bottleneck_bandwidth
+            pairs = n * (n - 1)
+            self._avg_latency = lat_total / pairs
+            self._avg_inv_bw = inv_bw_total / pairs
+        else:
+            self._avg_latency = 0.0
+            self._avg_inv_bw = 0.0
+
+    def time(self, src: int, dst: int, size: float) -> float:
+        """Point-to-point transfer time."""
+        return comm_time(self.platform, src, dst, size)
+
+    def average_time(self, size: float) -> float:
+        """Mean transfer time over all ordered host pairs (HEFT rank cost)."""
+        if size < 0:
+            raise PlatformError(f"negative message size {size}")
+        if self._avg_inv_bw == 0.0 and self._avg_latency == 0.0:
+            return 0.0
+        return self._avg_latency + size * self._avg_inv_bw
+
+    def group_time(self, src_hosts: tuple[int, ...], dst_hosts: tuple[int, ...],
+                   size: float) -> float:
+        """Redistribution time between two host groups.
+
+        The data is split evenly over source hosts and gathered by
+        destination hosts; the group transfer completes with the slowest
+        point-to-point piece (a simple but monotone model of M-task
+        redistribution).  Zero when the groups coincide.
+        """
+        if not src_hosts or not dst_hosts:
+            return 0.0
+        if set(src_hosts) == set(dst_hosts):
+            return 0.0
+        piece = size / len(src_hosts)
+        worst = 0.0
+        for i, s in enumerate(src_hosts):
+            d = dst_hosts[i % len(dst_hosts)]
+            worst = max(worst, self.time(s, d, piece))
+        return worst

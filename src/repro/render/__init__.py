@@ -1,0 +1,42 @@
+"""Rendering: layout engine, style, raster/vector backends, high-level API."""
+
+from repro.render.api import (
+    OUTPUT_FORMATS,
+    export_schedule,
+    format_from_suffix,
+    render_drawing,
+    render_schedule,
+)
+from repro.render.backends import render_ascii
+from repro.render.compose import compare_schedules, stack_drawings
+from repro.render.daglayout import export_dag, layout_dag
+from repro.render.geometry import Drawing, HAlign, Line, Rect, Text, VAlign
+from repro.render.layout import LayoutOptions, layout_schedule, nice_ticks
+from repro.render.profile import export_profile, layout_profile
+from repro.render.style import Style, load_style_file
+
+__all__ = [
+    "Drawing",
+    "HAlign",
+    "LayoutOptions",
+    "Line",
+    "OUTPUT_FORMATS",
+    "Rect",
+    "Style",
+    "Text",
+    "VAlign",
+    "compare_schedules",
+    "export_dag",
+    "export_profile",
+    "export_schedule",
+    "format_from_suffix",
+    "layout_dag",
+    "layout_profile",
+    "layout_schedule",
+    "load_style_file",
+    "nice_ticks",
+    "render_ascii",
+    "render_drawing",
+    "render_schedule",
+    "stack_drawings",
+]

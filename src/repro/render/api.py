@@ -1,0 +1,98 @@
+"""High-level rendering entry points.
+
+``render_schedule`` is the one call most users need: schedule in, image
+bytes (or file) out, in any supported format.  The command-line mode
+(:mod:`repro.cli.main`) is a thin wrapper over this module.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from pathlib import Path
+
+from repro.core.colormap import ColorMap
+from repro.core.model import Schedule
+from repro.core.timeframe import ViewMode
+from repro.core.viewport import Viewport
+from repro.errors import RenderError
+from repro.render.backends import (
+    render_bmp,
+    render_eps,
+    render_html,
+    render_pdf,
+    render_png,
+    render_ppm,
+    render_svg,
+)
+from repro.render.geometry import Drawing
+from repro.render.layout import LayoutOptions, layout_schedule
+from repro.render.style import Style
+
+__all__ = ["render_schedule", "export_schedule", "render_drawing",
+           "OUTPUT_FORMATS", "format_from_suffix"]
+
+#: format name -> drawing serializer
+OUTPUT_FORMATS: dict[str, Callable[[Drawing], bytes]] = {
+    "svg": render_svg,
+    "png": render_png,
+    "ppm": render_ppm,
+    "bmp": render_bmp,
+    "pdf": render_pdf,
+    "eps": render_eps,
+    "html": render_html,
+}
+
+
+def format_from_suffix(path: str | Path) -> str:
+    """Infer an output format from a file suffix."""
+    suffix = Path(path).suffix.lower().lstrip(".")
+    if suffix not in OUTPUT_FORMATS:
+        raise RenderError(
+            f"cannot infer output format from suffix {suffix!r}; "
+            f"supported: {', '.join(sorted(OUTPUT_FORMATS))}")
+    return suffix
+
+
+def render_drawing(drawing: Drawing, format: str) -> bytes:
+    """Serialize an already laid-out drawing."""
+    try:
+        backend = OUTPUT_FORMATS[format.lower()]
+    except KeyError:
+        raise RenderError(
+            f"unknown output format {format!r}; "
+            f"supported: {', '.join(sorted(OUTPUT_FORMATS))}") from None
+    return backend(drawing)
+
+
+def render_schedule(
+    schedule: Schedule,
+    format: str = "svg",
+    *,
+    cmap: ColorMap | None = None,
+    style: Style | None = None,
+    width: int = 900,
+    height: int = 480,
+    mode: ViewMode | str = ViewMode.ALIGNED,
+    title: str | None = None,
+    viewport: Viewport | None = None,
+) -> bytes:
+    """Lay out and serialize a schedule in one call."""
+    if isinstance(mode, str):
+        mode = ViewMode.parse(mode)
+    options = LayoutOptions(width=width, height=height, mode=mode, title=title)
+    drawing = layout_schedule(schedule, cmap=cmap, style=style, options=options,
+                              viewport=viewport)
+    return render_drawing(drawing, format)
+
+
+def export_schedule(
+    schedule: Schedule,
+    path: str | Path,
+    format: str | None = None,
+    **kwargs,
+) -> Path:
+    """Render a schedule straight to a file; format inferred from the suffix."""
+    path = Path(path)
+    fmt = format or format_from_suffix(path)
+    path.write_bytes(render_schedule(schedule, fmt, **kwargs))
+    return path

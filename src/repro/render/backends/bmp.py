@@ -1,0 +1,33 @@
+"""Uncompressed 24-bit BMP raster backend (BITMAPINFOHEADER)."""
+
+from __future__ import annotations
+
+import struct
+
+import numpy as np
+
+from repro.render.geometry import Drawing
+from repro.render.raster import rasterize
+
+__all__ = ["render_bmp"]
+
+
+def render_bmp(drawing: Drawing) -> bytes:
+    """Serialize a drawing as a BMP image (bottom-up rows, BGR, 4-byte aligned)."""
+    img = rasterize(drawing)
+    h, w = img.height, img.width
+    row_bytes = w * 3
+    pad = (-row_bytes) % 4
+    # BMP stores rows bottom-up in BGR order.
+    bgr = img.pixels[::-1, :, ::-1]
+    if pad:
+        padded = np.zeros((h, row_bytes + pad), dtype=np.uint8)
+        padded[:, :row_bytes] = bgr.reshape(h, row_bytes)
+        body = padded.tobytes()
+    else:
+        body = bgr.tobytes()
+    data_offset = 14 + 40
+    file_size = data_offset + len(body)
+    header = struct.pack("<2sIHHI", b"BM", file_size, 0, 0, data_offset)
+    info = struct.pack("<IiiHHIIiiII", 40, w, h, 1, 24, 0, len(body), 2835, 2835, 0, 0)
+    return header + info + body

@@ -1,0 +1,84 @@
+"""Standalone interactive HTML backend.
+
+Wraps the SVG output in a self-contained HTML page with a small script that
+reimplements the GUI affordances of the interactive mode in the browser:
+hovering a task rectangle shows its identifier (the ``data-ref`` attributes
+the SVG backend emits), and the mouse wheel zooms the view box about the
+cursor — no external assets, openable from disk.
+"""
+
+from __future__ import annotations
+
+from repro.render.backends.svg import render_svg
+from repro.render.geometry import Drawing
+
+__all__ = ["render_html"]
+
+_TEMPLATE = """<!DOCTYPE html>
+<html lang="en">
+<head>
+<meta charset="utf-8">
+<title>{title}</title>
+<style>
+  body {{ font-family: Helvetica, Arial, sans-serif; margin: 16px; }}
+  #tip {{ position: fixed; display: none; background: #222; color: #fff;
+         padding: 3px 8px; border-radius: 4px; font-size: 12px;
+         pointer-events: none; z-index: 10; }}
+  svg {{ border: 1px solid #ccc; cursor: crosshair; }}
+  rect[data-ref]:hover {{ stroke-width: 2.5; }}
+  p.hint {{ color: #666; font-size: 12px; }}
+</style>
+</head>
+<body>
+<div id="tip"></div>
+{svg}
+<p class="hint">hover a task for its id &middot; mouse wheel zooms &middot;
+double-click resets</p>
+<script>
+(function () {{
+  var svg = document.querySelector("svg");
+  var tip = document.getElementById("tip");
+  var home = svg.getAttribute("viewBox");
+
+  svg.addEventListener("mousemove", function (ev) {{
+    var t = ev.target;
+    var ref = t.getAttribute && t.getAttribute("data-ref");
+    if (ref) {{
+      tip.textContent = ref.replace(/^task:/, "task ");
+      tip.style.display = "block";
+      tip.style.left = (ev.clientX + 12) + "px";
+      tip.style.top = (ev.clientY + 12) + "px";
+    }} else {{
+      tip.style.display = "none";
+    }}
+  }});
+  svg.addEventListener("mouseleave", function () {{
+    tip.style.display = "none";
+  }});
+  svg.addEventListener("wheel", function (ev) {{
+    ev.preventDefault();
+    var vb = svg.getAttribute("viewBox").split(" ").map(Number);
+    var f = ev.deltaY < 0 ? 1 / 1.25 : 1.25;
+    var r = svg.getBoundingClientRect();
+    var cx = vb[0] + (ev.clientX - r.left) / r.width * vb[2];
+    var cy = vb[1] + (ev.clientY - r.top) / r.height * vb[3];
+    var w = vb[2] * f, h = vb[3] * f;
+    svg.setAttribute("viewBox",
+      (cx - (cx - vb[0]) * f) + " " + (cy - (cy - vb[1]) * f) + " " + w + " " + h);
+  }}, {{ passive: false }});
+  svg.addEventListener("dblclick", function () {{
+    svg.setAttribute("viewBox", home);
+  }});
+}})();
+</script>
+</body>
+</html>
+"""
+
+
+def render_html(drawing: Drawing, *, title: str = "jedule schedule") -> bytes:
+    """Serialize a drawing as a standalone interactive HTML page."""
+    svg = render_svg(drawing).decode("utf-8")
+    # drop the XML prolog: inline SVG in HTML5 must not carry it
+    body = svg.split("?>", 1)[1].lstrip() if svg.startswith("<?xml") else svg
+    return _TEMPLATE.format(title=title, svg=body).encode("utf-8")

@@ -1,0 +1,14 @@
+"""PNG raster backend: rasterize then encode with our own PNG codec."""
+
+from __future__ import annotations
+
+from repro.render.geometry import Drawing
+from repro.render.png_codec import encode_png
+from repro.render.raster import rasterize
+
+__all__ = ["render_png"]
+
+
+def render_png(drawing: Drawing, *, compress_level: int = 6) -> bytes:
+    """Serialize a drawing as a PNG byte string."""
+    return encode_png(rasterize(drawing).pixels, compress_level=compress_level)

@@ -1,0 +1,15 @@
+"""Binary PPM (P6) raster backend — the simplest possible raster export."""
+
+from __future__ import annotations
+
+from repro.render.geometry import Drawing
+from repro.render.raster import rasterize
+
+__all__ = ["render_ppm"]
+
+
+def render_ppm(drawing: Drawing) -> bytes:
+    """Serialize a drawing as a binary PPM (P6) image."""
+    img = rasterize(drawing)
+    header = f"P6\n{img.width} {img.height}\n255\n".encode("ascii")
+    return header + img.pixels.tobytes()

@@ -1,0 +1,101 @@
+"""Composing drawings: side-by-side / stacked schedule comparison.
+
+Section III-B: "This allowed us to get a fast overview of the scheduling
+performance by viewing the scheduling output of CPA and MCPA side by side."
+``compare_schedules`` renders several schedules into one canvas, each with
+its own title, sharing the global time frame when requested so makespans
+are visually comparable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.core.colormap import ColorMap
+from repro.core.model import Schedule
+from repro.core.timeframe import ViewMode
+from repro.core.viewport import Viewport
+from repro.errors import RenderError
+from repro.render.geometry import Drawing, Line, Rect, Text
+from repro.render.layout import LayoutOptions, layout_schedule
+from repro.render.style import Style
+
+__all__ = ["stack_drawings", "compare_schedules"]
+
+
+def _shifted(item, dx: float, dy: float):
+    """A copy of one primitive translated by (dx, dy)."""
+    if isinstance(item, Rect):
+        return Rect(item.x + dx, item.y + dy, item.w, item.h, item.fill,
+                    item.stroke, item.stroke_width, item.ref)
+    if isinstance(item, Line):
+        return Line(item.x0 + dx, item.y0 + dy, item.x1 + dx, item.y1 + dy,
+                    item.color, item.width)
+    if isinstance(item, Text):
+        return Text(item.x + dx, item.y + dy, item.text, item.size, item.color,
+                    item.halign, item.valign, item.rotated)
+    raise RenderError(f"cannot shift primitive {type(item).__name__}")
+
+
+def stack_drawings(drawings: Sequence[Drawing], *, gap: int = 12,
+                   horizontal: bool = False) -> Drawing:
+    """Concatenate drawings vertically (default) or horizontally."""
+    if not drawings:
+        raise RenderError("nothing to stack")
+    if horizontal:
+        width = sum(d.width for d in drawings) + gap * (len(drawings) - 1)
+        height = max(d.height for d in drawings)
+    else:
+        width = max(d.width for d in drawings)
+        height = sum(d.height for d in drawings) + gap * (len(drawings) - 1)
+    out = Drawing(width, height, drawings[0].background)
+    offset = 0
+    for d in drawings:
+        dx, dy = (offset, 0) if horizontal else (0, offset)
+        for item in d:
+            out.add(_shifted(item, dx, dy))
+        offset += (d.width if horizontal else d.height) + gap
+    return out
+
+
+def compare_schedules(
+    schedules: Sequence[Schedule],
+    titles: Sequence[str] | None = None,
+    *,
+    cmap: ColorMap | None = None,
+    style: Style | None = None,
+    width: int = 900,
+    panel_height: int = 350,
+    share_time_axis: bool = True,
+    horizontal: bool = False,
+) -> Drawing:
+    """One canvas with one panel per schedule.
+
+    ``share_time_axis`` puts all panels on the union time frame (via a
+    shared viewport), so a longer makespan is visibly longer — the property
+    that made the Figure 4 comparison work.
+    """
+    if not schedules:
+        raise RenderError("nothing to compare")
+    if titles is not None and len(titles) != len(schedules):
+        raise RenderError(f"{len(schedules)} schedules but {len(titles)} titles")
+
+    viewports: list[Viewport | None]
+    if share_time_axis:
+        t0 = min(s.start_time for s in schedules)
+        t1 = max(s.end_time for s in schedules)
+        if t1 <= t0:
+            t1 = t0 + 1.0
+        viewports = [Viewport(t0, t1, 0.0, float(max(s.num_hosts, 1)))
+                     for s in schedules]
+    else:
+        viewports = [None] * len(schedules)
+
+    panels = []
+    for i, s in enumerate(schedules):
+        options = LayoutOptions(
+            width=width, height=panel_height, mode=ViewMode.ALIGNED,
+            title=titles[i] if titles else None)
+        panels.append(layout_schedule(s, cmap=cmap, style=style,
+                                      options=options, viewport=viewports[i]))
+    return stack_drawings(panels, horizontal=horizontal)

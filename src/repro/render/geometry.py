@@ -1,0 +1,140 @@
+"""Device-space drawing primitives produced by the layout engine.
+
+Coordinates are pixels with the origin at the top-left corner, x growing
+right and y growing down (raster convention; vector backends convert as
+needed).  A :class:`Drawing` is an ordered list of primitives — order is
+z-order, later primitives paint on top.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections.abc import Iterable, Iterator
+from dataclasses import dataclass, field
+
+from repro.core.colormap import Color
+
+__all__ = ["HAlign", "VAlign", "Rect", "Line", "Text", "Drawing"]
+
+
+class HAlign(enum.Enum):
+    LEFT = "left"
+    CENTER = "center"
+    RIGHT = "right"
+
+
+class VAlign(enum.Enum):
+    TOP = "top"
+    MIDDLE = "middle"
+    BOTTOM = "bottom"
+
+
+@dataclass(frozen=True, slots=True)
+class Rect:
+    """A filled and/or stroked axis-aligned rectangle."""
+
+    x: float
+    y: float
+    w: float
+    h: float
+    fill: Color | None = None
+    stroke: Color | None = None
+    stroke_width: float = 1.0
+    #: identifier of the schedule entity this rect represents (hit metadata)
+    ref: str | None = None
+
+    def __post_init__(self) -> None:
+        if self.w < 0 or self.h < 0:
+            raise ValueError(f"negative rect size {self.w}x{self.h}")
+
+    @property
+    def x1(self) -> float:
+        return self.x + self.w
+
+    @property
+    def y1(self) -> float:
+        return self.y + self.h
+
+    def contains(self, px: float, py: float) -> bool:
+        return self.x <= px < self.x1 and self.y <= py < self.y1
+
+
+@dataclass(frozen=True, slots=True)
+class Line:
+    """A straight line segment."""
+
+    x0: float
+    y0: float
+    x1: float
+    y1: float
+    color: Color = Color(0, 0, 0)
+    width: float = 1.0
+
+
+@dataclass(frozen=True, slots=True)
+class Text:
+    """A text label anchored at (x, y).
+
+    ``rotated`` draws the text rotated 90 degrees counterclockwise (used for
+    the resource-axis caption).  ``size`` is the em height in pixels.
+    """
+
+    x: float
+    y: float
+    text: str
+    size: float = 12.0
+    color: Color = Color(0, 0, 0)
+    halign: HAlign = HAlign.LEFT
+    valign: VAlign = VAlign.BOTTOM
+    rotated: bool = False
+
+
+Primitive = Rect | Line | Text
+
+
+class Drawing:
+    """An ordered primitive list plus the canvas dimensions and background."""
+
+    def __init__(self, width: int, height: int,
+                 background: Color = Color(255, 255, 255)):
+        if width <= 0 or height <= 0:
+            raise ValueError(f"bad drawing size {width}x{height}")
+        self.width = int(width)
+        self.height = int(height)
+        self.background = background
+        self._items: list[Primitive] = []
+
+    def add(self, item: Primitive) -> None:
+        self._items.append(item)
+
+    def extend(self, items: Iterable[Primitive]) -> None:
+        self._items.extend(items)
+
+    def __iter__(self) -> Iterator[Primitive]:
+        return iter(self._items)
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def rects(self) -> list[Rect]:
+        return [p for p in self._items if isinstance(p, Rect)]
+
+    @property
+    def texts(self) -> list[Text]:
+        return [p for p in self._items if isinstance(p, Text)]
+
+    @property
+    def lines(self) -> list[Line]:
+        return [p for p in self._items if isinstance(p, Line)]
+
+    def find_rect(self, ref: str) -> Rect | None:
+        """First rect carrying the given entity reference."""
+        for p in self._items:
+            if isinstance(p, Rect) and p.ref == ref:
+                return p
+        return None
+
+    def rects_for(self, ref: str) -> list[Rect]:
+        """All rects carrying the given entity reference."""
+        return [p for p in self._items if isinstance(p, Rect) and p.ref == ref]

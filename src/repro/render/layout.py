@@ -1,0 +1,340 @@
+"""Layout engine: schedule -> device-space :class:`Drawing`.
+
+This is the core of the visualizer.  Given a schedule, a color map, a style
+and a view mode it computes the Gantt chart geometry of Section II of the
+paper:
+
+* the resource axis is divided into ``p`` equal segments (one per host),
+  clusters stacked top-to-bottom in registration order with a gap between
+  cluster bands;
+* each task configuration becomes one rectangle per contiguous host range,
+  spanning its hosts vertically and its time interval horizontally;
+* in ``SCALED`` view each cluster band has its own local time frame and its
+  own time axis; in ``ALIGNED`` view all bands share the global frame and a
+  single bottom axis;
+* rectangles are labeled with the task identifier when the label fits at no
+  less than ``min_font_size_label``;
+* when a :class:`~repro.core.viewport.Viewport` is supplied the layout
+  renders exactly that window (always aligned), clipping tasks to it — this
+  is what interactive zooming/panning draws.
+
+The produced :class:`Drawing` keeps entity references on task rectangles so
+hit-testing (and tests) can map pixels back to tasks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.colormap import Color, ColorMap, default_colormap
+from repro.core.model import Schedule, Task
+from repro.core.timeframe import TimeFrame, ViewMode, cluster_frame, global_frame
+from repro.core.viewport import Viewport
+from repro.errors import RenderError
+from repro.render.geometry import Drawing, HAlign, Line, Rect, Text, VAlign
+from repro.render.style import Style
+
+__all__ = ["LayoutOptions", "layout_schedule", "nice_ticks", "estimate_text_width"]
+
+#: Mean glyph advance as a fraction of the em size (Helvetica-like).
+_CHAR_ASPECT = 0.60
+
+
+def estimate_text_width(text: str, size: float) -> float:
+    """Approximate rendered width of ``text`` at em size ``size``."""
+    return len(text) * size * _CHAR_ASPECT
+
+
+def nice_ticks(lo: float, hi: float, target: int = 8) -> list[float]:
+    """Tick positions at "nice" steps (1/2/5 x 10^k) covering [lo, hi].
+
+    Returns ticks inside the interval, inclusive of endpoints that land on a
+    step.  Degenerate intervals yield the single position ``lo``.
+    """
+    if target < 2:
+        target = 2
+    span = hi - lo
+    if span <= 0 or not math.isfinite(span):
+        return [lo]
+    raw = span / (target - 1)
+    mag = 10.0 ** math.floor(math.log10(raw))
+    for mult in (1.0, 2.0, 5.0, 10.0):
+        step = mult * mag
+        if span / step <= target - 1:
+            break
+    # Ticks are integer multiples of the step, computed fresh per tick so no
+    # floating-point error accumulates over long axes.
+    k0 = math.ceil(lo / step - 1e-9)
+    ticks = []
+    k = k0
+    while True:
+        t = k * step
+        if t > hi + step * 1e-6:
+            break
+        ticks.append(0.0 if abs(t) < step * 1e-9 else t)
+        k += 1
+    return ticks or [lo]
+
+
+def _format_tick(value: float, step: float) -> str:
+    """Tick label with just enough decimals for the step size."""
+    if step >= 1 or step == 0:
+        return f"{value:.0f}"
+    decimals = min(6, max(0, -math.floor(math.log10(step))))
+    return f"{value:.{decimals}f}"
+
+
+@dataclass(frozen=True, slots=True)
+class LayoutOptions:
+    """Rendering options of the command-line interface."""
+
+    width: int = 900
+    height: int = 480
+    mode: ViewMode = ViewMode.ALIGNED
+    title: str | None = None
+    show_host_labels: bool = True
+
+
+@dataclass(frozen=True, slots=True)
+class _Band:
+    """One cluster band: its vertical extent and time frame."""
+
+    cluster_id: str
+    y: float
+    height: float
+    rows: int
+    frame: TimeFrame
+
+
+def _cluster_bands(
+    schedule: Schedule, style: Style, plot_y: float, plot_h: float, mode: ViewMode,
+    axis_gap: float,
+) -> list[_Band]:
+    """Split the vertical plot area into per-cluster bands."""
+    clusters = schedule.clusters
+    n = len(clusters)
+    total_rows = sum(c.num_hosts for c in clusters)
+    if total_rows == 0:
+        raise RenderError("schedule has no resources to draw")
+    gaps = (n - 1) * (style.cluster_gap + axis_gap) + (axis_gap if axis_gap else 0.0)
+    usable = plot_h - gaps
+    if usable <= 0:
+        raise RenderError(f"drawing too small: {plot_h:.0f}px cannot fit {n} cluster bands")
+    row_h = usable / total_rows
+    gframe = global_frame(schedule)
+    bands: list[_Band] = []
+    y = plot_y
+    for c in clusters:
+        frame = gframe if mode is ViewMode.ALIGNED else cluster_frame(schedule, c.id)
+        if frame.span == 0:  # empty or instantaneous cluster: give it a unit frame
+            frame = TimeFrame(frame.start, frame.start + 1.0)
+        h = row_h * c.num_hosts
+        bands.append(_Band(c.id, y, h, c.num_hosts, frame))
+        y += h + style.cluster_gap + axis_gap
+    return bands
+
+
+def _task_label(drawing: Drawing, task: Task, x: float, y: float, w: float, h: float,
+                style: Style, color: Color) -> None:
+    """Centered task-id label, shrunk to fit, dropped below the minimum size."""
+    size = style.font_size_label
+    needed = estimate_text_width(task.id, size)
+    if needed > w * 0.9:
+        size *= (w * 0.9) / max(needed, 1e-9)
+    if size < style.min_font_size_label or size > h:
+        return
+    drawing.add(Text(x + w / 2, y + h / 2, task.id, size=size, color=color,
+                     halign=HAlign.CENTER, valign=VAlign.MIDDLE))
+
+
+def _time_axis(drawing: Drawing, style: Style, x: float, w: float, y: float,
+               frame: TimeFrame) -> None:
+    """Horizontal time axis with nice ticks below a band (or the whole plot)."""
+    drawing.add(Line(x, y, x + w, y, style.axis_color))
+    ticks = nice_ticks(frame.start, frame.end, style.time_ticks)
+    step = ticks[1] - ticks[0] if len(ticks) > 1 else 1.0
+    for t in ticks:
+        px = x + frame.fraction(t) * w
+        drawing.add(Line(px, y, px, y + style.tick_length, style.axis_color))
+        drawing.add(Text(px, y + style.tick_length + 2, _format_tick(t, step),
+                         size=style.font_size_axes, color=style.axis_color,
+                         halign=HAlign.CENTER, valign=VAlign.TOP))
+
+
+def _legend(drawing: Drawing, schedule: Schedule, cmap: ColorMap, style: Style,
+            x: float, y: float, width: float) -> None:
+    """One row of type swatches at the bottom of the drawing."""
+    sw = style.font_size_axes
+    cx = x
+    for task_type in schedule.task_types():
+        s = cmap.style_for_type(task_type) if task_type != "composite" else \
+            cmap.style_for_task(next(t for t in schedule if t.type == "composite"))
+        label_w = estimate_text_width(task_type, style.font_size_axes)
+        if cx + sw + 4 + label_w > x + width:
+            break
+        drawing.add(Rect(cx, y, sw, sw, fill=s.bg, stroke=style.task_border))
+        drawing.add(Text(cx + sw + 4, y + sw / 2, task_type, size=style.font_size_axes,
+                         color=style.axis_color, valign=VAlign.MIDDLE))
+        cx += sw + 4 + label_w + 16
+
+
+def layout_schedule(
+    schedule: Schedule,
+    *,
+    cmap: ColorMap | None = None,
+    style: Style | None = None,
+    options: LayoutOptions | None = None,
+    viewport: Viewport | None = None,
+) -> Drawing:
+    """Lay a schedule out as a :class:`Drawing`.
+
+    With ``viewport`` the drawing shows exactly that plane window with a
+    single shared axis (interactive view); otherwise the full schedule is
+    drawn in the requested :class:`ViewMode`.
+    """
+    cmap = cmap or default_colormap()
+    style = (style or Style()).with_config(cmap.config)
+    options = options or LayoutOptions()
+    if viewport is not None:
+        return _layout_windowed(schedule, cmap, style, options, viewport)
+    return _layout_full(schedule, cmap, style, options)
+
+
+def _chrome(drawing: Drawing, schedule: Schedule, cmap: ColorMap, style: Style,
+            options: LayoutOptions) -> tuple[float, float, float, float]:
+    """Title, meta line and legend; returns the inner plot box (x, y, w, h)."""
+    top = style.margin_top
+    if options.title:
+        drawing.add(Text(drawing.width / 2, 4, options.title, size=style.font_size_title,
+                         color=style.axis_color, halign=HAlign.CENTER, valign=VAlign.TOP))
+        top += style.font_size_title
+    if style.draw_meta and schedule.meta:
+        meta_text = "  ".join(f"{k}={v}" for k, v in sorted(schedule.meta.items()))
+        drawing.add(Text(style.margin_left, top - 4, meta_text, size=style.font_size_meta,
+                         color=style.axis_color, valign=VAlign.BOTTOM))
+    bottom = style.margin_bottom + (style.legend_height if style.draw_legend else 0.0)
+    x = style.margin_left
+    w = drawing.width - x - style.margin_right
+    h = drawing.height - top - bottom
+    if w <= 10 or h <= 10:
+        raise RenderError(
+            f"drawing {drawing.width}x{drawing.height} too small for margins")
+    if style.draw_legend:
+        _legend(drawing, schedule, cmap, style, x,
+                drawing.height - style.legend_height, w)
+    return x, top, w, h
+
+
+def _host_labels(drawing: Drawing, band: _Band, style: Style, x: float) -> None:
+    """Cluster name plus host indices along the left edge of a band."""
+    drawing.add(Text(4, band.y + band.height / 2, band.cluster_id,
+                     size=style.font_size_axes, color=style.axis_color,
+                     valign=VAlign.MIDDLE, rotated=True))
+    row_h = band.height / band.rows
+    step = max(1, math.ceil((style.font_size_axes + 2) / row_h))
+    for host in range(0, band.rows, step):
+        cy = band.y + (host + 0.5) * row_h
+        drawing.add(Text(x - 6, cy, str(host), size=style.font_size_axes,
+                         color=style.axis_color, halign=HAlign.RIGHT,
+                         valign=VAlign.MIDDLE))
+
+
+def _draw_band_tasks(drawing: Drawing, schedule: Schedule, band: _Band,
+                     cmap: ColorMap, style: Style, x: float, w: float) -> None:
+    """All task rectangles of one cluster band."""
+    row_h = band.height / band.rows
+    if style.draw_grid:
+        for host in range(band.rows + 1):
+            gy = band.y + host * row_h
+            drawing.add(Line(x, gy, x + w, gy, style.grid_color, 0.5))
+    drawing.add(Rect(x, band.y, w, band.height, fill=None, stroke=style.axis_color))
+    for task in schedule.tasks_in_cluster(band.cluster_id):
+        conf = task.configuration_for(band.cluster_id)
+        assert conf is not None
+        tstyle = cmap.style_for_task(task)
+        fx0 = band.frame.fraction(max(task.start_time, band.frame.start))
+        fx1 = band.frame.fraction(min(task.end_time, band.frame.end))
+        if fx1 <= fx0 and task.duration > 0:
+            continue
+        rx = x + fx0 * w
+        rw = max((fx1 - fx0) * w, 0.0)
+        for r in conf.host_ranges:
+            ry = band.y + r.start * row_h
+            rh = r.nb * row_h
+            drawing.add(Rect(rx, ry, rw, rh, fill=tstyle.bg,
+                             stroke=style.task_border if style.draw_task_borders else None,
+                             ref=f"task:{task.id}"))
+            if style.draw_labels:
+                _task_label(drawing, task, rx, ry, rw, rh, style, tstyle.label_color())
+
+
+def _layout_full(schedule: Schedule, cmap: ColorMap, style: Style,
+                 options: LayoutOptions) -> Drawing:
+    drawing = Drawing(options.width, options.height, style.background)
+    x, y, w, h = _chrome(drawing, schedule, cmap, style, options)
+    per_band_axis = options.mode is ViewMode.SCALED and len(schedule.clusters) > 1
+    axis_gap = (style.font_size_axes + style.tick_length + 8) if per_band_axis else 0.0
+    bands = _cluster_bands(schedule, style, y, h, options.mode, axis_gap)
+    for band in bands:
+        if options.show_host_labels:
+            _host_labels(drawing, band, style, x)
+        _draw_band_tasks(drawing, schedule, band, cmap, style, x, w)
+        if per_band_axis:
+            _time_axis(drawing, style, x, w, band.y + band.height + 2, band.frame)
+    if not per_band_axis:
+        frame = bands[0].frame if bands else global_frame(schedule)
+        _time_axis(drawing, style, x, w, y + h + 2, frame)
+    return drawing
+
+
+def _layout_windowed(schedule: Schedule, cmap: ColorMap, style: Style,
+                     options: LayoutOptions, viewport: Viewport) -> Drawing:
+    """Interactive view: draw exactly the viewport window, rows continuous."""
+    drawing = Drawing(options.width, options.height, style.background)
+    x, y, w, h = _chrome(drawing, schedule, cmap, style, options)
+    frame = viewport.time_frame
+    rspan = viewport.resource_span
+
+    def ty(row: float) -> float:
+        return y + (row - viewport.r0) / rspan * h
+
+    # cluster separators + grid on visible whole rows
+    if style.draw_grid:
+        first = math.ceil(viewport.r0)
+        for row in range(first, math.floor(viewport.r1) + 1):
+            gy = ty(row)
+            if y <= gy <= y + h:
+                drawing.add(Line(x, gy, x + w, gy, style.grid_color, 0.5))
+    offset = 0
+    for c in schedule.clusters:
+        sep = ty(float(offset))
+        if offset > 0 and y <= sep <= y + h:
+            drawing.add(Line(x, sep, x + w, sep, style.axis_color, 1.5))
+        offset += c.num_hosts
+    drawing.add(Rect(x, y, w, h, fill=None, stroke=style.axis_color))
+
+    for task in schedule:
+        if not viewport.intersects_time(task.start_time, task.end_time):
+            continue
+        fx0 = frame.fraction(frame.clamp(task.start_time))
+        fx1 = frame.fraction(frame.clamp(task.end_time))
+        rx, rw = x + fx0 * w, max((fx1 - fx0) * w, 0.0)
+        tstyle = cmap.style_for_task(task)
+        for conf in task.configurations:
+            base = schedule.cluster_offset(conf.cluster_id)
+            for r in conf.host_ranges:
+                lo = max(float(base + r.start), viewport.r0)
+                hi = min(float(base + r.stop), viewport.r1)
+                if hi <= lo:
+                    continue
+                ry = ty(lo)
+                rh = ty(hi) - ry
+                drawing.add(Rect(rx, ry, rw, rh, fill=tstyle.bg,
+                                 stroke=style.task_border if style.draw_task_borders else None,
+                                 ref=f"task:{task.id}"))
+                if style.draw_labels:
+                    _task_label(drawing, task, rx, ry, rw, rh, style,
+                                tstyle.label_color())
+    _time_axis(drawing, style, x, w, y + h + 2, frame)
+    return drawing

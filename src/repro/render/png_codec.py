@@ -1,0 +1,136 @@
+"""Minimal PNG encoder/decoder (truecolor, 8-bit).
+
+Implemented from the PNG specification on top of :mod:`zlib` (stdlib):
+signature, IHDR/IDAT/IEND chunks, CRC32 per chunk, and the five scanline
+filter types.  The encoder picks per-row between None, Sub and Up filters by
+the standard minimum-sum-of-absolute-differences heuristic; the decoder
+supports all five filters so it can read anything the encoder (or another
+conforming encoder of color type 2, bit depth 8) produced.  The decoder
+exists chiefly so tests can verify exported images pixel-for-pixel.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+
+from repro.errors import RenderError
+
+__all__ = ["encode_png", "decode_png"]
+
+_SIGNATURE = b"\x89PNG\r\n\x1a\n"
+
+
+def _chunk(kind: bytes, payload: bytes) -> bytes:
+    return (struct.pack(">I", len(payload)) + kind + payload
+            + struct.pack(">I", zlib.crc32(kind + payload) & 0xFFFFFFFF))
+
+
+def encode_png(pixels: np.ndarray, *, compress_level: int = 6) -> bytes:
+    """Encode an (h, w, 3) uint8 array as a PNG byte string."""
+    if pixels.ndim != 3 or pixels.shape[2] != 3 or pixels.dtype != np.uint8:
+        raise RenderError(f"expected (h, w, 3) uint8 pixels, got {pixels.shape} {pixels.dtype}")
+    h, w, _ = pixels.shape
+    ihdr = struct.pack(">IIBBBBB", w, h, 8, 2, 0, 0, 0)  # 8-bit, truecolor
+
+    rows = pixels.astype(np.int16)
+    # Candidate filters: 0 (None), 1 (Sub), 2 (Up); pick per row by MSAD.
+    none_f = rows.astype(np.uint8)
+    sub = rows.copy()
+    sub[:, 1:, :] -= rows[:, :-1, :]
+    sub_f = (sub & 0xFF).astype(np.uint8)
+    up = rows.copy()
+    up[1:, :, :] -= rows[:-1, :, :]
+    up_f = (up & 0xFF).astype(np.uint8)
+
+    def cost(filtered: np.ndarray) -> np.ndarray:
+        signed = filtered.astype(np.int16)
+        signed = np.where(signed > 127, 256 - signed, signed)
+        return signed.reshape(h, -1).sum(axis=1)
+
+    costs = np.stack([cost(none_f), cost(sub_f), cost(up_f)])
+    choice = np.argmin(costs, axis=0)
+
+    out = bytearray()
+    encoded = (none_f, sub_f, up_f)
+    for y in range(h):
+        f = int(choice[y])
+        out.append(f)
+        out.extend(encoded[f][y].tobytes())
+    idat = zlib.compress(bytes(out), compress_level)
+    return (_SIGNATURE + _chunk(b"IHDR", ihdr) + _chunk(b"IDAT", idat)
+            + _chunk(b"IEND", b""))
+
+
+def _paeth(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
+    """Paeth predictor, vectorized over one scanline."""
+    p = a.astype(np.int16) + b.astype(np.int16) - c.astype(np.int16)
+    pa = np.abs(p - a)
+    pb = np.abs(p - b)
+    pc = np.abs(p - c)
+    return np.where((pa <= pb) & (pa <= pc), a, np.where(pb <= pc, b, c)).astype(np.uint8)
+
+
+def decode_png(data: bytes) -> np.ndarray:
+    """Decode a truecolor 8-bit PNG into an (h, w, 3) uint8 array."""
+    if not data.startswith(_SIGNATURE):
+        raise RenderError("not a PNG: bad signature")
+    pos = len(_SIGNATURE)
+    width = height = None
+    idat = bytearray()
+    while pos + 8 <= len(data):
+        (length,) = struct.unpack(">I", data[pos:pos + 4])
+        kind = data[pos + 4:pos + 8]
+        payload = data[pos + 8:pos + 8 + length]
+        (crc,) = struct.unpack(">I", data[pos + 8 + length:pos + 12 + length])
+        if zlib.crc32(kind + payload) & 0xFFFFFFFF != crc:
+            raise RenderError(f"PNG chunk {kind!r}: CRC mismatch")
+        if kind == b"IHDR":
+            width, height, depth, ctype, comp, filt, inter = struct.unpack(
+                ">IIBBBBB", payload)
+            if depth != 8 or ctype != 2 or inter != 0:
+                raise RenderError(
+                    f"unsupported PNG flavor: depth={depth} color={ctype} interlace={inter}")
+        elif kind == b"IDAT":
+            idat.extend(payload)
+        elif kind == b"IEND":
+            break
+        pos += 12 + length
+    if width is None or height is None:
+        raise RenderError("PNG without IHDR")
+
+    raw = zlib.decompress(bytes(idat))
+    stride = width * 3
+    if len(raw) != height * (stride + 1):
+        raise RenderError(
+            f"PNG data length {len(raw)} != expected {height * (stride + 1)}")
+    img = np.zeros((height, width, 3), dtype=np.uint8)
+    prev = np.zeros(stride, dtype=np.uint8)
+    for y in range(height):
+        off = y * (stride + 1)
+        ftype = raw[off]
+        line = np.frombuffer(raw, dtype=np.uint8, count=stride, offset=off + 1).copy()
+        if ftype == 0:
+            pass
+        elif ftype == 1:  # Sub
+            for x in range(3, stride):
+                line[x] = (int(line[x]) + int(line[x - 3])) & 0xFF
+        elif ftype == 2:  # Up
+            line = (line.astype(np.int16) + prev).astype(np.uint8)
+        elif ftype == 3:  # Average
+            for x in range(stride):
+                left = int(line[x - 3]) if x >= 3 else 0
+                line[x] = (int(line[x]) + (left + int(prev[x])) // 2) & 0xFF
+        elif ftype == 4:  # Paeth
+            for x in range(stride):
+                left = int(line[x - 3]) if x >= 3 else 0
+                ul = int(prev[x - 3]) if x >= 3 else 0
+                line[x] = (int(line[x]) + int(_paeth(
+                    np.uint8(left), prev[x], np.uint8(ul)))) & 0xFF
+        else:
+            raise RenderError(f"PNG row {y}: unknown filter {ftype}")
+        prev = line
+        img[y] = line.reshape(width, 3)
+    return img

@@ -1,0 +1,154 @@
+"""Pure-Python/NumPy rasterizer for the bitmap backends (PNG, PPM, BMP).
+
+The image is an ``(h, w, 3)`` uint8 array.  Operations are vectorized slice
+assignments (rect fills), a Bresenham walk batched through fancy indexing
+(lines), and nearest-neighbour scaling of the 5x7 font (text).  The
+rasterizer implements the drawing-primitive vocabulary of
+:mod:`repro.render.geometry` and nothing more.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.core.colormap import Color
+from repro.render import font5x7
+from repro.render.geometry import Drawing, HAlign, Line, Rect, Text, VAlign
+
+__all__ = ["RasterImage", "rasterize"]
+
+
+class RasterImage:
+    """A mutable RGB image with primitive drawing operations."""
+
+    def __init__(self, width: int, height: int, background: Color = Color(255, 255, 255)):
+        if width <= 0 or height <= 0:
+            raise ValueError(f"bad image size {width}x{height}")
+        self.width = int(width)
+        self.height = int(height)
+        self.pixels = np.empty((self.height, self.width, 3), dtype=np.uint8)
+        self.pixels[:] = (background.r, background.g, background.b)
+
+    # ----------------------------------------------------------- primitives
+    def fill_rect(self, x: float, y: float, w: float, h: float, color: Color) -> None:
+        """Fill an axis-aligned rectangle; sub-pixel rects snap to >=1 px."""
+        if x + w <= 0 or y + h <= 0 or x >= self.width or y >= self.height:
+            return  # fully outside the canvas
+        x0 = max(int(round(x)), 0)
+        y0 = max(int(round(y)), 0)
+        x1 = min(int(round(x + w)), self.width)
+        y1 = min(int(round(y + h)), self.height)
+        # Sub-pixel rects that truly intersect the canvas snap to one pixel.
+        if w > 0 and x1 <= x0 and x0 < self.width:
+            x1 = x0 + 1
+        if h > 0 and y1 <= y0 and y0 < self.height:
+            y1 = y0 + 1
+        if x1 > x0 and y1 > y0:
+            self.pixels[y0:y1, x0:x1] = (color.r, color.g, color.b)
+
+    def stroke_rect(self, x: float, y: float, w: float, h: float, color: Color,
+                    width: float = 1.0) -> None:
+        """1px (or thicker) rectangle outline."""
+        t = max(1, int(round(width)))
+        x0, y0 = int(round(x)), int(round(y))
+        x1, y1 = int(round(x + w)), int(round(y + h))
+        self.fill_rect(x0, y0, x1 - x0, t, color)                 # top
+        self.fill_rect(x0, y1 - t, x1 - x0, t, color)             # bottom
+        self.fill_rect(x0, y0, t, y1 - y0, color)                 # left
+        self.fill_rect(x1 - t, y0, t, y1 - y0, color)             # right
+
+    def draw_line(self, x0: float, y0: float, x1: float, y1: float, color: Color,
+                  width: float = 1.0) -> None:
+        """Bresenham-style line; axis-aligned lines take the fast rect path."""
+        if abs(y1 - y0) < 0.5:  # horizontal
+            lo, hi = sorted((x0, x1))
+            self.fill_rect(lo, y0 - width / 2, hi - lo + 1, max(width, 1.0), color)
+            return
+        if abs(x1 - x0) < 0.5:  # vertical
+            lo, hi = sorted((y0, y1))
+            self.fill_rect(x0 - width / 2, lo, max(width, 1.0), hi - lo + 1, color)
+            return
+        steps = int(max(abs(x1 - x0), abs(y1 - y0))) + 1
+        xs = np.rint(np.linspace(x0, x1, steps)).astype(np.intp)
+        ys = np.rint(np.linspace(y0, y1, steps)).astype(np.intp)
+        keep = (xs >= 0) & (xs < self.width) & (ys >= 0) & (ys < self.height)
+        self.pixels[ys[keep], xs[keep]] = (color.r, color.g, color.b)
+
+    def text_extent(self, text: str, size: float) -> tuple[int, int]:
+        """(width, height) in pixels of a string at the given em size."""
+        scale = max(1, int(round(size / font5x7.GLYPH_HEIGHT)))
+        bitmap = font5x7.text_bitmap(text)
+        return bitmap.shape[1] * scale, bitmap.shape[0] * scale
+
+    def draw_text(
+        self,
+        x: float,
+        y: float,
+        text: str,
+        color: Color,
+        size: float = 12.0,
+        halign: HAlign = HAlign.LEFT,
+        valign: VAlign = VAlign.BOTTOM,
+        rotated: bool = False,
+    ) -> None:
+        """Blit a scaled bitmap string anchored at (x, y)."""
+        if not text:
+            return
+        scale = max(1, int(round(size / font5x7.GLYPH_HEIGHT)))
+        bitmap = font5x7.text_bitmap(text)
+        if rotated:
+            bitmap = np.rot90(bitmap)  # 90 deg CCW: reads bottom-to-top
+        if scale > 1:
+            bitmap = np.kron(bitmap, np.ones((scale, scale), dtype=bool))
+        bh, bw = bitmap.shape
+        if halign is HAlign.CENTER:
+            x -= bw / 2
+        elif halign is HAlign.RIGHT:
+            x -= bw
+        if valign is VAlign.MIDDLE:
+            y -= bh / 2
+        elif valign is VAlign.BOTTOM:
+            y -= bh
+        ix, iy = int(round(x)), int(round(y))
+        # Clip the bitmap to the image.
+        sx0, sy0 = max(0, -ix), max(0, -iy)
+        dx0, dy0 = max(0, ix), max(0, iy)
+        sx1 = bw - max(0, ix + bw - self.width)
+        sy1 = bh - max(0, iy + bh - self.height)
+        if sx1 <= sx0 or sy1 <= sy0:
+            return
+        region = bitmap[sy0:sy1, sx0:sx1]
+        target = self.pixels[dy0:dy0 + region.shape[0], dx0:dx0 + region.shape[1]]
+        target[region] = (color.r, color.g, color.b)
+
+    # ------------------------------------------------------------- queries
+    def pixel(self, x: int, y: int) -> Color:
+        r, g, b = self.pixels[y, x]
+        return Color(int(r), int(g), int(b))
+
+    def count_color(self, color: Color) -> int:
+        """Number of pixels exactly matching ``color`` (test helper)."""
+        match = np.all(self.pixels == np.array([color.r, color.g, color.b]), axis=-1)
+        return int(match.sum())
+
+
+def rasterize(drawing: Drawing) -> RasterImage:
+    """Render a :class:`Drawing` into a raster image."""
+    img = RasterImage(drawing.width, drawing.height, drawing.background)
+    for item in drawing:
+        if isinstance(item, Rect):
+            if item.fill is not None:
+                img.fill_rect(item.x, item.y, item.w, item.h, item.fill)
+            if item.stroke is not None:
+                img.stroke_rect(item.x, item.y, item.w, item.h, item.stroke,
+                                item.stroke_width)
+        elif isinstance(item, Line):
+            img.draw_line(item.x0, item.y0, item.x1, item.y1, item.color, item.width)
+        elif isinstance(item, Text):
+            img.draw_text(item.x, item.y, item.text, item.color, item.size,
+                          item.halign, item.valign, item.rotated)
+        else:  # pragma: no cover - new primitive types must be handled here
+            raise TypeError(f"unknown primitive {type(item).__name__}")
+    return img

@@ -1,0 +1,96 @@
+"""Drawing style: fonts, margins, axis colors (the paper's "style files").
+
+The command-line mode accepts external style files that "define properties
+of graphic primitives, e.g., font sizes and colors".  A :class:`Style` can
+be built from defaults, from the ``<conf>`` entries of a color-map XML
+(Figure 2 carries ``min_font_size_label`` etc.), or from a standalone
+key/value style file.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass, field, fields, replace
+from pathlib import Path
+
+from repro.core.colormap import Color
+from repro.errors import ParseError
+
+__all__ = ["Style", "load_style_file"]
+
+
+@dataclass(frozen=True, slots=True)
+class Style:
+    """All tunable drawing parameters, in pixels unless noted."""
+
+    # fonts (sizes in px)
+    font_size_label: float = 13.0
+    min_font_size_label: float = 11.0
+    font_size_axes: float = 12.0
+    font_size_title: float = 14.0
+    font_size_meta: float = 10.0
+
+    # layout margins
+    margin_left: float = 64.0
+    margin_right: float = 16.0
+    margin_top: float = 20.0
+    margin_bottom: float = 44.0
+    cluster_gap: float = 14.0
+    legend_height: float = 22.0
+
+    # decorations
+    background: Color = Color(255, 255, 255)
+    axis_color: Color = Color(0, 0, 0)
+    grid_color: Color = Color(210, 210, 210)
+    task_border: Color = Color(0, 0, 0)
+    idle_color: Color = Color(255, 255, 255)
+    draw_grid: bool = True
+    draw_task_borders: bool = True
+    draw_labels: bool = True
+    draw_legend: bool = True
+    draw_meta: bool = True
+    tick_length: float = 4.0
+    time_ticks: int = 8
+
+    def with_config(self, config: Mapping[str, str]) -> "Style":
+        """Overlay color-map / style-file config entries onto this style.
+
+        Unknown keys are ignored (forward compatibility); values are coerced
+        to the field's type, with colors parsed from hex.
+        """
+        updates: dict[str, object] = {}
+        by_name = {f.name: f for f in fields(self)}
+        for key, raw in config.items():
+            f = by_name.get(key)
+            if f is None:
+                continue
+            current = getattr(self, f.name)
+            try:
+                if isinstance(current, bool):
+                    updates[key] = str(raw).strip().lower() in ("1", "true", "yes", "on")
+                elif isinstance(current, Color):
+                    updates[key] = Color.from_hex(str(raw))
+                elif isinstance(current, float):
+                    updates[key] = float(raw)
+                elif isinstance(current, int):
+                    updates[key] = int(raw)
+                else:
+                    updates[key] = raw
+            except (ValueError, TypeError) as exc:
+                raise ParseError(f"bad style value {key}={raw!r}: {exc}") from exc
+        return replace(self, **updates) if updates else self
+
+
+def load_style_file(path: str | Path, base: Style | None = None) -> Style:
+    """Parse a ``key = value`` style file (# comments, blank lines allowed)."""
+    base = base or Style()
+    config: dict[str, str] = {}
+    for lineno, raw in enumerate(Path(path).read_text(encoding="utf-8").splitlines(), 1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        if "=" not in line:
+            raise ParseError("expected 'key = value'", source=str(path), line=lineno)
+        key, value = line.split("=", 1)
+        config[key.strip()] = value.strip()
+    return base.with_config(config)

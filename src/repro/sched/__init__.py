@@ -1,0 +1,62 @@
+"""Scheduling algorithms: CPA family, HEFT, multi-DAG CRA, backfilling."""
+
+from repro.sched.backfill import backfill_cra, backfill_mapping
+from repro.sched.baselines import data_parallel_schedule, task_parallel_schedule
+from repro.sched.cpa import cpa_schedule
+from repro.sched.cpop import cpop_schedule, downward_ranks
+from repro.sched.cra import CRAPolicy, CRAResult, cra_schedule, integer_shares
+from repro.sched.heft import HeftResult, heft_schedule, upward_ranks
+from repro.sched.mcpa import mcpa_schedule
+from repro.sched.mcpa2 import mcpa2_schedule
+from repro.sched.mheft import MHeftResult, mheft_schedule
+from repro.sched.metrics import (
+    efficiency,
+    jain_fairness,
+    max_stretch,
+    speedup,
+    stretch,
+    stretch_imbalance,
+    stretches,
+)
+from repro.sched.mtask import (
+    Allocation,
+    MTaskProblem,
+    MTaskResult,
+    allocate,
+    level_bounded_growth,
+    map_allocation,
+)
+
+__all__ = [
+    "Allocation",
+    "CRAPolicy",
+    "CRAResult",
+    "HeftResult",
+    "MTaskProblem",
+    "MTaskResult",
+    "allocate",
+    "backfill_cra",
+    "backfill_mapping",
+    "cpa_schedule",
+    "cpop_schedule",
+    "cra_schedule",
+    "data_parallel_schedule",
+    "downward_ranks",
+    "efficiency",
+    "heft_schedule",
+    "integer_shares",
+    "jain_fairness",
+    "level_bounded_growth",
+    "map_allocation",
+    "max_stretch",
+    "mcpa2_schedule",
+    "MHeftResult",
+    "mcpa_schedule",
+    "mheft_schedule",
+    "speedup",
+    "stretch",
+    "stretch_imbalance",
+    "stretches",
+    "task_parallel_schedule",
+    "upward_ranks",
+]

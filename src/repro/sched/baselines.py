@@ -1,0 +1,59 @@
+"""Baseline schedulers: pure task-parallelism and pure data-parallelism.
+
+Section III-A motivates mixed-parallel scheduling: CPA-family algorithms
+"reduce the completion time of the scheduled applications with regard to
+schedules that only exploit either task- or data-parallelism".  These are
+those two reference points:
+
+* :func:`task_parallel_schedule` — every moldable task runs on exactly one
+  processor; parallelism comes only from independent tasks (classic list
+  scheduling of sequential tasks);
+* :func:`data_parallel_schedule` — every task runs on *all* processors;
+  tasks execute one after another in topological order (parallelism comes
+  only from within each task).
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskGraph
+from repro.dag.moldable import AmdahlModel, SpeedupModel
+from repro.platform.model import Platform
+from repro.sched.mtask import Allocation, MTaskProblem, MTaskResult, map_allocation
+
+__all__ = ["task_parallel_schedule", "data_parallel_schedule"]
+
+
+def task_parallel_schedule(
+    graph: TaskGraph,
+    platform: Platform,
+    model: SpeedupModel | None = None,
+    *,
+    hosts: tuple[int, ...] | None = None,
+) -> MTaskResult:
+    """Schedule with one processor per task (task-parallelism only)."""
+    model = model or AmdahlModel()
+    problem = MTaskProblem(graph, platform, model)
+    allocation = Allocation({v: 1 for v in graph.task_ids})
+    return map_allocation(problem, allocation, algorithm="task-parallel",
+                          hosts=hosts)
+
+
+def data_parallel_schedule(
+    graph: TaskGraph,
+    platform: Platform,
+    model: SpeedupModel | None = None,
+    *,
+    hosts: tuple[int, ...] | None = None,
+) -> MTaskResult:
+    """Schedule with all processors per task (data-parallelism only).
+
+    Since every task occupies the whole machine, the mapping degenerates to
+    a serialization in precedence order — which is exactly what a
+    data-parallel-only execution of a task graph is.
+    """
+    model = model or AmdahlModel()
+    problem = MTaskProblem(graph, platform, model)
+    width = len(hosts) if hosts is not None else platform.size
+    allocation = Allocation({v: width for v in graph.task_ids})
+    return map_allocation(problem, allocation, algorithm="data-parallel",
+                          hosts=hosts)

@@ -1,0 +1,53 @@
+"""CPA — Critical Path and Area-based scheduling (Radulescu & van Gemund).
+
+The baseline two-step algorithm of the Section III case study: allocate
+processors to moldable tasks until the critical path drops to the average
+area bound, then list-map.  CPA is known to let allocations grow too big on
+graphs with wide levels (reducing task parallelism), which MCPA addresses —
+and to stay robust when level task costs are very uneven, which is exactly
+the Figure 4 scenario where MCPA fails.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskGraph
+from repro.dag.moldable import AmdahlModel, SpeedupModel
+from repro.platform.model import Platform
+from repro.sched.mtask import MTaskProblem, MTaskResult, allocate, map_allocation
+
+__all__ = ["cpa_schedule"]
+
+
+def cpa_schedule(
+    graph: TaskGraph,
+    platform: Platform,
+    model: SpeedupModel | None = None,
+    *,
+    hosts: tuple[int, ...] | None = None,
+    include_transfers: bool = False,
+) -> MTaskResult:
+    """Schedule a moldable-task DAG with CPA.
+
+    ``hosts`` restricts execution to a subset of the cluster (used by the
+    multi-DAG CRA algorithms); the allocation phase still reasons about the
+    restricted processor count in that case.
+    """
+    model = model or AmdahlModel()
+    problem = MTaskProblem(graph, platform, model)
+    if hosts is not None:
+        # Allocation must target the restricted share, not the full cluster.
+        sub = _restricted_problem(problem, len(hosts))
+        allocation = allocate(sub)
+    else:
+        allocation = allocate(problem)
+    return map_allocation(problem, allocation, algorithm="cpa", hosts=hosts,
+                          include_transfers=include_transfers)
+
+
+def _restricted_problem(problem: MTaskProblem, n_hosts: int) -> MTaskProblem:
+    """A same-graph problem on a same-speed cluster of ``n_hosts``."""
+    from repro.platform.builders import homogeneous_cluster
+
+    sub_platform = homogeneous_cluster(n_hosts, problem.speed,
+                                       name=f"{problem.platform.name}-share")
+    return MTaskProblem(problem.graph, sub_platform, problem.model)

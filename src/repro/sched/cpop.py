@@ -1,0 +1,113 @@
+"""CPOP — Critical Path On a Processor (Topcuoglu, Hariri & Wu 2002).
+
+The companion algorithm of HEFT from the same paper the Section V case
+study cites: tasks are prioritized by *upward + downward* rank; tasks on
+the critical path are all pinned to the single processor minimizing the
+critical path's total execution time, others placed by earliest finish
+time (insertion policy) as in HEFT.  Included as a comparator for the
+heterogeneous-platform experiments.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import Configuration, Schedule, Task
+from repro.dag.graph import TaskGraph
+from repro.errors import SchedulingError
+from repro.platform.model import Platform
+from repro.platform.network import CommModel
+from repro.sched.heft import HeftResult, _HostAgenda, upward_ranks
+from repro.simulate.executor import platform_to_clusters
+
+__all__ = ["cpop_schedule", "downward_ranks"]
+
+
+def downward_ranks(graph: TaskGraph, platform: Platform,
+                   comm: CommModel | None = None) -> dict[str, float]:
+    """Average-cost downward rank (longest average path from a source)."""
+    comm = comm or CommModel(platform)
+    inv_speeds = [1.0 / h.speed for h in platform]
+    mean_inv_speed = sum(inv_speeds) / len(inv_speeds)
+    ranks: dict[str, float] = {}
+    for v in graph.topo_order():
+        best = 0.0
+        for p in graph.predecessors(v):
+            e = graph.edge(p, v)
+            w_pred = graph.node(p).work * mean_inv_speed
+            best = max(best, ranks[p] + w_pred + comm.average_time(e.data))
+        ranks[v] = best
+    return ranks
+
+
+def cpop_schedule(graph: TaskGraph, platform: Platform) -> HeftResult:
+    """Run CPOP and build the Jedule schedule of the result."""
+    if len(graph) == 0:
+        raise SchedulingError("empty task graph")
+    comm = CommModel(platform)
+    up = upward_ranks(graph, platform, comm)
+    down = downward_ranks(graph, platform, comm)
+    priority = {v: up[v] + down[v] for v in graph.task_ids}
+
+    # the critical path: entry task with the highest priority, then greedily
+    # follow the successor with (numerically) equal priority
+    cp_value = max(priority[s] for s in graph.sources())
+    cp: set[str] = set()
+    current = max(graph.sources(), key=lambda s: priority[s])
+    cp.add(current)
+    while graph.successors(current):
+        nxt = max(graph.successors(current), key=lambda s: priority[s])
+        if priority[nxt] < cp_value - 1e-6 * cp_value:
+            # numerical drift guard: still follow the max-priority child
+            pass
+        cp.add(nxt)
+        current = nxt
+
+    # pin the critical path to the processor minimizing its total time
+    cp_work = sum(graph.node(v).work for v in cp)
+    cp_host = min(platform, key=lambda h: cp_work / h.speed).index
+
+    agendas = {h.index: _HostAgenda() for h in platform}
+    assignment: dict[str, int] = {}
+    start: dict[str, float] = {}
+    finish: dict[str, float] = {}
+
+    # schedule in priority order among ready tasks
+    pending = {v: graph.in_degree(v) for v in graph.task_ids}
+    ready = [v for v, d in pending.items() if d == 0]
+    while ready:
+        ready.sort(key=lambda v: (-priority[v], v))
+        v = ready.pop(0)
+        node = graph.node(v)
+        candidates = [platform.host(cp_host)] if v in cp else list(platform)
+        best_host, best_eft, best_est = None, float("inf"), 0.0
+        for host in candidates:
+            data_ready = 0.0
+            for pred in graph.predecessors(v):
+                e = graph.edge(pred, v)
+                delay = 0.0 if assignment[pred] == host.index else \
+                    comm.time(assignment[pred], host.index, e.data)
+                data_ready = max(data_ready, finish[pred] + delay)
+            duration = host.compute_time(node.work)
+            est = agendas[host.index].earliest_slot(data_ready, duration)
+            eft = est + duration
+            if eft < best_eft - 1e-12:
+                best_host, best_eft, best_est = host.index, eft, est
+        assert best_host is not None
+        assignment[v] = best_host
+        start[v], finish[v] = best_est, best_eft
+        agendas[best_host].insert(best_est, best_eft)
+        for succ in graph.successors(v):
+            pending[succ] -= 1
+            if pending[succ] == 0:
+                ready.append(succ)
+
+    schedule = Schedule(platform_to_clusters(platform),
+                        meta={"algorithm": "cpop", "platform": platform.name})
+    for v in graph.task_ids:
+        node = graph.node(v)
+        host = platform.host(assignment[v])
+        conf = Configuration(host.cluster_id, [(platform.local_index(host), 1)])
+        schedule.add_task(Task(v, node.type, start[v], finish[v], [conf],
+                               meta={"host": str(assignment[v]),
+                                     "on_cp": str(v in cp).lower(),
+                                     **dict(node.attrs)}))
+    return HeftResult(schedule, assignment, start, finish, priority)

@@ -1,0 +1,43 @@
+"""MCPA — Modified CPA (Bansal, Kumar & Singh 2006).
+
+Identical to CPA except the allocation phase checks precedence levels: the
+total processors allocated to one level may never exceed the cluster size,
+which preserves task parallelism within a level.  This "favors
+task-parallelism over data-parallelism, which works well in many
+situations" — but, as Figure 4 of the paper shows, breaks down when tasks
+in one level have very different costs: the heavy task is pinned to a small
+allocation and the whole level waits for it, leaving large idle holes.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskGraph
+from repro.dag.moldable import AmdahlModel, SpeedupModel
+from repro.platform.model import Platform
+from repro.sched.cpa import _restricted_problem
+from repro.sched.mtask import (
+    MTaskProblem,
+    MTaskResult,
+    allocate,
+    level_bounded_growth,
+    map_allocation,
+)
+
+__all__ = ["mcpa_schedule"]
+
+
+def mcpa_schedule(
+    graph: TaskGraph,
+    platform: Platform,
+    model: SpeedupModel | None = None,
+    *,
+    hosts: tuple[int, ...] | None = None,
+    include_transfers: bool = False,
+) -> MTaskResult:
+    """Schedule a moldable-task DAG with MCPA (level-bounded allocations)."""
+    model = model or AmdahlModel()
+    problem = MTaskProblem(graph, platform, model)
+    alloc_problem = problem if hosts is None else _restricted_problem(problem, len(hosts))
+    allocation = allocate(alloc_problem, may_grow=level_bounded_growth(alloc_problem))
+    return map_allocation(problem, allocation, algorithm="mcpa", hosts=hosts,
+                          include_transfers=include_transfers)

@@ -1,0 +1,48 @@
+"""MCPA2 — the poly-algorithm of Hunold (CCGrid 2010).
+
+Section III-B: "We could find a workaround to this problem by introducing a
+poly-algorithm (MCPA2) that uses CPA or MCPA depending on the DAG and the
+parallel platform.  For the example shown in Figure 4 the poly-algorithm
+MCPA2 generates the same schedule as CPA."
+
+This implementation evaluates both candidate schedules (both are cheap,
+low-cost tuning being the point of the original publication) and keeps the
+one with the smaller makespan, recording which branch won.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskGraph
+from repro.dag.moldable import AmdahlModel, SpeedupModel
+from repro.platform.model import Platform
+from repro.sched.cpa import cpa_schedule
+from repro.sched.mcpa import mcpa_schedule
+from repro.sched.mtask import MTaskResult
+
+__all__ = ["mcpa2_schedule"]
+
+
+def mcpa2_schedule(
+    graph: TaskGraph,
+    platform: Platform,
+    model: SpeedupModel | None = None,
+    *,
+    hosts: tuple[int, ...] | None = None,
+    include_transfers: bool = False,
+) -> MTaskResult:
+    """Schedule with MCPA2: the better of CPA and MCPA for this instance.
+
+    Ties go to MCPA (the level-bounded allocation is the cheaper/safer
+    default the modification was introduced for).
+    """
+    model = model or AmdahlModel()
+    cpa = cpa_schedule(graph, platform, model, hosts=hosts,
+                       include_transfers=include_transfers)
+    mcpa = mcpa_schedule(graph, platform, model, hosts=hosts,
+                         include_transfers=include_transfers)
+    chosen = cpa if cpa.makespan < mcpa.makespan else mcpa
+    chosen.mapping.meta["algorithm"] = "mcpa2"
+    chosen.mapping.meta["mcpa2_branch"] = chosen.algorithm
+    chosen.schedule.meta["algorithm"] = "mcpa2"
+    chosen.schedule.meta["mcpa2_branch"] = chosen.algorithm
+    return MTaskResult("mcpa2", chosen.allocation, chosen.mapping, chosen.sim)

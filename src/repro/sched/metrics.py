@@ -1,0 +1,92 @@
+"""Scheduling performance metrics: makespan, stretch, fairness.
+
+Section IV defines the two metrics of the multi-DAG problem:
+
+* the **overall makespan**, the maximum completion time among the scheduled
+  applications;
+* the **stretch** of an application, "the makespan achieved in the presence
+  of resource contention divided by the makespan that would have been
+  achieved if the application had had dedicated use of the cluster" — lower
+  is better, and a perfectly fair schedule gives all applications the same
+  stretch.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+from repro.errors import SchedulingError
+
+__all__ = [
+    "stretch",
+    "stretches",
+    "max_stretch",
+    "jain_fairness",
+    "stretch_imbalance",
+    "speedup",
+    "efficiency",
+]
+
+
+def stretch(contended_makespan: float, dedicated_makespan: float) -> float:
+    """Stretch of one application (>= 1 for any non-clairvoyant scheduler)."""
+    if dedicated_makespan <= 0:
+        raise SchedulingError(f"dedicated makespan must be > 0, got {dedicated_makespan}")
+    if contended_makespan < 0:
+        raise SchedulingError(f"negative contended makespan {contended_makespan}")
+    return contended_makespan / dedicated_makespan
+
+
+def stretches(contended: Sequence[float], dedicated: Sequence[float]) -> list[float]:
+    """Element-wise stretches of a batch."""
+    if len(contended) != len(dedicated):
+        raise SchedulingError(
+            f"{len(contended)} contended vs {len(dedicated)} dedicated makespans")
+    return [stretch(c, d) for c, d in zip(contended, dedicated)]
+
+
+def max_stretch(contended: Sequence[float], dedicated: Sequence[float]) -> float:
+    """The batch's worst stretch (the usual optimization target)."""
+    values = stretches(contended, dedicated)
+    if not values:
+        raise SchedulingError("empty batch")
+    return max(values)
+
+
+def jain_fairness(values: Sequence[float]) -> float:
+    """Jain's fairness index in (0, 1]; 1 when all values are equal."""
+    if not values:
+        raise SchedulingError("empty value list")
+    if any(v < 0 for v in values):
+        raise SchedulingError("fairness needs non-negative values")
+    total = sum(values)
+    sq = sum(v * v for v in values)
+    if sq == 0:
+        return 1.0
+    return total * total / (len(values) * sq)
+
+
+def stretch_imbalance(contended: Sequence[float], dedicated: Sequence[float]) -> float:
+    """max stretch / min stretch; 1 for a perfectly fair schedule."""
+    values = stretches(contended, dedicated)
+    if not values:
+        raise SchedulingError("empty batch")
+    lo = min(values)
+    if lo <= 0:
+        raise SchedulingError("non-positive stretch")
+    return max(values) / lo
+
+
+def speedup(serial_time: float, parallel_time: float) -> float:
+    """Classic speedup ``T_1 / T_p``."""
+    if parallel_time <= 0:
+        raise SchedulingError(f"parallel time must be > 0, got {parallel_time}")
+    return serial_time / parallel_time
+
+
+def efficiency(serial_time: float, parallel_time: float, p: int) -> float:
+    """Parallel efficiency ``T_1 / (p * T_p)``."""
+    if p < 1:
+        raise SchedulingError(f"processor count must be >= 1, got {p}")
+    return speedup(serial_time, parallel_time) / p

@@ -1,0 +1,133 @@
+"""M-HEFT — HEFT generalized to moldable tasks on multi-clusters.
+
+Jedule "was designed to help develop scheduling algorithms for
+multiprocessor tasks on clusters and multi-clusters" (Section I), and the
+authors' own algorithm line (N'takpé/Suter, Hunold/Rauber/Suter) schedules
+*moldable* tasks on heterogeneous collections of homogeneous clusters.
+This module implements that family's common core, usually called M-HEFT:
+
+* tasks are prioritized by upward rank (average one-processor execution
+  cost plus average communication, as in HEFT);
+* per task, every candidate allocation is evaluated: for each cluster, the
+  1, 2, 4, ..., |cluster| earliest-available processors (powers of two plus
+  the full cluster — the standard pruning that keeps the search linear in
+  cluster size);
+* the allocation minimizing the earliest finish time wins; ties prefer
+  fewer processors (less area for equal finish time).
+
+Allocations never span clusters (a moldable task runs inside one switch),
+which is exactly the constraint that makes multi-cluster Gantt views — one
+band per cluster — the natural way to inspect these schedules.
+"""
+
+from __future__ import annotations
+
+from repro.dag.graph import TaskGraph
+from repro.dag.moldable import AmdahlModel, SpeedupModel, execution_time
+from repro.errors import SchedulingError
+from repro.platform.model import Platform
+from repro.platform.network import CommModel
+from repro.simulate.executor import Mapping, SimResult, simulate_mapping
+
+__all__ = ["mheft_schedule", "MHeftResult", "candidate_sizes"]
+
+
+def candidate_sizes(cluster_size: int) -> tuple[int, ...]:
+    """Allocation sizes tried per cluster: powers of two plus the full size."""
+    sizes = []
+    p = 1
+    while p < cluster_size:
+        sizes.append(p)
+        p *= 2
+    sizes.append(cluster_size)
+    return tuple(sizes)
+
+
+class MHeftResult:
+    """Outcome of an M-HEFT run."""
+
+    def __init__(self, mapping: Mapping, sim: SimResult,
+                 ranks: dict[str, float]):
+        self.mapping = mapping
+        self.sim = sim
+        self.ranks = ranks
+
+    @property
+    def schedule(self):
+        return self.sim.schedule
+
+    @property
+    def makespan(self) -> float:
+        return self.sim.makespan
+
+    def allocation_of(self, task_id: str) -> tuple[int, ...]:
+        return self.mapping.hosts_of(task_id)
+
+
+def mheft_schedule(
+    graph: TaskGraph,
+    platform: Platform,
+    model: SpeedupModel | None = None,
+    *,
+    include_transfers: bool = False,
+) -> MHeftResult:
+    """Schedule a moldable-task DAG on a (possibly heterogeneous) multi-cluster."""
+    if len(graph) == 0:
+        raise SchedulingError("empty task graph")
+    model = model or AmdahlModel()
+    comm = CommModel(platform)
+
+    # upward ranks with one-processor average costs
+    mean_inv_speed = sum(1.0 / h.speed for h in platform) / platform.size
+    ranks: dict[str, float] = {}
+    for v in reversed(graph.topo_order()):
+        w = graph.node(v).work * mean_inv_speed
+        best = 0.0
+        for s in graph.successors(v):
+            best = max(best, comm.average_time(graph.edge(v, s).data) + ranks[s])
+        ranks[v] = w + best
+
+    host_free = {h.index: 0.0 for h in platform}
+    finish: dict[str, float] = {}
+    placed: dict[str, tuple[int, ...]] = {}
+    mapping = Mapping(meta={"algorithm": "mheft", "platform": platform.name})
+
+    order = sorted(graph.task_ids, key=lambda v: (-ranks[v], v))
+    pending = {v: graph.in_degree(v) for v in graph.task_ids}
+    # rank order is topological (ranks strictly decrease along edges)
+    for v in order:
+        if pending[v] != 0:
+            raise SchedulingError(
+                f"rank order placed {v!r} before a predecessor; "
+                "edge costs must be non-negative")
+        node = graph.node(v)
+        best: tuple[float, int, float, tuple[int, ...]] | None = None
+        for cluster in platform.clusters:
+            by_avail = sorted(cluster.hosts, key=lambda h: (host_free[h.index],
+                                                            h.index))
+            for p in candidate_sizes(cluster.size):
+                hosts = tuple(sorted(h.index for h in by_avail[:p]))
+                data_ready = 0.0
+                for pred in graph.predecessors(v):
+                    delay = comm.group_time(placed[pred], hosts,
+                                            graph.edge(pred, v).data)
+                    data_ready = max(data_ready, finish[pred] + delay)
+                est = max(data_ready, max(host_free[h] for h in hosts))
+                eft = est + execution_time(node.work, p, model,
+                                           speed=cluster.speed)
+                key = (eft, p, est, hosts)
+                if best is None or key < best:
+                    best = key
+        assert best is not None
+        eft, p, est, hosts = best
+        finish[v] = eft
+        placed[v] = hosts
+        for h in hosts:
+            host_free[h] = eft
+        mapping.place(v, hosts)
+        for s in graph.successors(v):
+            pending[s] -= 1
+
+    sim = simulate_mapping(graph, mapping, platform, model,
+                           include_transfers=include_transfers)
+    return MHeftResult(mapping, sim, ranks)

@@ -1,0 +1,226 @@
+"""Shared machinery of the CPA family: problem, allocation loop, mapping.
+
+The two-step pattern of Section III-B:
+
+1. **Allocation** — decide ``p_v`` for every moldable task.  CPA grows, one
+   processor at a time, the allocation of the critical-path task with the
+   best gain, until the critical path ``T_CP`` no longer exceeds the average
+   area ``T_A = (1/P) * sum_v T(v, p_v) * p_v``.  MCPA adds the
+   precedence-level constraint (the allocations of one level may not exceed
+   ``P`` in total).  Both are instances of :func:`allocate` differing only
+   in the ``may_grow`` predicate.
+
+2. **Mapping** — list-schedule the allocated tasks: ready tasks by
+   descending bottom level, each onto the ``p_v`` hosts giving the earliest
+   finish time, accounting for redistribution costs between allocations.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.core.model import Schedule
+from repro.dag.graph import TaskGraph
+from repro.dag.moldable import SpeedupModel, execution_time
+from repro.errors import SchedulingError
+from repro.platform.model import Platform
+from repro.platform.network import CommModel
+from repro.simulate.executor import Mapping, SimResult, simulate_mapping
+
+__all__ = ["MTaskProblem", "Allocation", "allocate", "map_allocation", "MTaskResult"]
+
+
+@dataclass(frozen=True)
+class MTaskProblem:
+    """A moldable-task scheduling instance on a homogeneous cluster."""
+
+    graph: TaskGraph
+    platform: Platform
+    model: SpeedupModel
+
+    def __post_init__(self) -> None:
+        if not self.platform.is_homogeneous():
+            raise SchedulingError(
+                "the CPA family targets homogeneous clusters; "
+                f"platform {self.platform.name!r} mixes host speeds")
+        if len(self.graph) == 0:
+            raise SchedulingError("empty task graph")
+
+    @property
+    def total_procs(self) -> int:
+        return self.platform.size
+
+    @property
+    def speed(self) -> float:
+        return self.platform.hosts[0].speed
+
+    def exec_time(self, task_id: str, p: int) -> float:
+        """``T(v, p)`` under the problem's speedup model."""
+        return execution_time(self.graph.node(task_id).work, p, self.model,
+                              speed=self.speed)
+
+
+@dataclass
+class Allocation:
+    """Processor counts per task, with the CPA bookkeeping quantities."""
+
+    procs: dict[str, int]
+    iterations: int = 0
+
+    def __getitem__(self, task_id: str) -> int:
+        return self.procs[task_id]
+
+    def total(self) -> int:
+        return sum(self.procs.values())
+
+
+def critical_path_length(problem: MTaskProblem, procs: dict[str, int]) -> float:
+    """``T_CP`` under the given allocation (no communication terms, as in CPA)."""
+    bl = problem.graph.bottom_levels(lambda v: problem.exec_time(v, procs[v]))
+    return max((bl[s] for s in problem.graph.sources()), default=0.0)
+
+
+def average_area(problem: MTaskProblem, procs: dict[str, int]) -> float:
+    """``T_A = (1/P) sum_v T(v, p_v) p_v``."""
+    total = sum(problem.exec_time(v, p) * p for v, p in procs.items())
+    return total / problem.total_procs
+
+
+def allocate(
+    problem: MTaskProblem,
+    may_grow: Callable[[str, dict[str, int]], bool] | None = None,
+) -> Allocation:
+    """The CPA allocation loop with a pluggable growth constraint.
+
+    Starting from one processor each, repeatedly give one more processor to
+    the critical-path task whose execution time decreases the most, while
+    ``T_CP > T_A``.  ``may_grow(task, procs)`` vetoes candidates (MCPA's
+    per-level bound); when every critical-path task is vetoed or saturated
+    the loop stops early.
+    """
+    graph = problem.graph
+    P = problem.total_procs
+    procs = {v: 1 for v in graph.task_ids}
+    iterations = 0
+
+    # Iteration bound: each step adds exactly one processor somewhere.
+    max_iter = len(graph) * P + 1
+    while iterations < max_iter:
+        t_cp = critical_path_length(problem, procs)
+        t_a = average_area(problem, procs)
+        if t_cp <= t_a:
+            break
+        path, _ = graph.critical_path(lambda v: problem.exec_time(v, procs[v]))
+        best: str | None = None
+        best_gain = 0.0
+        for v in path:
+            if procs[v] >= P:
+                continue
+            if may_grow is not None and not may_grow(v, procs):
+                continue
+            gain = problem.exec_time(v, procs[v]) - problem.exec_time(v, procs[v] + 1)
+            if gain > best_gain + 1e-15 or (best is None and gain > 0):
+                best, best_gain = v, gain
+        if best is None:
+            break  # nothing on the critical path may grow
+        procs[best] += 1
+        iterations += 1
+    return Allocation(procs, iterations)
+
+
+def level_bounded_growth(problem: MTaskProblem) -> Callable[[str, dict[str, int]], bool]:
+    """MCPA's constraint: a level's total allocation must stay <= P."""
+    levels = problem.graph.precedence_levels()
+    by_level: dict[int, list[str]] = {}
+    for v, lv in levels.items():
+        by_level.setdefault(lv, []).append(v)
+    P = problem.total_procs
+
+    def may_grow(task_id: str, procs: dict[str, int]) -> bool:
+        level_total = sum(procs[u] for u in by_level[levels[task_id]])
+        return level_total + 1 <= P
+
+    return may_grow
+
+
+@dataclass(frozen=True)
+class MTaskResult:
+    """Outcome of a two-step M-task scheduler."""
+
+    algorithm: str
+    allocation: Allocation
+    mapping: Mapping
+    sim: SimResult
+
+    @property
+    def schedule(self) -> Schedule:
+        return self.sim.schedule
+
+    @property
+    def makespan(self) -> float:
+        return self.sim.makespan
+
+
+def map_allocation(
+    problem: MTaskProblem,
+    allocation: Allocation,
+    *,
+    algorithm: str = "cpa",
+    hosts: tuple[int, ...] | None = None,
+    include_transfers: bool = False,
+) -> MTaskResult:
+    """List-schedule an allocation onto (a subset of) the cluster's hosts.
+
+    ``hosts`` restricts the usable processors (the CRA multi-DAG case study
+    schedules each application inside its own share); allocations larger
+    than the restricted set are clamped to it.
+    """
+    graph = problem.graph
+    usable = tuple(hosts) if hosts is not None else tuple(
+        h.index for h in problem.platform)
+    if not usable:
+        raise SchedulingError("no usable hosts")
+    comm = CommModel(problem.platform)
+
+    procs = {v: min(allocation[v], len(usable)) for v in graph.task_ids}
+    bl = graph.bottom_levels(lambda v: problem.exec_time(v, procs[v]))
+
+    host_free = {h: 0.0 for h in usable}
+    finish: dict[str, float] = {}
+    placed_hosts: dict[str, tuple[int, ...]] = {}
+    mapping = Mapping(meta={"algorithm": algorithm,
+                            "platform": problem.platform.name,
+                            "procs": str(problem.total_procs)})
+
+    pending_preds = {v: graph.in_degree(v) for v in graph.task_ids}
+    ready = [v for v in graph.task_ids if pending_preds[v] == 0]
+    while ready:
+        # highest bottom level first (critical tasks early); id breaks ties
+        ready.sort(key=lambda v: (-bl[v], v))
+        v = ready.pop(0)
+        p = procs[v]
+        # earliest-available hosts
+        candidates = sorted(usable, key=lambda h: (host_free[h], h))[:p]
+        chosen = tuple(sorted(candidates))
+        data_ready = 0.0
+        for pred in graph.predecessors(v):
+            delay = comm.group_time(placed_hosts[pred], chosen, graph.edge(pred, v).data)
+            data_ready = max(data_ready, finish[pred] + delay)
+        t0 = max(data_ready, max(host_free[h] for h in chosen))
+        t1 = t0 + problem.exec_time(v, p)
+        finish[v] = t1
+        placed_hosts[v] = chosen
+        for h in chosen:
+            host_free[h] = t1
+        mapping.place(v, chosen)
+        for succ in graph.successors(v):
+            pending_preds[succ] -= 1
+            if pending_preds[succ] == 0:
+                ready.append(succ)
+
+    if len(mapping.placements) != len(graph):
+        raise SchedulingError("mapping incomplete: cycle or bookkeeping bug")
+    sim = simulate_mapping(graph, mapping, problem.platform, problem.model,
+                           include_transfers=include_transfers)
+    return MTaskResult(algorithm, allocation, mapping, sim)

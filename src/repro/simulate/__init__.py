@@ -1,0 +1,20 @@
+"""Discrete-event simulation and DAG schedule execution."""
+
+from repro.simulate.engine import EventHandle, SimEngine
+from repro.simulate.executor import (
+    Mapping,
+    SimResult,
+    TaskPlacement,
+    platform_to_clusters,
+    simulate_mapping,
+)
+
+__all__ = [
+    "EventHandle",
+    "Mapping",
+    "SimEngine",
+    "SimResult",
+    "TaskPlacement",
+    "platform_to_clusters",
+    "simulate_mapping",
+]

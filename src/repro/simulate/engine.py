@@ -1,0 +1,132 @@
+"""Discrete-event simulation core.
+
+A small, classical event-calendar engine: schedule callbacks at absolute or
+relative times, run until the calendar drains (or a horizon).  Events at
+equal times fire in scheduling order (a monotone sequence number breaks
+ties), which keeps every simulation in this package deterministic.
+
+Used by the task-pool runtime (:mod:`repro.taskpool`) and the cluster job
+scheduler (:mod:`repro.workloads.scheduler`); the DAG executor
+(:mod:`repro.simulate.executor`) replays list schedules directly and only
+needs the time bookkeeping.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections.abc import Callable
+from dataclasses import dataclass, field
+
+from repro.errors import SimulationError
+
+__all__ = ["SimEngine", "EventHandle"]
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Handle returned by :meth:`SimEngine.at`; allows cancellation."""
+
+    __slots__ = ("_event",)
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+
+class SimEngine:
+    """An event calendar with a monotone clock."""
+
+    def __init__(self):
+        self._now = 0.0
+        self._seq = 0
+        self._queue: list[_Event] = []
+        self._processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def pending(self) -> int:
+        """Number of not-yet-fired, not-cancelled events."""
+        return sum(1 for e in self._queue if not e.cancelled)
+
+    @property
+    def processed(self) -> int:
+        """Number of events fired so far."""
+        return self._processed
+
+    def at(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule a callback at absolute time ``time`` (>= now)."""
+        if not math.isfinite(time):
+            raise SimulationError(f"non-finite event time {time}")
+        if time < self._now - 1e-12:
+            raise SimulationError(
+                f"cannot schedule at {time}: the clock is already at {self._now}")
+        event = _Event(max(time, self._now), self._seq, callback)
+        self._seq += 1
+        heapq.heappush(self._queue, event)
+        return EventHandle(event)
+
+    def after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule a callback ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay}")
+        return self.at(self._now + delay, callback)
+
+    def step(self) -> bool:
+        """Fire the next event; False when the calendar is empty."""
+        while self._queue:
+            event = heapq.heappop(self._queue)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._processed += 1
+            event.callback()
+            return True
+        return False
+
+    def run(self, until: float | None = None, *, max_events: int | None = None) -> float:
+        """Drain the calendar (optionally bounded by a horizon / event budget).
+
+        Returns the final clock value.  With ``until``, events strictly later
+        than the horizon stay queued and the clock advances to ``until`` at
+        most.
+        """
+        fired = 0
+        while self._queue:
+            nxt = self._queue[0]
+            if nxt.cancelled:
+                heapq.heappop(self._queue)
+                continue
+            if until is not None and nxt.time > until:
+                self._now = max(self._now, until)
+                return self._now
+            if max_events is not None and fired >= max_events:
+                raise SimulationError(
+                    f"simulation exceeded {max_events} events at t={self._now:.6g} "
+                    "(runaway model?)")
+            self.step()
+            fired += 1
+        if until is not None:
+            self._now = max(self._now, until)
+        return self._now

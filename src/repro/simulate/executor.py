@@ -1,0 +1,188 @@
+"""Execute a mapped DAG on a platform, producing a Jedule schedule.
+
+The scheduling algorithms of :mod:`repro.sched` output a
+:class:`~repro.simulate.executor.Mapping`: per task, the allocated hosts and
+the order in which the mapper placed tasks.  This module *replays* that
+mapping under the platform's execution and communication models — the role
+SimGrid plays in the paper — computing actual start/finish times from
+
+* precedence: a task may start only after every predecessor's data arrived
+  (finish time of the predecessor plus group redistribution time between
+  the two allocations);
+* resources: a task may start only when all its hosts are free; hosts are
+  space-shared, granted in mapping order.
+
+The output is a :class:`repro.core.model.Schedule` with one cluster per
+platform cluster, computation rectangles for tasks, and (optionally)
+``transfer`` rectangles for the inter-cluster communications, enabling
+Figure 3-style composite views.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Mapping as MappingABC
+from dataclasses import dataclass, field
+
+from repro.core.model import Cluster, Configuration, Schedule, Task, hosts_to_ranges
+from repro.dag.graph import TaskGraph
+from repro.dag.moldable import SpeedupModel, execution_time
+from repro.errors import SchedulingError, SimulationError
+from repro.platform.model import Platform
+from repro.platform.network import CommModel
+
+__all__ = ["Mapping", "SimResult", "TaskPlacement", "simulate_mapping",
+           "platform_to_clusters"]
+
+
+@dataclass(frozen=True, slots=True)
+class TaskPlacement:
+    """Where one task runs: global host indices, in allocation order."""
+
+    task_id: str
+    hosts: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.hosts:
+            raise SchedulingError(f"task {self.task_id!r}: empty allocation")
+        if len(set(self.hosts)) != len(self.hosts):
+            raise SchedulingError(f"task {self.task_id!r}: duplicate hosts in allocation")
+
+
+@dataclass
+class Mapping:
+    """A complete mapping: placements in the order the mapper fixed them."""
+
+    placements: list[TaskPlacement] = field(default_factory=list)
+    #: free-form annotations propagated into the Jedule schedule meta block
+    meta: dict[str, str] = field(default_factory=dict)
+
+    def place(self, task_id: str, hosts: Iterable[int]) -> TaskPlacement:
+        p = TaskPlacement(str(task_id), tuple(hosts))
+        self.placements.append(p)
+        return p
+
+    def hosts_of(self, task_id: str) -> tuple[int, ...]:
+        for p in self.placements:
+            if p.task_id == task_id:
+                return p.hosts
+        raise SchedulingError(f"no placement for task {task_id!r}")
+
+    @property
+    def task_ids(self) -> tuple[str, ...]:
+        return tuple(p.task_id for p in self.placements)
+
+
+def platform_to_clusters(platform: Platform) -> list[Cluster]:
+    """Jedule clusters mirroring the platform's cluster structure."""
+    return [Cluster(c.id, c.size, c.name) for c in platform.clusters]
+
+
+@dataclass(frozen=True, slots=True)
+class SimResult:
+    """Replay outcome: the Jedule schedule plus per-task times."""
+
+    schedule: Schedule
+    start: dict[str, float]
+    finish: dict[str, float]
+
+    @property
+    def makespan(self) -> float:
+        return max(self.finish.values(), default=0.0) - min(self.start.values(), default=0.0)
+
+
+def _exec_time(platform: Platform, model: SpeedupModel, work: float,
+               hosts: tuple[int, ...]) -> float:
+    """T(v, p) on a concrete host set: bounded by the slowest member."""
+    speed = min(platform.host(h).speed for h in hosts)
+    return execution_time(work, len(hosts), model, speed=speed)
+
+
+def _host_config(platform: Platform, hosts: tuple[int, ...]) -> list[Configuration]:
+    """Group global host indices into per-cluster Jedule configurations."""
+    by_cluster: dict[str, list[int]] = {}
+    for h in hosts:
+        host = platform.host(h)
+        by_cluster.setdefault(host.cluster_id, []).append(platform.local_index(host))
+    return [Configuration(cid, hosts_to_ranges(local))
+            for cid, local in sorted(by_cluster.items())]
+
+
+def simulate_mapping(
+    graph: TaskGraph,
+    mapping: Mapping,
+    platform: Platform,
+    model: SpeedupModel,
+    *,
+    include_transfers: bool = False,
+    comm: CommModel | None = None,
+    task_type: str = "computation",
+) -> SimResult:
+    """Replay a mapping and build the resulting Jedule schedule.
+
+    Tasks are granted hosts in mapping order (the order a list scheduler
+    fixed them), so the replay reproduces exactly the schedule the algorithm
+    computed whenever the algorithm used the same execution/communication
+    models.
+    """
+    placed = set(mapping.task_ids)
+    missing = set(graph.task_ids) - placed
+    if missing:
+        raise SimulationError(f"mapping misses {len(missing)} task(s), e.g. {sorted(missing)[:3]}")
+    extra = placed - set(graph.task_ids)
+    if extra:
+        raise SimulationError(f"mapping places unknown task(s) {sorted(extra)[:3]}")
+
+    comm = comm or CommModel(platform)
+    host_free = {h.index: 0.0 for h in platform}
+    start: dict[str, float] = {}
+    finish: dict[str, float] = {}
+    arrival: dict[tuple[str, str], float] = {}  # (src, dst) -> data-arrival time
+
+    # Replay must respect precedence: process in mapping order, but verify
+    # each task's predecessors were already processed (list schedulers emit
+    # a topological placement order; anything else is a scheduler bug).
+    hosts_by_task = {p.task_id: p.hosts for p in mapping.placements}
+    for placement in mapping.placements:
+        tid = placement.task_id
+        node = graph.node(tid)
+        ready = 0.0
+        for pred in graph.predecessors(tid):
+            if pred not in finish:
+                raise SimulationError(
+                    f"mapping order violates precedence: {tid!r} placed before "
+                    f"its predecessor {pred!r}")
+            edge = graph.edge(pred, tid)
+            delay = comm.group_time(hosts_by_task[pred], placement.hosts, edge.data)
+            arrived = finish[pred] + delay
+            arrival[(pred, tid)] = arrived
+            ready = max(ready, arrived)
+        avail = max(host_free[h] for h in placement.hosts)
+        t0 = max(ready, avail)
+        t1 = t0 + _exec_time(platform, model, node.work, placement.hosts)
+        start[tid], finish[tid] = t0, t1
+        for h in placement.hosts:
+            host_free[h] = t1
+
+    schedule = Schedule(platform_to_clusters(platform), meta=dict(mapping.meta))
+    for placement in mapping.placements:
+        tid = placement.task_id
+        node = graph.node(tid)
+        schedule.add_task(Task(
+            tid,
+            node.type if node.type != "computation" else task_type,
+            start[tid], finish[tid],
+            _host_config(platform, placement.hosts),
+            meta=dict(node.attrs),
+        ))
+    if include_transfers:
+        for (src, dst), arrived in sorted(arrival.items()):
+            if arrived <= finish[src]:
+                continue  # local / free communication: no rectangle
+            endpoints = tuple(dict.fromkeys(
+                (hosts_by_task[src][0], hosts_by_task[dst][0])))
+            schedule.add_task(Task(
+                f"xfer:{src}->{dst}", "transfer", finish[src], arrived,
+                _host_config(platform, endpoints),
+                meta={"src": src, "dst": dst},
+            ))
+    return SimResult(schedule, start, finish)

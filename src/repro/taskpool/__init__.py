@@ -1,0 +1,32 @@
+"""Task-pool runtime simulator with NUMA contention (Section VI)."""
+
+from repro.taskpool.numa import NumaMachine, altix_4700
+from repro.taskpool.pool import (
+    PoolLayout,
+    PoolPolicy,
+    PoolRunResult,
+    PoolTask,
+    Segment,
+    TaskPoolApp,
+    TaskPoolSim,
+    WorkerTrace,
+)
+from repro.taskpool import logfmt
+from repro.taskpool.quicksort import QuicksortApp
+from repro.taskpool.trace import pool_result_to_schedule
+
+__all__ = [
+    "NumaMachine",
+    "PoolLayout",
+    "PoolPolicy",
+    "PoolRunResult",
+    "PoolTask",
+    "QuicksortApp",
+    "Segment",
+    "TaskPoolApp",
+    "TaskPoolSim",
+    "WorkerTrace",
+    "altix_4700",
+    "logfmt",
+    "pool_result_to_schedule",
+]

@@ -1,0 +1,115 @@
+"""On-disk trace logs for the task-pool runtime.
+
+Section VI-B: "The task pool run-time environment is able to log run-time
+information about each task for offline analysis in Jedule."  This module
+is that log file: a small TSV format holding the machine shape and every
+worker segment, so a run can be recorded once and analyzed/rendered later
+(or produced by a real runtime and ingested here).
+
+Format::
+
+    # taskpool-trace 1
+    # sockets 16 cores_per_socket 2 core_speed 1.6e9 bandwidth 3.2e9
+    # tasks 8191 makespan 7.514
+    0<TAB>run<TAB>0.0<TAB>3.2<TAB>q
+    0<TAB>wait<TAB>3.2<TAB>3.4<TAB>-
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.errors import ParseError
+from repro.taskpool.numa import NumaMachine
+from repro.taskpool.pool import PoolRunResult, Segment, WorkerTrace
+
+__all__ = ["dumps", "dump", "loads", "load"]
+
+_MAGIC = "# taskpool-trace 1"
+
+
+def dumps(result: PoolRunResult) -> str:
+    """Serialize a pool run to the trace-log text format."""
+    m = result.machine
+    lines = [
+        _MAGIC,
+        f"# sockets {m.n_sockets} cores_per_socket {m.cores_per_socket} "
+        f"core_speed {m.core_speed!r} bandwidth {m.socket_bandwidth!r}",
+        f"# tasks {result.total_tasks} makespan {result.makespan!r}",
+    ]
+    for trace in result.traces:
+        for seg in trace.segments:
+            task = seg.task_id if seg.task_id else "-"
+            lines.append(f"{trace.worker}\t{seg.kind}\t{seg.start!r}\t"
+                         f"{seg.end!r}\t{task}")
+    return "\n".join(lines) + "\n"
+
+
+def loads(text: str, *, source: str = "<string>") -> PoolRunResult:
+    """Parse a trace log back into a :class:`PoolRunResult`."""
+    lines = text.splitlines()
+    if not lines or lines[0].strip() != _MAGIC:
+        raise ParseError("not a taskpool trace (bad magic line)", source=source)
+
+    machine: NumaMachine | None = None
+    total_tasks = 0
+    makespan = 0.0
+    traces: dict[int, WorkerTrace] = {}
+    for lineno, raw in enumerate(lines[1:], start=2):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            fields = line[1:].split()
+            if fields[:1] == ["sockets"]:
+                try:
+                    machine = NumaMachine(
+                        int(fields[1]), int(fields[3]),
+                        float(fields[5]), float(fields[7]))
+                except (IndexError, ValueError) as exc:
+                    raise ParseError(f"bad machine line: {exc}",
+                                     source=source, line=lineno) from exc
+            elif fields[:1] == ["tasks"]:
+                try:
+                    total_tasks = int(fields[1])
+                    makespan = float(fields[3])
+                except (IndexError, ValueError) as exc:
+                    raise ParseError(f"bad summary line: {exc}",
+                                     source=source, line=lineno) from exc
+            continue
+        parts = line.split("\t")
+        if len(parts) != 5:
+            raise ParseError(f"expected 5 tab-separated fields, got {len(parts)}",
+                             source=source, line=lineno)
+        try:
+            worker = int(parts[0])
+            kind = parts[1]
+            start, end = float(parts[2]), float(parts[3])
+        except ValueError as exc:
+            raise ParseError(f"bad segment: {exc}", source=source,
+                             line=lineno) from exc
+        if kind not in ("run", "wait"):
+            raise ParseError(f"unknown segment kind {kind!r}", source=source,
+                             line=lineno)
+        task_id = None if parts[4] == "-" else parts[4]
+        traces.setdefault(worker, WorkerTrace(worker)).segments.append(
+            Segment(kind, start, end, task_id))
+
+    if machine is None:
+        raise ParseError("trace lacks the machine header line", source=source)
+    for worker in range(machine.n_workers):
+        traces.setdefault(worker, WorkerTrace(worker))
+    ordered = [traces[w] for w in sorted(traces)]
+    if any(w >= machine.n_workers for w in traces):
+        raise ParseError("segment references a worker outside the machine",
+                         source=source)
+    return PoolRunResult(machine, ordered, total_tasks, makespan)
+
+
+def dump(result: PoolRunResult, path: str | Path) -> None:
+    Path(path).write_text(dumps(result), encoding="utf-8")
+
+
+def load(path: str | Path) -> PoolRunResult:
+    path = Path(path)
+    return loads(path.read_text(encoding="utf-8"), source=str(path))

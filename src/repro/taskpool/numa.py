@@ -1,0 +1,68 @@
+"""NUMA machine model for the task-pool runtime (paper Section VI).
+
+The case study machine is an SGI Altix 4700: 32 dual-core Itanium2 sockets,
+i.e. 64 cores grouped 2 per socket, each socket with its own memory bus.
+The model here captures what the case study needs:
+
+* ``n_workers`` identical cores grouped into sockets;
+* per-socket memory bandwidth shared by the tasks running on that socket's
+  cores (processor-sharing / fluid model, see :mod:`repro.taskpool.pool`).
+
+"even two tasks with equal-sized arrays may take a different time to
+execute" — that asymmetry emerges exactly when sockets carry different
+numbers of memory-hungry tasks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+__all__ = ["NumaMachine", "altix_4700"]
+
+
+@dataclass(frozen=True, slots=True)
+class NumaMachine:
+    """A NUMA machine: cores grouped into equal sockets."""
+
+    n_sockets: int
+    cores_per_socket: int
+    core_speed: float = 1.6e9        # operations per second per core
+    socket_bandwidth: float = 3.2e9  # bytes per second per socket memory bus
+
+    def __post_init__(self) -> None:
+        if self.n_sockets < 1 or self.cores_per_socket < 1:
+            raise SimulationError(
+                f"need >= 1 socket and core, got {self.n_sockets}x{self.cores_per_socket}")
+        if self.core_speed <= 0 or self.socket_bandwidth <= 0:
+            raise SimulationError("speed and bandwidth must be > 0")
+
+    @property
+    def n_workers(self) -> int:
+        return self.n_sockets * self.cores_per_socket
+
+    def socket_of(self, worker: int) -> int:
+        """Socket index of a worker (cores are numbered socket-major)."""
+        if not 0 <= worker < self.n_workers:
+            raise SimulationError(
+                f"worker {worker} out of range 0..{self.n_workers - 1}")
+        return worker // self.cores_per_socket
+
+    def workers_of(self, socket: int) -> range:
+        if not 0 <= socket < self.n_sockets:
+            raise SimulationError(f"socket {socket} out of range 0..{self.n_sockets - 1}")
+        lo = socket * self.cores_per_socket
+        return range(lo, lo + self.cores_per_socket)
+
+
+def altix_4700(n_workers: int = 64, *, core_speed: float = 1.6e9,
+               socket_bandwidth: float = 3.2e9) -> NumaMachine:
+    """The case-study machine: dual-core sockets at 1.6 GHz.
+
+    ``n_workers`` must be even; the paper uses 32 and 64 worker
+    configurations of the 32-socket machine.
+    """
+    if n_workers % 2:
+        raise SimulationError(f"dual-core sockets need an even worker count, got {n_workers}")
+    return NumaMachine(n_workers // 2, 2, core_speed, socket_bandwidth)

@@ -1,0 +1,329 @@
+"""Task-pool runtime simulator (paper Section VI, Figure 10).
+
+Simulates the execution scheme of Figure 10: a virtually shared pool of
+fine-grained tasks; each worker loops ``get() -> execute() -> free()``,
+where ``execute`` may create new tasks.  The run-time environment logs, per
+worker, the time spent executing tasks and the time spent getting/waiting
+for tasks — exactly the two colors of Figures 11 and 12.
+
+Execution times come from a *fluid* NUMA model: a task ``i`` has a CPU work
+``cpu_ops`` and a memory volume ``mem_bytes``.  Alone on a socket it runs
+for ``T_i = max(cpu_ops / core_speed, mem_bytes / socket_bandwidth)`` and
+demands bandwidth ``d_i = mem_bytes / T_i``.  When the tasks concurrently
+running on one socket demand more than the socket bus provides, all of them
+progress at the common factor ``f = B / sum(d_i) < 1`` until the running set
+changes (progress is integrated event-by-event).  This is the standard
+processor-sharing approximation of memory-bus contention and yields the
+paper's observation that equal tasks take unequal times when sockets are
+unevenly loaded.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from collections.abc import Iterable
+from dataclasses import dataclass, field
+from typing import Protocol
+
+from repro.errors import SimulationError
+from repro.simulate.engine import EventHandle, SimEngine
+from repro.taskpool.numa import NumaMachine
+
+__all__ = ["PoolTask", "TaskPoolApp", "PoolPolicy", "PoolLayout", "Segment",
+           "WorkerTrace", "PoolRunResult", "TaskPoolSim"]
+
+
+@dataclass(frozen=True, slots=True)
+class PoolTask:
+    """One unit of work in the pool."""
+
+    id: str
+    cpu_ops: float
+    mem_bytes: float = 0.0
+    payload: object = None
+
+    def __post_init__(self) -> None:
+        if self.cpu_ops < 0 or self.mem_bytes < 0:
+            raise SimulationError(f"task {self.id!r}: negative work")
+
+
+class TaskPoolApp(Protocol):
+    """An application running on the pool (Figure 10's structure)."""
+
+    def initial_tasks(self) -> Iterable[PoolTask]:
+        """The master thread's ``create_initial_task`` calls."""
+        ...
+
+    def expand(self, task: PoolTask) -> Iterable[PoolTask]:
+        """Tasks created by executing ``task`` (may be empty)."""
+        ...
+
+
+class PoolPolicy(enum.Enum):
+    """Order tasks leave the central pool."""
+
+    LIFO = "lifo"
+    FIFO = "fifo"
+
+
+class PoolLayout(enum.Enum):
+    """How the pool stores tasks (paper: "the actual storing may use central
+    or distributed data structures ... hidden behind the task pool
+    interface")."""
+
+    CENTRAL = "central"
+    #: per-worker deques with work stealing: owners pop newest (depth-first,
+    #: cache-warm), thieves steal the oldest task from the longest victim
+    #: queue (big subtrees migrate, classic Cilk-style)
+    STEAL = "steal"
+
+
+@dataclass(frozen=True, slots=True)
+class Segment:
+    """One trace segment of a worker."""
+
+    kind: str          # "run" or "wait"
+    start: float
+    end: float
+    task_id: str | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class WorkerTrace:
+    """Per-worker segments in time order."""
+
+    worker: int
+    segments: list[Segment] = field(default_factory=list)
+
+    def busy_time(self) -> float:
+        return sum(s.duration for s in self.segments if s.kind == "run")
+
+    def wait_time(self) -> float:
+        return sum(s.duration for s in self.segments if s.kind == "wait")
+
+
+@dataclass
+class PoolRunResult:
+    """Outcome of a task-pool simulation."""
+
+    machine: NumaMachine
+    traces: list[WorkerTrace]
+    total_tasks: int
+    makespan: float
+
+    def busy_fraction(self) -> float:
+        span = self.makespan * self.machine.n_workers
+        if span <= 0:
+            return 0.0
+        return sum(t.busy_time() for t in self.traces) / span
+
+
+@dataclass
+class _Running:
+    """A task in flight: progress bookkeeping for the fluid model."""
+
+    task: PoolTask
+    worker: int
+    socket: int
+    start: float
+    nominal: float          # duration at full rate
+    remaining: float        # nominal-time units still to execute
+    demand: float           # bandwidth demand at full rate
+    last_update: float
+    rate: float = 1.0
+    completion: EventHandle | None = None
+
+
+class TaskPoolSim:
+    """Discrete-event simulation of the task-pool runtime."""
+
+    def __init__(
+        self,
+        machine: NumaMachine,
+        app: TaskPoolApp,
+        *,
+        policy: PoolPolicy | str = PoolPolicy.LIFO,
+        layout: PoolLayout | str = PoolLayout.CENTRAL,
+        pool_overhead: float = 2e-6,
+        duration_jitter: float = 0.0,
+        jitter_seed: int = 0,
+        max_events: int = 5_000_000,
+    ):
+        if isinstance(policy, str):
+            policy = PoolPolicy(policy.lower())
+        if isinstance(layout, str):
+            layout = PoolLayout(layout.lower())
+        if pool_overhead < 0:
+            raise SimulationError(f"negative pool overhead {pool_overhead}")
+        if duration_jitter < 0:
+            raise SimulationError(f"negative duration jitter {duration_jitter}")
+        self.machine = machine
+        self.app = app
+        self.policy = policy
+        self.layout = layout
+        self.pool_overhead = pool_overhead
+        #: relative sigma of per-task lognormal duration noise — models the
+        #: run-to-run variance of a real machine (cache state, OS noise) that
+        #: the paper's Section VI-B invokes for the mid-run utilization hole
+        self.duration_jitter = duration_jitter
+        self._jitter_rng = None
+        if duration_jitter > 0:
+            import numpy as _np
+
+            self._jitter_rng = _np.random.default_rng(jitter_seed)
+        self.max_events = max_events
+
+        self._engine = SimEngine()
+        self._queue: deque[PoolTask] = deque()
+        self._local: list[deque[PoolTask]] = [deque() for _ in range(machine.n_workers)]
+        self._steals = 0
+        self._idle: list[int] = []                 # workers waiting for a task
+        self._wait_since: dict[int, float] = {}    # worker -> wait segment start
+        self._running: dict[int, _Running] = {}    # worker -> in-flight task
+        self._by_socket: dict[int, set[int]] = {s: set() for s in range(machine.n_sockets)}
+        self._traces = [WorkerTrace(w) for w in range(machine.n_workers)]
+        self._outstanding = 0                      # tasks queued or running
+        self._total = 0
+
+    # --------------------------------------------------------------- fluid
+    def _nominal_duration(self, task: PoolTask) -> float:
+        cpu = task.cpu_ops / self.machine.core_speed
+        mem = task.mem_bytes / self.machine.socket_bandwidth
+        base = max(cpu, mem, 1e-12)
+        if self._jitter_rng is not None:
+            base *= float(self._jitter_rng.lognormal(0.0, self.duration_jitter))
+        return base
+
+    def _update_socket(self, socket: int) -> None:
+        """Integrate progress, recompute the shared rate, reschedule finishes."""
+        now = self._engine.now
+        members = [self._running[w] for w in self._by_socket[socket]]
+        total_demand = 0.0
+        for r in members:
+            r.remaining -= (now - r.last_update) * r.rate
+            r.remaining = max(r.remaining, 0.0)
+            r.last_update = now
+            total_demand += r.demand
+        bw = self.machine.socket_bandwidth
+        rate = 1.0 if total_demand <= bw else bw / total_demand
+        for r in members:
+            r.rate = rate
+            if r.completion is not None:
+                r.completion.cancel()
+            r.completion = self._engine.at(
+                now + r.remaining / rate,
+                lambda w=r.worker: self._finish(w),
+            )
+
+    # ------------------------------------------------------------- workers
+    def _push(self, task: PoolTask, producer: int | None = None) -> None:
+        if self.layout is PoolLayout.STEAL and producer is not None:
+            self._local[producer].append(task)
+        else:
+            self._queue.append(task)
+        self._outstanding += 1
+        self._total += 1
+
+    def _pop(self) -> PoolTask:
+        return self._queue.pop() if self.policy is PoolPolicy.LIFO \
+            else self._queue.popleft()
+
+    @property
+    def steals(self) -> int:
+        """Number of successful steals so far (STEAL layout only)."""
+        return self._steals
+
+    def _acquire(self, worker: int) -> PoolTask | None:
+        """One get() under the configured layout, or None when empty."""
+        if self.layout is PoolLayout.CENTRAL:
+            return self._pop() if self._queue else None
+        own = self._local[worker]
+        if own:
+            # owner end: newest first (depth-first) under LIFO policy
+            return own.pop() if self.policy is PoolPolicy.LIFO else own.popleft()
+        if self._queue:  # tasks without a producer (the master's initial set)
+            return self._pop()
+        # steal from the longest victim queue; ties to the lowest worker id
+        victim = max(range(len(self._local)),
+                     key=lambda wid: (len(self._local[wid]), -wid))
+        if self._local[victim]:
+            self._steals += 1
+            return self._local[victim].popleft()  # oldest = biggest subtree
+        return None
+
+    def _try_dispatch(self) -> None:
+        """Hand available tasks to idle workers (FIFO over workers)."""
+        while self._idle:
+            worker = self._idle[0]
+            task = self._acquire(worker)
+            if task is None:
+                return
+            self._idle.pop(0)
+            self._start_task(worker, task)
+
+    def _start_task(self, worker: int, task: PoolTask) -> None:
+        now = self._engine.now
+        wait_start = self._wait_since.pop(worker)
+        start = now + self.pool_overhead  # the get() call itself
+        trace = self._traces[worker]
+        if start > wait_start:
+            trace.segments.append(Segment("wait", wait_start, start))
+        # The task joins its socket at its actual start instant, so the
+        # fluid bookkeeping never sees it before it runs.
+        self._engine.at(start, lambda: self._begin_run(worker, task, start))
+
+    def _begin_run(self, worker: int, task: PoolTask, start: float) -> None:
+        nominal = self._nominal_duration(task)
+        running = _Running(
+            task=task, worker=worker, socket=self.machine.socket_of(worker),
+            start=start, nominal=nominal, remaining=nominal,
+            demand=task.mem_bytes / nominal, last_update=start,
+        )
+        self._running[worker] = running
+        self._by_socket[running.socket].add(worker)
+        self._update_socket(running.socket)
+
+    def _finish(self, worker: int) -> None:
+        running = self._running.pop(worker)
+        self._by_socket[running.socket].discard(worker)
+        now = self._engine.now
+        self._traces[worker].segments.append(
+            Segment("run", running.start, now, running.task.id))
+        self._outstanding -= 1
+        for child in self.app.expand(running.task):
+            self._push(child, producer=worker)
+        # the free() call, then ask for the next task
+        self._wait_since[worker] = now
+        self._idle.append(worker)
+        self._update_socket(running.socket)
+        self._try_dispatch()
+
+    # ----------------------------------------------------------------- run
+    def run(self) -> PoolRunResult:
+        """Execute the application to completion and return the traces."""
+        for task in self.app.initial_tasks():
+            self._push(task)
+        if self._outstanding == 0:
+            raise SimulationError("application created no initial tasks")
+        for worker in range(self.machine.n_workers):
+            self._wait_since[worker] = 0.0
+            self._idle.append(worker)
+        self._try_dispatch()
+        # The event calendar drains exactly when all tasks have finished:
+        # every completion either spawns work (new events) or not.
+        self._engine.run(max_events=self.max_events)
+        if self._outstanding != 0:
+            raise SimulationError(
+                f"simulation ended with {self._outstanding} unfinished task(s)")
+        makespan = self._engine.now
+        # Close trailing wait segments so every worker's trace spans the run.
+        for worker, since in self._wait_since.items():
+            if makespan > since:
+                self._traces[worker].segments.append(Segment("wait", since, makespan))
+        self._wait_since.clear()
+        return PoolRunResult(self.machine, self._traces, self._total, makespan)

@@ -1,0 +1,130 @@
+"""Parallel Quicksort as a task-pool application (Figures 11 and 12).
+
+The case study sorts integer arrays with a task per partition step: a
+partition task over ``n`` elements creates two child tasks for the two
+sub-arrays (when they exceed a sequential-sort threshold).  Two input
+variants drive the two figures:
+
+* ``random`` — a random input array.  The pivot splits each range at a
+  random fraction; the paper's run hit "an accidental bad choice of the
+  pivot element" on the very first partition, so ``first_split`` lets a
+  bench pin that initial fraction (e.g. 0.05).
+* ``inverse`` — an inversely sorted array with middle-element pivots.  The
+  split is perfectly even, but partitioning must swap *every pair* of
+  elements, so per-element cost is higher — the single initial task runs
+  for almost half the total time (Figure 12) — and the memory traffic per
+  element is roughly doubled, which is what excites the NUMA contention
+  hole later in the run.
+
+The simulation never materializes arrays: a task's payload is just the
+range size (plus the split behaviour), so hundreds of thousands of tasks —
+the paper reports runs beyond 200,000 tasks — cost only events.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import SimulationError
+from repro.taskpool.pool import PoolTask
+
+__all__ = ["QuicksortApp"]
+
+
+@dataclass(frozen=True, slots=True)
+class _Range:
+    """Payload of a partition task: how many elements it covers."""
+
+    size: int
+    depth: int
+
+
+class QuicksortApp:
+    """Task generator for the parallel Quicksort case study."""
+
+    def __init__(
+        self,
+        n: int,
+        *,
+        variant: str = "random",
+        threshold: int | None = None,
+        cost_per_element: float = 12.0,       # operations per element partitioned
+        bytes_per_element: float = 8.0,       # memory traffic per element scanned
+        first_split: float | None = None,
+        seed: int | None = 0,
+    ):
+        if n < 2:
+            raise SimulationError(f"need >= 2 elements, got {n}")
+        if variant not in ("random", "inverse"):
+            raise SimulationError(f"unknown variant {variant!r}")
+        if threshold is None:
+            threshold = max(1024, n // 4096)
+        if threshold < 1:
+            raise SimulationError(f"threshold must be >= 1, got {threshold}")
+        if first_split is not None and not 0.0 < first_split < 1.0:
+            raise SimulationError(f"first_split must be in (0, 1), got {first_split}")
+        self.n = n
+        self.variant = variant
+        self.threshold = threshold
+        self.cost_per_element = cost_per_element
+        self.bytes_per_element = bytes_per_element
+        self.first_split = first_split
+        self._rng = np.random.default_rng(seed)
+        # Inversely sorted input: every comparison leads to a swap, roughly
+        # doubling the CPU work; the swap writes plus the extra cache misses
+        # of the strided accesses multiply the memory traffic further, which
+        # is what pushes two concurrent partitions past one socket's bus.
+        self._cost_factor = 2.0 if variant == "inverse" else 1.0
+        self._mem_factor = 4.0 if variant == "inverse" else 1.0
+
+    # ----------------------------------------------------------- task costs
+    def _partition_task(self, task_id: str, size: int, depth: int) -> PoolTask:
+        cpu = self.cost_per_element * self._cost_factor * size
+        mem = self.bytes_per_element * self._mem_factor * size
+        return PoolTask(task_id, cpu, mem, _Range(size, depth))
+
+    def _leaf_task(self, task_id: str, size: int, depth: int) -> PoolTask:
+        # Sequential sort of a small range: ~ c * n log2 n compare/swaps and
+        # one read+write stream per pass.  Sub-ranges of the adversarial
+        # (inversely sorted) input keep their swap-heavy pattern, so the
+        # variant factors apply to leaves too.
+        logn = max(math.log2(max(size, 2)), 1.0)
+        cpu = self.cost_per_element * self._cost_factor * size * logn
+        mem = self.bytes_per_element * self._mem_factor * size * logn
+        return PoolTask(task_id, cpu, mem, _Range(size, depth))
+
+    def _split_fraction(self, depth: int) -> float:
+        if self.variant == "inverse":
+            return 0.5
+        if depth == 0 and self.first_split is not None:
+            return self.first_split
+        # A uniformly random pivot splits the range at a uniform fraction.
+        return float(self._rng.uniform(0.02, 0.98))
+
+    # --------------------------------------------------------- app protocol
+    def initial_tasks(self) -> Iterable[PoolTask]:
+        yield self._partition_task("q", self.n, 0)
+
+    def expand(self, task: PoolTask) -> Iterable[PoolTask]:
+        payload = task.payload
+        if not isinstance(payload, _Range):
+            raise SimulationError(f"foreign task {task.id!r} in QuicksortApp")
+        if payload.size <= self.threshold:
+            return []  # leaf: the sequential sort already happened in this task
+        frac = self._split_fraction(payload.depth)
+        left = max(int(payload.size * frac), 1)
+        right = max(payload.size - left - 1, 0)  # pivot stays in place
+        children = []
+        for suffix, size in (("l", left), ("r", right)):
+            if size <= 0:
+                continue
+            child_id = f"{task.id}{suffix}"
+            if size <= self.threshold:
+                children.append(self._leaf_task(child_id, size, payload.depth + 1))
+            else:
+                children.append(self._partition_task(child_id, size, payload.depth + 1))
+        return children

@@ -1,0 +1,75 @@
+"""Bridge: task-pool worker traces -> Jedule schedules.
+
+The run-time environment "is able to log run-time information about each
+task for offline analysis in Jedule" (Section VI-B).  This module is that
+logger's output end: it turns :class:`~repro.taskpool.pool.WorkerTrace`
+segments into a Jedule schedule where each worker is one resource row,
+``run`` segments become ``computation`` tasks (blue in Figures 11/12) and
+``wait`` segments become ``wait`` tasks (red).
+
+Workers can be grouped one cluster per socket (showing the NUMA structure)
+or flat as a single cluster.
+"""
+
+from __future__ import annotations
+
+from repro.core.model import Cluster, Configuration, Schedule, Task
+from repro.taskpool.pool import PoolRunResult
+
+__all__ = ["pool_result_to_schedule"]
+
+
+def pool_result_to_schedule(
+    result: PoolRunResult,
+    *,
+    group_by_socket: bool = False,
+    min_duration: float = 0.0,
+    include_waits: bool = True,
+    run_type: str = "computation",
+    wait_type: str = "wait",
+) -> Schedule:
+    """Convert a pool run into a Jedule schedule.
+
+    ``min_duration`` drops segments shorter than that many seconds — with
+    hundreds of thousands of fine-grained tasks the visual output is
+    identical but far cheaper to draw; statistics should be computed on the
+    unfiltered result instead.
+    """
+    machine = result.machine
+    schedule = Schedule(meta={
+        "machine": f"{machine.n_sockets}x{machine.cores_per_socket} cores",
+        "tasks": str(result.total_tasks),
+        "makespan": f"{result.makespan:.6g}",
+    })
+    if group_by_socket:
+        for s in range(machine.n_sockets):
+            schedule.add_cluster(Cluster(str(s), machine.cores_per_socket,
+                                         f"socket {s}"))
+    else:
+        schedule.add_cluster(Cluster("0", machine.n_workers, "workers"))
+
+    def placement(worker: int) -> Configuration:
+        if group_by_socket:
+            return Configuration(str(machine.socket_of(worker)),
+                                 [(worker % machine.cores_per_socket, 1)])
+        return Configuration("0", [(worker, 1)])
+
+    seq = 0
+    for trace in result.traces:
+        conf = placement(trace.worker)
+        for seg in trace.segments:
+            if seg.duration < min_duration:
+                continue
+            if seg.kind == "wait" and not include_waits:
+                continue
+            task_type = run_type if seg.kind == "run" else wait_type
+            task_id = seg.task_id if seg.task_id else f"w{trace.worker}.{seq}"
+            # ids must be unique; the same pool task never spans workers, but
+            # wait segments need synthesized ids
+            schedule.add_task(Task(
+                task_id if seg.kind == "run" else f"{task_id}",
+                task_type, seg.start, seg.end, [conf],
+                meta={"worker": str(trace.worker)},
+            ))
+            seq += 1
+    return schedule

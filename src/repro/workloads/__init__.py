@@ -1,0 +1,55 @@
+"""Parallel workload tooling: jobs, scheduler simulation, Thunder generator."""
+
+from repro.workloads.bridge import (
+    HIGHLIGHT_TYPE,
+    JOB_TYPE,
+    workload_colormap,
+    workload_schedule,
+)
+from repro.workloads.jobs import Job, jobs_from_swf, jobs_to_swf
+from repro.workloads.scheduler import (
+    ClusterJobScheduler,
+    SchedPolicy,
+    ScheduledJob,
+    simulate_jobs,
+)
+from repro.workloads.stats import (
+    WaitStats,
+    bounded_slowdown,
+    hourly_utilization,
+    per_user_summary,
+    size_histogram,
+    wait_stats,
+)
+from repro.workloads.thunder import (
+    THUNDER_NODES,
+    THUNDER_RESERVED,
+    THUNDER_USER,
+    ThunderSpec,
+    generate_thunder_day,
+)
+
+__all__ = [
+    "ClusterJobScheduler",
+    "HIGHLIGHT_TYPE",
+    "JOB_TYPE",
+    "Job",
+    "SchedPolicy",
+    "ScheduledJob",
+    "THUNDER_NODES",
+    "THUNDER_RESERVED",
+    "THUNDER_USER",
+    "ThunderSpec",
+    "WaitStats",
+    "bounded_slowdown",
+    "hourly_utilization",
+    "per_user_summary",
+    "size_histogram",
+    "wait_stats",
+    "generate_thunder_day",
+    "jobs_from_swf",
+    "jobs_to_swf",
+    "simulate_jobs",
+    "workload_colormap",
+    "workload_schedule",
+]

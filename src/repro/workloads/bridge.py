@@ -1,0 +1,61 @@
+"""Bridge: scheduled cluster jobs -> Jedule schedules (Figure 13).
+
+Every job becomes one rectangle spanning its node set (nodes are the
+resource rows of the 1024-node cluster view); an optional highlighted user
+gets a distinct task type so a color map can paint those jobs yellow.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+from repro.core.colormap import ColorMap
+from repro.core.model import Cluster, Configuration, Schedule, Task, hosts_to_ranges
+from repro.workloads.scheduler import ScheduledJob
+
+__all__ = ["workload_schedule", "workload_colormap", "JOB_TYPE", "HIGHLIGHT_TYPE"]
+
+JOB_TYPE = "job"
+HIGHLIGHT_TYPE = "job:highlight"
+
+
+def workload_schedule(
+    scheduled: Iterable[ScheduledJob],
+    n_nodes: int,
+    *,
+    highlight_user: int | None = None,
+    window: tuple[float, float] | None = None,
+    cluster_name: str = "cluster",
+) -> Schedule:
+    """Build the bird's-eye view schedule of a cluster workload.
+
+    ``window`` keeps only jobs *finishing* inside ``[t0, t1)`` — the paper
+    selects "all jobs that finished on 02/02" — and clips nothing: kept
+    jobs are drawn with their full extent, like Figure 13.
+    """
+    schedule = Schedule(meta={"nodes": str(n_nodes)})
+    schedule.add_cluster(Cluster("0", n_nodes, cluster_name))
+    count = 0
+    for record in scheduled:
+        if window is not None and not (window[0] <= record.end_time < window[1]):
+            continue
+        job = record.job
+        task_type = HIGHLIGHT_TYPE if (highlight_user is not None
+                                       and job.user == highlight_user) else JOB_TYPE
+        schedule.add_task(Task(
+            str(job.id), task_type, record.start_time, record.end_time,
+            [Configuration("0", hosts_to_ranges(record.nodes))],
+            meta={"user": str(job.user), "nodes": str(job.nodes),
+                  "wait": f"{record.wait_time:.1f}"},
+        ))
+        count += 1
+    schedule.meta["jobs"] = str(count)
+    return schedule
+
+
+def workload_colormap() -> ColorMap:
+    """Figure 13 colors: blue-ish jobs, yellow highlighted user."""
+    cmap = ColorMap("workload")
+    cmap.set_style(JOB_TYPE, "4477AA", "FFFFFF")
+    cmap.set_style(HIGHLIGHT_TYPE, "FFD700", "000000")
+    return cmap

@@ -1,0 +1,88 @@
+"""Cluster job model for the parallel-workload case study (Section VII).
+
+A :class:`Job` is a rigid parallel job: it requests a number of nodes for a
+bounded time.  Jobs come either from a real SWF trace
+(:func:`jobs_from_swf`) or from the synthetic generator in
+:mod:`repro.workloads.thunder`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+from repro.errors import WorkloadError
+from repro.io.swf import SWFJob, SWFTrace
+
+__all__ = ["Job", "jobs_from_swf", "jobs_to_swf"]
+
+
+@dataclass(frozen=True, slots=True)
+class Job:
+    """A rigid job: submit time, node count, runtime, requested limit."""
+
+    id: int
+    submit_time: float
+    nodes: int
+    run_time: float
+    requested_time: float = -1.0
+    user: int = -1
+    group: int = -1
+
+    def __post_init__(self) -> None:
+        if self.nodes < 1:
+            raise WorkloadError(f"job {self.id}: needs >= 1 node, got {self.nodes}")
+        if self.run_time < 0:
+            raise WorkloadError(f"job {self.id}: negative run time {self.run_time}")
+        if self.submit_time < 0:
+            raise WorkloadError(f"job {self.id}: negative submit time {self.submit_time}")
+
+    @property
+    def time_limit(self) -> float:
+        """The walltime the scheduler must reserve: the user request when
+        present, otherwise the actual run time."""
+        return self.requested_time if self.requested_time > 0 else self.run_time
+
+
+def jobs_from_swf(trace: SWFTrace, *, only_completed: bool = True) -> list[Job]:
+    """Convert SWF records into scheduler jobs.
+
+    Records without a positive processor count or run time are skipped (the
+    PWA marks missing data with -1).
+    """
+    jobs: list[Job] = []
+    for record in trace.jobs:
+        if only_completed and not record.completed:
+            continue
+        nodes = record.allocated_procs if record.allocated_procs > 0 \
+            else record.requested_procs
+        if nodes <= 0 or record.run_time <= 0:
+            continue
+        jobs.append(Job(
+            id=record.job_id,
+            submit_time=max(record.submit_time, 0.0),
+            nodes=nodes,
+            run_time=record.run_time,
+            requested_time=record.requested_time,
+            user=record.user_id,
+            group=record.group_id,
+        ))
+    return jobs
+
+
+def jobs_to_swf(jobs: Iterable[Job], *, max_procs: int | None = None) -> SWFTrace:
+    """Build an SWF trace from jobs (wait times zeroed; the scheduler fills
+    them in after simulation via its own export)."""
+    trace = SWFTrace()
+    records = []
+    for j in jobs:
+        records.append(SWFJob(
+            job_id=j.id, submit_time=j.submit_time, wait_time=0.0,
+            run_time=j.run_time, allocated_procs=j.nodes,
+            requested_procs=j.nodes, requested_time=j.time_limit,
+            status=1, user_id=j.user, group_id=j.group,
+        ))
+    trace.jobs = records
+    if max_procs is not None:
+        trace.header["MaxProcs"] = str(max_procs)
+    return trace

@@ -1,0 +1,130 @@
+"""Workload statistics.
+
+Section VII: "Studying the workload of parallel systems is important to
+improve the job scheduler decisions and therefore to increase the
+throughput and efficiency of these systems."  This module computes the
+standard summary quantities analysts read off traces like Figure 13's:
+wait-time statistics, per-user activity, size distributions, and the
+cluster utilization over time windows.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.scheduler import ScheduledJob
+
+__all__ = ["WaitStats", "wait_stats", "per_user_summary", "size_histogram",
+           "hourly_utilization", "bounded_slowdown"]
+
+
+@dataclass(frozen=True, slots=True)
+class WaitStats:
+    """Summary of job wait times in seconds."""
+
+    count: int
+    mean: float
+    median: float
+    p90: float
+    max: float
+
+
+def wait_stats(scheduled: Sequence[ScheduledJob]) -> WaitStats:
+    """Wait-time summary over a set of scheduled jobs."""
+    if not scheduled:
+        raise WorkloadError("no jobs")
+    waits = np.array([r.wait_time for r in scheduled])
+    return WaitStats(
+        count=len(waits),
+        mean=float(waits.mean()),
+        median=float(np.median(waits)),
+        p90=float(np.percentile(waits, 90)),
+        max=float(waits.max()),
+    )
+
+
+def bounded_slowdown(scheduled: Sequence[ScheduledJob], *, tau: float = 10.0) -> float:
+    """Mean bounded slowdown: max(1, (wait+run)/max(run, tau)).
+
+    The classic scheduler-evaluation metric; ``tau`` bounds the influence of
+    very short jobs.
+    """
+    if not scheduled:
+        raise WorkloadError("no jobs")
+    total = 0.0
+    for r in scheduled:
+        run = r.job.run_time
+        total += max(1.0, (r.wait_time + run) / max(run, tau))
+    return total / len(scheduled)
+
+
+def per_user_summary(scheduled: Iterable[ScheduledJob]) -> dict[int, dict[str, float]]:
+    """Per-user job count, node-seconds consumed, and mean wait."""
+    jobs: dict[int, list[ScheduledJob]] = {}
+    for r in scheduled:
+        jobs.setdefault(r.job.user, []).append(r)
+    out: dict[int, dict[str, float]] = {}
+    for user, records in jobs.items():
+        node_seconds = sum(len(r.nodes) * r.job.run_time for r in records)
+        out[user] = {
+            "jobs": float(len(records)),
+            "node_seconds": node_seconds,
+            "mean_wait": sum(r.wait_time for r in records) / len(records),
+        }
+    return out
+
+
+def size_histogram(scheduled: Iterable[ScheduledJob]) -> dict[int, int]:
+    """Job count per power-of-two size bucket (1, 2, 4, ... nodes).
+
+    Bucket ``k`` counts jobs with ``2^(k-1) < nodes <= 2^k`` by its upper
+    bound, the convention of the PWA analyses.
+    """
+    counts: Counter[int] = Counter()
+    for r in scheduled:
+        bucket = 1 << max(0, math.ceil(math.log2(max(r.job.nodes, 1))))
+        counts[bucket] += 1
+    return dict(sorted(counts.items()))
+
+
+def hourly_utilization(
+    scheduled: Sequence[ScheduledJob],
+    n_nodes: int,
+    *,
+    t0: float = 0.0,
+    t1: float | None = None,
+    bin_seconds: float = 3600.0,
+) -> list[float]:
+    """Fraction of node capacity busy per time bin.
+
+    Computed exactly (interval intersection per job and bin), not sampled.
+    """
+    if n_nodes < 1:
+        raise WorkloadError(f"need >= 1 node, got {n_nodes}")
+    if bin_seconds <= 0:
+        raise WorkloadError(f"bin size must be > 0, got {bin_seconds}")
+    if t1 is None:
+        t1 = max((r.end_time for r in scheduled), default=t0)
+    if t1 <= t0:
+        return []
+    n_bins = int(math.ceil((t1 - t0) / bin_seconds))
+    busy = np.zeros(n_bins)
+    for r in scheduled:
+        lo = max(r.start_time, t0)
+        hi = min(r.end_time, t1)
+        if hi <= lo:
+            continue
+        first = int((lo - t0) // bin_seconds)
+        last = int(math.ceil((hi - t0) / bin_seconds))
+        for b in range(first, min(last, n_bins)):
+            blo = t0 + b * bin_seconds
+            bhi = blo + bin_seconds
+            overlap = min(hi, bhi) - max(lo, blo)
+            busy[b] += overlap * len(r.nodes)
+    return [float(x / (bin_seconds * n_nodes)) for x in busy]

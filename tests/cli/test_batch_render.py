@@ -1,0 +1,77 @@
+"""Tests for batch rendering and the combined Gantt+profile export."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.main import main
+from repro.io import jedule_xml
+from repro.render.png_codec import decode_png
+
+
+@pytest.fixture
+def three_schedules(tmp_path, simple_schedule):
+    paths = []
+    for i in range(3):
+        p = tmp_path / f"run{i}.jed"
+        jedule_xml.dump(simple_schedule, p)
+        paths.append(p)
+    return paths
+
+
+def test_batch_render_to_outdir(tmp_path, three_schedules, capsys):
+    outdir = tmp_path / "figs"
+    rc = main(["render", *map(str, three_schedules),
+               "--outdir", str(outdir), "--format", "svg"])
+    assert rc == 0
+    produced = sorted(p.name for p in outdir.iterdir())
+    assert produced == ["run0.svg", "run1.svg", "run2.svg"]
+    assert capsys.readouterr().out.count("wrote") == 3
+
+
+def test_batch_render_creates_outdir(tmp_path, three_schedules):
+    outdir = tmp_path / "deep" / "nested"
+    rc = main(["render", str(three_schedules[0]),
+               "--outdir", str(outdir), "--format", "png"])
+    assert rc == 0
+    assert (outdir / "run0.png").exists()
+
+
+def test_outdir_without_format_fails(tmp_path, three_schedules, capsys):
+    rc = main(["render", str(three_schedules[0]),
+               "--outdir", str(tmp_path / "x")])
+    assert rc == 2
+    assert "--format" in capsys.readouterr().err
+
+
+def test_multiple_inputs_without_outdir_fails(tmp_path, three_schedules, capsys):
+    rc = main(["render", *map(str, three_schedules),
+               "-o", str(tmp_path / "one.png")])
+    assert rc == 2
+    assert "--outdir" in capsys.readouterr().err
+
+
+def test_output_and_outdir_mutually_exclusive(tmp_path, three_schedules):
+    with pytest.raises(SystemExit):
+        main(["render", str(three_schedules[0]),
+              "-o", str(tmp_path / "a.png"), "--outdir", str(tmp_path)])
+
+
+def test_with_profile_stacks_charts(tmp_path, three_schedules):
+    plain = tmp_path / "plain.png"
+    combo = tmp_path / "combo.png"
+    assert main(["render", str(three_schedules[0]), "-o", str(plain),
+                 "--width", "500", "--height", "300"]) == 0
+    assert main(["render", str(three_schedules[0]), "-o", str(combo),
+                 "--width", "500", "--height", "300", "--with-profile"]) == 0
+    plain_img = decode_png(plain.read_bytes())
+    combo_img = decode_png(combo.read_bytes())
+    assert combo_img.shape[0] > plain_img.shape[0]  # profile adds height
+    assert combo_img.shape[1] == plain_img.shape[1]
+
+
+def test_with_profile_other_formats(tmp_path, three_schedules):
+    out = tmp_path / "combo.svg"
+    assert main(["render", str(three_schedules[0]), "-o", str(out),
+                 "--with-profile"]) == 0
+    assert out.read_bytes().startswith(b"<?xml")

@@ -1,0 +1,167 @@
+"""Tests for the terminal interactive mode (stream-driven, no TTY)."""
+
+from __future__ import annotations
+
+import io
+
+import pytest
+
+from repro.cli.interactive import InteractiveViewer
+from repro.io import jedule_xml
+
+
+def make_viewer(schedule, commands: str, **kwargs):
+    stdin = io.StringIO(commands)
+    stdout = io.StringIO()
+    viewer = InteractiveViewer(schedule, width=40, stdin=stdin, stdout=stdout,
+                               **kwargs)
+    return viewer, stdout
+
+
+def test_quit_immediately(simple_schedule):
+    viewer, out = make_viewer(simple_schedule, "q\n")
+    assert viewer.run() == 0
+    assert "jedule>" in out.getvalue()
+
+
+def test_eof_ends_session(simple_schedule):
+    viewer, _ = make_viewer(simple_schedule, "")
+    assert viewer.run() == 0
+
+
+def test_initial_draw_shows_tasks(simple_schedule):
+    viewer, out = make_viewer(simple_schedule, "q\n")
+    viewer.run()
+    assert "1" in out.getvalue()
+
+
+def test_zoom_changes_viewport(simple_schedule):
+    viewer, _ = make_viewer(simple_schedule, "")
+    before = viewer.viewport
+    viewer.handle("+")
+    assert viewer.viewport.time_span < before.time_span
+    viewer.handle("-")
+    assert viewer.viewport.time_span == pytest.approx(before.time_span, rel=1e-6)
+
+
+def test_pan_commands(simple_schedule):
+    viewer, _ = make_viewer(simple_schedule, "")
+    t0 = viewer.viewport.t0
+    viewer.handle("l")
+    assert viewer.viewport.t0 > t0
+    viewer.handle("h")
+    assert viewer.viewport.t0 == pytest.approx(t0)
+
+
+def test_time_window_command(simple_schedule):
+    viewer, _ = make_viewer(simple_schedule, "")
+    viewer.handle("w 0.1 0.2")
+    assert (viewer.viewport.t0, viewer.viewport.t1) == (0.1, 0.2)
+
+
+def test_row_window_command(simple_schedule):
+    viewer, _ = make_viewer(simple_schedule, "")
+    viewer.handle("r 2 5")
+    assert (viewer.viewport.r0, viewer.viewport.r1) == (2.0, 5.0)
+
+
+def test_fit_resets(simple_schedule):
+    viewer, _ = make_viewer(simple_schedule, "")
+    original = viewer.viewport
+    viewer.handle("+")
+    viewer.handle("f")
+    assert viewer.viewport == original
+
+
+def test_inspect_task(simple_schedule):
+    viewer, out = make_viewer(simple_schedule, "")
+    viewer.handle("i 2")
+    text = out.getvalue()
+    assert "task 2 (transfer)" in text
+    assert "0-2,6" in text
+
+
+def test_inspect_unknown_task_reports_error(simple_schedule):
+    viewer, out = make_viewer(simple_schedule, "")
+    viewer.handle("i zzz")
+    assert "error" in out.getvalue()
+
+
+def test_select_toggle(simple_schedule):
+    viewer, out = make_viewer(simple_schedule, "")
+    viewer.handle("s 1")
+    assert "selected" in out.getvalue()
+    assert "1" in viewer.selection
+
+
+def test_type_filter(simple_schedule):
+    viewer, _ = make_viewer(simple_schedule, "")
+    viewer.handle("t transfer")
+    assert [t.id for t in viewer.schedule] == ["2"]
+    viewer.handle("f")
+    assert len(viewer.schedule) == 2
+
+
+def test_cluster_filter(multi_cluster_schedule):
+    viewer, _ = make_viewer(multi_cluster_schedule, "")
+    viewer.handle("c b")
+    assert {t.id for t in viewer.schedule} == {"2", "3"}
+
+
+def test_composites_toggle(overlap_schedule):
+    viewer, out = make_viewer(overlap_schedule, "")
+    viewer.handle("o")
+    assert "composites on" in out.getvalue()
+    assert viewer.show_composites
+
+
+def test_export_snapshot(tmp_path, simple_schedule):
+    viewer, out = make_viewer(simple_schedule, "")
+    target = tmp_path / "snap.svg"
+    viewer.handle(f"x {target}")
+    assert target.exists()
+    assert "wrote" in out.getvalue()
+
+
+def test_reload(tmp_path, simple_schedule):
+    path = tmp_path / "s.jed"
+    jedule_xml.dump(simple_schedule, path)
+    viewer, out = make_viewer(simple_schedule, "", source_path=path)
+    # mutate on disk: one more task
+    simple_schedule.new_task(3, "io", 0.4, 0.45, cluster=0, host_start=7, host_nb=1)
+    jedule_xml.dump(simple_schedule, path)
+    viewer.handle("reload")
+    assert len(viewer.schedule) == 3
+    assert "reloaded" in out.getvalue()
+
+
+def test_reload_without_source(simple_schedule):
+    viewer, out = make_viewer(simple_schedule, "")
+    viewer.handle("reload")
+    assert "no source file" in out.getvalue()
+
+
+def test_unknown_command(simple_schedule):
+    viewer, out = make_viewer(simple_schedule, "")
+    viewer.handle("frobnicate")
+    assert "unknown command" in out.getvalue()
+
+
+def test_help(simple_schedule):
+    viewer, out = make_viewer(simple_schedule, "")
+    viewer.handle("help")
+    assert "zoom" in out.getvalue()
+
+
+def test_bad_quoting_reports_parse_error(simple_schedule):
+    viewer, out = make_viewer(simple_schedule, "")
+    viewer.handle('i "unclosed')
+    assert "parse error" in out.getvalue()
+
+
+def test_full_session_flow(simple_schedule):
+    viewer, out = make_viewer(
+        simple_schedule, "+\nl\ni 1\nw 0 0.3\nf\nq\n")
+    assert viewer.run() == 0
+    text = out.getvalue()
+    assert "task 1 (computation)" in text

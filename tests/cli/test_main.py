@@ -1,0 +1,124 @@
+"""Tests for the command-line mode."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli.main import main
+from repro.io import colormap_xml, jedule_xml, json_fmt
+from repro.core.colormap import default_colormap
+from repro.render.png_codec import decode_png
+
+
+@pytest.fixture
+def sched_file(tmp_path, simple_schedule):
+    path = tmp_path / "demo.jed"
+    jedule_xml.dump(simple_schedule, path)
+    return path
+
+
+class TestRender:
+    def test_render_png(self, tmp_path, sched_file, capsys):
+        out = tmp_path / "out.png"
+        rc = main(["render", str(sched_file), "-o", str(out),
+                   "--width", "300", "--height", "200"])
+        assert rc == 0
+        assert "wrote" in capsys.readouterr().out
+        img = decode_png(out.read_bytes())
+        assert img.shape == (200, 300, 3)
+
+    @pytest.mark.parametrize("suffix", ["svg", "pdf", "eps", "ppm", "bmp"])
+    def test_render_other_formats(self, tmp_path, sched_file, suffix):
+        out = tmp_path / f"out.{suffix}"
+        assert main(["render", str(sched_file), "-o", str(out),
+                     "--width", "300", "--height", "200"]) == 0
+        assert out.stat().st_size > 50
+
+    def test_render_with_cmap_file(self, tmp_path, sched_file):
+        cmap_path = tmp_path / "map.xml"
+        colormap_xml.dump(default_colormap(), cmap_path)
+        out = tmp_path / "out.svg"
+        assert main(["render", str(sched_file), "-o", str(out),
+                     "--cmap", str(cmap_path)]) == 0
+        assert b"0000FF" in out.read_bytes()
+
+    def test_render_grayscale(self, tmp_path, sched_file):
+        out = tmp_path / "out.svg"
+        assert main(["render", str(sched_file), "-o", str(out),
+                     "--grayscale"]) == 0
+        assert b"#0000FF" not in out.read_bytes()
+
+    def test_render_composites(self, tmp_path, tmp_path_factory, overlap_schedule):
+        src = tmp_path / "o.jed"
+        jedule_xml.dump(overlap_schedule, src)
+        out = tmp_path / "out.svg"
+        assert main(["render", str(src), "-o", str(out), "--composites"]) == 0
+        assert b"task:c1+t1" in out.read_bytes()
+
+    def test_render_type_filter(self, tmp_path, sched_file):
+        out = tmp_path / "out.svg"
+        assert main(["render", str(sched_file), "-o", str(out),
+                     "--types", "transfer"]) == 0
+        data = out.read_bytes()
+        assert b"task:2" in data and b"task:1" not in data
+
+    def test_render_window(self, tmp_path, sched_file):
+        out = tmp_path / "out.svg"
+        assert main(["render", str(sched_file), "-o", str(out),
+                     "--window", "0.35", "0.5"]) == 0
+        data = out.read_bytes()
+        assert b"task:2" in data and b"task:1" not in data
+
+    def test_render_style_file(self, tmp_path, sched_file):
+        style = tmp_path / "style.cfg"
+        style.write_text("draw_legend = false\n")
+        out = tmp_path / "out.svg"
+        assert main(["render", str(sched_file), "-o", str(out),
+                     "--style", str(style)]) == 0
+
+    def test_render_scaled_mode(self, tmp_path, sched_file):
+        out = tmp_path / "out.svg"
+        assert main(["render", str(sched_file), "-o", str(out),
+                     "--mode", "scaled"]) == 0
+
+    def test_missing_file_error(self, tmp_path, capsys):
+        rc = main(["render", str(tmp_path / "none.jed"), "-o",
+                   str(tmp_path / "x.png")])
+        assert rc == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestConvert:
+    def test_jed_to_json(self, tmp_path, sched_file):
+        out = tmp_path / "out.json"
+        assert main(["convert", str(sched_file), str(out)]) == 0
+        assert len(json_fmt.load(out)) == 2
+
+    def test_json_to_csv(self, tmp_path, simple_schedule):
+        src = tmp_path / "s.json"
+        json_fmt.dump(simple_schedule, src)
+        out = tmp_path / "s.csv"
+        assert main(["convert", str(src), str(out)]) == 0
+        assert "task_id" in out.read_text()
+
+
+class TestInfo:
+    def test_info_output(self, sched_file, capsys):
+        assert main(["info", str(sched_file)]) == 0
+        out = capsys.readouterr().out
+        assert "tasks:     2" in out
+        assert "makespan:  0.5" in out
+        assert "computation" in out
+
+
+class TestValidate:
+    def test_valid(self, sched_file, capsys):
+        assert main(["validate", str(sched_file)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_overlap_detected(self, tmp_path, overlap_schedule, capsys):
+        src = tmp_path / "o.jed"
+        jedule_xml.dump(overlap_schedule, src)
+        rc = main(["validate", str(src), "--exclusive", "computation", "transfer"])
+        assert rc == 1
+        assert "overlap" in capsys.readouterr().out

@@ -1,0 +1,41 @@
+"""Shared fixtures: canonical schedules used across the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Cluster, Configuration, Schedule, Task
+
+
+@pytest.fixture
+def simple_schedule() -> Schedule:
+    """One 8-host cluster, the paper's Figure 1 task plus a transfer."""
+    s = Schedule(meta={"algorithm": "demo"})
+    s.new_cluster(0, 8)
+    s.new_task(1, "computation", 0.0, 0.31, cluster=0, host_start=0, host_nb=8)
+    s.new_task(2, "transfer", 0.31, 0.5, cluster=0, hosts=[0, 1, 2, 6])
+    return s
+
+
+@pytest.fixture
+def overlap_schedule() -> Schedule:
+    """Computation and communication overlapping on shared hosts (Figure 3)."""
+    s = Schedule()
+    s.new_cluster(0, 4)
+    s.new_task("c1", "computation", 0.0, 2.0, cluster=0, host_start=0, host_nb=4)
+    s.new_task("t1", "transfer", 1.0, 3.0, cluster=0, host_start=0, host_nb=2)
+    return s
+
+
+@pytest.fixture
+def multi_cluster_schedule() -> Schedule:
+    """Two clusters with different local time frames (view-mode tests)."""
+    s = Schedule()
+    s.new_cluster("a", 4)
+    s.new_cluster("b", 2)
+    s.new_task(1, "computation", 0.0, 5.0, cluster="a", host_start=0, host_nb=4)
+    s.new_task(2, "computation", 10.0, 30.0, cluster="b", host_start=0, host_nb=2)
+    s.new_task(3, "transfer", 4.0, 11.0, configurations=[
+        Configuration("a", [(0, 1)]), Configuration("b", [(0, 1)]),
+    ])
+    return s

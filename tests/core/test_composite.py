@@ -1,0 +1,129 @@
+"""Tests for composite-task construction (paper Section II-C-3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.composite import (
+    build_composite_tasks,
+    composite_id,
+    find_overlaps,
+    with_composites,
+)
+from repro.core.model import COMPOSITE_TYPE, Configuration, Schedule
+
+
+def test_composite_id_sorted():
+    assert composite_id(["b", "a"]) == "a+b"
+    assert composite_id(["1", "10", "2"]) == "1+10+2"  # lexicographic
+
+
+def test_no_overlap_no_composites(simple_schedule):
+    assert build_composite_tasks(simple_schedule.tasks) == []
+
+
+def test_basic_overlap(overlap_schedule):
+    composites = build_composite_tasks(overlap_schedule.tasks)
+    assert len(composites) == 1
+    comp = composites[0]
+    assert comp.type == COMPOSITE_TYPE
+    assert comp.id == "c1+t1"
+    assert (comp.start_time, comp.end_time) == (1.0, 2.0)
+    # overlap only on the two shared hosts
+    assert comp.hosts_in("0") == (0, 1)
+
+
+def test_with_composites_keeps_originals(overlap_schedule):
+    enriched = with_composites(overlap_schedule)
+    assert {t.id for t in enriched} == {"c1", "t1", "c1+t1"}
+    assert len(overlap_schedule) == 2  # input untouched
+    comp = enriched.task("c1+t1")
+    assert comp.meta["member_types"] == "computation,transfer"
+    assert comp.meta["members"] == "c1,t1"
+
+
+def test_touching_intervals_do_not_overlap():
+    s = Schedule()
+    s.new_cluster(0, 2)
+    s.new_task(1, "a", 0.0, 1.0, cluster=0, host_start=0, host_nb=2)
+    s.new_task(2, "b", 1.0, 2.0, cluster=0, host_start=0, host_nb=2)
+    assert build_composite_tasks(s.tasks) == []
+
+
+def test_three_way_overlap_produces_distinct_fragments():
+    s = Schedule()
+    s.new_cluster(0, 1)
+    s.new_task("a", "x", 0.0, 10.0, cluster=0, host_start=0, host_nb=1)
+    s.new_task("b", "x", 2.0, 6.0, cluster=0, host_start=0, host_nb=1)
+    s.new_task("c", "x", 4.0, 8.0, cluster=0, host_start=0, host_nb=1)
+    comps = build_composite_tasks(s.tasks)
+    by_id = {c.id: c for c in comps}
+    # fragments: a+b on [2,4), a+b+c on [4,6), a+c on [6,8)
+    assert set(by_id) == {"a+b", "a+b+c", "a+c"}
+    assert (by_id["a+b"].start_time, by_id["a+b"].end_time) == (2.0, 4.0)
+    assert (by_id["a+b+c"].start_time, by_id["a+b+c"].end_time) == (4.0, 6.0)
+    assert (by_id["a+c"].start_time, by_id["a+c"].end_time) == (6.0, 8.0)
+
+
+def test_same_pair_overlapping_twice_gets_unique_ids():
+    s = Schedule()
+    s.new_cluster(0, 1)
+    s.new_task("a", "x", 0.0, 10.0, cluster=0, host_start=0, host_nb=1)
+    s.new_task("b", "x", 1.0, 2.0, cluster=0, host_start=0, host_nb=1)
+    s.new_task("b2", "x", 5.0, 6.0, cluster=0, host_start=0, host_nb=1)
+    comps = build_composite_tasks(s.tasks)
+    assert {c.id for c in comps} == {"a+b", "a+b2"}
+
+
+def test_overlap_on_disjoint_host_subsets():
+    s = Schedule()
+    s.new_cluster(0, 4)
+    s.new_task("a", "x", 0.0, 2.0, cluster=0, hosts=[0, 1])
+    s.new_task("b", "x", 1.0, 3.0, cluster=0, hosts=[1, 2])
+    comps = build_composite_tasks(s.tasks)
+    assert len(comps) == 1
+    assert comps[0].hosts_in("0") == (1,)  # only the shared host
+
+
+def test_cross_cluster_overlap():
+    s = Schedule()
+    s.new_cluster("a", 2)
+    s.new_cluster("b", 2)
+    s.new_task("t1", "x", 0.0, 2.0, configurations=[
+        Configuration("a", [(0, 2)]), Configuration("b", [(0, 1)])])
+    s.new_task("t2", "x", 1.0, 3.0, configurations=[
+        Configuration("a", [(1, 1)]), Configuration("b", [(0, 2)])])
+    comps = build_composite_tasks(s.tasks)
+    assert len(comps) == 1
+    comp = comps[0]
+    assert comp.hosts_in("a") == (1,)
+    assert comp.hosts_in("b") == (0,)
+
+
+def test_zero_duration_tasks_ignored():
+    s = Schedule()
+    s.new_cluster(0, 1)
+    s.new_task("a", "x", 0.0, 2.0, cluster=0, host_start=0, host_nb=1)
+    s.new_task("marker", "x", 1.0, 1.0, cluster=0, host_start=0, host_nb=1)
+    assert build_composite_tasks(s.tasks) == []
+
+
+def test_find_overlaps_resource_sets():
+    s = Schedule()
+    s.new_cluster(0, 3)
+    s.new_task("a", "x", 0.0, 2.0, cluster=0, host_start=0, host_nb=3)
+    s.new_task("b", "x", 1.0, 3.0, cluster=0, host_start=0, host_nb=3)
+    frags = find_overlaps(s.tasks)
+    assert len(frags) == 1
+    (members, t0, t1), resources = next(iter(frags.items()))
+    assert members == frozenset({"a", "b"})
+    assert (t0, t1) == (1.0, 2.0)
+    assert resources == {("0", 0), ("0", 1), ("0", 2)}
+
+
+def test_composites_cover_exactly_the_overlap_region(overlap_schedule):
+    """Composite area equals the host-time measure of the pairwise overlap."""
+    comps = build_composite_tasks(overlap_schedule.tasks)
+    area = sum(c.duration * c.num_hosts for c in comps)
+    # c1 on hosts 0-3 over [0,2); t1 on hosts 0-1 over [1,3): overlap = 2 hosts x 1s
+    assert area == pytest.approx(2.0)

@@ -1,0 +1,121 @@
+"""Tests for schedule diffing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.diff import diff_schedules
+from repro.core.model import Schedule, Task
+
+
+def _base() -> Schedule:
+    s = Schedule()
+    s.new_cluster(0, 4)
+    s.new_task("a", "computation", 0.0, 2.0, cluster=0, host_start=0, host_nb=2)
+    s.new_task("b", "computation", 2.0, 4.0, cluster=0, host_start=0, host_nb=2)
+    s.new_task("c", "transfer", 1.0, 3.0, cluster=0, host_start=2, host_nb=2)
+    return s
+
+
+def test_identical_schedules():
+    diff = diff_schedules(_base(), _base())
+    assert diff.identical
+    assert len(diff.unchanged) == 3
+    assert diff.makespan_delta == 0.0
+    assert diff.delayed_tasks() == []
+
+
+def test_moved_task_detected():
+    after = _base().copy()
+    t = after.remove_task("b")
+    after.add_task(t.shifted(-0.5))
+    diff = diff_schedules(_base(), after)
+    assert [d.task_id for d in diff.deltas] == ["b"]
+    assert diff.deltas[0].kind == "moved"
+    assert diff.deltas[0].end_delta == pytest.approx(-0.5)
+    assert diff.moved_earlier() and not diff.delayed_tasks()
+
+
+def test_delayed_task_detected():
+    after = _base().copy()
+    t = after.remove_task("b")
+    after.add_task(t.shifted(+1.0))
+    diff = diff_schedules(_base(), after)
+    assert [d.task_id for d in diff.delayed_tasks()] == ["b"]
+    assert diff.makespan_delta == pytest.approx(1.0)
+
+
+def test_resized_task_detected():
+    after = _base().copy()
+    after.remove_task("a")
+    after.new_task("a", "computation", 0.0, 3.0, cluster=0, host_start=0, host_nb=2)
+    diff = diff_schedules(_base(), after)
+    assert diff.deltas[0].kind == "resized"
+
+
+def test_reallocated_task_detected():
+    after = _base().copy()
+    after.remove_task("a")
+    after.new_task("a", "computation", 0.0, 2.0, cluster=0, host_start=2, host_nb=2)
+    diff = diff_schedules(_base(), after)
+    assert diff.deltas[0].kind == "reallocated"
+
+
+def test_retyped_task_detected():
+    after = _base().copy()
+    t = after.remove_task("c")
+    after.add_task(Task("c", "io", t.start_time, t.end_time, t.configurations))
+    diff = diff_schedules(_base(), after)
+    assert diff.deltas[0].kind == "retyped"
+
+
+def test_added_and_removed():
+    after = _base().copy()
+    after.remove_task("c")
+    after.new_task("d", "computation", 0.0, 1.0, cluster=0, host_start=3, host_nb=1)
+    diff = diff_schedules(_base(), after)
+    assert diff.added == ["d"]
+    assert diff.removed == ["c"]
+    assert not diff.identical
+
+
+def test_summary_mentions_counts():
+    after = _base().copy()
+    t = after.remove_task("b")
+    after.add_task(t.shifted(1.0))
+    text = diff_schedules(_base(), after).summary()
+    assert "changed:   1" in text
+    assert "delayed:   1" in text
+
+
+def test_backfill_no_delay_via_diff():
+    """The Section IV-B check expressed as a one-liner with the diff tool."""
+    from repro.dag.generators import LayeredDagSpec, layered_dag
+    from repro.dag.moldable import AmdahlModel
+    from repro.platform.builders import homogeneous_cluster
+    from repro.sched.backfill import backfill_mapping
+    from repro.sched.cpa import cpa_schedule
+
+    model = AmdahlModel(0.05)
+    platform = homogeneous_cluster(8, 1e9)
+    g = layered_dag(LayeredDagSpec(n_tasks=12, layers=4), seed=2)
+    result = cpa_schedule(g, platform, model)
+    compacted = backfill_mapping(g, result.mapping, result.sim, platform, model)
+    diff = diff_schedules(result.schedule, compacted.schedule)
+    assert diff.delayed_tasks() == []
+
+
+def test_cli_diff_command(tmp_path, capsys):
+    from repro.cli.main import main
+    from repro.io import jedule_xml
+
+    before, after = _base(), _base().copy()
+    t = after.remove_task("b")
+    after.add_task(t.shifted(1.0))
+    pb, pa = tmp_path / "before.jed", tmp_path / "after.jed"
+    jedule_xml.dump(before, pb)
+    jedule_xml.dump(after, pa)
+    assert main(["diff", str(pb), str(pa)]) == 0
+    assert "b: moved" in capsys.readouterr().out
+    assert main(["diff", str(pb), str(pa), "--fail-on-delay"]) == 1
+    assert main(["diff", str(pb), str(pb), "--fail-on-delay"]) == 0

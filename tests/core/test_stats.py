@@ -1,0 +1,125 @@
+"""Tests for schedule statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Schedule
+from repro.core.stats import (
+    area_lower_bound,
+    busy_hosts_at,
+    idle_area,
+    low_utilization_windows,
+    per_host_busy_time,
+    per_type_area,
+    total_busy_area,
+    utilization,
+    utilization_profile,
+)
+
+
+@pytest.fixture
+def staircase() -> Schedule:
+    """4 hosts; tasks form a staircase of busy counts 1,2,1,0 over [0,4)."""
+    s = Schedule()
+    s.new_cluster(0, 4)
+    s.new_task("a", "computation", 0.0, 3.0, cluster=0, host_start=0, host_nb=1)
+    s.new_task("b", "computation", 1.0, 2.0, cluster=0, host_start=1, host_nb=1)
+    s.new_task("c", "io", 3.0, 4.0, cluster=0, host_start=3, host_nb=1)
+    return s
+
+
+def test_total_busy_area(staircase):
+    assert total_busy_area(staircase) == pytest.approx(3.0 + 1.0 + 1.0)
+
+
+def test_total_busy_area_filtered(staircase):
+    assert total_busy_area(staircase, types=["io"]) == pytest.approx(1.0)
+
+
+def test_utilization(staircase):
+    assert utilization(staircase) == pytest.approx(5.0 / 16.0)
+
+
+def test_idle_area(staircase):
+    assert idle_area(staircase) == pytest.approx(16.0 - 5.0)
+
+
+def test_empty_schedule_utilization():
+    s = Schedule()
+    s.new_cluster(0, 4)
+    assert utilization(s) == 0.0
+    assert total_busy_area(s) == 0.0
+
+
+def test_profile_counts(staircase):
+    prof = utilization_profile(staircase)
+    assert prof.value_at(0.5) == 1
+    assert prof.value_at(1.5) == 2
+    assert prof.value_at(2.5) == 1
+    assert prof.value_at(3.5) == 1
+    assert prof.value_at(4.5) == 0
+    assert prof.value_at(-1.0) == 0
+    assert prof.peak == 2
+
+
+def test_profile_final_count_zero(staircase):
+    prof = utilization_profile(staircase)
+    assert prof.counts[-1] == 0
+
+
+def test_profile_average(staircase):
+    # areas: 1*1 + 2*1 + 1*1 + 1*1 over span 4
+    assert utilization_profile(staircase).average() == pytest.approx(5.0 / 4.0)
+
+
+def test_profile_time_with_count(staircase):
+    prof = utilization_profile(staircase)
+    assert prof.time_with_count(lambda c: c >= 2) == pytest.approx(1.0)
+    assert prof.time_with_count(lambda c: c == 1) == pytest.approx(3.0)
+
+
+def test_busy_hosts_at(staircase):
+    assert busy_hosts_at(staircase, 1.5) == 2
+
+
+def test_composites_excluded_from_stats():
+    from repro.core.composite import with_composites
+
+    s = Schedule()
+    s.new_cluster(0, 2)
+    s.new_task("a", "computation", 0.0, 2.0, cluster=0, host_start=0, host_nb=2)
+    s.new_task("b", "transfer", 1.0, 3.0, cluster=0, host_start=0, host_nb=2)
+    plain_area = total_busy_area(s)
+    enriched = with_composites(s)
+    assert total_busy_area(enriched) == pytest.approx(plain_area)
+
+
+def test_per_type_area(staircase):
+    areas = per_type_area(staircase)
+    assert areas == {"computation": pytest.approx(4.0), "io": pytest.approx(1.0)}
+
+
+def test_per_host_busy_time(staircase):
+    busy = per_host_busy_time(staircase)
+    assert busy[("0", 0)] == pytest.approx(3.0)
+    assert busy[("0", 1)] == pytest.approx(1.0)
+    assert busy[("0", 2)] == 0.0
+    assert busy[("0", 3)] == pytest.approx(1.0)
+
+
+def test_low_utilization_windows(staircase):
+    # threshold 1: whole span except [1,2) where 2 hosts busy
+    windows = low_utilization_windows(staircase, 1)
+    assert windows == [(0.0, 1.0), (2.0, 4.0)]
+
+
+def test_low_utilization_min_duration(staircase):
+    windows = low_utilization_windows(staircase, 1, min_duration=1.5)
+    assert windows == [(2.0, 4.0)]
+
+
+def test_area_lower_bound(staircase):
+    assert area_lower_bound(staircase) == pytest.approx(5.0 / 4.0)
+    # T_A is a lower bound on the makespan for this (space-shared) schedule
+    assert area_lower_bound(staircase) <= staircase.makespan

@@ -1,0 +1,82 @@
+"""Tests for scaled/aligned view frames."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.timeframe import (
+    TimeFrame,
+    ViewMode,
+    cluster_frame,
+    frames_for,
+    global_frame,
+)
+
+
+class TestTimeFrame:
+    def test_span_fraction_roundtrip(self):
+        f = TimeFrame(10.0, 20.0)
+        assert f.span == 10.0
+        assert f.fraction(15.0) == 0.5
+        assert f.at_fraction(0.25) == 12.5
+        assert f.at_fraction(f.fraction(17.3)) == pytest.approx(17.3)
+
+    def test_degenerate(self):
+        f = TimeFrame(5.0, 5.0)
+        assert f.span == 0.0
+        assert f.fraction(5.0) == 0.0
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            TimeFrame(2.0, 1.0)
+
+    def test_contains_clamp(self):
+        f = TimeFrame(0.0, 10.0)
+        assert f.contains(0.0) and f.contains(10.0)
+        assert not f.contains(-0.1)
+        assert f.clamp(-5) == 0.0 and f.clamp(15) == 10.0
+
+    def test_union_intersect(self):
+        a, b = TimeFrame(0, 5), TimeFrame(3, 9)
+        assert a.union(b) == TimeFrame(0, 9)
+        assert a.intersect(b) == TimeFrame(3, 5)
+        assert a.intersect(TimeFrame(6, 7)) is None
+
+
+class TestViewMode:
+    def test_parse(self):
+        assert ViewMode.parse("scaled") is ViewMode.SCALED
+        assert ViewMode.parse(" ALIGNED ") is ViewMode.ALIGNED
+
+    def test_parse_invalid(self):
+        with pytest.raises(ValueError, match="unknown view mode"):
+            ViewMode.parse("diagonal")
+
+
+class TestFrames:
+    def test_cluster_frames_local(self, multi_cluster_schedule):
+        fa = cluster_frame(multi_cluster_schedule, "a")
+        fb = cluster_frame(multi_cluster_schedule, "b")
+        # cluster a: tasks 1 [0,5] and 3 [4,11]
+        assert fa == TimeFrame(0.0, 11.0)
+        # cluster b: tasks 2 [10,30] and 3 [4,11]
+        assert fb == TimeFrame(4.0, 30.0)
+
+    def test_empty_cluster_frame(self):
+        from repro.core.model import Schedule
+
+        s = Schedule()
+        s.new_cluster(0, 2)
+        assert cluster_frame(s, 0) == TimeFrame(0.0, 0.0)
+
+    def test_global_frame(self, multi_cluster_schedule):
+        assert global_frame(multi_cluster_schedule) == TimeFrame(0.0, 30.0)
+
+    def test_frames_for_aligned_all_equal(self, multi_cluster_schedule):
+        frames = frames_for(multi_cluster_schedule, ViewMode.ALIGNED)
+        assert frames["a"] == frames["b"] == TimeFrame(0.0, 30.0)
+
+    def test_frames_for_scaled_local(self, multi_cluster_schedule):
+        frames = frames_for(multi_cluster_schedule, ViewMode.SCALED)
+        assert frames["a"] != frames["b"]
+        assert frames["a"].span < frames["b"].span

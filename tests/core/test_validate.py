@@ -1,0 +1,91 @@
+"""Tests for semantic schedule validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Schedule
+from repro.core.validate import assert_valid, check_exclusive_resources, validate_schedule
+from repro.errors import ValidationError
+
+
+def _make(overlapping: bool) -> Schedule:
+    s = Schedule()
+    s.new_cluster(0, 4)
+    s.new_task(1, "computation", 0.0, 2.0, cluster=0, host_start=0, host_nb=2)
+    if overlapping:
+        s.new_task(2, "computation", 1.0, 3.0, cluster=0, host_start=1, host_nb=2)
+    else:
+        s.new_task(2, "computation", 2.0, 3.0, cluster=0, host_start=1, host_nb=2)
+    return s
+
+
+def test_clean_schedule_has_no_violations():
+    violations = validate_schedule(_make(False),
+                                   forbid_overlap_types=["computation"])
+    assert violations == []
+
+
+def test_overlap_detected():
+    violations = validate_schedule(_make(True),
+                                   forbid_overlap_types=["computation"])
+    assert len(violations) == 1
+    v = violations[0]
+    assert v.kind == "overlap"
+    assert v.task_ids == ("1", "2")
+    assert "host 1" in v.message
+
+
+def test_overlap_only_checked_for_requested_types():
+    assert validate_schedule(_make(True)) == []
+    assert validate_schedule(_make(True), forbid_overlap_types=["io"]) == []
+
+
+def test_overlap_reported_once_per_pair():
+    s = Schedule()
+    s.new_cluster(0, 4)
+    s.new_task(1, "c", 0.0, 2.0, cluster=0, host_start=0, host_nb=4)
+    s.new_task(2, "c", 1.0, 3.0, cluster=0, host_start=0, host_nb=4)
+    violations = check_exclusive_resources(s.tasks)
+    assert len(violations) == 1  # not once per shared host
+
+
+def test_touching_tasks_not_flagged():
+    s = Schedule()
+    s.new_cluster(0, 1)
+    s.new_task(1, "c", 0.0, 1.0, cluster=0, host_start=0, host_nb=1)
+    s.new_task(2, "c", 1.0, 2.0, cluster=0, host_start=0, host_nb=1)
+    assert check_exclusive_resources(s.tasks) == []
+
+
+def test_expected_hosts_match():
+    s = _make(False)
+    assert validate_schedule(s, expected_hosts={"1": 2, "2": 2}) == []
+
+
+def test_expected_hosts_mismatch():
+    s = _make(False)
+    violations = validate_schedule(s, expected_hosts={"1": 4})
+    assert len(violations) == 1
+    assert violations[0].kind == "task-hosts"
+    assert "requested 4" in violations[0].message
+
+
+def test_expected_hosts_missing_task():
+    violations = validate_schedule(_make(False), expected_hosts={"99": 1})
+    assert violations[0].kind == "task-hosts"
+    assert "missing" in violations[0].message
+
+
+def test_assert_valid_raises_with_summary():
+    with pytest.raises(ValidationError, match="1 violation"):
+        assert_valid(_make(True), forbid_overlap_types=["computation"])
+
+
+def test_assert_valid_passes():
+    assert_valid(_make(False), forbid_overlap_types=["computation"])
+
+
+def test_violation_str():
+    violations = validate_schedule(_make(True), forbid_overlap_types=["computation"])
+    assert str(violations[0]).startswith("[overlap]")

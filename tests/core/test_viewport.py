@@ -1,0 +1,140 @@
+"""Tests for the interactive viewport algebra."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.viewport import Viewport
+
+
+@pytest.fixture
+def vp() -> Viewport:
+    return Viewport(0.0, 100.0, 0.0, 10.0)
+
+
+class TestConstruction:
+    def test_degenerate_rejected(self):
+        with pytest.raises(ValueError):
+            Viewport(0, 0, 0, 1)
+        with pytest.raises(ValueError):
+            Viewport(0, 1, 5, 5)
+
+    def test_fit(self, simple_schedule):
+        v = Viewport.fit(simple_schedule)
+        assert (v.t0, v.t1) == (0.0, 0.5)
+        assert (v.r0, v.r1) == (0.0, 8.0)
+
+    def test_fit_empty_schedule(self):
+        from repro.core.model import Schedule
+
+        s = Schedule()
+        s.new_cluster(0, 4)
+        v = Viewport.fit(s)
+        assert v.time_span > 0  # degenerate span padded to 1
+
+    def test_fit_with_pad(self, simple_schedule):
+        v = Viewport.fit(simple_schedule, pad=0.1)
+        assert v.t0 == pytest.approx(-0.05)
+        assert v.t1 == pytest.approx(0.55)
+
+
+class TestZoom:
+    def test_zoom_in_halves_spans(self, vp):
+        z = vp.zoom(2.0)
+        assert z.time_span == pytest.approx(50.0)
+        assert z.resource_span == pytest.approx(5.0)
+        assert z.center == pytest.approx(vp.center)
+
+    def test_zoom_out(self, vp):
+        z = vp.zoom(0.5)
+        assert z.time_span == pytest.approx(200.0)
+
+    def test_zoom_unzoom_identity(self, vp):
+        z = vp.zoom(1.7).zoom(1 / 1.7)
+        assert z.t0 == pytest.approx(vp.t0)
+        assert z.t1 == pytest.approx(vp.t1)
+        assert z.r0 == pytest.approx(vp.r0)
+        assert z.r1 == pytest.approx(vp.r1)
+
+    def test_zoom_at_anchor_keeps_anchor(self, vp):
+        anchor = (20.0, 3.0)
+        z = vp.zoom(4.0, at=anchor)
+        # the anchor keeps its relative position: it stays in the window at
+        # the same fractional coordinates
+        fx_before = (anchor[0] - vp.t0) / vp.time_span
+        fx_after = (anchor[0] - z.t0) / z.time_span
+        assert fx_after == pytest.approx(fx_before)
+
+    def test_zoom_invalid_factor(self, vp):
+        with pytest.raises(ValueError):
+            vp.zoom(0.0)
+        with pytest.raises(ValueError):
+            vp.zoom(-2.0)
+
+
+class TestPan:
+    def test_pan(self, vp):
+        p = vp.pan(10.0, -2.0)
+        assert (p.t0, p.t1) == (10.0, 110.0)
+        assert (p.r0, p.r1) == (-2.0, 8.0)
+
+    def test_pan_fraction(self, vp):
+        p = vp.pan_fraction(0.25)
+        assert p.t0 == pytest.approx(25.0)
+        assert p.time_span == pytest.approx(vp.time_span)
+
+    def test_pan_then_back_is_identity(self, vp):
+        p = vp.pan(33.0, 5.0).pan(-33.0, -5.0)
+        assert p.t0 == pytest.approx(vp.t0)
+        assert p.r0 == pytest.approx(vp.r0)
+
+
+class TestZoomTo:
+    def test_time_window_only(self, vp):
+        z = vp.zoom_to(10.0, 20.0)
+        assert (z.t0, z.t1) == (10.0, 20.0)
+        assert (z.r0, z.r1) == (vp.r0, vp.r1)  # rows preserved
+
+    def test_full_rectangle(self, vp):
+        z = vp.zoom_to(10.0, 20.0, 2.0, 4.0)
+        assert (z.r0, z.r1) == (2.0, 4.0)
+
+    def test_degenerate_window_padded(self, vp):
+        z = vp.zoom_to(5.0, 5.0)
+        assert z.time_span > 0
+
+
+class TestClamp:
+    def test_clamp_inside_is_identity(self, vp):
+        inner = Viewport(10, 20, 2, 4)
+        assert inner.clamped_to(vp) == inner
+
+    def test_clamp_translates_back(self, vp):
+        outside = vp.pan(1000.0)
+        clamped = outside.clamped_to(vp)
+        assert clamped.t1 <= vp.t1 + 1e-9
+        assert clamped.time_span == pytest.approx(vp.time_span)
+
+    def test_clamp_shrinks_oversized(self, vp):
+        big = vp.zoom(0.1)  # 10x larger than bounds
+        clamped = big.clamped_to(vp)
+        assert clamped.time_span <= vp.time_span + 1e-9
+
+
+class TestMapping:
+    def test_unit_roundtrip(self, vp):
+        x, y = vp.to_unit(30.0, 7.0)
+        assert (x, y) == pytest.approx((0.3, 0.7))
+        t, r = vp.from_unit(x, y)
+        assert (t, r) == pytest.approx((30.0, 7.0))
+
+    def test_contains(self, vp):
+        assert vp.contains(50, 5)
+        assert not vp.contains(150, 5)
+        assert not vp.contains(50, 15)
+
+    def test_intersects_time(self, vp):
+        assert vp.intersects_time(-10, 5)
+        assert vp.intersects_time(95, 200)
+        assert not vp.intersects_time(100, 200)  # half-open
+        assert not vp.intersects_time(-10, 0)

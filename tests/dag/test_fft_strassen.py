@@ -1,0 +1,99 @@
+"""Tests for the FFT and Strassen benchmark DAG generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.generators import fft_dag, strassen_dag
+from repro.errors import SchedulingError
+
+
+class TestFft:
+    def test_task_and_edge_counts(self):
+        g = fft_dag(8)
+        # 8 leaves + 3 butterfly levels of 8 tasks
+        assert len(g) == 8 * 4
+        assert len(g.edges) == 8 * 3 * 2
+
+    def test_butterfly_dependencies(self):
+        g = fft_dag(8)
+        # task L2.3 depends on L1.3 and L1.1 (bit 1 flipped)
+        assert set(g.predecessors("L2.3")) == {"L1.3", "L1.1"}
+        # task L1.5 depends on L0.5 and L0.4 (bit 0 flipped)
+        assert set(g.predecessors("L1.5")) == {"L0.5", "L0.4"}
+
+    def test_levels(self):
+        g = fft_dag(16)
+        levels = g.precedence_levels()
+        assert max(levels.values()) == 4  # log2(16) butterfly levels
+        assert g.max_level_width() == 16
+
+    def test_acyclic(self):
+        fft_dag(32).topo_order()
+
+    def test_sources_and_sinks(self):
+        g = fft_dag(8)
+        assert len(g.sources()) == 8
+        assert len(g.sinks()) == 8
+
+    @pytest.mark.parametrize("bad", [0, 1, 3, 12])
+    def test_non_power_of_two_rejected(self, bad):
+        with pytest.raises(SchedulingError):
+            fft_dag(bad)
+
+    def test_schedulable(self):
+        from repro.core.validate import check_exclusive_resources
+        from repro.dag.moldable import AmdahlModel
+        from repro.platform.builders import homogeneous_cluster
+        from repro.sched.mcpa import mcpa_schedule
+
+        result = mcpa_schedule(fft_dag(8), homogeneous_cluster(8, 1e9),
+                               AmdahlModel(0.05))
+        assert check_exclusive_resources(result.schedule.tasks) == []
+
+
+class TestStrassen:
+    def test_one_level_counts(self):
+        g = strassen_dag(1)
+        # input + output + 10 pre-adds + 7 mults + 7 combines
+        assert len(g) == 26
+        mults = [n for n in g if n.type == "multiplication"]
+        assert len(mults) == 7
+
+    def test_two_levels_have_49_multiplications(self):
+        g = strassen_dag(2)
+        mults = [n for n in g if n.type == "multiplication"]
+        assert len(mults) == 49
+
+    def test_single_source_and_sink(self):
+        g = strassen_dag(1)
+        assert len(g.sources()) == 1
+        assert len(g.sinks()) == 1
+
+    def test_acyclic(self):
+        strassen_dag(2).topo_order()
+
+    def test_multiplications_dominate_work(self):
+        g = strassen_dag(1)
+        mult_work = sum(n.work for n in g if n.type == "multiplication")
+        assert mult_work > 0.5 * g.total_work()
+
+    def test_recursion_scales_work_down(self):
+        g = strassen_dag(2)
+        mult_works = sorted({n.work for n in g if n.type == "multiplication"})
+        assert len(mult_works) == 1  # all leaf mults at the same level
+        assert mult_works[0] == pytest.approx(4e9 / 4)
+
+    def test_invalid_levels_rejected(self):
+        with pytest.raises(SchedulingError):
+            strassen_dag(0)
+
+    def test_schedulable(self):
+        from repro.core.validate import check_exclusive_resources
+        from repro.dag.moldable import AmdahlModel
+        from repro.platform.builders import homogeneous_cluster
+        from repro.sched.cpa import cpa_schedule
+
+        result = cpa_schedule(strassen_dag(1), homogeneous_cluster(16, 1e9),
+                              AmdahlModel(0.05))
+        assert check_exclusive_resources(result.schedule.tasks) == []

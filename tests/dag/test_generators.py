@@ -1,0 +1,111 @@
+"""Tests for the random DAG generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.generators import (
+    LayeredDagSpec,
+    fork_join_dag,
+    imbalanced_layer_dag,
+    irregular_dag,
+    layered_dag,
+    long_dag,
+    serial_dag,
+    wide_dag,
+)
+from repro.errors import SchedulingError
+
+
+class TestLayered:
+    def test_exact_task_count(self):
+        for n in (5, 17, 50, 120):
+            g = layered_dag(LayeredDagSpec(n_tasks=n, layers=min(6, n)), seed=1)
+            assert len(g) == n
+
+    def test_acyclic_and_connected_downward(self):
+        g = layered_dag(LayeredDagSpec(n_tasks=40, layers=7), seed=2)
+        g.topo_order()  # no cycle
+        # every non-source has a predecessor
+        sources = set(g.sources())
+        for n in g.task_ids:
+            if n not in sources:
+                assert g.in_degree(n) >= 1
+
+    def test_layer_attr_matches_precedence_level(self):
+        g = layered_dag(LayeredDagSpec(n_tasks=30, layers=5, jump_prob=0.0),
+                        seed=3)
+        levels = g.precedence_levels()
+        for node in g:
+            assert levels[node.id] == int(node.attrs["layer"])
+
+    def test_deterministic_with_seed(self):
+        a = layered_dag(LayeredDagSpec(n_tasks=25, layers=5), seed=42)
+        b = layered_dag(LayeredDagSpec(n_tasks=25, layers=5), seed=42)
+        assert [n.work for n in a] == [n.work for n in b]
+        assert {(e.src, e.dst) for e in a.edges} == {(e.src, e.dst) for e in b.edges}
+
+    def test_different_seeds_differ(self):
+        a = layered_dag(LayeredDagSpec(n_tasks=25, layers=5), seed=1)
+        b = layered_dag(LayeredDagSpec(n_tasks=25, layers=5), seed=2)
+        assert [n.work for n in a] != [n.work for n in b]
+
+    def test_spec_validation(self):
+        with pytest.raises(SchedulingError):
+            LayeredDagSpec(n_tasks=0)
+        with pytest.raises(SchedulingError):
+            LayeredDagSpec(n_tasks=5, layers=10)
+        with pytest.raises(SchedulingError):
+            LayeredDagSpec(density=1.5)
+
+    def test_positive_work_and_data(self):
+        g = layered_dag(LayeredDagSpec(n_tasks=30, layers=6), seed=4)
+        assert all(n.work > 0 for n in g)
+        assert all(e.data > 0 for e in g.edges)
+
+
+class TestShapes:
+    def test_long_is_deep(self):
+        g = long_dag(40, seed=1)
+        assert max(g.precedence_levels().values()) >= 15
+
+    def test_wide_is_shallow_and_wide(self):
+        g = wide_dag(40, seed=1)
+        assert g.max_level_width() >= 8
+        assert max(g.precedence_levels().values()) <= 6
+
+    def test_serial_is_a_chain(self):
+        g = serial_dag(10)
+        assert g.max_level_width() == 1
+        assert len(g.edges) == 9
+        assert len(g.sources()) == 1 and len(g.sinks()) == 1
+
+    def test_fork_join_structure(self):
+        g = fork_join_dag(width=4, stages=2)
+        # 1 + (4+1)*2 tasks
+        assert len(g) == 11
+        assert g.max_level_width() == 4
+        assert len(g.sinks()) == 1
+
+    def test_irregular_valid(self):
+        g = irregular_dag(60, seed=5)
+        assert len(g) == 60
+        g.topo_order()
+
+
+class TestImbalanced:
+    def test_structure(self):
+        g = imbalanced_layer_dag(width=6, seed=1)
+        levels = g.precedence_levels()
+        assert sum(1 for lv in levels.values() if lv == 1) == 6
+
+    def test_one_heavy_task(self):
+        g = imbalanced_layer_dag(width=8, heavy_factor=10.0, seed=1)
+        layer1 = [g.node(n).work for n in g.tasks_at_level(1)]
+        top = max(layer1)
+        rest = sorted(layer1)[:-1]
+        assert top > 5 * max(rest)
+
+    def test_width_validation(self):
+        with pytest.raises(SchedulingError):
+            imbalanced_layer_dag(width=1)

@@ -1,0 +1,134 @@
+"""Tests for the task-graph container."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.graph import TaskGraph
+from repro.errors import SchedulingError
+
+
+@pytest.fixture
+def diamond() -> TaskGraph:
+    """a -> b, c -> d with uneven costs."""
+    g = TaskGraph("diamond")
+    g.add_task("a", 10.0)
+    g.add_task("b", 20.0)
+    g.add_task("c", 5.0)
+    g.add_task("d", 10.0)
+    g.add_edge("a", "b", 100.0)
+    g.add_edge("a", "c", 100.0)
+    g.add_edge("b", "d", 100.0)
+    g.add_edge("c", "d", 100.0)
+    return g
+
+
+class TestBuilding:
+    def test_basic(self, diamond):
+        assert len(diamond) == 4
+        assert len(diamond.edges) == 4
+        assert diamond.node("a").work == 10.0
+        assert diamond.edge("a", "b").data == 100.0
+
+    def test_duplicate_task_rejected(self, diamond):
+        with pytest.raises(SchedulingError):
+            diamond.add_task("a", 1.0)
+
+    def test_duplicate_edge_rejected(self, diamond):
+        with pytest.raises(SchedulingError):
+            diamond.add_edge("a", "b")
+
+    def test_self_loop_rejected(self, diamond):
+        with pytest.raises(SchedulingError):
+            diamond.add_edge("a", "a")
+
+    def test_unknown_endpoint_rejected(self, diamond):
+        with pytest.raises(SchedulingError):
+            diamond.add_edge("a", "zzz")
+
+    def test_negative_work_rejected(self):
+        g = TaskGraph()
+        with pytest.raises(SchedulingError):
+            g.add_task("x", -1.0)
+
+    def test_negative_data_rejected(self, diamond):
+        g = TaskGraph()
+        g.add_task("x", 1.0)
+        g.add_task("y", 1.0)
+        with pytest.raises(SchedulingError):
+            g.add_edge("x", "y", -5.0)
+
+    def test_attrs_stored(self):
+        g = TaskGraph()
+        g.add_task("x", 1.0, type="mProject", image="3")
+        assert g.node("x").type == "mProject"
+        assert g.node("x").attrs["image"] == "3"
+
+
+class TestTraversal:
+    def test_degrees_and_neighbors(self, diamond):
+        assert diamond.in_degree("d") == 2
+        assert diamond.out_degree("a") == 2
+        assert set(diamond.successors("a")) == {"b", "c"}
+        assert set(diamond.predecessors("d")) == {"b", "c"}
+
+    def test_sources_sinks(self, diamond):
+        assert diamond.sources() == ("a",)
+        assert diamond.sinks() == ("d",)
+
+    def test_topo_order_valid(self, diamond):
+        order = diamond.topo_order()
+        pos = {n: i for i, n in enumerate(order)}
+        for e in diamond.edges:
+            assert pos[e.src] < pos[e.dst]
+
+    def test_cycle_detected(self):
+        g = TaskGraph()
+        g.add_task("a", 1)
+        g.add_task("b", 1)
+        g.add_edge("a", "b")
+        g.add_edge("b", "a")
+        with pytest.raises(SchedulingError, match="cycle"):
+            g.topo_order()
+
+    def test_precedence_levels(self, diamond):
+        levels = diamond.precedence_levels()
+        assert levels == {"a": 0, "b": 1, "c": 1, "d": 2}
+        assert diamond.tasks_at_level(1) == ("b", "c")
+        assert diamond.max_level_width() == 2
+
+    def test_bottom_levels(self, diamond):
+        bl = diamond.bottom_levels(lambda v: diamond.node(v).work)
+        assert bl["d"] == 10.0
+        assert bl["b"] == 30.0
+        assert bl["c"] == 15.0
+        assert bl["a"] == 40.0  # a + b + d
+
+    def test_bottom_levels_with_edge_cost(self, diamond):
+        bl = diamond.bottom_levels(lambda v: diamond.node(v).work,
+                                   lambda e: e.data)
+        assert bl["a"] == 10 + 100 + 20 + 100 + 10
+
+    def test_top_levels(self, diamond):
+        tl = diamond.top_levels(lambda v: diamond.node(v).work)
+        assert tl["a"] == 0.0
+        assert tl["b"] == 10.0
+        assert tl["d"] == 30.0  # via b
+
+    def test_critical_path(self, diamond):
+        path, length = diamond.critical_path(lambda v: diamond.node(v).work)
+        assert path == ["a", "b", "d"]
+        assert length == 40.0
+
+    def test_critical_path_empty_graph(self):
+        path, length = TaskGraph().critical_path(lambda v: 0.0)
+        assert path == [] and length == 0.0
+
+    def test_total_work(self, diamond):
+        assert diamond.total_work() == 45.0
+
+    def test_relabeled(self, diamond):
+        g2 = diamond.relabeled("app0.")
+        assert "app0.a" in g2
+        assert g2.edge("app0.a", "app0.b").data == 100.0
+        assert len(g2) == len(diamond)

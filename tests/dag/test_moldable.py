@@ -1,0 +1,92 @@
+"""Tests for moldable speedup models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.moldable import (
+    AmdahlModel,
+    CommOverheadModel,
+    DowneyModel,
+    PerfectModel,
+    execution_time,
+)
+from repro.errors import SchedulingError
+
+ALL_MODELS = [
+    PerfectModel(),
+    AmdahlModel(0.05),
+    AmdahlModel(0.0),
+    CommOverheadModel(0.001),
+    DowneyModel(16.0, 0.5),
+    DowneyModel(8.0, 2.0),
+]
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__ + repr(m))
+def test_speedup_one_on_one_proc(model):
+    assert model.speedup(1) == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("model", ALL_MODELS, ids=lambda m: type(m).__name__ + repr(m))
+def test_execution_time_non_increasing(model):
+    times = [execution_time(1e9, p, model) for p in range(1, 65)]
+    for a, b in zip(times, times[1:]):
+        assert b <= a + 1e-9
+
+
+def test_perfect_linear():
+    assert PerfectModel().speedup(8) == 8.0
+
+
+def test_amdahl_bounded_by_serial_fraction():
+    m = AmdahlModel(0.1)
+    assert m.speedup(10_000) < 10.0
+    assert m.speedup(2) == pytest.approx(1.0 / (0.1 + 0.9 / 2))
+
+
+def test_amdahl_validation():
+    with pytest.raises(SchedulingError):
+        AmdahlModel(-0.1)
+    with pytest.raises(SchedulingError):
+        AmdahlModel(1.5)
+
+
+def test_comm_overhead_peaks_then_saturates():
+    m = CommOverheadModel(0.02)
+    # with a large overhead the speedup curve flattens early
+    assert m.speedup(4) > m.speedup(1)
+    assert execution_time(1e9, 64, m) <= execution_time(1e9, 1, m)
+
+
+def test_downey_caps_at_average_parallelism():
+    m = DowneyModel(A=8.0, sigma=0.5)
+    assert m.speedup(64) == pytest.approx(8.0)
+    assert m.speedup(4) < 8.0
+
+
+def test_downey_high_variance_branch():
+    m = DowneyModel(A=8.0, sigma=2.0)
+    assert 1.0 <= m.speedup(4) <= 8.0
+    assert m.speedup(1000) == pytest.approx(8.0)
+
+
+def test_downey_validation():
+    with pytest.raises(SchedulingError):
+        DowneyModel(A=0.5)
+    with pytest.raises(SchedulingError):
+        DowneyModel(sigma=-1)
+
+
+def test_execution_time_scales_with_speed():
+    m = PerfectModel()
+    assert execution_time(1e9, 2, m, speed=2e9) == pytest.approx(0.25)
+
+
+def test_execution_time_validation():
+    with pytest.raises(SchedulingError):
+        execution_time(-1, 1, PerfectModel())
+    with pytest.raises(SchedulingError):
+        execution_time(1, 1, PerfectModel(), speed=0)
+    with pytest.raises(SchedulingError):
+        execution_time(1, 0, PerfectModel())

@@ -1,0 +1,101 @@
+"""Tests for the Montage workflow generator (Figure 6)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.montage import MONTAGE_TASK_TYPES, montage_50, montage_workflow
+from repro.errors import SchedulingError
+
+
+def test_montage_50_has_exactly_50_tasks():
+    g = montage_50()
+    assert len(g) == 50
+
+
+def test_stage_counts_for_50():
+    g = montage_50()
+    counts: dict[str, int] = {}
+    for node in g:
+        counts[node.type] = counts.get(node.type, 0) + 1
+    assert counts["mProject"] == 10
+    assert counts["mDiffFit"] == 24
+    assert counts["mBackground"] == 10
+    for single in ("mConcatFit", "mBgModel", "mImgtbl", "mAdd", "mShrink", "mJPEG"):
+        assert counts[single] == 1
+
+
+def test_structure_matches_figure6():
+    g = montage_50()
+    # every mDiffFit has exactly 2 mProject parents
+    for n in g:
+        if n.type == "mDiffFit":
+            preds = [g.node(p).type for p in g.predecessors(n.id)]
+            assert preds == ["mProject", "mProject"]
+    # mConcatFit joins all mDiffFits
+    assert g.in_degree("mConcatFit") == 24
+    # each mBackground depends on mBgModel and its own mProject
+    for i in range(10):
+        preds = set(g.predecessors(f"mBackground_{i}"))
+        assert preds == {"mBgModel", f"mProject_{i}"}
+    # the tail chain
+    assert g.predecessors("mShrink") == ("mAdd",)
+    assert g.predecessors("mJPEG") == ("mShrink",)
+    assert g.sinks() == ("mJPEG",)
+
+
+def test_sources_are_projects():
+    g = montage_50()
+    assert all(s.startswith("mProject") for s in g.sources())
+
+
+def test_acyclic():
+    montage_50().topo_order()
+
+
+def test_levels_follow_pipeline():
+    g = montage_50()
+    levels = g.precedence_levels()
+    assert levels["mProject_0"] == 0
+    assert levels["mDiffFit_0"] == 1
+    assert levels["mConcatFit"] == 2
+    assert levels["mBgModel"] == 3
+    assert levels["mBackground_0"] == 4
+    assert levels["mImgtbl"] == 5
+    assert levels["mAdd"] == 6
+    assert levels["mShrink"] == 7
+    assert levels["mJPEG"] == 8
+
+
+def test_task_types_registered():
+    g = montage_50()
+    present = {n.type for n in g}
+    assert present == set(MONTAGE_TASK_TYPES)
+
+
+def test_scaling_images():
+    g = montage_workflow(6, seed=1)
+    assert sum(1 for n in g if n.type == "mProject") == 6
+
+
+def test_data_scale_multiplies_edges():
+    g1 = montage_workflow(5, seed=1, data_scale=1.0)
+    g10 = montage_workflow(5, seed=1, data_scale=10.0)
+    e1 = g1.edge("mProject_0", "mBackground_0").data
+    e10 = g10.edge("mProject_0", "mBackground_0").data
+    assert e10 == pytest.approx(10 * e1)
+
+
+def test_deterministic():
+    a, b = montage_50(seed=5), montage_50(seed=5)
+    assert [n.work for n in a] == [n.work for n in b]
+
+
+def test_too_few_images_rejected():
+    with pytest.raises(SchedulingError):
+        montage_workflow(1)
+
+
+def test_too_many_overlaps_rejected():
+    with pytest.raises(SchedulingError):
+        montage_workflow(3, n_overlaps=10)

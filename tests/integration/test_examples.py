@@ -1,0 +1,28 @@
+"""Smoke tests: every example script must run cleanly end to end."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = sorted((Path(__file__).parent.parent.parent / "examples").glob("*.py"))
+
+
+@pytest.mark.parametrize("script", EXAMPLES, ids=lambda p: p.stem)
+def test_example_runs(script):
+    proc = subprocess.run(
+        [sys.executable, str(script)],
+        capture_output=True, text=True, timeout=300,
+    )
+    assert proc.returncode == 0, (
+        f"{script.name} failed:\n{proc.stdout[-2000:]}\n{proc.stderr[-2000:]}")
+    assert proc.stdout  # every example narrates what it did
+
+
+def test_examples_exist():
+    assert len(EXAMPLES) >= 3  # quickstart + domain scenarios (deliverable b)
+    names = {p.stem for p in EXAMPLES}
+    assert "quickstart" in names

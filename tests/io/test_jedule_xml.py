@@ -1,0 +1,170 @@
+"""Tests for the Jedule XML format (paper Figure 1)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Configuration, Schedule
+from repro.errors import ParseError
+from repro.io import jedule_xml
+
+
+FIGURE1_DOC = """\
+<jedule version="1.0">
+  <platform>
+    <cluster id="0" hosts="8"/>
+  </platform>
+  <node_infos>
+    <node_statistics>
+      <node_property name="id" value="1"/>
+      <node_property name="type" value="computation"/>
+      <node_property name="start_time" value="0.000"/>
+      <node_property name="end_time" value="0.310"/>
+      <configuration>
+        <conf_property name="cluster_id" value="0"/>
+        <conf_property name="host_nb" value="8"/>
+        <host_lists>
+          <hosts start="0" nb="8"/>
+        </host_lists>
+      </configuration>
+    </node_statistics>
+  </node_infos>
+</jedule>
+"""
+
+
+def test_parse_figure1_example():
+    s = jedule_xml.loads(FIGURE1_DOC)
+    assert len(s.clusters) == 1
+    assert s.cluster("0").num_hosts == 8
+    task = s.task("1")
+    assert task.type == "computation"
+    assert task.start_time == 0.0
+    assert task.end_time == pytest.approx(0.31)
+    assert task.hosts_in("0") == tuple(range(8))
+
+
+def test_roundtrip_preserves_everything(multi_cluster_schedule):
+    multi_cluster_schedule.meta["mindelta"] = "-2"
+    text = jedule_xml.dumps(multi_cluster_schedule)
+    back = jedule_xml.loads(text)
+    assert back.meta == multi_cluster_schedule.meta
+    assert [c.id for c in back.clusters] == ["a", "b"]
+    assert len(back) == len(multi_cluster_schedule)
+    for orig in multi_cluster_schedule:
+        t = back.task(orig.id)
+        assert t.type == orig.type
+        assert t.start_time == orig.start_time
+        assert t.end_time == orig.end_time
+        assert t.configurations == orig.configurations
+
+
+def test_roundtrip_task_meta():
+    s = Schedule()
+    s.new_cluster(0, 2)
+    s.new_task(1, "job", 0, 1, cluster=0, host_start=0, host_nb=1,
+               meta={"user": "6447", "note": "hello world"})
+    back = jedule_xml.loads(jedule_xml.dumps(s))
+    assert back.task("1").meta == {"user": "6447", "note": "hello world"}
+
+
+def test_roundtrip_float_precision():
+    s = Schedule()
+    s.new_cluster(0, 1)
+    s.new_task(1, "x", 0.1 + 0.2, 1.0 / 3.0 + 1, cluster=0, host_start=0, host_nb=1)
+    back = jedule_xml.loads(jedule_xml.dumps(s))
+    assert back.task("1").start_time == s.task("1").start_time
+    assert back.task("1").end_time == s.task("1").end_time
+
+
+def test_multi_configuration_task_roundtrips():
+    s = Schedule()
+    s.new_cluster("a", 4)
+    s.new_cluster("b", 4)
+    s.new_task("comm", "transfer", 0, 1, configurations=[
+        Configuration("a", [(0, 2)]), Configuration("b", [(1, 2)])])
+    back = jedule_xml.loads(jedule_xml.dumps(s))
+    t = back.task("comm")
+    assert len(t.configurations) == 2
+    assert t.hosts_in("b") == (1, 2)
+
+
+def test_file_roundtrip(tmp_path, simple_schedule):
+    path = tmp_path / "sched.jed"
+    jedule_xml.dump(simple_schedule, path)
+    back = jedule_xml.load(path)
+    assert len(back) == 2
+
+
+@pytest.mark.parametrize("mutation,pattern", [
+    ("<jedule version=\"1.0\">", None),  # placeholder, replaced below
+])
+def test_error_cases_placeholder(mutation, pattern):
+    pass  # parametrized error tests live below as explicit cases
+
+
+def test_bad_xml_rejected():
+    with pytest.raises(ParseError, match="malformed XML"):
+        jedule_xml.loads("<jedule><unclosed>")
+
+
+def test_wrong_root_rejected():
+    with pytest.raises(ParseError, match="expected <jedule>"):
+        jedule_xml.loads("<notjedule/>")
+
+
+def test_missing_platform_rejected():
+    with pytest.raises(ParseError, match="platform"):
+        jedule_xml.loads("<jedule><node_infos/></jedule>")
+
+
+def test_empty_platform_rejected():
+    with pytest.raises(ParseError, match="no clusters"):
+        jedule_xml.loads("<jedule><platform/></jedule>")
+
+
+def test_cluster_missing_attrs_rejected():
+    with pytest.raises(ParseError, match="cluster"):
+        jedule_xml.loads('<jedule><platform><cluster id="0"/></platform></jedule>')
+
+
+def test_task_missing_required_property():
+    doc = FIGURE1_DOC.replace(
+        '<node_property name="type" value="computation"/>', "")
+    with pytest.raises(ParseError, match="type"):
+        jedule_xml.loads(doc)
+
+
+def test_task_without_configuration_rejected():
+    doc = FIGURE1_DOC.replace(
+        FIGURE1_DOC[FIGURE1_DOC.index("<configuration>"):
+                    FIGURE1_DOC.index("</configuration>") + len("</configuration>")],
+        "")
+    with pytest.raises(ParseError, match="no <configuration>"):
+        jedule_xml.loads(doc)
+
+
+def test_host_nb_mismatch_rejected():
+    doc = FIGURE1_DOC.replace('name="host_nb" value="8"', 'name="host_nb" value="4"')
+    with pytest.raises(ParseError, match="host_nb=4"):
+        jedule_xml.loads(doc)
+
+
+def test_nonnumeric_time_rejected():
+    doc = FIGURE1_DOC.replace('name="start_time" value="0.000"',
+                              'name="start_time" value="soon"')
+    with pytest.raises(ParseError, match="non-numeric"):
+        jedule_xml.loads(doc)
+
+
+def test_bad_hosts_attrs_rejected():
+    doc = FIGURE1_DOC.replace('<hosts start="0" nb="8"/>', '<hosts start="x" nb="8"/>')
+    with pytest.raises(ParseError, match="integer start"):
+        jedule_xml.loads(doc)
+
+
+def test_source_name_in_error(tmp_path):
+    path = tmp_path / "broken.jed"
+    path.write_text("<jedule>")
+    with pytest.raises(ParseError, match="broken.jed"):
+        jedule_xml.load(path)

@@ -1,0 +1,128 @@
+"""Tests for the JSON and CSV schedule formats."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Configuration, HostRange, Schedule
+from repro.errors import ParseError
+from repro.io import csv_fmt, json_fmt
+
+
+class TestJson:
+    def test_roundtrip(self, multi_cluster_schedule):
+        back = json_fmt.loads(json_fmt.dumps(multi_cluster_schedule))
+        assert len(back) == len(multi_cluster_schedule)
+        for t in multi_cluster_schedule:
+            b = back.task(t.id)
+            assert b.configurations == t.configurations
+            assert (b.start_time, b.end_time) == (t.start_time, t.end_time)
+
+    def test_to_dict_shape(self, simple_schedule):
+        d = json_fmt.to_dict(simple_schedule)
+        assert d["clusters"][0] == {"id": "0", "hosts": 8, "name": "cluster 0"}
+        assert d["tasks"][0]["configurations"] == [
+            {"cluster": "0", "ranges": [[0, 8]]}]
+
+    def test_meta_preserved(self, simple_schedule):
+        simple_schedule.meta["algorithm"] = "heft"
+        back = json_fmt.loads(json_fmt.dumps(simple_schedule))
+        assert back.meta["algorithm"] == "heft"
+
+    def test_file_roundtrip(self, tmp_path, simple_schedule):
+        path = tmp_path / "s.json"
+        json_fmt.dump(simple_schedule, path)
+        assert len(json_fmt.load(path)) == 2
+
+    def test_malformed_json_rejected(self):
+        with pytest.raises(ParseError, match="malformed JSON"):
+            json_fmt.loads("{not json")
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ParseError, match="expected a JSON object"):
+            json_fmt.loads("[1, 2]")
+
+    def test_missing_field_rejected(self):
+        with pytest.raises(ParseError, match="missing or malformed"):
+            json_fmt.loads('{"clusters": [{"id": "0"}], "tasks": []}')
+
+    def test_semantic_error_becomes_parse_error(self):
+        doc = ('{"clusters": [{"id": "0", "hosts": 2}], '
+               '"tasks": [{"id": "1", "type": "x", "start": 0, "end": 1, '
+               '"configurations": [{"cluster": "0", "ranges": [[0, 99]]}]}]}')
+        with pytest.raises(ParseError, match="binds host"):
+            json_fmt.loads(doc)
+
+
+class TestCsvHosts:
+    def test_format_hosts(self):
+        assert csv_fmt.format_hosts((HostRange(0, 8),)) == "0-7"
+        assert csv_fmt.format_hosts((HostRange(0, 3), HostRange(6, 1))) == "0-2,6"
+        assert csv_fmt.format_hosts((HostRange(5, 1),)) == "5"
+
+    def test_parse_hosts(self):
+        assert csv_fmt.parse_hosts("0-7") == [HostRange(0, 8)]
+        assert csv_fmt.parse_hosts("0-2,6") == [HostRange(0, 3), HostRange(6, 1)]
+        assert csv_fmt.parse_hosts("5") == [HostRange(5, 1)]
+
+    def test_parse_hosts_bad(self):
+        with pytest.raises(ParseError):
+            csv_fmt.parse_hosts("3-1")
+        with pytest.raises(ParseError):
+            csv_fmt.parse_hosts("abc")
+        with pytest.raises(ParseError):
+            csv_fmt.parse_hosts("")
+
+
+class TestCsv:
+    def test_roundtrip(self, multi_cluster_schedule):
+        back = csv_fmt.loads(csv_fmt.dumps(multi_cluster_schedule))
+        assert len(back) == len(multi_cluster_schedule)
+        assert [c.id for c in back.clusters] == ["a", "b"]
+        assert back.cluster("a").num_hosts == 4
+        t3 = back.task("3")
+        assert len(t3.configurations) == 2
+
+    def test_cluster_declarations_in_header(self, simple_schedule):
+        text = csv_fmt.dumps(simple_schedule)
+        assert text.startswith("# cluster,0,8,cluster 0\n")
+
+    def test_clusters_inferred_when_missing(self):
+        text = "task_id,type,start,end,cluster,hosts\n1,x,0,1,0,0-3\n"
+        s = csv_fmt.loads(text)
+        assert s.cluster("0").num_hosts == 4
+
+    def test_multirow_task_grouped(self):
+        text = ("task_id,type,start,end,cluster,hosts\n"
+                "1,x,0,1,a,0-1\n"
+                "1,x,0,1,b,2-3\n")
+        s = csv_fmt.loads(text)
+        t = s.task("1")
+        assert t.num_hosts == 4
+        assert set(t.cluster_ids) == {"a", "b"}
+
+    def test_inconsistent_rows_rejected(self):
+        text = ("task_id,type,start,end,cluster,hosts\n"
+                "1,x,0,1,a,0-1\n"
+                "1,y,0,1,b,2-3\n")
+        with pytest.raises(ParseError, match="inconsistent"):
+            csv_fmt.loads(text)
+
+    def test_missing_columns_rejected(self):
+        with pytest.raises(ParseError, match="missing CSV columns"):
+            csv_fmt.loads("task_id,start\n1,0\n")
+
+    def test_comments_and_blank_lines_skipped(self):
+        text = ("# a comment\n\n"
+                "task_id,type,start,end,cluster,hosts\n"
+                "1,x,0,1,0,0\n")
+        assert len(csv_fmt.loads(text)) == 1
+
+    def test_empty_file_gives_empty_schedule(self):
+        s = csv_fmt.loads("")
+        assert len(s) == 0
+
+    def test_file_roundtrip(self, tmp_path, simple_schedule):
+        path = tmp_path / "s.csv"
+        csv_fmt.dump(simple_schedule, path)
+        assert len(csv_fmt.load(path)) == 2

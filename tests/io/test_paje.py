@@ -1,0 +1,92 @@
+"""Tests for the Pajé trace exporter."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.io import paje
+
+
+def _parse_events(text: str) -> list[list[str]]:
+    """Split the non-header event lines into fields (quotes respected)."""
+    events = []
+    for line in text.splitlines():
+        if not line or line.startswith("%"):
+            continue
+        fields = re.findall(r'"[^"]*"|\S+', line)
+        events.append(fields)
+    return events
+
+
+def test_header_defines_all_event_types(simple_schedule):
+    text = paje.dumps(simple_schedule)
+    for name in ("PajeDefineContainerType", "PajeDefineStateType",
+                 "PajeDefineEntityValue", "PajeCreateContainer",
+                 "PajeDestroyContainer", "PajeSetState"):
+        assert f"%EventDef {name}" in text
+
+
+def test_container_hierarchy(simple_schedule):
+    events = _parse_events(paje.dumps(simple_schedule))
+    creates = [e for e in events if e[0] == "4"]
+    # 1 root + 1 cluster + 8 hosts
+    assert len(creates) == 10
+    destroys = [e for e in events if e[0] == "5"]
+    assert len(destroys) == 10
+
+
+def test_entity_values_carry_types(simple_schedule):
+    text = paje.dumps(simple_schedule)
+    assert '"computation"' in text
+    assert '"transfer"' in text
+    assert '"idle"' in text
+
+
+def test_state_changes_per_host(simple_schedule):
+    events = _parse_events(paje.dumps(simple_schedule))
+    sets = [e for e in events if e[0] == "6"]
+    # initial idle per host (8) + task 1: 8 hosts x 2 + task 2: 4 hosts x 2
+    assert len(sets) == 8 + 16 + 8
+
+
+def test_state_events_time_ordered(simple_schedule):
+    events = _parse_events(paje.dumps(simple_schedule))
+    times = [float(e[1]) for e in events if e[0] == "6"]
+    assert times == sorted(times)
+
+
+def test_end_before_start_at_same_instant():
+    """A task ending exactly when another starts must release first."""
+    from repro.core.model import Schedule
+
+    s = Schedule()
+    s.new_cluster(0, 1)
+    s.new_task("a", "computation", 0.0, 1.0, cluster=0, host_start=0, host_nb=1)
+    s.new_task("b", "computation", 1.0, 2.0, cluster=0, host_start=0, host_nb=1)
+    events = _parse_events(paje.dumps(s))
+    at_one = [e for e in events if e[0] == "6" and float(e[1]) == 1.0]
+    assert at_one[0][-1] == '"V_idle"'       # a's release first
+    assert at_one[1][-1] == '"V_computation"'  # then b's start
+
+
+def test_colors_from_colormap(simple_schedule):
+    text = paje.dumps(simple_schedule)
+    # computation is pure blue in the default map -> "0.000 0.000 1.000"
+    assert '"0.000 0.000 1.000"' in text
+
+
+def test_quotes_escaped():
+    from repro.core.model import Schedule
+
+    s = Schedule()
+    s.new_cluster(0, 1, name='the "big" cluster')
+    text = paje.dumps(s)
+    assert '"the \'big\' cluster"' in text
+
+
+def test_dump_to_file(tmp_path, simple_schedule):
+    path = tmp_path / "trace.paje"
+    paje.dump(simple_schedule, path)
+    assert path.read_text().startswith("%EventDef")

@@ -1,0 +1,78 @@
+"""Tests for the pluggable schedule-format registry."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Schedule
+from repro.errors import ParseError
+from repro.io.registry import (
+    available_formats,
+    format_for,
+    load_schedule,
+    register_format,
+    save_schedule,
+)
+
+
+def test_builtin_formats_present():
+    formats = available_formats()
+    assert {"jedule", "json", "csv"} <= set(formats)
+
+
+def test_suffix_dispatch(tmp_path, simple_schedule):
+    for suffix in (".jed", ".json", ".csv"):
+        path = tmp_path / f"s{suffix}"
+        save_schedule(simple_schedule, path)
+        assert len(load_schedule(path)) == 2
+
+
+def test_explicit_format_overrides_suffix(tmp_path, simple_schedule):
+    path = tmp_path / "schedule.dat"
+    save_schedule(simple_schedule, path, format="json")
+    back = load_schedule(path, format="json")
+    assert len(back) == 2
+
+
+def test_unknown_suffix_rejected(tmp_path):
+    with pytest.raises(ParseError, match="cannot infer"):
+        load_schedule(tmp_path / "x.weird")
+
+
+def test_unknown_format_name_rejected(tmp_path):
+    with pytest.raises(ParseError, match="unknown format"):
+        load_schedule(tmp_path / "x.jed", format="yaml")
+
+
+def test_register_custom_format(tmp_path, simple_schedule):
+    """The paper's extension point: bundle a different parser."""
+    def loader(path):
+        s = Schedule()
+        s.new_cluster(0, 1)
+        for i, line in enumerate(open(path)):
+            t0, t1 = map(float, line.split())
+            s.new_task(i, "x", t0, t1, cluster=0, host_start=0, host_nb=1)
+        return s
+
+    register_format("twocol", (".2col",), loader, overwrite=True)
+    path = tmp_path / "data.2col"
+    path.write_text("0 1\n2 3\n")
+    s = load_schedule(path)
+    assert len(s) == 2
+    assert s.task("1").end_time == 3.0
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(ValueError, match="already registered"):
+        register_format("jedule", (".jed",), lambda p: None)
+
+
+def test_read_only_format(tmp_path, simple_schedule):
+    register_format("ro", (".ro",), lambda p: Schedule(), None, overwrite=True)
+    with pytest.raises(ParseError, match="read-only"):
+        save_schedule(simple_schedule, tmp_path / "x.ro")
+
+
+def test_format_for_case_insensitive(tmp_path):
+    assert format_for(tmp_path / "a.JSON").name == "json"
+    assert format_for(tmp_path / "a.xyz", format="JEDULE").name == "jedule"

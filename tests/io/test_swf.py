@@ -1,0 +1,109 @@
+"""Tests for the Standard Workload Format reader/writer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.io import swf
+
+SAMPLE = """\
+; Version: 2
+; Computer: Thunder
+; MaxProcs: 4008
+; MaxNodes: 1002
+1 0 10 3600 16 -1 -1 16 7200 -1 1 6447 3 -1 1 -1 -1 -1
+2 100 0 60 4 -1 -1 4 120 -1 0 12 3 -1 1 -1 -1 -1
+3 200 50 1e3 8 -1 -1 8 2000 -1 5 6447 3 -1 1 -1 -1 -1
+4 300 0 500 2 -1 -1 2 600 -1 4 99 3 -1 1 -1 -1 -1
+"""
+
+
+def test_parse_header():
+    trace = swf.loads(SAMPLE)
+    assert trace.header["Computer"] == "Thunder"
+    assert trace.max_procs == 4008
+
+
+def test_max_procs_fallback_without_header():
+    trace = swf.loads("1 0 0 10 32\n")
+    assert trace.max_procs == 32
+
+
+def test_parse_jobs():
+    trace = swf.loads(SAMPLE)
+    assert len(trace.jobs) == 4
+    j = trace.jobs[0]
+    assert j.job_id == 1
+    assert j.submit_time == 0.0
+    assert j.wait_time == 10.0
+    assert j.run_time == 3600.0
+    assert j.allocated_procs == 16
+    assert j.user_id == 6447
+    assert j.start_time == 10.0
+    assert j.end_time == 3610.0
+
+
+def test_scientific_notation_runtime():
+    trace = swf.loads(SAMPLE)
+    assert trace.jobs[2].run_time == 1000.0
+
+
+def test_completed_filter():
+    trace = swf.loads(SAMPLE)
+    completed = trace.completed_jobs()
+    # statuses 1, 0, 5 complete; status 4 (job 4) does not
+    assert [j.job_id for j in completed] == [1, 2, 3]
+
+
+def test_jobs_of_user():
+    trace = swf.loads(SAMPLE)
+    assert [j.job_id for j in trace.jobs_of_user(6447)] == [1, 3]
+
+
+def test_finished_within():
+    trace = swf.loads(SAMPLE)
+    # job 2 ends at 160, job 3 at 1250, job 4 at 800
+    within = trace.finished_within(100.0, 1000.0)
+    assert [j.job_id for j in within] == [2, 4]
+
+
+def test_short_line_padded_with_missing():
+    job = swf.SWFJob.from_line("7 10 5 100 8")
+    assert job.requested_procs == -1
+    assert job.user_id == -1
+
+
+def test_too_short_line_rejected():
+    with pytest.raises(ParseError, match="fields"):
+        swf.SWFJob.from_line("7 10 5")
+
+
+def test_bad_field_rejected_with_line_number():
+    with pytest.raises(ParseError, match="line 2"):
+        swf.loads("1 0 0 10 4\n2 x 0 10 4\n")
+
+
+def test_roundtrip():
+    trace = swf.loads(SAMPLE)
+    back = swf.loads(swf.dumps(trace))
+    assert back.header == trace.header
+    assert back.jobs == trace.jobs
+
+
+def test_file_roundtrip(tmp_path):
+    path = tmp_path / "trace.swf"
+    trace = swf.loads(SAMPLE)
+    swf.dump(trace, path)
+    assert swf.load(path).jobs == trace.jobs
+
+
+def test_iter_jobs_streams():
+    jobs = list(swf.iter_jobs(SAMPLE))
+    assert len(jobs) == 4
+
+
+def test_header_lines_without_colon_ignored():
+    trace = swf.loads("; just a comment line\n1 0 0 10 4\n")
+    assert trace.header == {}
+    assert len(trace.jobs) == 1

@@ -1,0 +1,86 @@
+"""Tests for routing and the communication model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.platform.builders import heterogeneous_platform, multi_cluster
+from repro.platform.model import LinkSpec
+from repro.platform.network import CommModel, comm_time, route_between
+
+
+@pytest.fixture
+def platform():
+    return multi_cluster((2, 2), 1e9, backbone_latency=1e-2,
+                         backbone_bandwidth=1e8, latency=1e-5, bandwidth=1e9)
+
+
+class TestRoutes:
+    def test_same_host_free(self, platform):
+        r = route_between(platform, 0, 0)
+        assert r.links == ()
+        assert r.transfer_time(1e9) == 0.0
+
+    def test_intra_cluster_two_links(self, platform):
+        r = route_between(platform, 0, 1)
+        assert len(r.links) == 2
+        assert r.latency == pytest.approx(2e-5)
+        assert r.bottleneck_bandwidth == 1e9
+
+    def test_inter_cluster_includes_backbone(self, platform):
+        r = route_between(platform, 0, 2)
+        assert len(r.links) == 3
+        assert r.latency == pytest.approx(2e-5 + 1e-2)
+        assert r.bottleneck_bandwidth == 1e8  # backbone is the bottleneck
+
+    def test_comm_time_formula(self, platform):
+        t = comm_time(platform, 0, 2, 1e8)
+        assert t == pytest.approx(2e-5 + 1e-2 + 1.0)
+
+    def test_symmetric(self, platform):
+        assert comm_time(platform, 0, 3, 5e7) == comm_time(platform, 3, 0, 5e7)
+
+
+class TestCommModel:
+    def test_point_to_point_matches(self, platform):
+        cm = CommModel(platform)
+        assert cm.time(0, 2, 1e8) == comm_time(platform, 0, 2, 1e8)
+
+    def test_average_between_extremes(self, platform):
+        cm = CommModel(platform)
+        size = 1e8
+        intra = comm_time(platform, 0, 1, size)
+        inter = comm_time(platform, 0, 2, size)
+        avg = cm.average_time(size)
+        assert intra < avg < inter
+
+    def test_average_zero_for_single_host(self):
+        p = multi_cluster((1,), 1e9)
+        assert CommModel(p).average_time(1e9) == 0.0
+
+    def test_group_time_same_group_free(self, platform):
+        cm = CommModel(platform)
+        assert cm.group_time((0, 1), (1, 0), 1e9) == 0.0
+
+    def test_group_time_disjoint_positive(self, platform):
+        cm = CommModel(platform)
+        t = cm.group_time((0, 1), (2, 3), 1e8)
+        assert t > 0
+        # data split over 2 sources: each piece is half
+        assert t == pytest.approx(comm_time(platform, 0, 2, 5e7))
+
+    def test_group_time_empty_groups(self, platform):
+        cm = CommModel(platform)
+        assert cm.group_time((), (0,), 1e9) == 0.0
+
+    def test_flat_vs_realistic_backbone(self):
+        """The Section V anomaly precondition: flat backbone makes remote
+        communication indistinguishable from local."""
+        flat = heterogeneous_platform(flat_backbone=True)
+        real = heterogeneous_platform()
+        size = 1e6
+        local = comm_time(flat, 0, 1, size)
+        remote_flat = comm_time(flat, 0, 2, size)
+        remote_real = comm_time(real, 0, 2, size)
+        assert remote_flat == pytest.approx(local, rel=0.05)
+        assert remote_real > 2 * local

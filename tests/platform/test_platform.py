@@ -1,0 +1,112 @@
+"""Tests for the platform model and canned builders."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import PlatformError
+from repro.platform.builders import (
+    FAST_SPEED,
+    SLOW_SPEED,
+    heterogeneous_platform,
+    homogeneous_cluster,
+    multi_cluster,
+)
+from repro.platform.model import LinkSpec, Platform
+
+
+class TestLinkSpec:
+    def test_transfer_time(self):
+        link = LinkSpec(1e-3, 1e9)
+        assert link.transfer_time(1e9) == pytest.approx(1.001)
+        assert link.transfer_time(0) == pytest.approx(1e-3)
+
+    def test_validation(self):
+        with pytest.raises(PlatformError):
+            LinkSpec(-1, 1)
+        with pytest.raises(PlatformError):
+            LinkSpec(0, 0)
+        with pytest.raises(PlatformError):
+            LinkSpec(0, 1).transfer_time(-5)
+
+
+class TestPlatform:
+    def test_global_host_indices_dense(self):
+        p = multi_cluster((2, 3), 1e9)
+        assert [h.index for h in p.hosts] == [0, 1, 2, 3, 4]
+        assert p.host(3).cluster_id == "1"
+        assert p.size == 5
+
+    def test_local_index(self):
+        p = multi_cluster((2, 3), 1e9)
+        assert p.local_index(0) == 0
+        assert p.local_index(2) == 0
+        assert p.local_index(4) == 2
+
+    def test_same_cluster(self):
+        p = multi_cluster((2, 2), 1e9)
+        assert p.same_cluster(0, 1)
+        assert not p.same_cluster(1, 2)
+
+    def test_duplicate_cluster_rejected(self):
+        p = Platform()
+        p.add_cluster("a", 2, 1e9)
+        with pytest.raises(PlatformError):
+            p.add_cluster("a", 2, 1e9)
+
+    def test_unknown_lookup_rejected(self):
+        p = homogeneous_cluster(4)
+        with pytest.raises(PlatformError):
+            p.cluster("zzz")
+        with pytest.raises(PlatformError):
+            p.host(99)
+
+    def test_compute_time(self):
+        p = homogeneous_cluster(2, 2e9)
+        assert p.host(0).compute_time(4e9) == pytest.approx(2.0)
+
+    def test_homogeneity(self):
+        assert homogeneous_cluster(4, 1e9).is_homogeneous()
+        assert not heterogeneous_platform().is_homogeneous()
+
+    def test_mean_speed(self):
+        p = multi_cluster((1, 1), (1e9, 3e9))
+        assert p.mean_speed() == pytest.approx(2e9)
+
+    def test_bad_sizes(self):
+        with pytest.raises(PlatformError):
+            Platform().add_cluster("x", 0, 1e9)
+        with pytest.raises(PlatformError):
+            Platform().add_cluster("x", 2, -1)
+
+    def test_multi_cluster_validation(self):
+        with pytest.raises(ValueError, match="sizes"):
+            multi_cluster((2, 2), (1e9,))
+
+
+class TestFigure7:
+    def test_topology(self):
+        p = heterogeneous_platform()
+        assert [c.size for c in p.clusters] == [2, 4, 2, 4]
+        assert p.size == 12
+
+    def test_speeds_match_paper(self):
+        p = heterogeneous_platform()
+        # fast clusters: processors 0-1 and 6-7 (Section V-B)
+        for idx in (0, 1, 6, 7):
+            assert p.host(idx).speed == FAST_SPEED
+        for idx in (2, 3, 4, 5, 8, 9, 10, 11):
+            assert p.host(idx).speed == SLOW_SPEED
+        assert FAST_SPEED == pytest.approx(2 * SLOW_SPEED)
+
+    def test_flat_backbone_indistinguishable(self):
+        p = heterogeneous_platform(flat_backbone=True)
+        local = p.host(0).link
+        assert p.backbone.latency == local.latency
+        assert p.backbone.bandwidth == local.bandwidth
+
+    def test_realistic_backbone_is_worse(self):
+        p = heterogeneous_platform()
+        local = p.host(0).link
+        assert p.backbone.latency > 100 * local.latency
+        assert p.backbone.bandwidth < local.bandwidth

@@ -1,0 +1,108 @@
+"""Property-based round-trip tests for every serialization format."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra.numpy import arrays
+
+from repro.core.model import Cluster, Configuration, Schedule, Task
+from repro.io import csv_fmt, jedule_xml, json_fmt, swf
+from repro.io.swf import SWFJob, SWFTrace
+from repro.render.png_codec import decode_png, encode_png
+
+_ID_ALPHABET = "abcdefghijklmnopqrstuvwxyz0123456789_-."
+
+
+@st.composite
+def rich_schedules(draw) -> Schedule:
+    """Schedules with multiple clusters, scattered hosts, meta data."""
+    n_clusters = draw(st.integers(1, 3))
+    s = Schedule(meta=draw(st.dictionaries(
+        st.text(_ID_ALPHABET, min_size=1, max_size=8),
+        st.text(_ID_ALPHABET + " ", min_size=0, max_size=12), max_size=3)))
+    sizes = []
+    for c in range(n_clusters):
+        size = draw(st.integers(1, 16))
+        sizes.append(size)
+        s.add_cluster(Cluster(str(c), size))
+    n_tasks = draw(st.integers(0, 8))
+    for i in range(n_tasks):
+        start = draw(st.floats(0, 1e4, allow_nan=False, allow_infinity=False))
+        dur = draw(st.floats(0, 1e3, allow_nan=False, allow_infinity=False))
+        cluster_ids = draw(st.sets(st.integers(0, n_clusters - 1), min_size=1,
+                                   max_size=n_clusters))
+        confs = []
+        for c in sorted(cluster_ids):
+            hosts = draw(st.sets(st.integers(0, sizes[c] - 1), min_size=1,
+                                 max_size=sizes[c]))
+            confs.append(Configuration.from_hosts(str(c), hosts))
+        s.add_task(Task(str(i), draw(st.sampled_from(["comp", "xfer", "io"])),
+                        start, start + dur, confs))
+    return s
+
+
+def _same_schedule(a: Schedule, b: Schedule) -> None:
+    assert [c.id for c in a.clusters] == [c.id for c in b.clusters]
+    assert [c.num_hosts for c in a.clusters] == [c.num_hosts for c in b.clusters]
+    assert len(a) == len(b)
+    for t in a:
+        u = b.task(t.id)
+        assert u.type == t.type
+        assert u.start_time == t.start_time
+        assert u.end_time == t.end_time
+        assert u.configurations == t.configurations
+
+
+@given(rich_schedules())
+@settings(max_examples=50)
+def test_jedule_xml_roundtrip(schedule):
+    back = jedule_xml.loads(jedule_xml.dumps(schedule))
+    _same_schedule(schedule, back)
+    assert back.meta == schedule.meta
+
+
+@given(rich_schedules())
+@settings(max_examples=50)
+def test_json_roundtrip(schedule):
+    back = json_fmt.loads(json_fmt.dumps(schedule))
+    _same_schedule(schedule, back)
+    assert back.meta == schedule.meta
+
+
+@given(rich_schedules())
+@settings(max_examples=50)
+def test_csv_roundtrip(schedule):
+    back = csv_fmt.loads(csv_fmt.dumps(schedule))
+    _same_schedule(schedule, back)
+
+
+swf_jobs = st.builds(
+    SWFJob,
+    job_id=st.integers(1, 10_000),
+    submit_time=st.integers(0, 10**6).map(float),
+    wait_time=st.integers(0, 10**4).map(float),
+    run_time=st.integers(0, 10**5).map(float),
+    allocated_procs=st.integers(1, 4096),
+    requested_procs=st.integers(-1, 4096),
+    requested_time=st.integers(-1, 10**5).map(float),
+    status=st.sampled_from([0, 1, 4, 5]),
+    user_id=st.integers(-1, 9999),
+    group_id=st.integers(-1, 99),
+)
+
+
+@given(st.lists(swf_jobs, max_size=20))
+@settings(max_examples=50)
+def test_swf_roundtrip(jobs):
+    trace = SWFTrace(header={"MaxProcs": "4096"}, jobs=jobs)
+    back = swf.loads(swf.dumps(trace))
+    assert back.jobs == jobs
+    assert back.header == trace.header
+
+
+@given(arrays(np.uint8, st.tuples(st.integers(1, 24), st.integers(1, 24),
+                                  st.just(3))))
+@settings(max_examples=40, deadline=None)
+def test_png_roundtrip(pixels):
+    assert np.array_equal(decode_png(encode_png(pixels)), pixels)

@@ -1,0 +1,95 @@
+"""Property-based tests for the rendering pipeline."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.model import Cluster, Configuration, Schedule, Task
+from repro.core.timeframe import ViewMode
+from repro.render.backends.svg import render_svg
+from repro.render.geometry import Rect
+from repro.render.layout import LayoutOptions, layout_schedule
+from repro.render.png_codec import decode_png
+from repro.render.backends.png import render_png
+from repro.render.raster import rasterize
+
+
+@st.composite
+def render_schedules(draw) -> Schedule:
+    """Multi-cluster schedules small enough to render fast."""
+    s = Schedule()
+    n_clusters = draw(st.integers(1, 3))
+    sizes = []
+    for c in range(n_clusters):
+        size = draw(st.integers(1, 8))
+        sizes.append(size)
+        s.add_cluster(Cluster(str(c), size))
+    for i in range(draw(st.integers(1, 10))):
+        start = draw(st.floats(0, 50, allow_nan=False))
+        dur = draw(st.floats(0.1, 20, allow_nan=False))
+        c = draw(st.integers(0, n_clusters - 1))
+        hosts = draw(st.sets(st.integers(0, sizes[c] - 1), min_size=1,
+                             max_size=sizes[c]))
+        s.add_task(Task(str(i), draw(st.sampled_from(["a", "b"])),
+                        start, start + dur,
+                        [Configuration.from_hosts(str(c), hosts)]))
+    return s
+
+
+@given(render_schedules(), st.sampled_from(list(ViewMode)))
+@settings(max_examples=30, deadline=None)
+def test_every_task_rect_inside_canvas(schedule, mode):
+    opts = LayoutOptions(width=500, height=320, mode=mode)
+    drawing = layout_schedule(schedule, options=opts)
+    for rect in drawing.rects:
+        assert rect.x >= -1e-6
+        assert rect.y >= -1e-6
+        assert rect.x1 <= drawing.width + 1e-6
+        assert rect.y1 <= drawing.height + 1e-6
+
+
+@given(render_schedules())
+@settings(max_examples=30, deadline=None)
+def test_every_task_has_a_rect(schedule):
+    drawing = layout_schedule(schedule,
+                              options=LayoutOptions(width=500, height=320))
+    for task in schedule:
+        assert drawing.rects_for(f"task:{task.id}")
+
+
+@given(render_schedules())
+@settings(max_examples=20, deadline=None)
+def test_rect_widths_proportional_to_durations(schedule):
+    """In aligned mode, rect width / duration is constant across tasks."""
+    drawing = layout_schedule(schedule,
+                              options=LayoutOptions(width=600, height=320))
+    ratios = []
+    for task in schedule:
+        if task.duration <= 0:
+            continue
+        rect = drawing.rects_for(f"task:{task.id}")[0]
+        ratios.append(rect.w / task.duration)
+    if len(ratios) >= 2:
+        assert max(ratios) - min(ratios) < 1e-6 * max(ratios)
+
+
+@given(render_schedules())
+@settings(max_examples=12, deadline=None)
+def test_png_roundtrips_through_own_decoder(schedule):
+    drawing = layout_schedule(schedule,
+                              options=LayoutOptions(width=300, height=200))
+    png = render_png(drawing)
+    img = decode_png(png)
+    assert img.shape == (200, 300, 3)
+    # the decoded image equals the rasterized pixels exactly
+    assert (img == rasterize(drawing).pixels).all()
+
+
+@given(render_schedules())
+@settings(max_examples=15, deadline=None)
+def test_svg_well_formed(schedule):
+    import xml.etree.ElementTree as ET
+
+    drawing = layout_schedule(schedule,
+                              options=LayoutOptions(width=400, height=250))
+    ET.fromstring(render_svg(drawing))

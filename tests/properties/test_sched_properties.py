@@ -1,0 +1,114 @@
+"""Property-based tests for the scheduling substrates."""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.validate import check_exclusive_resources
+from repro.dag.generators import LayeredDagSpec, layered_dag
+from repro.dag.moldable import AmdahlModel
+from repro.platform.builders import heterogeneous_platform, homogeneous_cluster
+from repro.sched.backfill import backfill_mapping
+from repro.sched.cpa import cpa_schedule
+from repro.sched.cra import integer_shares
+from repro.sched.heft import heft_schedule
+from repro.sched.mcpa import mcpa_schedule
+from repro.simulate.engine import SimEngine
+from repro.taskpool.quicksort import QuicksortApp
+
+MODEL = AmdahlModel(0.05)
+
+
+@st.composite
+def small_dags(draw):
+    n = draw(st.integers(2, 20))
+    layers = draw(st.integers(1, min(n, 6)))
+    seed = draw(st.integers(0, 10_000))
+    return layered_dag(LayeredDagSpec(n_tasks=n, layers=layers), seed=seed)
+
+
+@given(small_dags(), st.integers(2, 16))
+@settings(max_examples=25, deadline=None)
+def test_cpa_schedule_always_valid(graph, n_procs):
+    platform = homogeneous_cluster(n_procs, 1e9)
+    result = cpa_schedule(graph, platform, MODEL)
+    assert check_exclusive_resources(result.schedule.tasks) == []
+    for e in graph.edges:
+        assert result.sim.start[e.dst] >= result.sim.finish[e.src] - 1e-9
+    assert all(1 <= result.allocation[v] <= n_procs for v in graph.task_ids)
+
+
+@given(small_dags(), st.integers(2, 16))
+@settings(max_examples=25, deadline=None)
+def test_mcpa_level_invariant(graph, n_procs):
+    platform = homogeneous_cluster(n_procs, 1e9)
+    result = mcpa_schedule(graph, platform, MODEL)
+    levels = graph.precedence_levels()
+    totals: dict[int, int] = {}
+    for v in graph.task_ids:
+        lv = levels[v]
+        totals[lv] = totals.get(lv, 0) + result.allocation[v]
+    assert all(total <= max(n_procs, graph.max_level_width())
+               for total in totals.values())
+
+
+@given(small_dags())
+@settings(max_examples=20, deadline=None)
+def test_heft_always_valid(graph):
+    platform = heterogeneous_platform()
+    result = heft_schedule(graph, platform)
+    assert check_exclusive_resources(result.schedule.tasks) == []
+    assert set(result.assignment) == set(graph.task_ids)
+
+
+@given(small_dags(), st.integers(2, 12))
+@settings(max_examples=20, deadline=None)
+def test_backfill_never_delays(graph, n_procs):
+    platform = homogeneous_cluster(n_procs, 1e9)
+    result = cpa_schedule(graph, platform, MODEL)
+    compacted = backfill_mapping(graph, result.mapping, result.sim,
+                                 platform, MODEL)
+    for v in graph.task_ids:
+        assert compacted.finish[v] <= result.sim.finish[v] + 1e-9
+    assert check_exclusive_resources(compacted.schedule.tasks) == []
+
+
+@given(st.lists(st.floats(0.01, 100, allow_nan=False), min_size=1, max_size=10),
+       st.integers(1, 128))
+@settings(max_examples=100)
+def test_integer_shares_properties(fractions, total):
+    if total < len(fractions):
+        return
+    shares = integer_shares(fractions, total)
+    assert sum(shares) == total
+    assert all(s >= 1 for s in shares)
+
+
+@given(st.lists(st.floats(0, 100, allow_nan=False), min_size=0, max_size=30))
+@settings(max_examples=60)
+def test_engine_fires_in_sorted_order(times):
+    engine = SimEngine()
+    fired: list[float] = []
+    for t in times:
+        engine.at(t, lambda t=t: fired.append(t))
+    engine.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(times)
+
+
+@given(st.integers(2, 10**7), st.sampled_from(["random", "inverse"]),
+       st.integers(0, 1000))
+@settings(max_examples=60)
+def test_quicksort_expansion_conserves_elements(n, variant, seed):
+    app = QuicksortApp(n, variant=variant, seed=seed)
+    (root,) = list(app.initial_tasks())
+    children = list(app.expand(root))
+    if not children:
+        assert root.payload.size <= app.threshold
+    else:
+        total = sum(c.payload.size for c in children)
+        # the pivot stays in place; a degenerate right side may vanish
+        assert n - 2 <= total <= n - 1
+        assert all(c.payload.size >= 1 for c in children)

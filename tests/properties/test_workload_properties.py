@@ -1,0 +1,85 @@
+"""Property-based tests for the cluster job scheduler."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.jobs import Job
+from repro.workloads.scheduler import SchedPolicy, simulate_jobs
+
+N_NODES = 24
+
+
+@st.composite
+def job_batches(draw):
+    n = draw(st.integers(1, 25))
+    jobs = []
+    for i in range(n):
+        run = float(draw(st.integers(1, 500)))
+        jobs.append(Job(
+            id=i + 1,
+            submit_time=float(draw(st.integers(0, 1000))),
+            nodes=draw(st.integers(1, N_NODES - 2)),
+            run_time=run,
+            requested_time=run * draw(st.sampled_from([1.0, 1.5, 3.0])),
+        ))
+    return jobs
+
+
+@given(job_batches(), st.sampled_from(list(SchedPolicy)))
+@settings(max_examples=50, deadline=None)
+def test_every_job_runs_exactly_once(jobs, policy):
+    results = simulate_jobs(jobs, N_NODES, policy=policy,
+                            reserved_nodes=(0, 1))
+    assert sorted(r.job.id for r in results) == sorted(j.id for j in jobs)
+
+
+@given(job_batches(), st.sampled_from(list(SchedPolicy)))
+@settings(max_examples=50, deadline=None)
+def test_no_node_double_booked(jobs, policy):
+    results = simulate_jobs(jobs, N_NODES, policy=policy)
+    by_node: dict[int, list[tuple[float, float]]] = {}
+    for r in results:
+        for n in r.nodes:
+            by_node.setdefault(n, []).append((r.start_time, r.end_time))
+    for intervals in by_node.values():
+        intervals.sort()
+        for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+            assert s2 >= e1 - 1e-9
+
+
+@given(job_batches(), st.sampled_from(list(SchedPolicy)))
+@settings(max_examples=50, deadline=None)
+def test_reserved_nodes_never_used(jobs, policy):
+    reserved = (0, 1)
+    results = simulate_jobs(jobs, N_NODES, policy=policy,
+                            reserved_nodes=reserved)
+    for r in results:
+        assert not set(r.nodes) & set(reserved)
+
+
+@given(job_batches(), st.sampled_from(list(SchedPolicy)))
+@settings(max_examples=50, deadline=None)
+def test_jobs_never_start_before_submit(jobs, policy):
+    results = simulate_jobs(jobs, N_NODES, policy=policy)
+    for r in results:
+        assert r.start_time >= r.job.submit_time - 1e-9
+        assert len(r.nodes) == r.job.nodes
+
+
+# NOTE: "EASY makespan <= FCFS makespan" is NOT a theorem — hypothesis found
+# a counterexample immediately (greedy backfilling can occupy nodes a later
+# wide job needed).  The correct, testable claim is statistical; see
+# test_easy_usually_beats_fcfs in tests/workloads/test_scheduler.py.
+
+
+@given(job_batches())
+@settings(max_examples=40, deadline=None)
+def test_easy_head_never_waits_past_its_reservation_bound(jobs):
+    """Under EASY, a job can never wait longer than the sum of the
+    *requested* times of all jobs ahead of it plus its own slack — a loose
+    but universally valid bound implied by the reservation discipline."""
+    easy = simulate_jobs(jobs, N_NODES, policy="easy")
+    total_requested = sum(j.time_limit for j in jobs)
+    for r in easy:
+        assert r.wait_time <= total_requested + 1e-6

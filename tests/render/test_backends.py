@@ -1,0 +1,203 @@
+"""Tests for the output backends (SVG, PNG, PPM, BMP, PDF, EPS, ASCII)."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.core.colormap import Color
+from repro.core.model import Schedule
+from repro.core.viewport import Viewport
+from repro.errors import RenderError
+from repro.render.api import (
+    OUTPUT_FORMATS,
+    export_schedule,
+    format_from_suffix,
+    render_drawing,
+    render_schedule,
+)
+from repro.render.backends.ascii_art import ansi_256, render_ascii
+from repro.render.geometry import Drawing, Rect, Text
+from repro.render.png_codec import decode_png
+
+
+@pytest.fixture
+def drawing() -> Drawing:
+    d = Drawing(120, 80)
+    d.add(Rect(10, 10, 50, 20, fill=Color(0, 0, 255), stroke=Color(0, 0, 0)))
+    d.add(Text(35, 20, "T1", color=Color(255, 255, 255)))
+    return d
+
+
+class TestSvg:
+    def test_valid_xml(self, drawing):
+        import xml.etree.ElementTree as ET
+
+        svg = render_drawing(drawing, "svg").decode()
+        root = ET.fromstring(svg)
+        assert root.tag.endswith("svg")
+
+    def test_contains_rect_and_text(self, drawing):
+        svg = render_drawing(drawing, "svg").decode()
+        assert 'fill="#0000FF"' in svg
+        assert ">T1</text>" in svg
+
+    def test_data_refs_exported(self, simple_schedule):
+        svg = render_schedule(simple_schedule, "svg").decode()
+        assert 'data-ref="task:1"' in svg
+
+    def test_text_escaped(self):
+        d = Drawing(50, 50)
+        d.add(Text(5, 20, "<a&b>"))
+        svg = render_drawing(d, "svg").decode()
+        assert "&lt;a&amp;b&gt;" in svg
+
+    def test_dimensions(self, drawing):
+        svg = render_drawing(drawing, "svg").decode()
+        assert 'width="120"' in svg and 'height="80"' in svg
+
+
+class TestPng:
+    def test_decodable_and_correct_size(self, drawing):
+        img = decode_png(render_drawing(drawing, "png"))
+        assert img.shape == (80, 120, 3)
+
+    def test_blue_rect_pixels_present(self, drawing):
+        img = decode_png(render_drawing(drawing, "png"))
+        blue = np.all(img == [0, 0, 255], axis=-1).sum()
+        assert blue > 500
+
+
+class TestPpm:
+    def test_header_and_size(self, drawing):
+        data = render_drawing(drawing, "ppm")
+        assert data.startswith(b"P6\n120 80\n255\n")
+        header_len = len(b"P6\n120 80\n255\n")
+        assert len(data) == header_len + 120 * 80 * 3
+
+
+class TestBmp:
+    def test_header(self, drawing):
+        data = render_drawing(drawing, "bmp")
+        assert data[:2] == b"BM"
+        size, _, _, offset = struct.unpack("<IHHI", data[2:14])
+        assert size == len(data)
+        w, h = struct.unpack("<ii", data[18:26])
+        assert (w, h) == (120, 80)
+
+    def test_bottom_up_bgr(self):
+        d = Drawing(4, 2, background=Color(0, 0, 0))
+        d.add(Rect(0, 0, 4, 1, fill=Color(255, 0, 0)))  # red top row
+        data = render_drawing(d, "bmp")
+        offset = struct.unpack("<I", data[10:14])[0]
+        # first stored row is the BOTTOM row (black)
+        assert data[offset:offset + 3] == b"\x00\x00\x00"
+        # second stored row is the top (red) in BGR
+        row_size = 4 * 3  # already 4-byte aligned
+        assert data[offset + row_size:offset + row_size + 3] == b"\x00\x00\xff"
+
+
+class TestPdf:
+    def test_structure(self, drawing):
+        pdf = render_drawing(drawing, "pdf")
+        assert pdf.startswith(b"%PDF-1.4")
+        assert b"%%EOF" in pdf
+        assert b"/MediaBox [0 0 120 80]" in pdf
+        assert b"/Helvetica" in pdf
+
+    def test_content_stream_decompresses(self, drawing):
+        pdf = render_drawing(drawing, "pdf")
+        start = pdf.index(b"stream\n") + len(b"stream\n")
+        end = pdf.index(b"\nendstream")
+        content = zlib.decompress(pdf[start:end]).decode("latin-1")
+        assert " re f" in content      # filled rect
+        assert "(T1) Tj" in content    # the label
+
+    def test_xref_offsets_valid(self, drawing):
+        pdf = render_drawing(drawing, "pdf")
+        xref_pos = int(pdf.rsplit(b"startxref\n", 1)[1].split(b"\n")[0])
+        assert pdf[xref_pos:xref_pos + 4] == b"xref"
+
+
+class TestEps:
+    def test_structure(self, drawing):
+        eps = render_drawing(drawing, "eps").decode("latin-1")
+        assert eps.startswith("%!PS-Adobe-3.0 EPSF-3.0")
+        assert "%%BoundingBox: 0 0 120 80" in eps
+        assert "showpage" in eps
+        assert "(T1) show" in eps
+
+    def test_escaping(self):
+        d = Drawing(50, 50)
+        d.add(Text(5, 20, "a(b)c"))
+        eps = render_drawing(d, "eps").decode("latin-1")
+        assert r"(a\(b\)c) show" in eps
+
+
+class TestApi:
+    def test_all_formats_render_schedule(self, simple_schedule):
+        for fmt in OUTPUT_FORMATS:
+            data = render_schedule(simple_schedule, fmt, width=300, height=200)
+            assert isinstance(data, bytes) and len(data) > 100
+
+    def test_unknown_format_rejected(self, drawing):
+        with pytest.raises(RenderError, match="unknown output format"):
+            render_drawing(drawing, "gif")
+
+    def test_format_from_suffix(self):
+        assert format_from_suffix("x/y/plot.PNG") == "png"
+        with pytest.raises(RenderError):
+            format_from_suffix("plot.gif")
+
+    def test_export_schedule_writes_file(self, tmp_path, simple_schedule):
+        path = export_schedule(simple_schedule, tmp_path / "out.svg")
+        assert path.exists() and path.read_bytes().startswith(b"<?xml")
+
+    def test_export_infers_png(self, tmp_path, simple_schedule):
+        path = export_schedule(simple_schedule, tmp_path / "out.png",
+                               width=300, height=200)
+        assert path.read_bytes().startswith(b"\x89PNG")
+
+    def test_mode_string_accepted(self, simple_schedule):
+        data = render_schedule(simple_schedule, "svg", mode="scaled")
+        assert len(data) > 0
+
+
+class TestAscii:
+    def test_rows_match_hosts(self, simple_schedule):
+        text = render_ascii(simple_schedule, width=40, show_axis=False,
+                            show_labels=False)
+        assert len(text.strip().splitlines()) == 8
+
+    def test_task_chars_present(self, simple_schedule):
+        text = render_ascii(simple_schedule, width=40)
+        assert "1" in text and "2" in text and "." in text
+
+    def test_cluster_separator(self, multi_cluster_schedule):
+        text = render_ascii(multi_cluster_schedule, width=40, show_axis=False,
+                            show_labels=False)
+        assert "----" in text
+
+    def test_viewport_filters(self, multi_cluster_schedule):
+        vp = Viewport(0.0, 8.0, 0.0, 4.0)
+        text = render_ascii(multi_cluster_schedule, width=40, viewport=vp,
+                            show_axis=False, show_labels=False)
+        assert "2" not in text  # task 2 outside window
+
+    def test_ansi_colors(self, simple_schedule):
+        text = render_ascii(simple_schedule, width=20, ansi=True)
+        assert "\x1b[48;5;" in text
+
+    def test_ansi_256_cube(self):
+        assert ansi_256(Color(0, 0, 0)) == 16
+        assert ansi_256(Color(255, 255, 255)) == 231
+        assert 16 <= ansi_256(Color(13, 180, 77)) <= 231
+
+    def test_empty_schedule(self):
+        s = Schedule()
+        s.new_cluster(0, 3)
+        text = render_ascii(s, width=20, show_axis=False, show_labels=False)
+        assert set(text.strip().replace("\n", "")) == {"."}

@@ -1,0 +1,95 @@
+"""Tests for the layered DAG renderer (Figure 6 artifact)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.graph import TaskGraph
+from repro.dag.montage import montage_50
+from repro.errors import RenderError
+from repro.render.daglayout import export_dag, layout_dag
+
+
+@pytest.fixture(scope="module")
+def montage_drawing():
+    return layout_dag(montage_50(), width=1100, height=600)
+
+
+def test_one_rect_per_task(montage_drawing):
+    refs = {r.ref for r in montage_drawing.rects if r.ref}
+    assert len(refs) == 50
+    assert "node:mJPEG" in refs
+
+
+def test_one_line_per_edge(montage_drawing):
+    assert len(montage_drawing.lines) == len(montage_50().edges)
+
+
+def test_levels_map_to_rows(montage_drawing):
+    """Tasks of deeper levels are drawn lower."""
+    project = montage_drawing.find_rect("node:mProject_0")
+    concat = montage_drawing.find_rect("node:mConcatFit")
+    jpeg = montage_drawing.find_rect("node:mJPEG")
+    assert project.y < concat.y < jpeg.y
+
+
+def test_same_level_same_row(montage_drawing):
+    ys = {montage_drawing.find_rect(f"node:mProject_{i}").y for i in range(10)}
+    assert len(ys) == 1
+
+
+def test_same_type_same_color(montage_drawing):
+    """"nodes with the same color are of same task type"."""
+    colors = {montage_drawing.find_rect(f"node:mBackground_{i}").fill
+              for i in range(10)}
+    assert len(colors) == 1
+    assert montage_drawing.find_rect("node:mAdd").fill not in colors
+
+
+def test_nodes_within_canvas(montage_drawing):
+    for r in montage_drawing.rects:
+        assert 0 <= r.x and r.x1 <= montage_drawing.width
+        assert 0 <= r.y and r.y1 <= montage_drawing.height
+
+
+def test_export_formats(tmp_path):
+    g = montage_50()
+    svg = export_dag(g, tmp_path / "m.svg")
+    png = export_dag(g, tmp_path / "m.png", width=600, height=400)
+    assert svg.read_bytes().startswith(b"<?xml")
+    assert png.read_bytes().startswith(b"\x89PNG")
+
+
+def test_empty_graph_rejected():
+    with pytest.raises(RenderError):
+        layout_dag(TaskGraph())
+
+
+def test_too_small_canvas_rejected():
+    g = TaskGraph()
+    g.add_task("a", 1.0)
+    with pytest.raises(RenderError):
+        layout_dag(g, width=20, height=20)
+
+
+def test_single_node_graph():
+    g = TaskGraph()
+    g.add_task("only", 1.0)
+    d = layout_dag(g)
+    assert d.find_rect("node:only") is not None
+
+
+def test_barycenter_reduces_crossings_on_diamond():
+    """Children line up under their parents on a two-diamond graph."""
+    g = TaskGraph()
+    for n in ("a", "b", "a1", "a2", "b1", "b2"):
+        g.add_task(n, 1.0)
+    for src, dst in (("a", "a1"), ("a", "a2"), ("b", "b1"), ("b", "b2")):
+        g.add_edge(src, dst)
+    d = layout_dag(g, width=600, height=300)
+    ax = d.find_rect("node:a").x
+    bx = d.find_rect("node:b").x
+    a_children = (d.find_rect("node:a1").x + d.find_rect("node:a2").x) / 2
+    b_children = (d.find_rect("node:b1").x + d.find_rect("node:b2").x) / 2
+    # children sit on the same side as their parent
+    assert (ax < bx) == (a_children < b_children)

@@ -1,0 +1,117 @@
+"""Tests for the from-scratch PNG encoder/decoder."""
+
+from __future__ import annotations
+
+import struct
+import zlib
+
+import numpy as np
+import pytest
+
+from repro.errors import RenderError
+from repro.render.png_codec import decode_png, encode_png
+
+
+def _random_image(h, w, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, size=(h, w, 3), dtype=np.uint8)
+
+
+def test_signature_and_chunks():
+    data = encode_png(np.zeros((2, 2, 3), dtype=np.uint8))
+    assert data.startswith(b"\x89PNG\r\n\x1a\n")
+    assert b"IHDR" in data and b"IDAT" in data and data.rstrip().endswith(b"IEND" + data[-4:].rstrip())
+
+
+def test_ihdr_fields():
+    data = encode_png(np.zeros((7, 13, 3), dtype=np.uint8))
+    ihdr_at = data.index(b"IHDR") + 4
+    w, h, depth, ctype = struct.unpack(">IIBB", data[ihdr_at:ihdr_at + 10])
+    assert (w, h, depth, ctype) == (13, 7, 8, 2)
+
+
+def test_roundtrip_solid():
+    img = np.full((10, 20, 3), 77, dtype=np.uint8)
+    assert np.array_equal(decode_png(encode_png(img)), img)
+
+
+def test_roundtrip_random():
+    img = _random_image(31, 17)
+    assert np.array_equal(decode_png(encode_png(img)), img)
+
+
+def test_roundtrip_gradient():
+    """Gradients exercise the Sub/Up filters."""
+    y, x = np.mgrid[0:40, 0:60]
+    img = np.stack([(x * 4) % 256, (y * 6) % 256, ((x + y) * 2) % 256],
+                   axis=-1).astype(np.uint8)
+    assert np.array_equal(decode_png(encode_png(img)), img)
+
+
+def test_roundtrip_single_pixel():
+    img = np.array([[[1, 2, 3]]], dtype=np.uint8)
+    assert np.array_equal(decode_png(encode_png(img)), img)
+
+
+@pytest.mark.parametrize("level", [0, 1, 9])
+def test_compression_levels(level):
+    img = _random_image(16, 16, seed=3)
+    assert np.array_equal(decode_png(encode_png(img, compress_level=level)), img)
+
+
+def test_bad_input_shape_rejected():
+    with pytest.raises(RenderError):
+        encode_png(np.zeros((4, 4), dtype=np.uint8))
+    with pytest.raises(RenderError):
+        encode_png(np.zeros((4, 4, 3), dtype=np.float64))
+
+
+def test_decode_rejects_non_png():
+    with pytest.raises(RenderError, match="bad signature"):
+        decode_png(b"GIF89a....")
+
+
+def test_decode_detects_crc_corruption():
+    data = bytearray(encode_png(_random_image(8, 8)))
+    idat = data.index(b"IDAT")
+    data[idat + 10] ^= 0xFF
+    with pytest.raises(RenderError, match="CRC"):
+        decode_png(bytes(data))
+
+
+def test_decode_rejects_unsupported_color_type():
+    # hand-craft a grayscale IHDR
+    ihdr = struct.pack(">IIBBBBB", 4, 4, 8, 0, 0, 0, 0)
+    chunk = struct.pack(">I", len(ihdr)) + b"IHDR" + ihdr + struct.pack(
+        ">I", zlib.crc32(b"IHDR" + ihdr) & 0xFFFFFFFF)
+    with pytest.raises(RenderError, match="unsupported"):
+        decode_png(b"\x89PNG\r\n\x1a\n" + chunk)
+
+
+def test_decode_all_filter_types():
+    """Craft a PNG using every filter type explicitly and decode it."""
+    w = 4
+    rows = [
+        (0, bytes([10, 20, 30] * w)),
+        (1, bytes([5, 5, 5] + [1, 2, 3] * (w - 1))),
+        (2, bytes([7, 7, 7] * w)),
+        (3, bytes([9, 9, 9] * w)),
+        (4, bytes([11, 11, 11] * w)),
+    ]
+    raw = b"".join(bytes([f]) + payload for f, payload in rows)
+    ihdr = struct.pack(">IIBBBBB", w, len(rows), 8, 2, 0, 0, 0)
+
+    def chunk(kind, payload):
+        return (struct.pack(">I", len(payload)) + kind + payload
+                + struct.pack(">I", zlib.crc32(kind + payload) & 0xFFFFFFFF))
+
+    data = (b"\x89PNG\r\n\x1a\n" + chunk(b"IHDR", ihdr)
+            + chunk(b"IDAT", zlib.compress(raw)) + chunk(b"IEND", b""))
+    img = decode_png(data)
+    assert img.shape == (5, 4, 3)
+    # row 0: filter None -> literal
+    assert tuple(img[0, 0]) == (10, 20, 30)
+    # row 1: Sub -> cumulative along the row
+    assert tuple(img[1, 1]) == (6, 7, 8)
+    # row 2: Up -> adds row 1
+    assert tuple(img[2, 0]) == (12, 12, 12)

@@ -1,0 +1,159 @@
+"""Tests for the pure-Python rasterizer and bitmap font."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.colormap import Color
+from repro.render import font5x7
+from repro.render.geometry import Drawing, HAlign, Line, Rect, Text, VAlign
+from repro.render.raster import RasterImage, rasterize
+
+RED = Color(255, 0, 0)
+BLACK = Color(0, 0, 0)
+WHITE = Color(255, 255, 255)
+
+
+class TestFont:
+    def test_glyph_shape(self):
+        g = font5x7.glyph_bitmap("A")
+        assert g.shape == (7, 5)
+        assert g.any()
+
+    def test_space_is_blank(self):
+        assert not font5x7.glyph_bitmap(" ").any()
+
+    def test_unknown_char_uses_replacement(self):
+        g = font5x7.glyph_bitmap("é")
+        assert g.any()
+
+    def test_distinct_glyphs(self):
+        assert not np.array_equal(font5x7.glyph_bitmap("0"),
+                                  font5x7.glyph_bitmap("O"))
+        assert not np.array_equal(font5x7.glyph_bitmap("1"),
+                                  font5x7.glyph_bitmap("l"))
+
+    def test_text_bitmap_width(self):
+        bm = font5x7.text_bitmap("abc")
+        assert bm.shape == (7, 5 * 3 + 2)  # 3 glyphs + 2 spacing columns
+
+    def test_empty_text(self):
+        assert font5x7.text_bitmap("").shape == (7, 0)
+
+    def test_all_defined_glyphs_render(self):
+        for ch in font5x7._RAW:
+            g = font5x7.glyph_bitmap(ch)
+            assert g.shape == (7, 5)
+
+
+class TestRasterImage:
+    def test_background(self):
+        img = RasterImage(10, 5, RED)
+        assert img.count_color(RED) == 50
+
+    def test_fill_rect(self):
+        img = RasterImage(10, 10)
+        img.fill_rect(2, 3, 4, 5, RED)
+        assert img.count_color(RED) == 20
+        assert img.pixel(2, 3) == RED
+        assert img.pixel(1, 3) == WHITE
+
+    def test_fill_rect_clipped(self):
+        img = RasterImage(10, 10)
+        img.fill_rect(-5, -5, 8, 8, RED)
+        assert img.count_color(RED) == 9  # 3x3 visible
+
+    def test_subpixel_rect_still_visible(self):
+        img = RasterImage(10, 10)
+        img.fill_rect(5, 5, 0.2, 0.2, RED)
+        assert img.count_color(RED) >= 1
+
+    def test_zero_rect_invisible(self):
+        img = RasterImage(10, 10)
+        img.fill_rect(5, 5, 0, 0, RED)
+        assert img.count_color(RED) == 0
+
+    def test_stroke_rect_hollow(self):
+        img = RasterImage(20, 20)
+        img.stroke_rect(5, 5, 10, 10, BLACK)
+        assert img.pixel(5, 5) == BLACK
+        assert img.pixel(10, 10) == WHITE  # interior untouched
+
+    def test_horizontal_line(self):
+        img = RasterImage(20, 20)
+        img.draw_line(0, 10, 19, 10, BLACK)
+        assert img.pixel(0, 10) == BLACK and img.pixel(19, 10) == BLACK
+
+    def test_vertical_line(self):
+        img = RasterImage(20, 20)
+        img.draw_line(10, 0, 10, 19, BLACK)
+        assert img.pixel(10, 5) == BLACK
+
+    def test_diagonal_line(self):
+        img = RasterImage(20, 20)
+        img.draw_line(0, 0, 19, 19, BLACK)
+        assert img.pixel(0, 0) == BLACK
+        assert img.pixel(19, 19) == BLACK
+        assert img.pixel(10, 10) == BLACK
+
+    def test_line_clipped_outside(self):
+        img = RasterImage(10, 10)
+        img.draw_line(-100, -5, 100, -5, BLACK)  # fully above
+        assert img.count_color(BLACK) == 0
+
+    def test_draw_text_marks_pixels(self):
+        img = RasterImage(60, 20)
+        img.draw_text(2, 18, "AB", BLACK, size=14)
+        assert img.count_color(BLACK) > 10
+
+    def test_text_alignment_shifts(self):
+        left = RasterImage(60, 20)
+        left.draw_text(30, 18, "X", BLACK, halign=HAlign.LEFT)
+        right = RasterImage(60, 20)
+        right.draw_text(30, 18, "X", BLACK, halign=HAlign.RIGHT)
+        lx = np.where(np.all(left.pixels == 0, axis=-1))[1].min()
+        rx = np.where(np.all(right.pixels == 0, axis=-1))[1].min()
+        assert rx < lx  # right-aligned text sits left of the anchor
+
+    def test_rotated_text(self):
+        img = RasterImage(20, 60)
+        img.draw_text(10, 30, "AB", BLACK, rotated=True, valign=VAlign.MIDDLE)
+        ys, xs = np.where(np.all(img.pixels == 0, axis=-1))
+        assert ys.max() - ys.min() > xs.max() - xs.min()  # taller than wide
+
+    def test_text_clipped_at_edges(self):
+        img = RasterImage(10, 10)
+        img.draw_text(8, 9, "WWWW", BLACK)  # mostly off-canvas
+        # must not raise; some pixels may land
+        img.draw_text(-100, -100, "X", BLACK)
+        assert True
+
+    def test_text_extent_scales(self):
+        img = RasterImage(10, 10)
+        w1, h1 = img.text_extent("hello", 7)
+        w2, h2 = img.text_extent("hello", 14)
+        assert w2 == 2 * w1 and h2 == 2 * h1
+
+    def test_bad_size_rejected(self):
+        with pytest.raises(ValueError):
+            RasterImage(0, 10)
+
+
+class TestRasterize:
+    def test_drawing_rendered(self):
+        d = Drawing(50, 30)
+        d.add(Rect(5, 5, 20, 10, fill=RED, stroke=BLACK))
+        d.add(Line(0, 29, 49, 29, BLACK))
+        d.add(Text(25, 15, "hi", color=BLACK, halign=HAlign.CENTER,
+                   valign=VAlign.MIDDLE))
+        img = rasterize(d)
+        assert img.count_color(RED) > 100
+        assert img.count_color(BLACK) > 30
+
+    def test_z_order_later_wins(self):
+        d = Drawing(20, 20)
+        d.add(Rect(0, 0, 20, 20, fill=RED))
+        d.add(Rect(0, 0, 20, 20, fill=BLACK))
+        img = rasterize(d)
+        assert img.count_color(RED) == 0

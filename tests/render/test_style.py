@@ -1,0 +1,80 @@
+"""Tests for style files and config overlays."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.colormap import Color
+from repro.errors import ParseError
+from repro.render.style import Style, load_style_file
+
+
+def test_defaults_sane():
+    s = Style()
+    assert s.font_size_label >= s.min_font_size_label
+    assert s.margin_left > 0
+
+
+def test_with_config_coerces_types():
+    s = Style().with_config({
+        "font_size_label": "15",
+        "draw_legend": "false",
+        "time_ticks": "4",
+        "axis_color": "FF0000",
+    })
+    assert s.font_size_label == 15.0
+    assert s.draw_legend is False
+    assert s.time_ticks == 4
+    assert s.axis_color == Color(255, 0, 0)
+
+
+def test_with_config_unknown_keys_ignored():
+    s = Style().with_config({"totally_unknown": "1"})
+    assert s == Style()
+
+
+def test_with_config_bool_spellings():
+    assert Style().with_config({"draw_grid": "ON"}).draw_grid is True
+    assert Style().with_config({"draw_grid": "0"}).draw_grid is False
+
+
+def test_with_config_bad_value_raises():
+    with pytest.raises(ParseError, match="font_size_label"):
+        Style().with_config({"font_size_label": "huge"})
+
+
+def test_with_config_immutable():
+    base = Style()
+    base.with_config({"font_size_label": "20"})
+    assert base.font_size_label == 13.0
+
+
+def test_load_style_file(tmp_path):
+    path = tmp_path / "style.cfg"
+    path.write_text(
+        "# jedule style file\n"
+        "\n"
+        "font_size_axes = 16\n"
+        "grid_color = 999999\n"
+        "draw_task_borders = no\n"
+    )
+    s = load_style_file(path)
+    assert s.font_size_axes == 16.0
+    assert s.grid_color == Color.from_hex("999999")
+    assert s.draw_task_borders is False
+
+
+def test_load_style_file_bad_line(tmp_path):
+    path = tmp_path / "style.cfg"
+    path.write_text("this is not a key value pair\n")
+    with pytest.raises(ParseError, match="line 1"):
+        load_style_file(path)
+
+
+def test_load_style_file_on_base(tmp_path):
+    path = tmp_path / "style.cfg"
+    path.write_text("font_size_label = 20\n")
+    base = Style(margin_left=100.0)
+    s = load_style_file(path, base)
+    assert s.margin_left == 100.0
+    assert s.font_size_label == 20.0

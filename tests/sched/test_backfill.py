@@ -1,0 +1,113 @@
+"""Tests for conservative backfilling (Section IV-B invariants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import idle_area, total_busy_area
+from repro.core.validate import check_exclusive_resources
+from repro.dag.generators import LayeredDagSpec, layered_dag
+from repro.dag.graph import TaskGraph
+from repro.dag.moldable import AmdahlModel
+from repro.platform.builders import homogeneous_cluster
+from repro.sched.backfill import backfill_cra, backfill_mapping
+from repro.sched.cpa import cpa_schedule
+from repro.sched.cra import cra_schedule
+
+MODEL = AmdahlModel(0.05)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return homogeneous_cluster(16, 1e9)
+
+
+def _gappy_result(platform):
+    """A schedule with artificial holes: run CPA, then delay every task by
+    doubling its start via a fake sim result."""
+    from repro.core.model import Schedule, Task
+    from repro.simulate.executor import SimResult
+
+    g = layered_dag(LayeredDagSpec(n_tasks=15, layers=5), seed=7)
+    result = cpa_schedule(g, platform, MODEL)
+    sim = result.sim
+    delayed_sched = Schedule(sim.schedule.clusters, meta=sim.schedule.meta)
+    start = {}
+    finish = {}
+    for t in sim.schedule:
+        shift = sim.start[t.id] + 1.0  # grows with start: creates holes
+        nt = t.shifted(shift)
+        delayed_sched.add_task(nt)
+        start[t.id] = nt.start_time
+        finish[t.id] = nt.end_time
+    return g, result.mapping, SimResult(delayed_sched, start, finish)
+
+
+class TestNoDelayInvariant:
+    def test_no_task_delayed(self, platform):
+        g, mapping, sim = _gappy_result(platform)
+        compacted = backfill_mapping(g, mapping, sim, platform, MODEL)
+        for v in mapping.task_ids:
+            assert compacted.start[v] <= sim.start[v] + 1e-9
+            assert compacted.finish[v] <= sim.finish[v] + 1e-9
+
+    def test_durations_preserved(self, platform):
+        g, mapping, sim = _gappy_result(platform)
+        compacted = backfill_mapping(g, mapping, sim, platform, MODEL)
+        for v in mapping.task_ids:
+            assert compacted.finish[v] - compacted.start[v] == pytest.approx(
+                sim.finish[v] - sim.start[v])
+
+    def test_hosts_unchanged(self, platform):
+        g, mapping, sim = _gappy_result(platform)
+        compacted = backfill_mapping(g, mapping, sim, platform, MODEL)
+        for t in sim.schedule:
+            assert compacted.schedule.task(t.id).configurations == t.configurations
+
+    def test_precedence_still_respected(self, platform):
+        g, mapping, sim = _gappy_result(platform)
+        compacted = backfill_mapping(g, mapping, sim, platform, MODEL)
+        for e in g.edges:
+            assert compacted.start[e.dst] >= compacted.finish[e.src] - 1e-9
+
+    def test_no_double_booking_after_compaction(self, platform):
+        g, mapping, sim = _gappy_result(platform)
+        compacted = backfill_mapping(g, mapping, sim, platform, MODEL)
+        assert check_exclusive_resources(compacted.schedule.tasks) == []
+
+    def test_idle_time_reduced(self, platform):
+        """The paper: "the reduction of the total idle time can also be
+        easily quantified"."""
+        g, mapping, sim = _gappy_result(platform)
+        compacted = backfill_mapping(g, mapping, sim, platform, MODEL)
+        assert compacted.schedule.makespan < sim.schedule.makespan
+        assert idle_area(compacted.schedule) < idle_area(sim.schedule)
+
+    def test_already_tight_schedule_unchanged(self, platform):
+        g = layered_dag(LayeredDagSpec(n_tasks=12, layers=4), seed=9)
+        result = cpa_schedule(g, platform, MODEL)
+        compacted = backfill_mapping(g, result.mapping, result.sim,
+                                     platform, MODEL)
+        assert compacted.schedule.makespan == pytest.approx(result.makespan)
+
+    def test_marked_as_backfilled(self, platform):
+        g, mapping, sim = _gappy_result(platform)
+        compacted = backfill_mapping(g, mapping, sim, platform, MODEL)
+        assert compacted.schedule.meta["backfilled"] == "true"
+
+
+class TestCraBackfill:
+    def test_combined_backfill(self, platform):
+        graphs = [layered_dag(LayeredDagSpec(n_tasks=10, layers=4), seed=i,
+                              name=f"a{i}") for i in range(3)]
+        cra = cra_schedule(graphs, platform, MODEL)
+        compacted = backfill_cra(cra, graphs, platform, MODEL)
+        assert len(compacted) == len(cra.schedule)
+        assert compacted.makespan <= cra.schedule.makespan + 1e-9
+        assert check_exclusive_resources(compacted.tasks) == []
+        # no task delayed
+        for t in cra.schedule:
+            assert compacted.task(t.id).end_time <= t.end_time + 1e-9
+        # work conserved
+        assert total_busy_area(compacted) == pytest.approx(
+            total_busy_area(cra.schedule))

@@ -1,0 +1,100 @@
+"""Tests for the pure task-/data-parallel baseline schedulers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validate import check_exclusive_resources
+from repro.dag.generators import LayeredDagSpec, layered_dag, serial_dag, wide_dag
+from repro.dag.moldable import AmdahlModel
+from repro.platform.builders import homogeneous_cluster
+from repro.sched.baselines import data_parallel_schedule, task_parallel_schedule
+from repro.sched.cpa import cpa_schedule
+
+MODEL = AmdahlModel(0.05)
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    return homogeneous_cluster(16, 1e9)
+
+
+def test_task_parallel_uses_single_procs(cluster):
+    g = wide_dag(20, seed=1)
+    result = task_parallel_schedule(g, cluster, MODEL)
+    assert all(len(p.hosts) == 1 for p in result.mapping.placements)
+    assert check_exclusive_resources(result.schedule.tasks) == []
+
+
+def test_data_parallel_uses_all_procs(cluster):
+    g = wide_dag(20, seed=1)
+    result = data_parallel_schedule(g, cluster, MODEL)
+    assert all(len(p.hosts) == 16 for p in result.mapping.placements)
+    assert check_exclusive_resources(result.schedule.tasks) == []
+
+
+def test_data_parallel_serializes_tasks(cluster):
+    g = wide_dag(12, seed=2)
+    result = data_parallel_schedule(g, cluster, MODEL)
+    intervals = sorted((result.sim.start[v], result.sim.finish[v])
+                       for v in g.task_ids)
+    for (s1, e1), (s2, e2) in zip(intervals, intervals[1:]):
+        assert s2 >= e1 - 1e-9
+
+
+def test_mixed_parallel_beats_both_baselines(cluster):
+    """Section III-A: mixed-parallel algorithms "reduce the completion time
+    ... with regard to schedules that only exploit either task- or
+    data-parallelism"."""
+    wins_task = wins_data = 0
+    for seed in range(5):
+        g = layered_dag(LayeredDagSpec(n_tasks=30, layers=6), seed=seed)
+        mixed = cpa_schedule(g, cluster, MODEL).makespan
+        tp = task_parallel_schedule(g, cluster, MODEL).makespan
+        dp = data_parallel_schedule(g, cluster, MODEL).makespan
+        if mixed <= tp + 1e-9:
+            wins_task += 1
+        if mixed <= dp + 1e-9:
+            wins_data += 1
+    assert wins_task >= 4
+    assert wins_data >= 4
+
+
+def test_serial_dag_prefers_data_parallelism(cluster):
+    """On a chain, data-parallelism is the only available speedup."""
+    g = serial_dag(8)
+    tp = task_parallel_schedule(g, cluster, MODEL).makespan
+    dp = data_parallel_schedule(g, cluster, MODEL).makespan
+    assert dp < tp
+
+
+def test_wide_dag_prefers_task_parallelism(cluster):
+    """On a very wide, communication-free layer the task-parallel baseline
+    wins over serializing everything."""
+    from repro.dag.graph import TaskGraph
+
+    g = TaskGraph("flat")
+    for i in range(16):
+        g.add_task(i, 1e9)
+    tp = task_parallel_schedule(g, cluster, MODEL).makespan
+    dp = data_parallel_schedule(g, cluster, MODEL).makespan
+    assert tp < dp
+
+
+def test_restricted_hosts(cluster):
+    g = wide_dag(10, seed=4)
+    block = (0, 1, 2, 3)
+    tp = task_parallel_schedule(g, cluster, MODEL, hosts=block)
+    dp = data_parallel_schedule(g, cluster, MODEL, hosts=block)
+    for result in (tp, dp):
+        for p in result.mapping.placements:
+            assert set(p.hosts) <= set(block)
+    assert all(len(p.hosts) == 4 for p in dp.mapping.placements)
+
+
+def test_algorithm_labels(cluster):
+    g = wide_dag(8, seed=5)
+    assert task_parallel_schedule(g, cluster, MODEL).schedule.meta[
+        "algorithm"] == "task-parallel"
+    assert data_parallel_schedule(g, cluster, MODEL).schedule.meta[
+        "algorithm"] == "data-parallel"

@@ -1,0 +1,116 @@
+"""Tests for CPA, MCPA and MCPA2 — including the Figure 4 shape claims."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import low_utilization_windows, utilization
+from repro.core.validate import check_exclusive_resources
+from repro.dag.generators import imbalanced_layer_dag, serial_dag, wide_dag
+from repro.dag.moldable import AmdahlModel
+from repro.platform.builders import homogeneous_cluster
+from repro.sched.cpa import cpa_schedule
+from repro.sched.mcpa import mcpa_schedule
+from repro.sched.mcpa2 import mcpa2_schedule
+
+MODEL = AmdahlModel(0.02)
+
+
+@pytest.fixture(scope="module")
+def pathological():
+    """The Figure 4 regime: a wide layer (width ~ P) with one heavy task."""
+    return imbalanced_layer_dag(width=30, heavy_factor=12, seed=1)
+
+
+@pytest.fixture(scope="module")
+def cluster32():
+    return homogeneous_cluster(32, 1e9)
+
+
+class TestFigure4Shape:
+    def test_mcpa_much_worse_than_cpa_on_pathology(self, pathological, cluster32):
+        cpa = cpa_schedule(pathological, cluster32, MODEL)
+        mcpa = mcpa_schedule(pathological, cluster32, MODEL)
+        assert mcpa.makespan > 1.5 * cpa.makespan
+
+    def test_mcpa_leaves_idle_holes(self, pathological, cluster32):
+        """The paper: "the schedule contains large holes that correspond to
+        idle CPU time" under MCPA."""
+        mcpa = mcpa_schedule(pathological, cluster32, MODEL)
+        cpa = cpa_schedule(pathological, cluster32, MODEL)
+        assert utilization(mcpa.schedule) < utilization(cpa.schedule)
+        holes = low_utilization_windows(mcpa.schedule, 4,
+                                        min_duration=0.1 * mcpa.makespan)
+        assert holes  # a long window with <= 4 of 32 processors busy
+
+    def test_mcpa2_matches_cpa_on_pathology(self, pathological, cluster32):
+        """"For the example shown in Figure 4 the poly-algorithm MCPA2
+        generates the same schedule as CPA."""
+        cpa = cpa_schedule(pathological, cluster32, MODEL)
+        m2 = mcpa2_schedule(pathological, cluster32, MODEL)
+        assert m2.mapping.meta["mcpa2_branch"] == "cpa"
+        assert m2.makespan == pytest.approx(cpa.makespan)
+
+    def test_mcpa_wins_on_regular_wide_dags(self, cluster32):
+        """MCPA's favoring of task parallelism "works well in many
+        situations" — regular wide graphs are those situations."""
+        wins = 0
+        for seed in range(5):
+            g = wide_dag(40, seed=seed)
+            cpa = cpa_schedule(g, cluster32, MODEL)
+            mcpa = mcpa_schedule(g, cluster32, MODEL)
+            if mcpa.makespan <= cpa.makespan + 1e-9:
+                wins += 1
+        assert wins >= 3
+
+    def test_mcpa2_never_worse_than_either(self, cluster32):
+        for seed in range(4):
+            for g in (wide_dag(30, seed=seed),
+                      imbalanced_layer_dag(width=28, heavy_factor=10, seed=seed)):
+                cpa = cpa_schedule(g, cluster32, MODEL)
+                mcpa = mcpa_schedule(g, cluster32, MODEL)
+                m2 = mcpa2_schedule(g, cluster32, MODEL)
+                assert m2.makespan <= min(cpa.makespan, mcpa.makespan) + 1e-9
+
+
+class TestSchedulesAreValid:
+    @pytest.mark.parametrize("algo", [cpa_schedule, mcpa_schedule, mcpa2_schedule])
+    def test_no_double_booking(self, algo, pathological, cluster32):
+        result = algo(pathological, cluster32, MODEL)
+        assert check_exclusive_resources(result.schedule.tasks) == []
+
+    @pytest.mark.parametrize("algo", [cpa_schedule, mcpa_schedule])
+    def test_precedence(self, algo, pathological, cluster32):
+        result = algo(pathological, cluster32, MODEL)
+        for e in pathological.edges:
+            assert result.sim.start[e.dst] >= result.sim.finish[e.src] - 1e-9
+
+    def test_serial_dag_stays_serial(self, cluster32):
+        g = serial_dag(8)
+        result = cpa_schedule(g, cluster32, MODEL)
+        # tasks must execute strictly one after another
+        order = sorted(g.task_ids, key=lambda v: result.sim.start[v])
+        for a, b in zip(order, order[1:]):
+            assert result.sim.start[b] >= result.sim.finish[a] - 1e-9
+
+    def test_meta_records_algorithm(self, pathological, cluster32):
+        assert cpa_schedule(pathological, cluster32, MODEL).schedule.meta[
+            "algorithm"] == "cpa"
+        assert mcpa_schedule(pathological, cluster32, MODEL).schedule.meta[
+            "algorithm"] == "mcpa"
+        m2 = mcpa2_schedule(pathological, cluster32, MODEL)
+        assert m2.schedule.meta["algorithm"] == "mcpa2"
+        assert m2.schedule.meta["mcpa2_branch"] in ("cpa", "mcpa")
+
+    def test_restricted_hosts_flow_through(self, cluster32):
+        g = wide_dag(20, seed=2)
+        block = tuple(range(8))
+        result = cpa_schedule(g, cluster32, MODEL, hosts=block)
+        for p in result.mapping.placements:
+            assert set(p.hosts) <= set(block)
+
+    def test_deterministic(self, pathological, cluster32):
+        a = cpa_schedule(pathological, cluster32, MODEL)
+        b = cpa_schedule(pathological, cluster32, MODEL)
+        assert a.makespan == b.makespan
+        assert a.mapping.task_ids == b.mapping.task_ids

@@ -1,0 +1,102 @@
+"""Tests for the CPOP scheduler."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validate import check_exclusive_resources
+from repro.dag.generators import LayeredDagSpec, layered_dag
+from repro.dag.graph import TaskGraph
+from repro.dag.montage import montage_50
+from repro.errors import SchedulingError
+from repro.platform.builders import heterogeneous_platform, multi_cluster
+from repro.platform.network import CommModel
+from repro.sched.cpop import cpop_schedule, downward_ranks
+from repro.sched.heft import heft_schedule
+
+
+@pytest.fixture(scope="module")
+def montage():
+    return montage_50(data_scale=10)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return heterogeneous_platform()
+
+
+@pytest.fixture(scope="module")
+def result(montage, platform):
+    return cpop_schedule(montage, platform)
+
+
+def test_downward_ranks_increase_along_edges(montage, platform):
+    ranks = downward_ranks(montage, platform)
+    for e in montage.edges:
+        assert ranks[e.dst] > ranks[e.src] - 1e-9
+    for s in montage.sources():
+        assert ranks[s] == 0.0
+
+
+def test_all_tasks_placed(result, montage):
+    assert set(result.assignment) == set(montage.task_ids)
+
+
+def test_no_double_booking(result):
+    assert check_exclusive_resources(result.schedule.tasks) == []
+
+
+def test_precedence_with_communication(result, montage, platform):
+    comm = CommModel(platform)
+    for e in montage.edges:
+        delay = 0.0
+        if result.assignment[e.src] != result.assignment[e.dst]:
+            delay = comm.time(result.assignment[e.src],
+                              result.assignment[e.dst], e.data)
+        assert result.start[e.dst] >= result.finish[e.src] + delay - 1e-6
+
+
+def test_critical_path_pinned_to_one_host(result, montage):
+    cp_tasks = [t for t in result.schedule if t.meta.get("on_cp") == "true"]
+    assert cp_tasks
+    hosts = {t.meta["host"] for t in cp_tasks}
+    assert len(hosts) == 1
+
+
+def test_cp_host_is_fast(result, platform):
+    cp_tasks = [t for t in result.schedule if t.meta.get("on_cp") == "true"]
+    host = int(cp_tasks[0].meta["host"])
+    assert platform.host(host).speed == max(h.speed for h in platform)
+
+
+def test_competitive_with_heft(result, montage, platform):
+    heft = heft_schedule(montage, platform)
+    assert result.makespan < 2.0 * heft.makespan
+
+
+def test_empty_graph_rejected(platform):
+    with pytest.raises(SchedulingError):
+        cpop_schedule(TaskGraph(), platform)
+
+
+def test_deterministic(montage, platform):
+    a = cpop_schedule(montage, platform)
+    b = cpop_schedule(montage, platform)
+    assert a.assignment == b.assignment
+
+
+def test_random_dags_valid(platform):
+    for seed in range(3):
+        g = layered_dag(LayeredDagSpec(n_tasks=18, layers=5), seed=seed)
+        r = cpop_schedule(g, platform)
+        assert check_exclusive_resources(r.schedule.tasks) == []
+        for e in g.edges:
+            assert r.start[e.dst] >= r.finish[e.src] - 1e-6
+
+
+def test_single_task_on_fastest_processor():
+    platform = multi_cluster((1, 1), (1e9, 4e9))
+    g = TaskGraph()
+    g.add_task("t", 4e9)
+    r = cpop_schedule(g, platform)
+    assert platform.host(r.assignment["t"]).speed == 4e9

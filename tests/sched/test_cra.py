@@ -1,0 +1,137 @@
+"""Tests for multi-DAG CRA scheduling — including the Figure 5 shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import per_host_busy_time
+from repro.core.validate import check_exclusive_resources
+from repro.dag.generators import layered_dag, LayeredDagSpec
+from repro.dag.moldable import AmdahlModel
+from repro.errors import SchedulingError
+from repro.platform.builders import homogeneous_cluster
+from repro.sched.cra import CRAPolicy, cra_schedule, integer_shares
+from repro.sched.metrics import stretches
+
+MODEL = AmdahlModel(0.05)
+
+
+def make_apps(n=4, seed=0, size=12):
+    return [layered_dag(LayeredDagSpec(n_tasks=size, layers=4), seed=seed + i,
+                        name=f"app{i}")
+            for i in range(n)]
+
+
+@pytest.fixture(scope="module")
+def cluster20():
+    return homogeneous_cluster(20, 1e9)
+
+
+@pytest.fixture(scope="module")
+def cra_result(cluster20):
+    return cra_schedule(make_apps(), cluster20, MODEL, policy="work", mu=0.5)
+
+
+class TestIntegerShares:
+    def test_sum_preserved(self):
+        assert sum(integer_shares([0.3, 0.3, 0.4], 20)) == 20
+
+    def test_minimum_one(self):
+        shares = integer_shares([0.98, 0.01, 0.01], 10)
+        assert min(shares) >= 1 and sum(shares) == 10
+
+    def test_proportionality(self):
+        shares = integer_shares([1.0, 3.0], 8)
+        assert shares == [2, 6]
+
+    def test_equal_split(self):
+        assert integer_shares([1, 1, 1, 1], 20) == [5, 5, 5, 5]
+
+    def test_too_few_processors_rejected(self):
+        with pytest.raises(SchedulingError):
+            integer_shares([1, 1, 1], 2)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SchedulingError):
+            integer_shares([], 4)
+
+
+class TestFigure5Shape:
+    def test_four_apps_on_twenty_procs(self, cra_result):
+        assert len(cra_result.shares) == 4
+        assert sum(cra_result.shares) == 20
+
+    def test_resource_constraint_respected(self, cra_result):
+        """The critical check of Section IV-B: every application's tasks
+        stay inside its processor share."""
+        for i, (block, result) in enumerate(
+                zip(cra_result.blocks, cra_result.app_results)):
+            for p in result.mapping.placements:
+                assert set(p.hosts) <= set(block), \
+                    f"app {i} escaped its share"
+
+    def test_apps_on_disjoint_processors(self, cra_result):
+        for t in cra_result.schedule:
+            app = int(t.meta["app"])
+            assert set(t.hosts_in("0")) <= set(cra_result.blocks[app])
+
+    def test_each_app_has_own_type_for_coloring(self, cra_result):
+        types = set(cra_result.schedule.task_types())
+        assert types == {"app0", "app1", "app2", "app3"}
+
+    def test_no_double_booking_in_combined_schedule(self, cra_result):
+        assert check_exclusive_resources(cra_result.schedule.tasks) == []
+
+    def test_tail_processors_underused(self, cluster20):
+        """Figure 5: "processors 17 to 19 are clearly underused" — the
+        highest-indexed share's processors do less work than the average."""
+        result = cra_schedule(make_apps(seed=3), cluster20, MODEL,
+                              policy="work", mu=0.5)
+        busy = per_host_busy_time(result.schedule)
+        mean_busy = sum(busy.values()) / len(busy)
+        tail = [busy[("0", h)] for h in (17, 18, 19)]
+        assert min(tail) < mean_busy
+
+    def test_stretch_at_least_one(self, cra_result, cluster20):
+        from repro.sched.cpa import cpa_schedule
+
+        dedicated = [cpa_schedule(g, cluster20, MODEL).makespan
+                     for g in make_apps()]
+        contended = [r.sim.schedule.end_time for r in cra_result.app_results]
+        values = stretches(contended, dedicated)
+        assert all(v >= 0.9 for v in values)  # shares make apps slower, not faster
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", list(CRAPolicy))
+    def test_all_policies_produce_valid_schedules(self, policy, cluster20):
+        result = cra_schedule(make_apps(n=3), cluster20, MODEL, policy=policy)
+        assert sum(result.shares) == 20
+        assert check_exclusive_resources(result.schedule.tasks) == []
+
+    def test_mu_one_gives_equal_shares(self, cluster20):
+        result = cra_schedule(make_apps(), cluster20, MODEL,
+                              policy="work", mu=1.0)
+        assert result.shares == (5, 5, 5, 5)
+
+    def test_mu_zero_is_fully_proportional(self, cluster20):
+        apps = make_apps()
+        result = cra_schedule(apps, cluster20, MODEL, policy="work", mu=0.0)
+        works = [g.total_work() for g in apps]
+        # heaviest app gets the biggest share
+        assert result.shares[works.index(max(works))] == max(result.shares)
+
+    def test_policy_string_accepted(self, cluster20):
+        result = cra_schedule(make_apps(n=2), cluster20, MODEL, policy="width")
+        assert result.policy is CRAPolicy.WIDTH
+
+    def test_bad_mu_rejected(self, cluster20):
+        with pytest.raises(SchedulingError):
+            cra_schedule(make_apps(n=2), cluster20, MODEL, mu=2.0)
+
+    def test_empty_batch_rejected(self, cluster20):
+        with pytest.raises(SchedulingError):
+            cra_schedule([], cluster20, MODEL)
+
+    def test_betas_sum_to_one(self, cra_result):
+        assert sum(cra_result.betas) == pytest.approx(1.0)

@@ -1,0 +1,152 @@
+"""Tests for HEFT — including the Figure 8/9 anomaly shape."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validate import check_exclusive_resources
+from repro.dag.graph import TaskGraph
+from repro.dag.montage import montage_50
+from repro.errors import SchedulingError
+from repro.platform.builders import heterogeneous_platform, multi_cluster
+from repro.sched.heft import heft_schedule, upward_ranks
+
+
+@pytest.fixture(scope="module")
+def montage():
+    return montage_50(data_scale=10.0)
+
+
+@pytest.fixture(scope="module")
+def flat_result(montage):
+    return heft_schedule(montage, heterogeneous_platform(flat_backbone=True))
+
+
+@pytest.fixture(scope="module")
+def real_result(montage):
+    return heft_schedule(montage, heterogeneous_platform())
+
+
+class TestRanks:
+    def test_ranks_decrease_along_edges(self, montage):
+        platform = heterogeneous_platform()
+        ranks = upward_ranks(montage, platform)
+        for e in montage.edges:
+            assert ranks[e.src] > ranks[e.dst]
+
+    def test_exit_task_rank_is_own_cost(self):
+        g = TaskGraph()
+        g.add_task("only", 2e9)
+        platform = multi_cluster((1, 1), (1e9, 2e9))
+        ranks = upward_ranks(g, platform)
+        # mean inverse speed: (1/1e9 + 1/2e9)/2
+        assert ranks["only"] == pytest.approx(2e9 * 0.75e-9)
+
+
+class TestCorrectness:
+    def test_all_tasks_placed_once(self, montage, flat_result):
+        assert set(flat_result.assignment) == set(montage.task_ids)
+
+    def test_single_processor_tasks(self, flat_result, montage):
+        for v in montage.task_ids:
+            task = flat_result.schedule.task(v)
+            assert task.num_hosts == 1
+
+    def test_no_double_booking(self, flat_result):
+        assert check_exclusive_resources(flat_result.schedule.tasks) == []
+
+    def test_precedence_with_communication(self, montage, flat_result):
+        platform = heterogeneous_platform(flat_backbone=True)
+        from repro.platform.network import CommModel
+
+        comm = CommModel(platform)
+        for e in montage.edges:
+            delay = 0.0
+            if flat_result.assignment[e.src] != flat_result.assignment[e.dst]:
+                delay = comm.time(flat_result.assignment[e.src],
+                                  flat_result.assignment[e.dst], e.data)
+            assert flat_result.start[e.dst] >= \
+                flat_result.finish[e.src] + delay - 1e-6
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SchedulingError):
+            heft_schedule(TaskGraph(), heterogeneous_platform())
+
+    def test_deterministic(self, montage):
+        p = heterogeneous_platform()
+        a = heft_schedule(montage, p)
+        b = heft_schedule(montage, p)
+        assert a.assignment == b.assignment
+
+    def test_prefers_faster_processor_when_free(self):
+        g = TaskGraph()
+        g.add_task("t", 3.3e9)
+        platform = heterogeneous_platform()
+        result = heft_schedule(g, platform)
+        assert platform.host(result.assignment["t"]).speed == pytest.approx(3.3e9)
+
+    def test_insertion_policy_uses_gaps(self):
+        """A short task slots into an idle gap left by communication waits."""
+        g = TaskGraph()
+        g.add_task("a", 1e9)
+        g.add_task("b", 8e9)   # long successor chain head
+        g.add_task("c", 1e8)   # short independent task, ranked last
+        g.add_edge("a", "b", 5e9)  # big transfer forces a gap if b moves
+        platform = multi_cluster((1, 1), 1e9, backbone_latency=1e-3,
+                                 backbone_bandwidth=1e9)
+        result = heft_schedule(g, platform)
+        # c must fit somewhere without pushing makespan beyond b's finish
+        assert result.makespan == pytest.approx(result.finish["b"])
+
+
+class TestFigure8And9Shape:
+    def test_makespans_close(self, flat_result, real_result):
+        """The paper: both schedules have (nearly) the same makespan —
+        makespan alone would have missed the platform bug."""
+        m1, m2 = flat_result.makespan, real_result.makespan
+        assert abs(m1 - m2) / max(m1, m2) < 0.25
+
+    def test_flat_backbone_causes_cross_cluster_spread(self, montage, flat_result):
+        platform = heterogeneous_platform(flat_backbone=True)
+        cross = sum(
+            1 for e in montage.edges
+            if platform.host(flat_result.assignment[e.src]).cluster_id
+            != platform.host(flat_result.assignment[e.dst]).cluster_id)
+        assert cross > len(montage.edges) // 2
+
+    def test_realistic_backbone_reduces_cross_cluster_traffic(
+            self, montage, flat_result, real_result):
+        platform = heterogeneous_platform()
+
+        def cross_edges(result):
+            return sum(
+                1 for e in montage.edges
+                if platform.host(result.assignment[e.src]).cluster_id
+                != platform.host(result.assignment[e.dst]).cluster_id)
+
+        assert cross_edges(real_result) < cross_edges(flat_result)
+
+    def test_realistic_backbone_concentrates_on_one_slow_cluster(
+            self, montage, real_result, flat_result):
+        """Figure 9: "one of these slow clusters is more heavily used"."""
+        platform = heterogeneous_platform()
+
+        def slow_imbalance(result):
+            counts = {"1": 0, "3": 0}
+            for v, h in result.assignment.items():
+                cid = platform.host(h).cluster_id
+                if cid in counts:
+                    counts[cid] += 1
+            lo, hi = sorted(counts.values())
+            return hi - lo
+
+        assert slow_imbalance(real_result) > slow_imbalance(flat_result)
+
+    def test_fast_clusters_start_first_with_realistic_backbone(
+            self, montage, real_result):
+        """Figure 9: "the two fast clusters are chosen first"."""
+        platform = heterogeneous_platform()
+        first_starts = sorted(real_result.start.items(), key=lambda kv: kv[1])[:4]
+        fast = sum(1 for v, _ in first_starts
+                   if platform.host(real_result.assignment[v]).speed > 2e9)
+        assert fast >= 3

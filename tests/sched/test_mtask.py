@@ -1,0 +1,133 @@
+"""Tests for the CPA-family shared machinery (allocation + mapping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.validate import check_exclusive_resources
+from repro.dag.generators import fork_join_dag, imbalanced_layer_dag, wide_dag
+from repro.dag.graph import TaskGraph
+from repro.dag.moldable import AmdahlModel, PerfectModel
+from repro.errors import SchedulingError
+from repro.platform.builders import heterogeneous_platform, homogeneous_cluster
+from repro.sched.mtask import (
+    MTaskProblem,
+    allocate,
+    average_area,
+    critical_path_length,
+    level_bounded_growth,
+    map_allocation,
+)
+
+MODEL = AmdahlModel(0.05)
+
+
+@pytest.fixture
+def problem():
+    return MTaskProblem(wide_dag(20, seed=1), homogeneous_cluster(16, 1e9), MODEL)
+
+
+class TestProblem:
+    def test_heterogeneous_rejected(self):
+        with pytest.raises(SchedulingError, match="homogeneous"):
+            MTaskProblem(wide_dag(10, seed=1), heterogeneous_platform(), MODEL)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(SchedulingError, match="empty"):
+            MTaskProblem(TaskGraph(), homogeneous_cluster(4), MODEL)
+
+    def test_exec_time_uses_model(self, problem):
+        t1 = problem.exec_time(problem.graph.task_ids[0], 1)
+        t4 = problem.exec_time(problem.graph.task_ids[0], 4)
+        assert t4 < t1
+
+
+class TestAllocation:
+    def test_starts_from_one_and_grows(self, problem):
+        alloc = allocate(problem)
+        assert all(1 <= alloc[v] <= 16 for v in problem.graph.task_ids)
+        assert alloc.total() >= len(problem.graph)
+
+    def test_terminates_with_cp_at_most_area_or_saturated(self, problem):
+        alloc = allocate(problem)
+        t_cp = critical_path_length(problem, alloc.procs)
+        t_a = average_area(problem, alloc.procs)
+        path, _ = problem.graph.critical_path(
+            lambda v: problem.exec_time(v, alloc.procs[v]))
+        saturated = all(alloc.procs[v] >= 16 for v in path)
+        assert t_cp <= t_a + 1e-9 or saturated
+
+    def test_level_bound_respected_by_mcpa_constraint(self):
+        g = imbalanced_layer_dag(width=14, seed=3)
+        prob = MTaskProblem(g, homogeneous_cluster(16, 1e9), MODEL)
+        alloc = allocate(prob, may_grow=level_bounded_growth(prob))
+        levels = g.precedence_levels()
+        totals: dict[int, int] = {}
+        for v, p in alloc.procs.items():
+            totals[levels[v]] = totals.get(levels[v], 0) + p
+        assert all(total <= 16 for total in totals.values())
+
+    def test_unconstrained_allocation_can_exceed_level_bound(self):
+        g = imbalanced_layer_dag(width=14, seed=3)
+        prob = MTaskProblem(g, homogeneous_cluster(16, 1e9), MODEL)
+        alloc = allocate(prob)
+        levels = g.precedence_levels()
+        totals: dict[int, int] = {}
+        for v, p in alloc.procs.items():
+            totals[levels[v]] = totals.get(levels[v], 0) + p
+        assert max(totals.values()) > 16  # CPA over-allocates the wide level
+
+    def test_single_task_graph(self):
+        g = TaskGraph()
+        g.add_task("only", 1e9)
+        prob = MTaskProblem(g, homogeneous_cluster(8, 1e9), MODEL)
+        alloc = allocate(prob)
+        assert 1 <= alloc["only"] <= 8
+
+
+class TestMapping:
+    def test_mapping_covers_all_tasks(self, problem):
+        result = map_allocation(problem, allocate(problem))
+        assert set(result.mapping.task_ids) == set(problem.graph.task_ids)
+
+    def test_no_processor_double_booking(self, problem):
+        result = map_allocation(problem, allocate(problem))
+        assert check_exclusive_resources(result.schedule.tasks) == []
+
+    def test_precedence_respected(self, problem):
+        result = map_allocation(problem, allocate(problem))
+        for e in problem.graph.edges:
+            assert result.sim.start[e.dst] >= result.sim.finish[e.src] - 1e-9
+
+    def test_allocation_sizes_honored(self, problem):
+        alloc = allocate(problem)
+        result = map_allocation(problem, alloc)
+        for p in result.mapping.placements:
+            assert len(p.hosts) == min(alloc[p.task_id], 16)
+
+    def test_restricted_hosts(self, problem):
+        block = (0, 1, 2, 3)
+        result = map_allocation(problem, allocate(problem), hosts=block)
+        for p in result.mapping.placements:
+            assert set(p.hosts) <= set(block)
+
+    def test_makespan_at_least_area_bound(self, problem):
+        """T_A is a lower bound on any schedule's makespan."""
+        alloc = allocate(problem)
+        result = map_allocation(problem, alloc)
+        assert result.makespan >= average_area(problem, alloc.procs) - 1e-9
+
+    def test_makespan_at_least_critical_path(self, problem):
+        alloc = allocate(problem)
+        result = map_allocation(problem, alloc)
+        assert result.makespan >= critical_path_length(problem, alloc.procs) - 1e-9
+
+    def test_fork_join_parallelism_exploited(self):
+        g = fork_join_dag(width=4, stages=1, work=4e9)
+        prob = MTaskProblem(g, homogeneous_cluster(8, 1e9), PerfectModel())
+        result = map_allocation(prob, allocate(prob))
+        # the 4 middle tasks must overlap in time
+        mids = [v for v in g.task_ids if g.in_degree(v) == 1 and g.out_degree(v) == 1]
+        starts = [result.sim.start[v] for v in mids]
+        finishes = [result.sim.finish[v] for v in mids]
+        assert min(finishes) > max(starts) - 1e-9 or len(set(starts)) > 1

@@ -1,0 +1,121 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.simulate.engine import SimEngine
+
+
+def test_events_fire_in_time_order():
+    engine = SimEngine()
+    fired = []
+    engine.at(3.0, lambda: fired.append("c"))
+    engine.at(1.0, lambda: fired.append("a"))
+    engine.at(2.0, lambda: fired.append("b"))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+    assert engine.now == 3.0
+
+
+def test_equal_times_fire_in_scheduling_order():
+    engine = SimEngine()
+    fired = []
+    for tag in "abc":
+        engine.at(1.0, lambda t=tag: fired.append(t))
+    engine.run()
+    assert fired == ["a", "b", "c"]
+
+
+def test_after_relative():
+    engine = SimEngine()
+    times = []
+    engine.after(2.0, lambda: times.append(engine.now))
+    engine.run()
+    assert times == [2.0]
+
+
+def test_callbacks_can_schedule_more():
+    engine = SimEngine()
+    log = []
+
+    def chain(n):
+        log.append((engine.now, n))
+        if n:
+            engine.after(1.0, lambda: chain(n - 1))
+
+    engine.at(0.0, lambda: chain(3))
+    engine.run()
+    assert log == [(0.0, 3), (1.0, 2), (2.0, 1), (3.0, 0)]
+
+
+def test_cancel():
+    engine = SimEngine()
+    fired = []
+    handle = engine.at(1.0, lambda: fired.append("x"))
+    handle.cancel()
+    assert handle.cancelled
+    engine.run()
+    assert fired == []
+
+
+def test_pending_count_ignores_cancelled():
+    engine = SimEngine()
+    h = engine.at(1.0, lambda: None)
+    engine.at(2.0, lambda: None)
+    h.cancel()
+    assert engine.pending == 1
+
+
+def test_run_until_horizon():
+    engine = SimEngine()
+    fired = []
+    engine.at(1.0, lambda: fired.append(1))
+    engine.at(5.0, lambda: fired.append(5))
+    engine.run(until=2.0)
+    assert fired == [1]
+    assert engine.now == 2.0
+    engine.run()
+    assert fired == [1, 5]
+
+
+def test_past_scheduling_rejected():
+    engine = SimEngine()
+    engine.at(5.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError, match="clock"):
+        engine.at(1.0, lambda: None)
+
+
+def test_nonfinite_time_rejected():
+    with pytest.raises(SimulationError):
+        SimEngine().at(float("inf"), lambda: None)
+
+
+def test_negative_delay_rejected():
+    with pytest.raises(SimulationError):
+        SimEngine().after(-1.0, lambda: None)
+
+
+def test_max_events_guard():
+    engine = SimEngine()
+
+    def forever():
+        engine.after(1.0, forever)
+
+    engine.at(0.0, forever)
+    with pytest.raises(SimulationError, match="exceeded"):
+        engine.run(max_events=100)
+
+
+def test_step_returns_false_when_empty():
+    assert SimEngine().step() is False
+
+
+def test_processed_counter():
+    engine = SimEngine()
+    engine.at(1.0, lambda: None)
+    engine.at(2.0, lambda: None)
+    engine.run()
+    assert engine.processed == 2

@@ -1,0 +1,169 @@
+"""Tests for the mapping replay executor."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.dag.graph import TaskGraph
+from repro.dag.moldable import PerfectModel
+from repro.errors import SchedulingError, SimulationError
+from repro.platform.builders import homogeneous_cluster, multi_cluster
+from repro.simulate.executor import Mapping, TaskPlacement, simulate_mapping
+
+
+@pytest.fixture
+def chain():
+    g = TaskGraph()
+    g.add_task("a", 4e9)
+    g.add_task("b", 4e9)
+    g.add_edge("a", "b", 0.0)
+    return g
+
+
+@pytest.fixture
+def platform():
+    return homogeneous_cluster(4, 1e9)
+
+
+def test_placement_validation():
+    with pytest.raises(SchedulingError):
+        TaskPlacement("x", ())
+    with pytest.raises(SchedulingError):
+        TaskPlacement("x", (1, 1))
+
+
+def test_chain_respects_precedence(chain, platform):
+    mapping = Mapping()
+    mapping.place("a", (0, 1))
+    mapping.place("b", (0, 1))
+    result = simulate_mapping(chain, mapping, platform, PerfectModel())
+    # each task: 4e9 ops on 2 procs at 1e9 -> 2 s
+    assert result.start["a"] == 0.0
+    assert result.finish["a"] == pytest.approx(2.0)
+    assert result.start["b"] == pytest.approx(2.0)
+    assert result.makespan == pytest.approx(4.0)
+
+
+def test_independent_tasks_run_in_parallel(platform):
+    g = TaskGraph()
+    g.add_task("a", 2e9)
+    g.add_task("b", 2e9)
+    mapping = Mapping()
+    mapping.place("a", (0, 1))
+    mapping.place("b", (2, 3))
+    result = simulate_mapping(g, mapping, platform, PerfectModel())
+    assert result.start["b"] == 0.0
+    assert result.makespan == pytest.approx(1.0)
+
+
+def test_host_contention_serializes(platform):
+    g = TaskGraph()
+    g.add_task("a", 2e9)
+    g.add_task("b", 2e9)
+    mapping = Mapping()
+    mapping.place("a", (0,))
+    mapping.place("b", (0,))
+    result = simulate_mapping(g, mapping, platform, PerfectModel())
+    assert result.start["b"] == pytest.approx(result.finish["a"])
+
+
+def test_grant_order_is_mapping_order(platform):
+    g = TaskGraph()
+    g.add_task("a", 2e9)
+    g.add_task("b", 2e9)
+    m1 = Mapping()
+    m1.place("b", (0,))
+    m1.place("a", (0,))
+    r = simulate_mapping(g, m1, platform, PerfectModel())
+    assert r.start["b"] == 0.0 and r.start["a"] == pytest.approx(2.0)
+
+
+def test_cross_cluster_communication_delay(chain):
+    platform = multi_cluster((2, 2), 1e9, backbone_latency=0.5,
+                             backbone_bandwidth=1e9)
+    mapping = Mapping()
+    mapping.place("a", (0,))
+    mapping.place("b", (2,))
+    g = chain
+    # put data on the edge
+    g2 = TaskGraph()
+    g2.add_task("a", 1e9)
+    g2.add_task("b", 1e9)
+    g2.add_edge("a", "b", 1e9)
+    result = simulate_mapping(g2, mapping, platform, PerfectModel())
+    # comm: latencies (1e-5*2 + 0.5) + 1e9/1e9 -> ~1.5 s after a finishes
+    assert result.start["b"] == pytest.approx(1.0 + 1.50002, rel=1e-3)
+
+
+def test_missing_placement_rejected(chain, platform):
+    mapping = Mapping()
+    mapping.place("a", (0,))
+    with pytest.raises(SimulationError, match="misses"):
+        simulate_mapping(chain, mapping, platform, PerfectModel())
+
+
+def test_unknown_placement_rejected(chain, platform):
+    mapping = Mapping()
+    mapping.place("a", (0,))
+    mapping.place("b", (0,))
+    mapping.place("ghost", (1,))
+    with pytest.raises(SimulationError, match="unknown"):
+        simulate_mapping(chain, mapping, platform, PerfectModel())
+
+
+def test_precedence_violating_order_rejected(chain, platform):
+    mapping = Mapping()
+    mapping.place("b", (0,))
+    mapping.place("a", (1,))
+    with pytest.raises(SimulationError, match="precedence"):
+        simulate_mapping(chain, mapping, platform, PerfectModel())
+
+
+def test_schedule_output_structure(chain, platform):
+    mapping = Mapping(meta={"algorithm": "test"})
+    mapping.place("a", (0, 1))
+    mapping.place("b", (1, 2))
+    result = simulate_mapping(chain, mapping, platform, PerfectModel())
+    s = result.schedule
+    assert s.meta["algorithm"] == "test"
+    assert len(s) == 2
+    assert s.task("a").hosts_in("0") == (0, 1)
+    assert s.task("b").hosts_in("0") == (1, 2)
+
+
+def test_transfers_emitted_when_requested():
+    platform = multi_cluster((1, 1), 1e9, backbone_latency=0.5)
+    g = TaskGraph()
+    g.add_task("a", 1e9)
+    g.add_task("b", 1e9)
+    g.add_edge("a", "b", 1e8)
+    mapping = Mapping()
+    mapping.place("a", (0,))
+    mapping.place("b", (1,))
+    result = simulate_mapping(g, mapping, platform, PerfectModel(),
+                              include_transfers=True)
+    xfers = result.schedule.tasks_of_type("transfer")
+    assert len(xfers) == 1
+    x = xfers[0]
+    assert x.start_time == pytest.approx(result.finish["a"])
+    assert x.end_time == pytest.approx(result.start["b"])
+
+
+def test_no_transfer_rect_for_local_edges(chain, platform):
+    mapping = Mapping()
+    mapping.place("a", (0,))
+    mapping.place("b", (0,))
+    result = simulate_mapping(chain, mapping, platform, PerfectModel(),
+                              include_transfers=True)
+    assert result.schedule.tasks_of_type("transfer") == ()
+
+
+def test_slowest_host_bounds_multiproc_task():
+    platform = multi_cluster((1, 1), (1e9, 2e9), backbone_latency=1e-5)
+    g = TaskGraph()
+    g.add_task("a", 2e9)
+    mapping = Mapping()
+    mapping.place("a", (0, 1))
+    result = simulate_mapping(g, mapping, platform, PerfectModel())
+    # bounded by the 1e9 host: 2e9 / (1e9 * 2) = 1.0
+    assert result.finish["a"] == pytest.approx(1.0)

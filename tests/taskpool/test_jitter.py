@@ -1,0 +1,90 @@
+"""Tests for per-task duration jitter in the pool simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.taskpool.numa import NumaMachine
+from repro.taskpool.pool import PoolTask, TaskPoolSim
+
+
+class Flat:
+    def __init__(self, n=8, cpu=1.6e8):
+        self.n, self.cpu = n, cpu
+
+    def initial_tasks(self):
+        return [PoolTask(f"t{i}", self.cpu) for i in range(self.n)]
+
+    def expand(self, task):
+        return []
+
+
+def machine():
+    return NumaMachine(2, 2, 1.6e9, 1e15)
+
+
+def test_zero_jitter_is_deterministic_baseline():
+    a = TaskPoolSim(machine(), Flat(), pool_overhead=0.0).run()
+    b = TaskPoolSim(machine(), Flat(), duration_jitter=0.0,
+                    pool_overhead=0.0).run()
+    assert a.makespan == b.makespan
+
+
+def test_jitter_changes_durations():
+    base = TaskPoolSim(machine(), Flat(), pool_overhead=0.0).run()
+    jit = TaskPoolSim(machine(), Flat(), duration_jitter=0.4, jitter_seed=1,
+                      pool_overhead=0.0).run()
+    base_runs = sorted(s.duration for t in base.traces for s in t.segments
+                       if s.kind == "run")
+    jit_runs = sorted(s.duration for t in jit.traces for s in t.segments
+                      if s.kind == "run")
+    assert base_runs != jit_runs
+    assert len(set(jit_runs)) > 1  # equal tasks now take different times
+
+
+def test_jitter_seed_reproducible():
+    a = TaskPoolSim(machine(), Flat(), duration_jitter=0.4, jitter_seed=7,
+                    pool_overhead=0.0).run()
+    b = TaskPoolSim(machine(), Flat(), duration_jitter=0.4, jitter_seed=7,
+                    pool_overhead=0.0).run()
+    assert a.makespan == b.makespan
+
+
+def test_different_seeds_differ():
+    a = TaskPoolSim(machine(), Flat(), duration_jitter=0.4, jitter_seed=1,
+                    pool_overhead=0.0).run()
+    b = TaskPoolSim(machine(), Flat(), duration_jitter=0.4, jitter_seed=2,
+                    pool_overhead=0.0).run()
+    assert a.makespan != b.makespan
+
+
+def test_jitter_preserves_task_count():
+    res = TaskPoolSim(machine(), Flat(20), duration_jitter=0.5,
+                      pool_overhead=0.0).run()
+    assert res.total_tasks == 20
+
+
+def test_negative_jitter_rejected():
+    with pytest.raises(SimulationError):
+        TaskPoolSim(machine(), Flat(), duration_jitter=-0.1)
+
+
+def test_midrun_hole_appears_with_jitter():
+    """The Figure 12 mid-run hole: full width, a dip, full width again."""
+    from repro.core.stats import low_utilization_windows, utilization_profile
+    from repro.taskpool import QuicksortApp, altix_4700, pool_result_to_schedule
+
+    app = QuicksortApp(50_000_000, variant="inverse", seed=7)
+    res = TaskPoolSim(altix_4700(64), app, duration_jitter=0.3,
+                      jitter_seed=42).run()
+    s = pool_result_to_schedule(res)
+    prof = utilization_profile(s, types=["computation"])
+    highs = [t for t, c in zip(prof.times, prof.counts) if c >= 56]
+    assert highs
+    t_first, t_last = min(highs), max(highs)
+    holes = [(a, b) for a, b in low_utilization_windows(
+                 s, 16, min_duration=res.makespan * 0.003,
+                 types=["computation"])
+             if t_first < a and b < t_last]
+    assert holes

@@ -1,0 +1,95 @@
+"""Tests for the task-pool trace log format."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ParseError
+from repro.taskpool import QuicksortApp, TaskPoolSim, altix_4700
+from repro.taskpool.logfmt import dump, dumps, load, loads
+from repro.taskpool.trace import pool_result_to_schedule
+
+
+@pytest.fixture(scope="module")
+def run():
+    app = QuicksortApp(1_000_000, variant="inverse", seed=1)
+    return TaskPoolSim(altix_4700(8), app).run()
+
+
+def test_roundtrip(run):
+    back = loads(dumps(run))
+    assert back.machine == run.machine
+    assert back.total_tasks == run.total_tasks
+    assert back.makespan == run.makespan
+    assert len(back.traces) == len(run.traces)
+    for a, b in zip(run.traces, back.traces):
+        assert a.worker == b.worker
+        assert a.segments == b.segments
+
+
+def test_file_roundtrip(tmp_path, run):
+    path = tmp_path / "run.trace"
+    dump(run, path)
+    back = load(path)
+    assert back.traces[0].segments == run.traces[0].segments
+
+
+def test_offline_analysis_pipeline(tmp_path, run):
+    """The paper's workflow: log the run, analyze/render later from disk."""
+    path = tmp_path / "run.trace"
+    dump(run, path)
+    schedule = pool_result_to_schedule(load(path))
+    direct = pool_result_to_schedule(run)
+    assert len(schedule) == len(direct)
+    assert schedule.makespan == pytest.approx(direct.makespan)
+
+
+def test_bad_magic_rejected():
+    with pytest.raises(ParseError, match="magic"):
+        loads("not a trace\n")
+
+
+def test_missing_machine_rejected():
+    with pytest.raises(ParseError, match="machine"):
+        loads("# taskpool-trace 1\n0\trun\t0.0\t1.0\t-\n")
+
+
+def test_bad_field_count_rejected():
+    text = ("# taskpool-trace 1\n"
+            "# sockets 1 cores_per_socket 2 core_speed 1.6e9 bandwidth 3.2e9\n"
+            "0\trun\t0.0\n")
+    with pytest.raises(ParseError, match="5 tab-separated"):
+        loads(text)
+
+
+def test_bad_kind_rejected():
+    text = ("# taskpool-trace 1\n"
+            "# sockets 1 cores_per_socket 2 core_speed 1.6e9 bandwidth 3.2e9\n"
+            "0\tsleep\t0.0\t1.0\t-\n")
+    with pytest.raises(ParseError, match="unknown segment kind"):
+        loads(text)
+
+
+def test_workers_without_segments_present():
+    text = ("# taskpool-trace 1\n"
+            "# sockets 2 cores_per_socket 2 core_speed 1.6e9 bandwidth 3.2e9\n"
+            "# tasks 1 makespan 1.0\n"
+            "0\trun\t0.0\t1.0\tx\n")
+    back = loads(text)
+    assert len(back.traces) == 4  # idle workers materialized
+
+
+def test_cli_info_json(tmp_path, simple_schedule, capsys):
+    """Machine-readable schedule info for scripting pipelines."""
+    import json
+
+    from repro.cli.main import main
+    from repro.io import jedule_xml
+
+    path = tmp_path / "s.jed"
+    jedule_xml.dump(simple_schedule, path)
+    assert main(["info", str(path), "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["tasks"] == 2
+    assert payload["makespan"] == pytest.approx(0.5)
+    assert payload["clusters"] == {"0": 8}

@@ -1,0 +1,106 @@
+"""Tests for the NUMA machine model and the trace -> schedule bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.taskpool.numa import NumaMachine, altix_4700
+from repro.taskpool.pool import PoolRunResult, Segment, TaskPoolSim, PoolTask, WorkerTrace
+from repro.taskpool.trace import pool_result_to_schedule
+
+
+class TestNumaMachine:
+    def test_altix_layout(self):
+        m = altix_4700(64)
+        assert m.n_sockets == 32
+        assert m.cores_per_socket == 2
+        assert m.n_workers == 64
+
+    def test_socket_of(self):
+        m = altix_4700(8)
+        assert m.socket_of(0) == 0
+        assert m.socket_of(1) == 0
+        assert m.socket_of(2) == 1
+        assert m.socket_of(7) == 3
+
+    def test_workers_of(self):
+        m = altix_4700(8)
+        assert list(m.workers_of(1)) == [2, 3]
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            NumaMachine(0, 2)
+        with pytest.raises(SimulationError):
+            NumaMachine(2, 2, core_speed=-1)
+        with pytest.raises(SimulationError):
+            altix_4700(33)
+        with pytest.raises(SimulationError):
+            altix_4700(4).socket_of(99)
+        with pytest.raises(SimulationError):
+            altix_4700(4).workers_of(99)
+
+
+def _tiny_result() -> PoolRunResult:
+    m = NumaMachine(2, 2, 1.6e9, 1e15)
+    traces = [
+        WorkerTrace(0, [Segment("run", 0.0, 1.0, "a"), Segment("wait", 1.0, 2.0)]),
+        WorkerTrace(1, [Segment("wait", 0.0, 0.5), Segment("run", 0.5, 2.0, "b")]),
+        WorkerTrace(2, [Segment("wait", 0.0, 2.0)]),
+        WorkerTrace(3, [Segment("run", 0.0, 0.001, "c"),
+                        Segment("wait", 0.001, 2.0)]),
+    ]
+    return PoolRunResult(m, traces, 3, 2.0)
+
+
+class TestTraceBridge:
+    def test_flat_schedule(self):
+        s = pool_result_to_schedule(_tiny_result())
+        assert s.num_hosts == 4
+        assert len(s.clusters) == 1
+        run_a = s.task("a")
+        assert run_a.type == "computation"
+        assert run_a.hosts_in("0") == (0,)
+
+    def test_group_by_socket(self):
+        s = pool_result_to_schedule(_tiny_result(), group_by_socket=True)
+        assert len(s.clusters) == 2
+        assert s.cluster("0").num_hosts == 2
+        # worker 3 is socket 1, local core 1
+        assert s.task("c").hosts_in("1") == (1,)
+
+    def test_wait_segments_typed(self):
+        s = pool_result_to_schedule(_tiny_result())
+        waits = s.tasks_of_type("wait")
+        assert len(waits) == 4
+
+    def test_exclude_waits(self):
+        s = pool_result_to_schedule(_tiny_result(), include_waits=False)
+        assert s.tasks_of_type("wait") == ()
+        assert len(s) == 3
+
+    def test_min_duration_filter(self):
+        s = pool_result_to_schedule(_tiny_result(), min_duration=0.01)
+        assert not s.has_task("c")  # the 1 ms run segment is dropped
+        assert s.has_task("a")
+
+    def test_meta_summary(self):
+        s = pool_result_to_schedule(_tiny_result())
+        assert s.meta["tasks"] == "3"
+
+    def test_roundtrip_with_simulation(self):
+        class App:
+            def initial_tasks(self):
+                return [PoolTask(f"t{i}", 1.6e8) for i in range(6)]
+
+            def expand(self, task):
+                return []
+
+        res = TaskPoolSim(NumaMachine(2, 2, 1.6e9, 1e15), App(),
+                          pool_overhead=0.0).run()
+        s = pool_result_to_schedule(res)
+        # busy area of the schedule equals total cpu seconds
+        from repro.core.stats import total_busy_area
+
+        assert total_busy_area(s, types=["computation"]) == pytest.approx(
+            6 * 0.1, rel=1e-6)

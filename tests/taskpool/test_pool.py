@@ -1,0 +1,160 @@
+"""Tests for the task-pool runtime simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.taskpool.numa import NumaMachine
+from repro.taskpool.pool import PoolPolicy, PoolTask, TaskPoolSim
+
+
+class StaticApp:
+    """N independent equal tasks (no expansion)."""
+
+    def __init__(self, n: int, cpu: float = 1.6e9, mem: float = 0.0):
+        self.n, self.cpu, self.mem = n, cpu, mem
+
+    def initial_tasks(self):
+        return [PoolTask(f"t{i}", self.cpu, self.mem) for i in range(self.n)]
+
+    def expand(self, task):
+        return []
+
+
+class BinaryTreeApp:
+    """Each task spawns two children until a depth limit."""
+
+    def __init__(self, depth: int, cpu: float = 1.6e8):
+        self.depth, self.cpu = depth, cpu
+
+    def initial_tasks(self):
+        return [PoolTask("r", self.cpu, 0.0, payload=0)]
+
+    def expand(self, task):
+        d = task.payload
+        if d >= self.depth:
+            return []
+        return [PoolTask(f"{task.id}{c}", self.cpu, 0.0, payload=d + 1)
+                for c in "lr"]
+
+
+def machine(workers=4, bw=1e15):
+    return NumaMachine(workers // 2, 2, 1.6e9, bw)
+
+
+class TestBasics:
+    def test_single_task(self):
+        res = TaskPoolSim(machine(), StaticApp(1), pool_overhead=0.0).run()
+        assert res.total_tasks == 1
+        assert res.makespan == pytest.approx(1.0)
+
+    def test_parallel_tasks_use_all_workers(self):
+        res = TaskPoolSim(machine(4), StaticApp(4), pool_overhead=0.0).run()
+        assert res.makespan == pytest.approx(1.0)
+
+    def test_more_tasks_than_workers_serialize(self):
+        res = TaskPoolSim(machine(4), StaticApp(8), pool_overhead=0.0).run()
+        assert res.makespan == pytest.approx(2.0)
+
+    def test_no_initial_tasks_rejected(self):
+        with pytest.raises(SimulationError, match="no initial tasks"):
+            TaskPoolSim(machine(), StaticApp(0)).run()
+
+    def test_expansion_counts_all_tasks(self):
+        res = TaskPoolSim(machine(4), BinaryTreeApp(3), pool_overhead=0.0).run()
+        assert res.total_tasks == 2 ** 4 - 1  # depths 0..3
+
+    def test_traces_cover_makespan(self):
+        res = TaskPoolSim(machine(4), StaticApp(2), pool_overhead=0.0).run()
+        for trace in res.traces:
+            if trace.segments:
+                assert trace.segments[-1].end == pytest.approx(res.makespan)
+
+    def test_run_and_wait_partition_time(self):
+        res = TaskPoolSim(machine(4), StaticApp(6), pool_overhead=0.0).run()
+        for trace in res.traces:
+            total = trace.busy_time() + trace.wait_time()
+            assert total == pytest.approx(res.makespan, rel=1e-6)
+            # segments must not overlap and must be ordered
+            for a, b in zip(trace.segments, trace.segments[1:]):
+                assert a.end <= b.start + 1e-12
+
+    def test_busy_fraction(self):
+        res = TaskPoolSim(machine(4), StaticApp(4), pool_overhead=0.0).run()
+        assert res.busy_fraction() == pytest.approx(1.0, rel=1e-6)
+
+    def test_pool_overhead_appears_as_wait(self):
+        res = TaskPoolSim(machine(2), StaticApp(2), pool_overhead=0.01).run()
+        assert res.makespan == pytest.approx(1.01, rel=1e-6)
+
+    def test_lifo_vs_fifo_order(self):
+        """With one worker, LIFO executes the newest task first."""
+        m = NumaMachine(1, 1, 1.6e9, 1e15)
+
+        def run_order(policy):
+            res = TaskPoolSim(m, StaticApp(3), policy=policy,
+                              pool_overhead=0.0).run()
+            segs = [s for s in res.traces[0].segments if s.kind == "run"]
+            return [s.task_id for s in segs]
+
+        assert run_order(PoolPolicy.FIFO) == ["t0", "t1", "t2"]
+        assert run_order(PoolPolicy.LIFO) == ["t2", "t1", "t0"]
+
+    def test_deterministic(self):
+        a = TaskPoolSim(machine(4), BinaryTreeApp(4)).run()
+        b = TaskPoolSim(machine(4), BinaryTreeApp(4)).run()
+        assert a.makespan == b.makespan
+
+    def test_negative_overhead_rejected(self):
+        with pytest.raises(SimulationError):
+            TaskPoolSim(machine(), StaticApp(1), pool_overhead=-1e-3)
+
+
+class TestNumaContention:
+    def test_memory_bound_tasks_share_socket_bandwidth(self):
+        """Two memory-bound tasks on one socket run at half rate."""
+        m = NumaMachine(1, 2, 1.6e9, 1.6e9)  # one socket, 2 cores
+        # each task alone: cpu 0.1s, mem 1.6e9 bytes -> 1.0s (memory bound)
+        app = StaticApp(2, cpu=1.6e8, mem=1.6e9)
+        res = TaskPoolSim(m, app, pool_overhead=0.0).run()
+        # demand each = 1.6e9 B/s; two tasks share 1.6e9 -> rate 0.5
+        assert res.makespan == pytest.approx(2.0, rel=1e-3)
+
+    def test_no_contention_across_sockets(self):
+        m = NumaMachine(2, 1, 1.6e9, 1.6e9)  # 2 sockets, 1 core each
+        app = StaticApp(2, cpu=1.6e8, mem=1.6e9)
+        res = TaskPoolSim(m, app, pool_overhead=0.0).run()
+        assert res.makespan == pytest.approx(1.0, rel=1e-3)
+
+    def test_cpu_bound_tasks_unaffected(self):
+        m = NumaMachine(1, 2, 1.6e9, 1.6e9)
+        app = StaticApp(2, cpu=1.6e9, mem=0.0)
+        res = TaskPoolSim(m, app, pool_overhead=0.0).run()
+        assert res.makespan == pytest.approx(1.0, rel=1e-3)
+
+    def test_rate_recovers_when_neighbor_finishes(self):
+        """A long memory task sharing with a short one speeds back up."""
+        m = NumaMachine(1, 2, 1.6e9, 1.6e9)
+
+        class TwoTasks:
+            def initial_tasks(self):
+                return [PoolTask("long", 1.6e8, 3.2e9),   # alone: 2.0 s
+                        PoolTask("short", 1.6e8, 1.6e9)]  # alone: 1.0 s
+
+            def expand(self, task):
+                return []
+
+        res = TaskPoolSim(m, TwoTasks(), pool_overhead=0.0).run()
+        # both at rate .5 until short finishes its 1.0s of nominal work at
+        # t=2.0; long then has 1.0 nominal second left at full rate -> 3.0
+        assert res.makespan == pytest.approx(3.0, rel=1e-3)
+
+    def test_contention_slows_overall(self):
+        fast = TaskPoolSim(machine(4, bw=1e15),
+                           StaticApp(4, cpu=1.6e8, mem=1.6e9),
+                           pool_overhead=0.0).run()
+        slow = TaskPoolSim(machine(4, bw=1.6e9),
+                           StaticApp(4, cpu=1.6e8, mem=1.6e9),
+                           pool_overhead=0.0).run()
+        assert slow.makespan > fast.makespan * 1.5

@@ -1,0 +1,157 @@
+"""Tests for the parallel Quicksort application and its figures' shapes."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.stats import utilization_profile
+from repro.errors import SimulationError
+from repro.taskpool.numa import NumaMachine, altix_4700
+from repro.taskpool.pool import TaskPoolSim
+from repro.taskpool.quicksort import QuicksortApp
+from repro.taskpool.trace import pool_result_to_schedule
+
+
+class TestApp:
+    def test_initial_task_covers_whole_array(self):
+        app = QuicksortApp(1_000_000, seed=1)
+        (root,) = list(app.initial_tasks())
+        assert root.payload.size == 1_000_000
+
+    def test_expansion_splits_conserving_elements(self):
+        app = QuicksortApp(1_000_000, variant="inverse")
+        (root,) = list(app.initial_tasks())
+        children = list(app.expand(root))
+        assert len(children) == 2
+        total = sum(c.payload.size for c in children)
+        assert total == 1_000_000 - 1  # pivot excluded
+
+    def test_inverse_splits_evenly(self):
+        app = QuicksortApp(1 << 20, variant="inverse")
+        (root,) = list(app.initial_tasks())
+        l, r = app.expand(root)
+        assert abs(l.payload.size - r.payload.size) <= 1
+
+    def test_first_split_pinned(self):
+        app = QuicksortApp(1 << 20, variant="random", first_split=0.05, seed=1)
+        (root,) = list(app.initial_tasks())
+        l, r = app.expand(root)
+        assert l.payload.size == pytest.approx(0.05 * (1 << 20), rel=0.01)
+
+    def test_leaves_not_expanded(self):
+        app = QuicksortApp(10_000, threshold=8_000, variant="inverse")
+        (root,) = list(app.initial_tasks())
+        children = list(app.expand(root))
+        assert all(app.expand(c) == [] for c in children)
+
+    def test_inverse_costs_higher(self):
+        rand = QuicksortApp(1 << 20, variant="random")
+        inv = QuicksortApp(1 << 20, variant="inverse")
+        (r1,) = list(rand.initial_tasks())
+        (r2,) = list(inv.initial_tasks())
+        assert r2.cpu_ops == pytest.approx(2 * r1.cpu_ops)
+        assert r2.mem_bytes > 2 * r1.mem_bytes
+
+    def test_validation(self):
+        with pytest.raises(SimulationError):
+            QuicksortApp(1)
+        with pytest.raises(SimulationError):
+            QuicksortApp(100, variant="sorted")
+        with pytest.raises(SimulationError):
+            QuicksortApp(100, first_split=1.5)
+
+    def test_foreign_task_rejected(self):
+        from repro.taskpool.pool import PoolTask
+
+        app = QuicksortApp(1000)
+        with pytest.raises(SimulationError):
+            app.expand(PoolTask("alien", 1.0))
+
+
+@pytest.fixture(scope="module")
+def inverse_run():
+    app = QuicksortApp(20_000_000, variant="inverse", seed=7)
+    return TaskPoolSim(altix_4700(32), app).run()
+
+
+@pytest.fixture(scope="module")
+def random_run():
+    app = QuicksortApp(10_000_000, variant="random", first_split=0.05, seed=7)
+    return TaskPoolSim(altix_4700(32), app).run()
+
+
+class TestFigure11Shape:
+    def test_bad_first_pivot_delays_parallelism(self, random_run):
+        """Figure 11: "there is a long delay of the parallel execution"."""
+        s = pool_result_to_schedule(random_run)
+        prof = utilization_profile(s, types=["computation"])
+        # during the first 10% of the run, parallelism stays tiny
+        early = prof.value_at(0.05 * random_run.makespan)
+        assert early <= 4
+
+    def test_low_utilization_periods_after_rampup(self, random_run):
+        """"even after a short period of parallel execution there are still
+        some periods with low utilization with only 2-4 processors"."""
+        s = pool_result_to_schedule(random_run)
+        prof = utilization_profile(s, types=["computation"])
+        reached_high = [t for t, c in zip(prof.times, prof.counts) if c >= 16]
+        assert reached_high
+        t_high = reached_high[0]
+        low_later = prof.time_with_count(lambda c: 1 <= c <= 4)
+        assert low_later > 0
+
+    def test_many_tasks_created(self, random_run):
+        assert random_run.total_tasks > 1000
+
+
+class TestFigure12Shape:
+    def test_single_processor_busy_almost_half_the_time(self, inverse_run):
+        """"only one processor is busy in almost half the total execution
+        time" (Figure 12)."""
+        s = pool_result_to_schedule(inverse_run)
+        prof = utilization_profile(s, types=["computation"])
+        single = prof.time_with_count(lambda c: c == 1)
+        assert 0.25 * inverse_run.makespan < single < 0.65 * inverse_run.makespan
+
+    def test_parallelism_doubles(self, inverse_run):
+        """After the root, 2 processors work, then 4, and so on."""
+        s = pool_result_to_schedule(inverse_run)
+        prof = utilization_profile(s, types=["computation"])
+        seen = sorted({c for c in prof.counts if c > 0})
+        for k in (1, 2, 4, 8):
+            assert k in seen
+
+    def test_all_processors_eventually_busy(self, inverse_run):
+        s = pool_result_to_schedule(inverse_run)
+        prof = utilization_profile(s, types=["computation"])
+        assert prof.peak == 32
+
+    def test_numa_contention_extends_makespan(self):
+        """The NUMA hole cause: with contention the run is slower than with
+        an infinite-bandwidth machine."""
+        app1 = QuicksortApp(20_000_000, variant="inverse", seed=7)
+        contended = TaskPoolSim(altix_4700(32), app1).run()
+        app2 = QuicksortApp(20_000_000, variant="inverse", seed=7)
+        ideal = TaskPoolSim(NumaMachine(16, 2, 1.6e9, 1e15), app2).run()
+        assert contended.makespan > ideal.makespan * 1.02
+
+    def test_contention_desynchronizes_equal_tasks(self, inverse_run):
+        """"even two tasks with equal-sized arrays may take a different time
+        to execute and therefore create new load imbalance": after full
+        parallelism is reached, the contended run spends far more time at
+        partial utilization than an infinite-bandwidth run of the same
+        workload (the laggards of oversubscribed sockets)."""
+
+        def late_partial(result):
+            s = pool_result_to_schedule(result)
+            prof = utilization_profile(s, types=["computation"])
+            t_full = next(t for t, c in zip(prof.times, prof.counts) if c >= 32)
+            total = 0.0
+            for i in range(len(prof.times) - 1):
+                if prof.times[i] >= t_full and prof.counts[i] < 32:
+                    total += prof.times[i + 1] - prof.times[i]
+            return total
+
+        app = QuicksortApp(20_000_000, variant="inverse", seed=7)
+        ideal = TaskPoolSim(NumaMachine(16, 2, 1.6e9, 1e15), app).run()
+        assert late_partial(inverse_run) > 5 * late_partial(ideal)

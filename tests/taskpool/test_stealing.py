@@ -1,0 +1,98 @@
+"""Tests for the distributed (work-stealing) pool layout."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.taskpool.numa import NumaMachine, altix_4700
+from repro.taskpool.pool import PoolLayout, PoolTask, TaskPoolSim
+from repro.taskpool.quicksort import QuicksortApp
+
+
+class TreeApp:
+    """Deterministic binary task tree of a given depth."""
+
+    def __init__(self, depth: int, cpu: float = 1.6e8):
+        self.depth, self.cpu = depth, cpu
+
+    def initial_tasks(self):
+        return [PoolTask("r", self.cpu, 0.0, payload=0)]
+
+    def expand(self, task):
+        if task.payload >= self.depth:
+            return []
+        return [PoolTask(f"{task.id}{c}", self.cpu, 0.0, payload=task.payload + 1)
+                for c in "lr"]
+
+
+def machine(workers=4):
+    return NumaMachine(workers // 2, 2, 1.6e9, 1e15)
+
+
+def test_steal_executes_all_tasks():
+    sim = TaskPoolSim(machine(4), TreeApp(5), layout="steal", pool_overhead=0.0)
+    res = sim.run()
+    assert res.total_tasks == 2 ** 6 - 1
+    executed = {s.task_id for t in res.traces for s in t.segments
+                if s.kind == "run"}
+    assert len(executed) == res.total_tasks
+
+
+def test_steal_actually_steals():
+    """With one producer and several idle workers, children produced on
+    worker 0's deque must migrate."""
+    sim = TaskPoolSim(machine(8), TreeApp(6), layout="steal", pool_overhead=0.0)
+    res = sim.run()
+    assert sim.steals > 0
+    busy_workers = sum(1 for t in res.traces if t.busy_time() > 0)
+    assert busy_workers == 8
+
+
+def test_steal_equivalent_work_to_central():
+    """Same deterministic tree, same total busy time under both layouts."""
+    a = TaskPoolSim(machine(4), TreeApp(6), layout="central",
+                    pool_overhead=0.0).run()
+    b = TaskPoolSim(machine(4), TreeApp(6), layout="steal",
+                    pool_overhead=0.0).run()
+    assert a.total_tasks == b.total_tasks
+    busy_a = sum(t.busy_time() for t in a.traces)
+    busy_b = sum(t.busy_time() for t in b.traces)
+    assert busy_a == pytest.approx(busy_b, rel=1e-9)
+
+
+def test_steal_layout_on_quicksort():
+    app = QuicksortApp(2_000_000, variant="inverse", seed=3)
+    sim = TaskPoolSim(altix_4700(16), app, layout=PoolLayout.STEAL)
+    res = sim.run()
+    assert res.total_tasks > 100
+    assert sim.steals > 0
+
+
+def test_owner_pops_newest_thief_steals_oldest():
+    """Depth-first locally, breadth-first when stealing (Cilk discipline)."""
+    execution_order: list[str] = []
+
+    class Recorder(TreeApp):
+        def expand(self, task):
+            execution_order.append(task.id)
+            return super().expand(task)
+
+    # one worker: pure depth-first; ids grow by suffix before siblings
+    m = NumaMachine(1, 1, 1.6e9, 1e15)
+    TaskPoolSim(m, Recorder(3), layout="steal", pool_overhead=0.0).run()
+    # owner pops its newest child: after r, the last-pushed child runs first
+    assert execution_order[0] == "r"
+    assert execution_order[1] == "rr"
+    assert execution_order[2] == "rrr"  # depth-first down the newest branch
+
+
+def test_central_layout_ignores_producer_deques():
+    sim = TaskPoolSim(machine(4), TreeApp(4), layout="central",
+                      pool_overhead=0.0)
+    sim.run()
+    assert sim.steals == 0
+
+
+def test_invalid_layout_rejected():
+    with pytest.raises(ValueError):
+        TaskPoolSim(machine(4), TreeApp(2), layout="magic")

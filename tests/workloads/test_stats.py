@@ -1,0 +1,130 @@
+"""Tests for workload statistics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.jobs import Job
+from repro.workloads.scheduler import ScheduledJob
+from repro.workloads.stats import (
+    bounded_slowdown,
+    hourly_utilization,
+    per_user_summary,
+    size_histogram,
+    wait_stats,
+)
+
+
+def SJ(jid, submit, start, nodes, run, user=1):
+    job = Job(jid, submit, len(nodes), run, user=user)
+    return ScheduledJob(job, start, tuple(nodes))
+
+
+@pytest.fixture
+def sample():
+    return [
+        SJ(1, 0, 0, (0, 1), 100, user=10),       # wait 0
+        SJ(2, 0, 50, (2,), 100, user=10),        # wait 50
+        SJ(3, 10, 110, (0, 1, 2, 3), 50, user=20),  # wait 100
+    ]
+
+
+class TestWaitStats:
+    def test_values(self, sample):
+        s = wait_stats(sample)
+        assert s.count == 3
+        assert s.mean == pytest.approx(50.0)
+        assert s.median == pytest.approx(50.0)
+        assert s.max == pytest.approx(100.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            wait_stats([])
+
+
+class TestBoundedSlowdown:
+    def test_no_wait_gives_one(self):
+        jobs = [SJ(1, 0, 0, (0,), 100)]
+        assert bounded_slowdown(jobs) == pytest.approx(1.0)
+
+    def test_wait_increases(self, sample):
+        assert bounded_slowdown(sample) > 1.0
+
+    def test_tau_bounds_short_jobs(self):
+        # a 1-second job waiting 10 s: raw slowdown 11, bounded by tau=10 -> 1.1
+        jobs = [SJ(1, 0, 10, (0,), 1)]
+        assert bounded_slowdown(jobs, tau=10) == pytest.approx(1.1)
+
+
+class TestPerUser:
+    def test_summary(self, sample):
+        users = per_user_summary(sample)
+        assert users[10]["jobs"] == 2
+        assert users[10]["node_seconds"] == pytest.approx(2 * 100 + 1 * 100)
+        assert users[20]["node_seconds"] == pytest.approx(4 * 50)
+        assert users[10]["mean_wait"] == pytest.approx(25.0)
+
+
+class TestSizeHistogram:
+    def test_power_of_two_buckets(self, sample):
+        hist = size_histogram(sample)
+        assert hist == {1: 1, 2: 1, 4: 1}
+
+    def test_nonpower_sizes_round_up(self):
+        jobs = [SJ(1, 0, 0, tuple(range(5)), 10),
+                SJ(2, 0, 0, tuple(range(9)), 10)]
+        assert size_histogram(jobs) == {8: 1, 16: 1}
+
+
+class TestHourlyUtilization:
+    def test_exact_fractions(self):
+        # 2 nodes busy for the full first hour on a 4-node cluster -> 0.5
+        jobs = [SJ(1, 0, 0, (0, 1), 3600)]
+        util = hourly_utilization(jobs, 4, t1=7200)
+        assert util == [pytest.approx(0.5), 0.0]
+
+    def test_partial_bins(self):
+        jobs = [SJ(1, 0, 1800, (0,), 1800)]  # second half of hour 0
+        util = hourly_utilization(jobs, 1, t1=3600)
+        assert util == [pytest.approx(0.5)]
+
+    def test_spanning_jobs(self):
+        jobs = [SJ(1, 0, 1800, (0, 1), 3600)]  # half of h0, half of h1
+        util = hourly_utilization(jobs, 2, t1=7200)
+        assert util == [pytest.approx(0.5), pytest.approx(0.5)]
+
+    def test_empty(self):
+        assert hourly_utilization([], 4, t1=0) == []
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            hourly_utilization([], 0)
+        with pytest.raises(WorkloadError):
+            hourly_utilization([], 4, bin_seconds=0)
+
+    def test_thunder_day_utilization_profile(self):
+        from repro.workloads.scheduler import simulate_jobs
+        from repro.workloads.thunder import ThunderSpec, generate_thunder_day
+
+        spec = ThunderSpec(n_jobs=200)
+        jobs = generate_thunder_day(spec, seed=9)
+        scheduled = simulate_jobs(jobs, 1024, reserved_nodes=range(20))
+        util = hourly_utilization(scheduled, 1024)
+        assert util
+        assert all(0.0 <= u <= 1.0 for u in util)
+
+
+def test_interactive_sparkline(simple_schedule):
+    """The 'u' command of the terminal viewer renders a sparkline."""
+    import io
+
+    from repro.cli.interactive import InteractiveViewer
+
+    out = io.StringIO()
+    viewer = InteractiveViewer(simple_schedule, width=30,
+                               stdin=io.StringIO(), stdout=out)
+    viewer.handle("u")
+    text = out.getvalue()
+    assert "busy hosts" in text
+    assert "█" in text  # the 8/8-busy phase saturates the sparkline

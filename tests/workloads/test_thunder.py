@@ -1,0 +1,133 @@
+"""Tests for the synthetic Thunder workload and the Figure 13 bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.io.swf import loads as swf_loads, dumps as swf_dumps
+from repro.workloads.bridge import (
+    HIGHLIGHT_TYPE,
+    JOB_TYPE,
+    workload_colormap,
+    workload_schedule,
+)
+from repro.workloads.jobs import Job, jobs_from_swf, jobs_to_swf
+from repro.workloads.scheduler import simulate_jobs
+from repro.workloads.thunder import (
+    THUNDER_NODES,
+    THUNDER_RESERVED,
+    THUNDER_USER,
+    ThunderSpec,
+    generate_thunder_day,
+)
+
+
+class TestJobModel:
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            Job(1, 0, 0, 10)
+        with pytest.raises(WorkloadError):
+            Job(1, 0, 1, -5)
+        with pytest.raises(WorkloadError):
+            Job(1, -1, 1, 5)
+
+    def test_time_limit_fallback(self):
+        assert Job(1, 0, 1, 10).time_limit == 10
+        assert Job(1, 0, 1, 10, requested_time=60).time_limit == 60
+
+    def test_swf_roundtrip(self):
+        jobs = [Job(1, 0, 4, 100, requested_time=200, user=6447, group=7)]
+        trace = jobs_to_swf(jobs, max_procs=1024)
+        back = jobs_from_swf(swf_loads(swf_dumps(trace)))
+        assert back[0].nodes == 4
+        assert back[0].user == 6447
+        assert back[0].requested_time == 200
+
+    def test_jobs_from_swf_skips_incomplete(self):
+        text = ("1 0 0 100 4 -1 -1 4 200 -1 1 1 1 -1 1 -1 -1 -1\n"
+                "2 0 0 100 4 -1 -1 4 200 -1 4 1 1 -1 1 -1 -1 -1\n"  # failed
+                "3 0 0 -1 4 -1 -1 4 200 -1 1 1 1 -1 1 -1 -1 -1\n")  # no runtime
+        jobs = jobs_from_swf(swf_loads(text))
+        assert [j.id for j in jobs] == [1]
+
+
+@pytest.fixture(scope="module")
+def thunder_day():
+    spec = ThunderSpec()
+    jobs = generate_thunder_day(spec)
+    scheduled = simulate_jobs(jobs, THUNDER_NODES, policy="easy",
+                              reserved_nodes=THUNDER_RESERVED)
+    window = (spec.warmup_seconds, spec.warmup_seconds + spec.day_seconds)
+    return spec, jobs, scheduled, window
+
+
+class TestGenerator:
+    def test_834_jobs_finish_in_the_day(self, thunder_day):
+        """The paper: "on this day, 834 jobs were executed on that cluster"."""
+        spec, jobs, scheduled, window = thunder_day
+        s = workload_schedule(scheduled, THUNDER_NODES, window=window)
+        assert len(s) == 834
+
+    def test_sizes_within_cluster(self, thunder_day):
+        _, jobs, _, _ = thunder_day
+        assert all(1 <= j.nodes <= THUNDER_NODES - 20 for j in jobs)
+
+    def test_highlight_user_present(self, thunder_day):
+        _, jobs, _, _ = thunder_day
+        mine = [j for j in jobs if j.user == THUNDER_USER]
+        assert 10 <= len(mine) <= 100
+
+    def test_deterministic(self):
+        a = generate_thunder_day(seed=1)
+        b = generate_thunder_day(seed=1)
+        assert [(j.nodes, j.run_time) for j in a] == [(j.nodes, j.run_time) for j in b]
+
+    def test_requested_time_over_provisioned(self, thunder_day):
+        _, jobs, _, _ = thunder_day
+        assert all(j.requested_time >= j.run_time for j in jobs)
+
+
+class TestFigure13Shape:
+    def test_reserved_nodes_empty(self, thunder_day):
+        """"20 nodes of this cluster were reserved as login and debug nodes,
+        which can be seen in the graphic as jobs get only executed by nodes
+        with a number greater than 20"."""
+        _, _, scheduled, window = thunder_day
+        s = workload_schedule(scheduled, THUNDER_NODES, window=window)
+        for t in s:
+            assert all(h >= 20 for h in t.hosts_in("0"))
+
+    def test_highlighted_user_typed(self, thunder_day):
+        _, _, scheduled, window = thunder_day
+        s = workload_schedule(scheduled, THUNDER_NODES,
+                              highlight_user=THUNDER_USER, window=window)
+        highlighted = s.tasks_of_type(HIGHLIGHT_TYPE)
+        assert highlighted
+        assert all(t.meta["user"] == str(THUNDER_USER) for t in highlighted)
+        # every other job keeps the plain type
+        others = s.tasks_of_type(JOB_TYPE)
+        assert all(t.meta["user"] != str(THUNDER_USER) for t in others)
+
+    def test_window_selects_by_finish_time(self, thunder_day):
+        _, _, scheduled, window = thunder_day
+        s = workload_schedule(scheduled, THUNDER_NODES, window=window)
+        for t in s:
+            assert window[0] <= t.end_time < window[1]
+
+    def test_no_node_oversubscription(self, thunder_day):
+        from repro.core.validate import check_exclusive_resources
+
+        _, _, scheduled, _ = thunder_day
+        s = workload_schedule(scheduled, THUNDER_NODES)
+        assert check_exclusive_resources(s.tasks) == []
+
+    def test_colormap_colors(self):
+        cmap = workload_colormap()
+        assert cmap.style_for_type(HIGHLIGHT_TYPE).bg.hex() == "FFD700"  # yellow
+        assert cmap.has_style(JOB_TYPE)
+
+    def test_meta_counts(self, thunder_day):
+        _, _, scheduled, window = thunder_day
+        s = workload_schedule(scheduled, THUNDER_NODES, window=window)
+        assert s.meta["jobs"] == "834"
