@@ -31,6 +31,7 @@ from repro.io import colormap_xml, load_schedule, save_schedule
 from repro.io.registry import available_formats
 from repro.render.api import OUTPUT_FORMATS, export_schedule
 from repro.render.backends.ascii_art import render_ascii
+from repro.render.lod import LOD_MODES
 from repro.render.style import Style, load_style_file
 
 __all__ = ["main", "build_parser"]
@@ -70,6 +71,9 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--mode", choices=[m.value for m in ViewMode],
                         default=ViewMode.ALIGNED.value,
                         help="align cluster time frames or scale them locally")
+    render.add_argument("--lod", choices=list(LOD_MODES), default="auto",
+                        help="level-of-detail aggregation for large schedules "
+                             "(auto: only when tasks outnumber pixels)")
     render.add_argument("--title", help="title drawn above the chart")
     render.add_argument("--composites", action="store_true",
                         help="synthesize composite tasks for overlaps")
@@ -168,7 +172,7 @@ def _render_one(args: argparse.Namespace, input_path: str, output: Path) -> None
         from repro.render.profile import layout_profile
 
         gantt = layout_schedule(
-            schedule, cmap=cmap, style=style, viewport=viewport,
+            schedule, cmap=cmap, style=style, viewport=viewport, lod=args.lod,
             options=LayoutOptions(width=args.width, height=args.height,
                                   mode=ViewMode.parse(args.mode),
                                   title=args.title))
@@ -183,6 +187,7 @@ def _render_one(args: argparse.Namespace, input_path: str, output: Path) -> None
             schedule, output, args.format,
             cmap=cmap, style=style, width=args.width, height=args.height,
             mode=ViewMode.parse(args.mode), title=args.title, viewport=viewport,
+            lod=args.lod,
         )
     print(f"wrote {output}")
 

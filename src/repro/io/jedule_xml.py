@@ -80,10 +80,17 @@ def _parse_configuration(elem: ET.Element, *, source: str) -> Configuration:
         raise ParseError("<configuration> has no <hosts> ranges", source=source)
     conf = Configuration(cluster_id, ranges)
     declared = props.get("host_nb")
-    if declared is not None and int(declared) != conf.num_hosts:
-        raise ParseError(
-            f"configuration declares host_nb={declared} but host lists cover "
-            f"{conf.num_hosts} hosts", source=source)
+    if declared is not None:
+        try:
+            declared_nb = int(declared)
+        except ValueError:
+            raise ParseError(
+                f"configuration host_nb must be an integer, got {declared!r}",
+                source=source) from None
+        if declared_nb != conf.num_hosts:
+            raise ParseError(
+                f"configuration declares host_nb={declared} but host lists cover "
+                f"{conf.num_hosts} hosts", source=source)
     return conf
 
 
@@ -169,7 +176,10 @@ def dumps(schedule: Schedule, *, indent: bool = True) -> str:
             _prop(meta, "meta", k, str(v))
     platform = ET.SubElement(root, "platform")
     for c in schedule.clusters:
-        ET.SubElement(platform, "cluster", id=c.id, hosts=str(c.num_hosts), name=c.name)
+        attrs = {"id": c.id, "hosts": str(c.num_hosts)}
+        if c.name is not None:
+            attrs["name"] = c.name
+        ET.SubElement(platform, "cluster", attrs)
     infos = ET.SubElement(root, "node_infos")
     for t in schedule.tasks:
         node = ET.SubElement(infos, "node_statistics")

@@ -28,7 +28,8 @@ from pathlib import Path
 
 from repro.errors import ParseError
 
-__all__ = ["SWFJob", "SWFTrace", "loads", "load", "dumps", "dump", "iter_jobs"]
+__all__ = ["SWFJob", "SWFTrace", "loads", "load", "dumps", "dump",
+           "iter_jobs", "iter_load", "load_header"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -148,37 +149,89 @@ class SWFTrace:
         return [j for j in self.jobs if t0 <= j.end_time < t1]
 
 
-def iter_jobs(text: str, *, source: str = "<string>") -> Iterator[SWFJob]:
-    """Stream jobs from SWF text, skipping header/comment lines."""
-    for lineno, raw in enumerate(text.splitlines(), start=1):
+def _header_entry(line: str) -> tuple[str, str] | None:
+    """Parse one ``; Key: Value`` comment line; None when it carries no
+    metadata (no colon, empty key, or a key containing spaces — prose)."""
+    body = line.lstrip("; ").strip()
+    if ":" not in body:
+        return None
+    key, value = body.split(":", 1)
+    key = key.strip()
+    if not key or " " in key:
+        return None
+    return key, value.strip()
+
+
+def _scan(lines: Iterable[str], *, source: str,
+          header: dict[str, str] | None) -> Iterator[SWFJob]:
+    """Yield job records from SWF lines, collecting header metadata into
+    ``header`` (when given) as comment lines are encountered."""
+    for lineno, raw in enumerate(lines, start=1):
         line = raw.strip()
-        if not line or line.startswith(";"):
+        if not line:
+            continue
+        if line.startswith(";"):
+            if header is not None:
+                entry = _header_entry(line)
+                if entry is not None:
+                    header.setdefault(entry[0], entry[1])
             continue
         yield SWFJob.from_line(line, source=source, lineno=lineno)
+
+
+def iter_jobs(text: str, *, source: str = "<string>") -> Iterator[SWFJob]:
+    """Stream jobs from SWF text, skipping header/comment lines."""
+    return _scan(text.splitlines(), source=source, header=None)
 
 
 def loads(text: str, *, source: str = "<string>") -> SWFTrace:
     """Parse a complete SWF document (header + jobs)."""
     trace = SWFTrace()
-    for lineno, raw in enumerate(text.splitlines(), start=1):
-        line = raw.strip()
-        if not line:
-            continue
-        if line.startswith(";"):
-            body = line.lstrip("; ").strip()
-            if ":" in body:
-                key, value = body.split(":", 1)
-                key = key.strip()
-                if key and " " not in key:
-                    trace.header.setdefault(key, value.strip())
-            continue
-        trace.jobs.append(SWFJob.from_line(line, source=source, lineno=lineno))
+    trace.jobs.extend(_scan(text.splitlines(), source=source, header=trace.header))
     return trace
 
 
-def load(path: str | Path) -> SWFTrace:
+def iter_load(path: str | Path, *, header: dict[str, str] | None = None) -> Iterator[SWFJob]:
+    """Stream job records from an SWF file, one line at a time.
+
+    Unlike :func:`load`, neither the file text nor the record list is ever
+    held in memory at once, so this scales to multi-year PWA traces.  Pass a
+    dict as ``header`` to collect ``; Key: Value`` metadata as the iterator
+    advances past comment lines (for header-only access without touching
+    data lines, see :func:`load_header`).
+    """
     path = Path(path)
-    return loads(path.read_text(encoding="utf-8", errors="replace"), source=str(path))
+    with path.open(encoding="utf-8", errors="replace") as fh:
+        yield from _scan(fh, source=str(path), header=header)
+
+
+def load_header(path: str | Path) -> dict[str, str]:
+    """Metadata from the leading comment block, without parsing any jobs.
+
+    Stops at the first data line, so the cost is independent of trace size.
+    """
+    path = Path(path)
+    header: dict[str, str] = {}
+    with path.open(encoding="utf-8", errors="replace") as fh:
+        for raw in fh:
+            line = raw.strip()
+            if not line:
+                continue
+            if not line.startswith(";"):
+                break
+            entry = _header_entry(line)
+            if entry is not None:
+                header.setdefault(entry[0], entry[1])
+    return header
+
+
+def load(path: str | Path) -> SWFTrace:
+    """Parse an SWF file, streaming its lines rather than slurping the text."""
+    path = Path(path)
+    trace = SWFTrace()
+    with path.open(encoding="utf-8", errors="replace") as fh:
+        trace.jobs.extend(_scan(fh, source=str(path), header=trace.header))
+    return trace
 
 
 def dumps(trace: SWFTrace) -> str:

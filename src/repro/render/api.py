@@ -26,6 +26,7 @@ from repro.render.backends import (
 )
 from repro.render.geometry import Drawing
 from repro.render.layout import LayoutOptions, layout_schedule
+from repro.render.lod import LodOptions
 from repro.render.style import Style
 
 __all__ = ["render_schedule", "export_schedule", "render_drawing",
@@ -75,13 +76,20 @@ def render_schedule(
     mode: ViewMode | str = ViewMode.ALIGNED,
     title: str | None = None,
     viewport: Viewport | None = None,
+    lod: str | LodOptions = "auto",
 ) -> bytes:
-    """Lay out and serialize a schedule in one call."""
+    """Lay out and serialize a schedule in one call.
+
+    ``lod`` controls level-of-detail aggregation for very large schedules:
+    ``"auto"`` (default) switches to aggregated rendering only when tasks
+    outnumber the available pixels, ``"on"`` forces it, ``"off"`` disables
+    it (one rectangle per task configuration, whatever the size).
+    """
     if isinstance(mode, str):
         mode = ViewMode.parse(mode)
     options = LayoutOptions(width=width, height=height, mode=mode, title=title)
     drawing = layout_schedule(schedule, cmap=cmap, style=style, options=options,
-                              viewport=viewport)
+                              viewport=viewport, lod=lod)
     return render_drawing(drawing, format)
 
 

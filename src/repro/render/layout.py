@@ -33,6 +33,13 @@ from repro.core.timeframe import TimeFrame, ViewMode, cluster_frame, global_fram
 from repro.core.viewport import Viewport
 from repro.errors import RenderError
 from repro.render.geometry import Drawing, HAlign, Line, Rect, Text, VAlign
+from repro.render.lod import (
+    LodOptions,
+    aggregate_band,
+    aggregate_window,
+    lod_active,
+    resolve_lod,
+)
 from repro.render.style import Style
 
 __all__ = ["LayoutOptions", "layout_schedule", "nice_ticks", "estimate_text_width"]
@@ -186,19 +193,27 @@ def layout_schedule(
     style: Style | None = None,
     options: LayoutOptions | None = None,
     viewport: Viewport | None = None,
+    lod: str | LodOptions = "auto",
 ) -> Drawing:
     """Lay a schedule out as a :class:`Drawing`.
 
     With ``viewport`` the drawing shows exactly that plane window with a
     single shared axis (interactive view); otherwise the full schedule is
     drawn in the requested :class:`ViewMode`.
+
+    ``lod`` selects the level-of-detail aggregation for large schedules:
+    ``"auto"`` (default) aggregates only when tasks outnumber the available
+    pixels, ``"on"`` forces aggregation, ``"off"`` always draws one
+    rectangle per task configuration.  A :class:`LodOptions` tunes the
+    thresholds.
     """
     cmap = cmap or default_colormap()
     style = (style or Style()).with_config(cmap.config)
     options = options or LayoutOptions()
+    lod_opts = resolve_lod(lod)
     if viewport is not None:
-        return _layout_windowed(schedule, cmap, style, options, viewport)
-    return _layout_full(schedule, cmap, style, options)
+        return _layout_windowed(schedule, cmap, style, options, viewport, lod_opts)
+    return _layout_full(schedule, cmap, style, options, lod_opts)
 
 
 def _chrome(drawing: Drawing, schedule: Schedule, cmap: ColorMap, style: Style,
@@ -241,14 +256,24 @@ def _host_labels(drawing: Drawing, band: _Band, style: Style, x: float) -> None:
 
 
 def _draw_band_tasks(drawing: Drawing, schedule: Schedule, band: _Band,
-                     cmap: ColorMap, style: Style, x: float, w: float) -> None:
-    """All task rectangles of one cluster band."""
+                     cmap: ColorMap, style: Style, x: float, w: float,
+                     lod_opts: LodOptions | None = None) -> None:
+    """All task rectangles of one cluster band.
+
+    With ``lod_opts`` the per-task rectangles are replaced by aggregated
+    (host-band x time-bucket) cells — the band chrome stays identical.
+    """
     row_h = band.height / band.rows
     if style.draw_grid:
         for host in range(band.rows + 1):
             gy = band.y + host * row_h
             drawing.add(Line(x, gy, x + w, gy, style.grid_color, 0.5))
     drawing.add(Rect(x, band.y, w, band.height, fill=None, stroke=style.axis_color))
+    if lod_opts is not None:
+        drawing.extend(aggregate_band(schedule, band.cluster_id, band.frame,
+                                      band.rows, x, band.y, w, band.height,
+                                      cmap, lod_opts))
+        return
     for task in schedule.tasks_in_cluster(band.cluster_id):
         conf = task.configuration_for(band.cluster_id)
         assert conf is not None
@@ -270,16 +295,18 @@ def _draw_band_tasks(drawing: Drawing, schedule: Schedule, band: _Band,
 
 
 def _layout_full(schedule: Schedule, cmap: ColorMap, style: Style,
-                 options: LayoutOptions) -> Drawing:
+                 options: LayoutOptions, lod_opts: LodOptions) -> Drawing:
     drawing = Drawing(options.width, options.height, style.background)
     x, y, w, h = _chrome(drawing, schedule, cmap, style, options)
     per_band_axis = options.mode is ViewMode.SCALED and len(schedule.clusters) > 1
     axis_gap = (style.font_size_axes + style.tick_length + 8) if per_band_axis else 0.0
     bands = _cluster_bands(schedule, style, y, h, options.mode, axis_gap)
+    aggregate = lod_active(lod_opts, len(schedule), w, h)
     for band in bands:
         if options.show_host_labels:
             _host_labels(drawing, band, style, x)
-        _draw_band_tasks(drawing, schedule, band, cmap, style, x, w)
+        _draw_band_tasks(drawing, schedule, band, cmap, style, x, w,
+                         lod_opts if aggregate else None)
         if per_band_axis:
             _time_axis(drawing, style, x, w, band.y + band.height + 2, band.frame)
     if not per_band_axis:
@@ -288,8 +315,30 @@ def _layout_full(schedule: Schedule, cmap: ColorMap, style: Style,
     return drawing
 
 
+def _visible_tasks(schedule: Schedule, viewport: Viewport,
+                   offsets: dict[str, int]) -> list[Task]:
+    """Viewport culling: tasks intersecting the window in time AND rows.
+
+    Off-screen tasks are dropped here so they never produce primitives (nor
+    style lookups) — the interactive zoom cost scales with what is visible,
+    not with the schedule size.
+    """
+    visible: list[Task] = []
+    for task in schedule:
+        if not viewport.intersects_time(task.start_time, task.end_time):
+            continue
+        for conf in task.configurations:
+            base = offsets[conf.cluster_id]
+            if any(base + r.start < viewport.r1 and viewport.r0 < base + r.stop
+                   for r in conf.host_ranges):
+                visible.append(task)
+                break
+    return visible
+
+
 def _layout_windowed(schedule: Schedule, cmap: ColorMap, style: Style,
-                     options: LayoutOptions, viewport: Viewport) -> Drawing:
+                     options: LayoutOptions, viewport: Viewport,
+                     lod_opts: LodOptions) -> Drawing:
     """Interactive view: draw exactly the viewport window, rows continuous."""
     drawing = Drawing(options.width, options.height, style.background)
     x, y, w, h = _chrome(drawing, schedule, cmap, style, options)
@@ -314,15 +363,21 @@ def _layout_windowed(schedule: Schedule, cmap: ColorMap, style: Style,
         offset += c.num_hosts
     drawing.add(Rect(x, y, w, h, fill=None, stroke=style.axis_color))
 
-    for task in schedule:
-        if not viewport.intersects_time(task.start_time, task.end_time):
-            continue
+    offsets = {c.id: schedule.cluster_offset(c.id) for c in schedule.clusters}
+    visible = _visible_tasks(schedule, viewport, offsets)
+    if lod_active(lod_opts, len(visible), w, h):
+        drawing.extend(aggregate_window(schedule, visible, viewport,
+                                        x, y, w, h, cmap, lod_opts))
+        _time_axis(drawing, style, x, w, y + h + 2, frame)
+        return drawing
+
+    for task in visible:
         fx0 = frame.fraction(frame.clamp(task.start_time))
         fx1 = frame.fraction(frame.clamp(task.end_time))
         rx, rw = x + fx0 * w, max((fx1 - fx0) * w, 0.0)
         tstyle = cmap.style_for_task(task)
         for conf in task.configurations:
-            base = schedule.cluster_offset(conf.cluster_id)
+            base = offsets[conf.cluster_id]
             for r in conf.host_ranges:
                 lo = max(float(base + r.start), viewport.r0)
                 hi = min(float(base + r.stop), viewport.r1)

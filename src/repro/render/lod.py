@@ -1,0 +1,314 @@
+"""Level-of-detail (LOD) aggregation for rendering very large schedules.
+
+The plain layout emits one rectangle per task configuration, so both layout
+and rasterization cost grow linearly with task count even when thousands of
+jobs collapse into a single pixel column — a one-day Thunder window is 834
+jobs, but the full PWA trace is ~120k.  Gantt charts stop being readable
+*and* renderable at that scale without aggregation (Scully-Allison & Isaacs,
+"Design and Evaluation of Scalable Representations of Communication in
+Gantt Charts for Large-scale Execution Traces").
+
+This module implements the aggregation stage that runs *before* primitive
+emission: the (host, time) plane of a cluster band (or of an interactive
+viewport window) is divided into a grid of (host-band x time-bucket) cells a
+few pixels on a side; every task deposits its approximate covered area into
+the cells it touches, split by task type; each cell is then colored by its
+dominant type and horizontal runs of equally-colored cells merge into one
+:class:`~repro.render.geometry.Rect`.  The number of emitted primitives is
+bounded by the pixel grid, not by the task count.
+
+The per-type accumulation uses a 2-D difference array: each task rectangle
+contributes four corner updates via ``np.add.at`` and a double cumulative
+sum recovers the per-cell totals, so the cost per task is O(1) regardless of
+how many cells the task spans.
+
+Aggregated rects carry ``ref`` values starting with :data:`LOD_REF_PREFIX`
+so hit-testing and tests can tell them apart from per-task rects.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.colormap import ColorMap
+from repro.core.model import Schedule, Task
+from repro.core.timeframe import TimeFrame
+from repro.core.viewport import Viewport
+from repro.errors import RenderError
+from repro.render.geometry import Rect
+
+__all__ = [
+    "LOD_MODES",
+    "LOD_REF_PREFIX",
+    "LodOptions",
+    "resolve_lod",
+    "lod_active",
+    "aggregate_band",
+    "aggregate_window",
+]
+
+#: Valid values of the ``lod=`` rendering parameter / ``--lod`` CLI flag.
+LOD_MODES = ("auto", "on", "off")
+
+#: ``ref`` prefix of aggregated rectangles.
+LOD_REF_PREFIX = "lod:"
+
+
+@dataclass(frozen=True, slots=True)
+class LodOptions:
+    """Knobs of the level-of-detail aggregation.
+
+    ``mode``:
+        ``"off"`` never aggregates, ``"on"`` always does, ``"auto"``
+        aggregates when the (visible) task count exceeds ``task_threshold``
+        or the plot offers fewer than ``min_pixels_per_task`` pixels per
+        task.
+    ``time_bucket_px`` / ``row_bucket_px``:
+        approximate cell size of the aggregation grid, in device pixels.
+    """
+
+    mode: str = "auto"
+    task_threshold: int = 4000
+    min_pixels_per_task: float = 1.0
+    time_bucket_px: float = 2.0
+    row_bucket_px: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in LOD_MODES:
+            raise RenderError(
+                f"unknown lod mode {self.mode!r}; expected one of: {', '.join(LOD_MODES)}")
+        if self.task_threshold < 1:
+            raise RenderError(f"lod task threshold must be >= 1, got {self.task_threshold}")
+        if self.time_bucket_px <= 0 or self.row_bucket_px <= 0:
+            raise RenderError(
+                f"lod bucket sizes must be > 0, got "
+                f"{self.time_bucket_px}x{self.row_bucket_px}")
+
+
+def resolve_lod(lod: str | LodOptions | None) -> LodOptions:
+    """Normalize the ``lod=`` parameter to a :class:`LodOptions`."""
+    if lod is None:
+        return LodOptions()
+    if isinstance(lod, LodOptions):
+        return lod
+    return LodOptions(mode=str(lod).strip().lower())
+
+
+def lod_active(options: LodOptions, n_tasks: int, plot_w: float, plot_h: float) -> bool:
+    """Decide whether aggregation should run for ``n_tasks`` in a plot area."""
+    if options.mode == "off":
+        return False
+    if options.mode == "on":
+        return True
+    if n_tasks > options.task_threshold:
+        return True
+    if n_tasks <= 0:
+        return False
+    return (plot_w * plot_h) / n_tasks < options.min_pixels_per_task
+
+
+def _dominant_cells(
+    n_types: int,
+    ti: np.ndarray,
+    bx0: np.ndarray,
+    bx1: np.ndarray,
+    by0: np.ndarray,
+    by1: np.ndarray,
+    wt: np.ndarray,
+    nx: int,
+    ny: int,
+) -> np.ndarray:
+    """Resolve difference-array deposits into a dominant-type cell grid.
+
+    Each deposit is the half-open cell rectangle ``[bx0, bx1) x [by0, by1)``
+    carrying ``wt`` area for type index ``ti``; the four corner updates plus
+    a double cumulative sum make the per-deposit cost O(1) no matter how
+    many cells the rectangle spans.  Returns ``cells[iy, ix]`` holding the
+    winning type index, -1 where nothing deposited.
+    """
+    diff = np.zeros((n_types, ny + 1, nx + 1))
+    np.add.at(diff, (ti, by0, bx0), wt)
+    np.add.at(diff, (ti, by0, bx1), -wt)
+    np.add.at(diff, (ti, by1, bx0), -wt)
+    np.add.at(diff, (ti, by1, bx1), wt)
+    stacked = diff.cumsum(axis=1).cumsum(axis=2)[:, :ny, :nx]
+    cells = np.argmax(stacked, axis=0)
+    cells[stacked.sum(axis=0) <= 0] = -1
+    return cells
+
+
+class _TypeGrids:
+    """Per-task-type area accumulation over an (ny, nx) cell grid."""
+
+    def __init__(self, nx: int, ny: int):
+        self.nx = nx
+        self.ny = ny
+        self._type_ids: dict[str, int] = {}
+        self._ti: list[int] = []
+        self._bx0: list[int] = []
+        self._bx1: list[int] = []
+        self._by0: list[int] = []
+        self._by1: list[int] = []
+        self._wt: list[float] = []
+
+    def add(self, task_type: str, bx0: int, bx1: int, by0: int, by1: int,
+            weight: float) -> None:
+        ids = self._type_ids
+        self._ti.append(ids.setdefault(task_type, len(ids)))
+        self._bx0.append(bx0)
+        self._bx1.append(bx1)
+        self._by0.append(by0)
+        self._by1.append(by1)
+        self._wt.append(weight)
+
+    def dominant(self) -> tuple[list[str], np.ndarray]:
+        """(types, cells) where ``cells[iy, ix]`` indexes ``types`` (-1: empty)."""
+        types = list(self._type_ids)
+        if not types:
+            return [], np.full((self.ny, self.nx), -1, dtype=np.intp)
+        cells = _dominant_cells(
+            len(types), np.asarray(self._ti), np.asarray(self._bx0),
+            np.asarray(self._bx1), np.asarray(self._by0), np.asarray(self._by1),
+            np.asarray(self._wt), self.nx, self.ny)
+        return types, cells
+
+
+def _cells_to_rects(types: list[str], cells: np.ndarray, x: float, y: float,
+                    w: float, h: float, cmap: ColorMap, ref: str) -> list[Rect]:
+    """Merge horizontal runs of equally-typed cells into filled rects."""
+    ny, nx = cells.shape
+    cell_w = w / nx
+    cell_h = h / ny
+    fills = [cmap.style_for_type(t).bg for t in types]
+    rects: list[Rect] = []
+    for iy in range(ny):
+        row = cells[iy]
+        if not (row >= 0).any():
+            continue
+        change = np.flatnonzero(np.diff(row)) + 1
+        starts = np.concatenate(([0], change))
+        ends = np.concatenate((change, [nx]))
+        ry = y + iy * cell_h
+        for s, e in zip(starts, ends):
+            ti = int(row[s])
+            if ti < 0:
+                continue
+            rects.append(Rect(x + s * cell_w, ry, (e - s) * cell_w, cell_h,
+                              fill=fills[ti], ref=ref))
+    return rects
+
+
+def _grid_shape(options: LodOptions, w: float, h: float, rows: int) -> tuple[int, int]:
+    nx = max(1, int(w / options.time_bucket_px))
+    ny = max(1, min(rows, int(h / options.row_bucket_px)))
+    return nx, ny
+
+
+def aggregate_band(
+    schedule: Schedule,
+    cluster_id: str,
+    frame: TimeFrame,
+    rows: int,
+    x: float,
+    band_y: float,
+    w: float,
+    band_h: float,
+    cmap: ColorMap,
+    options: LodOptions,
+) -> list[Rect]:
+    """Aggregated rectangles for one cluster band of the full layout.
+
+    Mirrors the geometry of the per-task path: time maps through ``frame``
+    onto ``[x, x+w]``, cluster-local host rows onto ``[band_y,
+    band_y+band_h]``.
+    """
+    nx, ny = _grid_shape(options, w, band_h, rows)
+    span = frame.span or 1.0
+    f0, f1 = frame.start, frame.end
+    wanted = str(cluster_id)
+    ref = f"{LOD_REF_PREFIX}{cluster_id}"
+    # Hot path at 100k+ tasks: one comprehension extracts the numeric columns,
+    # everything after is vectorized numpy.
+    type_ids: dict[str, int] = {}
+    deposits = [
+        (type_ids.setdefault(t.type, len(type_ids)),
+         t.start_time, t.end_time, r.start, r.stop)
+        for t in schedule
+        if (conf := t.configuration_for(wanted)) is not None
+        for r in conf.host_ranges
+    ]
+    if not deposits:
+        return []
+    ti, st, en, r0, r1 = (np.asarray(col) for col in zip(*deposits))
+    cst = np.maximum(st, f0)
+    cen = np.minimum(en, f1)
+    keep = ~((cen <= cst) & (en > st))  # drop tasks entirely outside the frame
+    if not keep.all():
+        ti, st, en, r0, r1, cst, cen = (
+            a[keep] for a in (ti, st, en, r0, r1, cst, cen))
+        if not ti.size:
+            return []
+    gx0 = (cst - f0) * (nx / span)
+    gx1 = (cen - f0) * (nx / span)
+    bx0 = np.minimum(gx0.astype(np.intp), nx - 1)
+    bx1 = np.maximum(np.minimum(np.ceil(gx1).astype(np.intp), nx), bx0 + 1)
+    gy0 = r0 * (ny / rows)
+    gy1 = r1 * (ny / rows)
+    by0 = np.minimum(gy0.astype(np.intp), ny - 1)
+    by1 = np.maximum(np.minimum(np.ceil(gy1).astype(np.intp), ny), by0 + 1)
+    # Approximate per-cell covered area: exact for interior cells, an
+    # overestimate on the boundary cells a task only partly covers.
+    cell_t = 1.0 / nx
+    cell_r = 1.0 / ny
+    wt = ((np.minimum(np.maximum(gx1 - gx0, 0.0) * cell_t, cell_t) + 1e-12)
+          * (np.minimum((gy1 - gy0) * cell_r, cell_r) + 1e-12))
+    cells = _dominant_cells(len(type_ids), ti, bx0, bx1, by0, by1, wt, nx, ny)
+    return _cells_to_rects(list(type_ids), cells, x, band_y, w, band_h, cmap, ref)
+
+
+def aggregate_window(
+    schedule: Schedule,
+    tasks: Iterable[Task],
+    viewport: Viewport,
+    x: float,
+    y: float,
+    w: float,
+    h: float,
+    cmap: ColorMap,
+    options: LodOptions,
+) -> list[Rect]:
+    """Aggregated rectangles for the interactive (viewport) layout.
+
+    ``tasks`` is the pre-culled visible task set; rows are global (flattened)
+    resource indices as in the windowed layout.
+    """
+    rspan = viewport.resource_span
+    nx, ny = _grid_shape(options, w, h, max(1, math.ceil(rspan)))
+    grids = _TypeGrids(nx, ny)
+    frame = viewport.time_frame
+    span = frame.span or 1.0
+    f0 = frame.start
+    offsets = {c.id: schedule.cluster_offset(c.id) for c in schedule.clusters}
+    for task in tasks:
+        fx0 = (frame.clamp(task.start_time) - f0) / span
+        fx1 = (frame.clamp(task.end_time) - f0) / span
+        bx0 = min(int(fx0 * nx), nx - 1)
+        bx1 = max(min(math.ceil(fx1 * nx), nx), bx0 + 1)
+        wt_time = min(max(fx1 - fx0, 0.0), 1.0 / nx) + 1e-12
+        for conf in task.configurations:
+            base = offsets[conf.cluster_id]
+            for r in conf.host_ranges:
+                lo = max(float(base + r.start), viewport.r0)
+                hi = min(float(base + r.stop), viewport.r1)
+                if hi <= lo:
+                    continue
+                by0 = min(int((lo - viewport.r0) / rspan * ny), ny - 1)
+                by1 = max(min(math.ceil((hi - viewport.r0) / rspan * ny), ny), by0 + 1)
+                wt = wt_time * (min((hi - lo) / rspan, 1.0 / ny) + 1e-12)
+                grids.add(task.type, bx0, bx1, by0, by1, wt)
+    types, cells = grids.dominant()
+    return _cells_to_rects(types, cells, x, y, w, h, cmap, f"{LOD_REF_PREFIX}viewport")

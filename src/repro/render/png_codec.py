@@ -83,11 +83,19 @@ def decode_png(data: bytes) -> np.ndarray:
     while pos + 8 <= len(data):
         (length,) = struct.unpack(">I", data[pos:pos + 4])
         kind = data[pos + 4:pos + 8]
+        end = pos + 12 + length
+        if end > len(data):
+            raise RenderError(
+                f"truncated PNG: chunk {kind!r} at offset {pos} needs "
+                f"{length + 4} payload+CRC bytes, only {len(data) - pos - 8} left")
         payload = data[pos + 8:pos + 8 + length]
-        (crc,) = struct.unpack(">I", data[pos + 8 + length:pos + 12 + length])
+        (crc,) = struct.unpack(">I", data[pos + 8 + length:end])
         if zlib.crc32(kind + payload) & 0xFFFFFFFF != crc:
             raise RenderError(f"PNG chunk {kind!r}: CRC mismatch")
         if kind == b"IHDR":
+            if len(payload) != 13:
+                raise RenderError(
+                    f"truncated PNG: IHDR payload is {len(payload)} bytes, expected 13")
             width, height, depth, ctype, comp, filt, inter = struct.unpack(
                 ">IIBBBBB", payload)
             if depth != 8 or ctype != 2 or inter != 0:

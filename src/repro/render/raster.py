@@ -33,7 +33,15 @@ class RasterImage:
 
     # ----------------------------------------------------------- primitives
     def fill_rect(self, x: float, y: float, w: float, h: float, color: Color) -> None:
-        """Fill an axis-aligned rectangle; sub-pixel rects snap to >=1 px."""
+        """Fill an axis-aligned rectangle; sub-pixel rects snap to >=1 px.
+
+        Negative extents describe the same rectangle anchored at the
+        opposite corner and are normalized; zero extents paint nothing.
+        """
+        if w < 0:
+            x, w = x + w, -w
+        if h < 0:
+            y, h = y + h, -h
         if x + w <= 0 or y + h <= 0 or x >= self.width or y >= self.height:
             return  # fully outside the canvas
         x0 = max(int(round(x)), 0)

@@ -6,7 +6,7 @@ from repro.workloads.bridge import (
     workload_colormap,
     workload_schedule,
 )
-from repro.workloads.jobs import Job, jobs_from_swf, jobs_to_swf
+from repro.workloads.jobs import Job, iter_jobs_from_swf, jobs_from_swf, jobs_to_swf
 from repro.workloads.scheduler import (
     ClusterJobScheduler,
     SchedPolicy,
@@ -27,6 +27,7 @@ from repro.workloads.thunder import (
     THUNDER_USER,
     ThunderSpec,
     generate_thunder_day,
+    thunder_day_from_swf,
 )
 
 __all__ = [
@@ -47,8 +48,10 @@ __all__ = [
     "size_histogram",
     "wait_stats",
     "generate_thunder_day",
+    "iter_jobs_from_swf",
     "jobs_from_swf",
     "jobs_to_swf",
+    "thunder_day_from_swf",
     "simulate_jobs",
     "workload_colormap",
     "workload_schedule",

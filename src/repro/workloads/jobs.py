@@ -8,13 +8,13 @@ bounded time.  Jobs come either from a real SWF trace
 
 from __future__ import annotations
 
-from collections.abc import Iterable
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
 
 from repro.errors import WorkloadError
 from repro.io.swf import SWFJob, SWFTrace
 
-__all__ = ["Job", "jobs_from_swf", "jobs_to_swf"]
+__all__ = ["Job", "iter_jobs_from_swf", "jobs_from_swf", "jobs_to_swf"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -44,21 +44,22 @@ class Job:
         return self.requested_time if self.requested_time > 0 else self.run_time
 
 
-def jobs_from_swf(trace: SWFTrace, *, only_completed: bool = True) -> list[Job]:
-    """Convert SWF records into scheduler jobs.
+def iter_jobs_from_swf(records: Iterable[SWFJob], *,
+                       only_completed: bool = True) -> Iterator[Job]:
+    """Convert a stream of SWF records into scheduler jobs, lazily.
 
     Records without a positive processor count or run time are skipped (the
-    PWA marks missing data with -1).
+    PWA marks missing data with -1).  Composes with
+    :func:`repro.io.swf.iter_load` to process traces far larger than memory.
     """
-    jobs: list[Job] = []
-    for record in trace.jobs:
+    for record in records:
         if only_completed and not record.completed:
             continue
         nodes = record.allocated_procs if record.allocated_procs > 0 \
             else record.requested_procs
         if nodes <= 0 or record.run_time <= 0:
             continue
-        jobs.append(Job(
+        yield Job(
             id=record.job_id,
             submit_time=max(record.submit_time, 0.0),
             nodes=nodes,
@@ -66,8 +67,12 @@ def jobs_from_swf(trace: SWFTrace, *, only_completed: bool = True) -> list[Job]:
             requested_time=record.requested_time,
             user=record.user_id,
             group=record.group_id,
-        ))
-    return jobs
+        )
+
+
+def jobs_from_swf(trace: SWFTrace, *, only_completed: bool = True) -> list[Job]:
+    """Convert SWF records into scheduler jobs (see :func:`iter_jobs_from_swf`)."""
+    return list(iter_jobs_from_swf(trace.jobs, only_completed=only_completed))
 
 
 def jobs_to_swf(jobs: Iterable[Job], *, max_procs: int | None = None) -> SWFTrace:

@@ -25,14 +25,16 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from pathlib import Path
 
 import numpy as np
 
 from repro.errors import WorkloadError
-from repro.workloads.jobs import Job
+from repro.io.swf import iter_load
+from repro.workloads.jobs import Job, iter_jobs_from_swf
 
-__all__ = ["ThunderSpec", "generate_thunder_day", "THUNDER_NODES",
-           "THUNDER_RESERVED", "THUNDER_USER"]
+__all__ = ["ThunderSpec", "generate_thunder_day", "thunder_day_from_swf",
+           "THUNDER_NODES", "THUNDER_RESERVED", "THUNDER_USER"]
 
 THUNDER_NODES = 1024
 THUNDER_RESERVED = tuple(range(20))
@@ -67,6 +69,28 @@ class ThunderSpec:
             raise WorkloadError(f"need >= 1 job, got {self.n_jobs}")
         if not 0.0 < self.highlight_share < 1.0:
             raise WorkloadError(f"highlight share must be in (0,1), got {self.highlight_share}")
+
+
+def thunder_day_from_swf(
+    path: str | Path,
+    *,
+    day_start: float,
+    day_seconds: float = 86_400.0,
+    only_completed: bool = True,
+) -> list[Job]:
+    """One day of jobs from a real SWF trace, selected the way the paper
+    selects 02/02/2007: every job whose *end* time falls inside
+    ``[day_start, day_start + day_seconds)``.
+
+    The trace is streamed record by record (:func:`repro.io.swf.iter_load`),
+    so a multi-year PWA file never has to fit in memory — only the selected
+    day's jobs are materialized.
+    """
+    if day_seconds <= 0:
+        raise WorkloadError(f"day length must be > 0, got {day_seconds}")
+    day_end = day_start + day_seconds
+    records = (r for r in iter_load(path) if day_start <= r.end_time < day_end)
+    return list(iter_jobs_from_swf(records, only_completed=only_completed))
 
 
 def _diurnal_submit_times(rng: np.random.Generator, spec: ThunderSpec) -> np.ndarray:

@@ -168,3 +168,24 @@ def test_source_name_in_error(tmp_path):
     path.write_text("<jedule>")
     with pytest.raises(ParseError, match="broken.jed"):
         jedule_xml.load(path)
+
+
+def test_nonint_host_nb_rejected():
+    doc = FIGURE1_DOC.replace('name="host_nb" value="8"',
+                              'name="host_nb" value="eight"')
+    with pytest.raises(ParseError, match="host_nb must be an integer"):
+        jedule_xml.loads(doc)
+
+
+def test_dumps_cluster_without_name():
+    """A cluster whose name is unset must serialize without a name attribute
+    instead of handing ElementTree a None value."""
+    s = Schedule()
+    c = s.new_cluster("c0", 4)
+    object.__setattr__(c, "name", None)  # simulate an externally-built cluster
+    s.new_task("t", "comp", 0.0, 1.0, cluster="c0", host_start=0, host_nb=2)
+    text = jedule_xml.dumps(s)
+    platform_part = text[:text.index("<node_infos>")]
+    assert "name=" not in platform_part
+    back = jedule_xml.loads(text)
+    assert back.cluster("c0").num_hosts == 4

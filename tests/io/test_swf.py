@@ -107,3 +107,62 @@ def test_header_lines_without_colon_ignored():
     trace = swf.loads("; just a comment line\n1 0 0 10 4\n")
     assert trace.header == {}
     assert len(trace.jobs) == 1
+
+
+def test_header_key_with_spaces_ignored():
+    # PWA headers mix metadata with prose like "; This data set: ...".
+    trace = swf.loads("; This data set: converted from logs\n; MaxProcs: 8\n1 0 0 10 4\n")
+    assert trace.header == {"MaxProcs": "8"}
+
+
+def test_malformed_max_procs_falls_back_to_widest_job():
+    trace = swf.loads("; MaxProcs: lots\n1 0 0 10 4\n2 0 0 10 64\n")
+    assert trace.max_procs == 64
+
+
+def test_short_data_line_in_document_padded():
+    trace = swf.loads("1 0 0 10 4\n2 5 0 20 8\n")
+    assert all(j.requested_procs in (-1, 4, 8) for j in trace.jobs)
+    assert trace.jobs[1].allocated_procs == 8
+
+
+def test_iter_load_streams_file(tmp_path):
+    path = tmp_path / "trace.swf"
+    path.write_text(SAMPLE, encoding="utf-8")
+    header: dict[str, str] = {}
+    it = swf.iter_load(path, header=header)
+    first = next(it)
+    assert first.job_id == 1
+    # all header lines precede the first data line, so they are in by now
+    assert header["MaxProcs"] == "4008"
+    assert [j.job_id for j in it] == [2, 3, 4]
+
+
+def test_iter_load_matches_load(tmp_path):
+    path = tmp_path / "trace.swf"
+    path.write_text(SAMPLE, encoding="utf-8")
+    assert list(swf.iter_load(path)) == swf.load(path).jobs
+
+
+def test_iter_load_is_lazy(tmp_path):
+    path = tmp_path / "trace.swf"
+    path.write_text(SAMPLE + "oops not a job line\n", encoding="utf-8")
+    it = swf.iter_load(path)
+    # the bad trailing line is only parsed when the iterator reaches it
+    assert next(it).job_id == 1
+    with pytest.raises(ParseError, match="line 9"):
+        list(it)
+
+
+def test_load_header_reads_only_leading_comments(tmp_path):
+    path = tmp_path / "trace.swf"
+    path.write_text(SAMPLE + "; TrailerKey: ignored\n", encoding="utf-8")
+    header = swf.load_header(path)
+    assert header["Computer"] == "Thunder"
+    assert "TrailerKey" not in header
+
+
+def test_load_header_empty_file(tmp_path):
+    path = tmp_path / "trace.swf"
+    path.write_text("", encoding="utf-8")
+    assert swf.load_header(path) == {}

@@ -1,0 +1,138 @@
+"""Tests for level-of-detail aggregation (:mod:`repro.render.lod`)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.colormap import Color, ColorMap
+from repro.core.model import Schedule
+from repro.core.viewport import Viewport
+from repro.errors import RenderError
+from repro.render.api import render_schedule
+from repro.render.layout import layout_schedule
+from repro.render.lod import LOD_REF_PREFIX, LodOptions, lod_active, resolve_lod
+
+
+def _schedule(n: int, hosts: int = 64, types: tuple[str, ...] = ("a", "b")) -> Schedule:
+    s = Schedule()
+    s.new_cluster("c0", hosts)
+    for i in range(n):
+        start = float((i * 37) % 500)
+        s.new_task(f"t{i}", types[i % len(types)], start, start + 40.0,
+                   cluster="c0", host_start=(i * 7) % (hosts - 4), host_nb=4)
+    return s
+
+
+def _lod_rects(drawing):
+    return [r for r in drawing.rects
+            if r.ref and r.ref.startswith(LOD_REF_PREFIX)]
+
+
+def _task_rects(drawing):
+    return [r for r in drawing.rects if r.ref and r.ref.startswith("task:")]
+
+
+class TestOptions:
+    def test_invalid_mode_rejected(self):
+        with pytest.raises(RenderError, match="lod mode"):
+            LodOptions(mode="sometimes")
+        with pytest.raises(RenderError, match="lod mode"):
+            resolve_lod("max")
+
+    def test_invalid_knobs_rejected(self):
+        with pytest.raises(RenderError, match="threshold"):
+            LodOptions(task_threshold=0)
+        with pytest.raises(RenderError, match="bucket"):
+            LodOptions(time_bucket_px=0.0)
+
+    def test_resolve_normalizes_strings(self):
+        assert resolve_lod("  ON ").mode == "on"
+        assert resolve_lod(None).mode == "auto"
+        opts = LodOptions(mode="off")
+        assert resolve_lod(opts) is opts
+
+    def test_lod_active_modes(self):
+        off = LodOptions(mode="off")
+        on = LodOptions(mode="on")
+        auto = LodOptions(mode="auto", task_threshold=100)
+        assert not lod_active(off, 10**6, 800, 400)
+        assert lod_active(on, 1, 800, 400)
+        assert not lod_active(auto, 100, 800, 400)
+        assert lod_active(auto, 101, 800, 400)
+        # fewer pixels than tasks also activates auto
+        assert lod_active(auto, 50, 5, 5)
+
+
+class TestSmallInputsUnchanged:
+    def test_auto_matches_off_pixels(self):
+        s = _schedule(150)
+        assert render_schedule(s, "png", lod="auto") == render_schedule(s, "png", lod="off")
+
+    def test_auto_matches_off_svg(self):
+        s = _schedule(150)
+        assert render_schedule(s, "svg", lod="auto") == render_schedule(s, "svg", lod="off")
+
+    def test_off_never_aggregates(self):
+        s = _schedule(60)
+        d = layout_schedule(s, lod=LodOptions(mode="off", task_threshold=1))
+        assert not _lod_rects(d)
+        assert len(_task_rects(d)) == 60
+
+
+class TestAggregation:
+    def test_forced_on_replaces_task_rects(self):
+        s = _schedule(80)
+        d = layout_schedule(s, lod="on")
+        assert _lod_rects(d)
+        assert not _task_rects(d)
+
+    def test_auto_threshold_activates(self):
+        s = _schedule(300)
+        opts = LodOptions(mode="auto", task_threshold=200)
+        d = layout_schedule(s, lod=opts)
+        assert _lod_rects(d)
+        assert not _task_rects(d)
+
+    def test_rect_count_bounded_by_grid_not_tasks(self):
+        n1 = len(_lod_rects(layout_schedule(_schedule(2000), lod="on")))
+        n2 = len(_lod_rects(layout_schedule(_schedule(8000), lod="on")))
+        # 4x the tasks must not mean 4x the rects: the grid caps the output
+        assert 0 < n2 <= n1 * 1.25
+        assert n2 < 8000
+
+    def test_dominant_type_wins(self):
+        s = Schedule()
+        s.new_cluster("c0", 8)
+        for i in range(20):
+            s.new_task(f"a{i}", "big", 0.0, 100.0, cluster="c0",
+                       host_start=0, host_nb=8)
+        s.new_task("b0", "tiny", 40.0, 41.0, cluster="c0", host_start=3, host_nb=1)
+        cmap = ColorMap()
+        cmap.set_style("big", "#112233")
+        cmap.set_style("tiny", "#445566")
+        d = layout_schedule(s, cmap=cmap, lod="on")
+        fills = {r.fill for r in _lod_rects(d)}
+        assert fills == {Color.from_hex("#112233")}
+
+    def test_band_ref_names_cluster(self):
+        s = _schedule(30)
+        d = layout_schedule(s, lod="on")
+        refs = {r.ref for r in _lod_rects(d)}
+        assert refs == {f"{LOD_REF_PREFIX}c0"}
+
+
+class TestViewportLod:
+    def test_windowed_lod_renders(self):
+        s = _schedule(400)
+        vp = Viewport(t0=50.0, t1=300.0, r0=0.0, r1=32.0)
+        d = layout_schedule(s, viewport=vp, lod="on")
+        rects = _lod_rects(d)
+        assert rects
+        assert {r.ref for r in rects} == {f"{LOD_REF_PREFIX}viewport"}
+
+    def test_windowed_culling_keeps_off_path_small(self):
+        s = _schedule(400)
+        vp = Viewport(t0=0.0, t1=100.0, r0=0.0, r1=16.0)
+        d = layout_schedule(s, viewport=vp, lod="off")
+        # far fewer task rects than tasks: off-window tasks are culled
+        assert 0 < len(_task_rects(d)) < 400

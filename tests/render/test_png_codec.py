@@ -115,3 +115,72 @@ def test_decode_all_filter_types():
     assert tuple(img[1, 1]) == (6, 7, 8)
     # row 2: Up -> adds row 1
     assert tuple(img[2, 0]) == (12, 12, 12)
+
+
+def _make_chunk(kind: bytes, payload: bytes) -> bytes:
+    return (struct.pack(">I", len(payload)) + kind + payload
+            + struct.pack(">I", zlib.crc32(kind + payload) & 0xFFFFFFFF))
+
+
+def _unfilter_reference(rows, w):
+    """Scalar reference unfiltering straight from the PNG spec pseudocode."""
+    stride = w * 3
+    prev = [0] * stride
+    out = []
+    for ftype, payload in rows:
+        line = list(payload)
+        for x in range(stride):
+            left = line[x - 3] if x >= 3 else 0
+            up = prev[x]
+            ul = prev[x - 3] if x >= 3 else 0
+            if ftype == 0:
+                pred = 0
+            elif ftype == 1:
+                pred = left
+            elif ftype == 2:
+                pred = up
+            elif ftype == 3:
+                pred = (left + up) // 2
+            else:  # Paeth
+                p = left + up - ul
+                pa, pb, pc = abs(p - left), abs(p - up), abs(p - ul)
+                pred = left if pa <= pb and pa <= pc else (up if pb <= pc else ul)
+            line[x] = (line[x] + pred) & 0xFF
+        prev = line
+        out.append(line)
+    return np.array(out, dtype=np.uint8).reshape(len(rows), w, 3)
+
+
+@pytest.mark.parametrize("ftype", [3, 4])
+def test_decode_average_paeth_match_reference(ftype):
+    """Filters 3 (Average) and 4 (Paeth) against a scalar reference."""
+    rng = np.random.default_rng(ftype)
+    w, nrows = 5, 4
+    rows = [(ftype, bytes(rng.integers(0, 256, w * 3, dtype=np.uint8).tolist()))
+            for _ in range(nrows)]
+    raw = b"".join(bytes([f]) + payload for f, payload in rows)
+    ihdr = struct.pack(">IIBBBBB", w, nrows, 8, 2, 0, 0, 0)
+    data = (b"\x89PNG\r\n\x1a\n" + _make_chunk(b"IHDR", ihdr)
+            + _make_chunk(b"IDAT", zlib.compress(raw)) + _make_chunk(b"IEND", b""))
+    assert np.array_equal(decode_png(data), _unfilter_reference(rows, w))
+
+
+def test_decode_truncated_inside_idat():
+    """A file cut mid-chunk must raise RenderError, not a raw struct.error."""
+    data = encode_png(_random_image(8, 8))
+    cut = data[:data.index(b"IDAT") + 10]
+    with pytest.raises(RenderError, match="truncated PNG.*offset"):
+        decode_png(cut)
+
+
+def test_decode_truncated_inside_iend_crc():
+    data = encode_png(_random_image(6, 6))
+    with pytest.raises(RenderError, match="truncated"):
+        decode_png(data[:-2])
+
+
+def test_decode_truncated_ihdr_payload():
+    short = struct.pack(">IIB", 4, 4, 8)  # 9 of the 13 IHDR bytes
+    data = b"\x89PNG\r\n\x1a\n" + _make_chunk(b"IHDR", short)
+    with pytest.raises(RenderError, match="IHDR"):
+        decode_png(data)

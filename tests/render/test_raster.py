@@ -74,6 +74,32 @@ class TestRasterImage:
         img.fill_rect(5, 5, 0, 0, RED)
         assert img.count_color(RED) == 0
 
+    def test_zero_extent_one_axis_invisible(self):
+        img = RasterImage(20, 20)
+        img.fill_rect(5, 5, 0, 10, RED)
+        img.fill_rect(5, 5, 10, 0, RED)
+        assert img.count_color(RED) == 0
+
+    def test_fill_rect_negative_width_normalized(self):
+        img = RasterImage(20, 20)
+        img.fill_rect(10, 10, -5, 5, RED)
+        assert img.count_color(RED) == 25
+        assert img.pixel(5, 10) == RED
+        assert img.pixel(10, 10) == WHITE  # right edge stays exclusive
+
+    def test_fill_rect_negative_height_normalized(self):
+        img = RasterImage(20, 20)
+        img.fill_rect(4, 12, 6, -4, RED)
+        assert img.count_color(RED) == 24
+        assert img.pixel(4, 8) == RED
+
+    def test_fill_rect_both_negative_matches_positive(self):
+        a = RasterImage(20, 20)
+        a.fill_rect(3, 4, 5, 6, RED)
+        b = RasterImage(20, 20)
+        b.fill_rect(8, 10, -5, -6, RED)
+        assert np.array_equal(a.pixels, b.pixels)
+
     def test_stroke_rect_hollow(self):
         img = RasterImage(20, 20)
         img.stroke_rect(5, 5, 10, 10, BLACK)

@@ -20,6 +20,7 @@ from repro.workloads.thunder import (
     THUNDER_USER,
     ThunderSpec,
     generate_thunder_day,
+    thunder_day_from_swf,
 )
 
 
@@ -131,3 +132,34 @@ class TestFigure13Shape:
         _, _, scheduled, window = thunder_day
         s = workload_schedule(scheduled, THUNDER_NODES, window=window)
         assert s.meta["jobs"] == "834"
+
+
+class TestThunderDayFromSwf:
+    TRACE = (
+        "; MaxProcs: 64\n"
+        # ends at 100 + 0 + 400 = 500: inside [400, 400+86400)
+        "1 100 0 400 8 -1 -1 8 -1 -1 1 6447 1 -1 1 -1 -1 -1\n"
+        # ends at 99 + 0 + 300 = 399: the day before
+        "2 99 0 300 4 -1 -1 4 -1 -1 1 10 1 -1 1 -1 -1 -1\n"
+        # ends at 1100, inside, but status 4 (did not complete)
+        "3 500 0 600 4 -1 -1 4 -1 -1 4 10 1 -1 1 -1 -1 -1\n"
+    )
+
+    def test_selects_jobs_ending_in_day(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text(self.TRACE, encoding="utf-8")
+        jobs = thunder_day_from_swf(path, day_start=400.0)
+        assert [j.id for j in jobs] == [1]
+        assert jobs[0].nodes == 8
+
+    def test_only_completed_toggle(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text(self.TRACE, encoding="utf-8")
+        jobs = thunder_day_from_swf(path, day_start=400.0, only_completed=False)
+        assert [j.id for j in jobs] == [1, 3]
+
+    def test_bad_day_length_rejected(self, tmp_path):
+        path = tmp_path / "trace.swf"
+        path.write_text(self.TRACE, encoding="utf-8")
+        with pytest.raises(WorkloadError, match="day length"):
+            thunder_day_from_swf(path, day_start=0.0, day_seconds=0.0)
