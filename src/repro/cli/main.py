@@ -83,6 +83,15 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--clusters", nargs="+", help="only draw these clusters")
     render.add_argument("--window", nargs=2, type=float, metavar=("T0", "T1"),
                         help="restrict to a time window")
+    render.add_argument("--trace", metavar="OUT.json",
+                        help="write a Chrome trace-event JSON of this run "
+                             "(open in chrome://tracing or Perfetto)")
+    render.add_argument("--stats", action="store_true",
+                        help="print a per-stage timing/counter summary "
+                             "after rendering")
+    render.add_argument("--trace-gantt", metavar="OUT",
+                        help="render this run's own execution trace as a "
+                             "Gantt chart (spans as tasks, stages as bands)")
 
     convert = sub.add_parser("convert", help="convert between schedule formats")
     add_input(convert)
@@ -192,7 +201,35 @@ def _render_one(args: argparse.Namespace, input_path: str, output: Path) -> None
     print(f"wrote {output}")
 
 
+def _export_observability(args: argparse.Namespace, trace) -> None:
+    """Write/print the collected pipeline trace per the --trace* flags."""
+    from repro import obs
+
+    if args.trace:
+        Path(args.trace).write_text(obs.to_chrome_json(trace, indent=2),
+                                    encoding="utf-8")
+        print(f"wrote {args.trace} ({len(trace.spans)} spans)")
+    if args.trace_gantt:
+        gantt = obs.trace_to_schedule(trace)
+        export_schedule(gantt, Path(args.trace_gantt),
+                        title="repro pipeline trace")
+        print(f"wrote {args.trace_gantt} (pipeline Gantt, {len(gantt)} spans)")
+    if args.stats:
+        print(obs.summary_table(trace), end="")
+
+
 def _cmd_render(args: argparse.Namespace) -> int:
+    if args.trace or args.stats or args.trace_gantt:
+        from repro import obs
+
+        with obs.capture() as trace:
+            rc = _run_render(args)
+        _export_observability(args, trace)
+        return rc
+    return _run_render(args)
+
+
+def _run_render(args: argparse.Namespace) -> int:
     if args.outdir:
         if not args.format:
             print("error: --outdir needs --format", file=sys.stderr)

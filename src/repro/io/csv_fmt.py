@@ -20,7 +20,8 @@ import io as _io
 from pathlib import Path
 
 from repro.core.model import Cluster, Configuration, HostRange, Schedule, Task
-from repro.errors import ParseError
+from repro.errors import ParseError, ScheduleError
+from repro.obs import core as _obs
 
 __all__ = ["loads", "load", "dumps", "dump", "format_hosts", "parse_hosts"]
 
@@ -35,7 +36,8 @@ def format_hosts(ranges: tuple[HostRange, ...]) -> str:
     return ",".join(parts)
 
 
-def parse_hosts(text: str, *, source: str = "<string>") -> list[HostRange]:
+def parse_hosts(text: str, *, source: str = "<string>",
+                line: int | None = None) -> list[HostRange]:
     """Inverse of :func:`format_hosts`."""
     ranges: list[HostRange] = []
     for part in text.split(","):
@@ -51,10 +53,11 @@ def parse_hosts(text: str, *, source: str = "<string>") -> list[HostRange]:
                 ranges.append(HostRange(lo, hi - lo + 1))
             else:
                 ranges.append(HostRange(int(part), 1))
-        except ValueError:
-            raise ParseError(f"bad host spec {part!r}", source=source) from None
+        except (ValueError, ScheduleError):
+            raise ParseError(f"bad host spec {part!r}", source=source,
+                             line=line) from None
     if not ranges:
-        raise ParseError(f"empty host spec {text!r}", source=source)
+        raise ParseError(f"empty host spec {text!r}", source=source, line=line)
     return ranges
 
 
@@ -74,45 +77,69 @@ def dumps(schedule: Schedule) -> str:
     return buf.getvalue()
 
 
+@_obs.span("parse.csv")
 def loads(text: str, *, source: str = "<string>") -> Schedule:
-    """Parse the CSV schedule format."""
+    """Parse the CSV schedule format.
+
+    Any malformed field surfaces as :class:`ParseError` carrying the
+    source and the 1-based line number — raw ``ValueError`` /
+    ``ScheduleError`` tracebacks never leak to callers.
+    """
     schedule = Schedule()
     data_lines: list[str] = []
-    for line in text.splitlines():
+    line_nos: list[int] = []
+    for lineno, line in enumerate(text.splitlines(), start=1):
         if line.startswith("# cluster,"):
             parts = line[len("# cluster,"):].split(",", 2)
             if len(parts) < 2:
-                raise ParseError(f"bad cluster declaration {line!r}", source=source)
+                raise ParseError(f"bad cluster declaration {line!r}",
+                                 source=source, line=lineno)
             name = parts[2] if len(parts) > 2 else None
             try:
                 schedule.add_cluster(Cluster(parts[0], int(parts[1]), name))
-            except ValueError:
-                raise ParseError(f"bad cluster declaration {line!r}", source=source) from None
+            except (ValueError, ScheduleError) as exc:
+                raise ParseError(f"bad cluster declaration {line!r} ({exc})",
+                                 source=source, line=lineno) from None
         elif line.startswith("#") or not line.strip():
             continue
         else:
             data_lines.append(line)
+            line_nos.append(lineno)
     if not data_lines:
         return schedule
 
     reader = csv.DictReader(data_lines)
     missing = set(_COLUMNS) - set(reader.fieldnames or [])
     if missing:
-        raise ParseError(f"missing CSV columns: {sorted(missing)}", source=source)
+        raise ParseError(f"missing CSV columns: {sorted(missing)}",
+                         source=source, line=line_nos[0])
 
     # Group rows by task id: multi-configuration tasks span several rows.
-    rows_by_task: dict[str, list[dict[str, str]]] = {}
+    # Each row keeps its original line number for error context.
+    rows_by_task: dict[str, list[tuple[dict[str, str], int]]] = {}
     order: list[str] = []
-    for row in reader:
+    n_rows = 0
+    for i, row in enumerate(reader):
+        lineno = line_nos[i + 1] if i + 1 < len(line_nos) else line_nos[-1]
+        if None in row:
+            raise ParseError(
+                f"row has more fields than the {len(_COLUMNS)} columns",
+                source=source, line=lineno)
+        if any(v is None for v in row.values()):
+            raise ParseError(
+                f"row has fewer fields than the {len(_COLUMNS)} columns",
+                source=source, line=lineno)
         tid = row["task_id"]
         if tid not in rows_by_task:
             order.append(tid)
-        rows_by_task.setdefault(tid, []).append(row)
+        rows_by_task.setdefault(tid, []).append((row, lineno))
+        n_rows += 1
+    _obs.add("io.records", n_rows)
 
     inferred_extent: dict[str, int] = {}
     for rows in rows_by_task.values():
-        for row in rows:
-            ranges = parse_hosts(row["hosts"], source=source)
+        for row, lineno in rows:
+            ranges = parse_hosts(row["hosts"], source=source, line=lineno)
             extent = max(r.stop for r in ranges)
             cid = row["cluster"]
             inferred_extent[cid] = max(inferred_extent.get(cid, 0), extent)
@@ -122,19 +149,26 @@ def loads(text: str, *, source: str = "<string>") -> Schedule:
 
     for tid in order:
         rows = rows_by_task[tid]
-        first = rows[0]
+        first, first_line = rows[0]
         confs = []
-        for row in rows:
+        for row, lineno in rows:
             if row["type"] != first["type"] or row["start"] != first["start"] \
                     or row["end"] != first["end"]:
                 raise ParseError(
-                    f"task {tid!r}: inconsistent attributes across its rows", source=source)
-            confs.append(Configuration(row["cluster"], parse_hosts(row["hosts"], source=source)))
+                    f"task {tid!r}: inconsistent attributes across its rows",
+                    source=source, line=lineno)
+            confs.append(Configuration(
+                row["cluster"], parse_hosts(row["hosts"], source=source, line=lineno)))
         try:
             start, end = float(first["start"]), float(first["end"])
         except ValueError:
-            raise ParseError(f"task {tid!r}: non-numeric times", source=source) from None
-        schedule.add_task(Task(tid, first["type"], start, end, confs))
+            raise ParseError(f"task {tid!r}: non-numeric times",
+                             source=source, line=first_line) from None
+        try:
+            schedule.add_task(Task(tid, first["type"], start, end, confs))
+        except ScheduleError as exc:
+            raise ParseError(f"task {tid!r}: {exc}",
+                             source=source, line=first_line) from None
     return schedule
 
 

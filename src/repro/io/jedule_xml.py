@@ -42,6 +42,7 @@ from pathlib import Path
 
 from repro.core.model import Cluster, Configuration, HostRange, Schedule, Task
 from repro.errors import ParseError
+from repro.obs import core as _obs
 
 __all__ = ["loads", "load", "dumps", "dump", "JEDULE_VERSION"]
 
@@ -114,6 +115,7 @@ def _parse_task(elem: ET.Element, *, source: str) -> Task:
     return Task(props["id"], props["type"], start, end, confs, meta)
 
 
+@_obs.span("parse.jedule_xml")
 def loads(text: str, *, source: str = "<string>") -> Schedule:
     """Parse a Jedule XML document into a :class:`Schedule`."""
     try:
@@ -147,8 +149,11 @@ def loads(text: str, *, source: str = "<string>") -> Schedule:
 
     infos = root.find("node_infos")
     if infos is not None:
+        records = 0
         for node in infos.findall("node_statistics"):
             schedule.add_task(_parse_task(node, source=source))
+            records += 1
+        _obs.add("io.records", records)
     return schedule
 
 

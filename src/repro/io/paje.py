@@ -60,8 +60,15 @@ _HEADER = """\
 
 
 def _q(text: str) -> str:
-    """Quote a Pajé string field."""
-    return '"' + text.replace('"', "'") + '"'
+    """Quote a Pajé string field.
+
+    The trace format is line-based, so embedded newlines (and carriage
+    returns) would split one event across lines and corrupt the file;
+    they are flattened to spaces, and double quotes (the field delimiter)
+    become single quotes.
+    """
+    cleaned = text.replace("\r\n", " ").replace("\n", " ").replace("\r", " ")
+    return '"' + cleaned.replace('"', "'") + '"'
 
 
 def dumps(schedule: Schedule, *, cmap: ColorMap | None = None,

@@ -15,6 +15,7 @@ from pathlib import Path
 
 from repro.core.model import Schedule
 from repro.errors import ParseError
+from repro.obs import core as _obs
 
 __all__ = ["FormatSpec", "register_format", "available_formats", "format_for",
            "load_schedule", "save_schedule"]
@@ -73,7 +74,11 @@ def format_for(path: str | Path, format: str | None = None) -> FormatSpec:
 
 def load_schedule(path: str | Path, format: str | None = None) -> Schedule:
     """Load a schedule, dispatching on format name or file suffix."""
-    return format_for(path, format).loader(path)
+    spec = format_for(path, format)
+    with _obs.span("io.load", format=spec.name, path=str(path)):
+        schedule = spec.loader(path)
+    _obs.add("io.tasks_loaded", len(schedule))
+    return schedule
 
 
 def save_schedule(schedule: Schedule, path: str | Path, format: str | None = None) -> None:
@@ -81,7 +86,8 @@ def save_schedule(schedule: Schedule, path: str | Path, format: str | None = Non
     spec = format_for(path, format)
     if spec.saver is None:
         raise ParseError(f"format {spec.name!r} is read-only")
-    spec.saver(schedule, path)
+    with _obs.span("io.save", format=spec.name, path=str(path)):
+        spec.saver(schedule, path)
 
 
 def _register_builtins() -> None:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field, fields
 from pathlib import Path
 
 from repro.errors import ParseError
+from repro.obs import core as _obs
 
 __all__ = ["SWFJob", "SWFTrace", "loads", "load", "dumps", "dump",
            "iter_jobs", "iter_load", "load_header"]
@@ -184,10 +185,12 @@ def iter_jobs(text: str, *, source: str = "<string>") -> Iterator[SWFJob]:
     return _scan(text.splitlines(), source=source, header=None)
 
 
+@_obs.span("parse.swf")
 def loads(text: str, *, source: str = "<string>") -> SWFTrace:
     """Parse a complete SWF document (header + jobs)."""
     trace = SWFTrace()
     trace.jobs.extend(_scan(text.splitlines(), source=source, header=trace.header))
+    _obs.add("io.records", len(trace.jobs))
     return trace
 
 
@@ -225,12 +228,14 @@ def load_header(path: str | Path) -> dict[str, str]:
     return header
 
 
+@_obs.span("parse.swf")
 def load(path: str | Path) -> SWFTrace:
     """Parse an SWF file, streaming its lines rather than slurping the text."""
     path = Path(path)
     trace = SWFTrace()
     with path.open(encoding="utf-8", errors="replace") as fh:
         trace.jobs.extend(_scan(fh, source=str(path), header=trace.header))
+    _obs.add("io.records", len(trace.jobs))
     return trace
 
 

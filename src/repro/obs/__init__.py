@@ -1,0 +1,48 @@
+"""Pipeline observability: spans, counters, gauges and trace exporters.
+
+``repro.obs`` instruments the whole pipeline (parsers, schedulers, the
+simulation engine, layout/LOD/encode, the CLI) with near-zero overhead
+when disabled.  See :mod:`repro.obs.core` for collection and
+:mod:`repro.obs.export` for the Chrome-trace / summary / Gantt exporters,
+and ``docs/observability.md`` for a walkthrough.
+"""
+
+from repro.obs.core import (
+    SpanRecord,
+    Trace,
+    add,
+    capture,
+    current_trace,
+    disable,
+    enable,
+    gauge,
+    is_enabled,
+    reset,
+    span,
+)
+from repro.obs.export import (
+    summary_table,
+    to_chrome_events,
+    to_chrome_json,
+    trace_to_schedule,
+    validate_chrome_events,
+)
+
+__all__ = [
+    "SpanRecord",
+    "Trace",
+    "add",
+    "capture",
+    "current_trace",
+    "disable",
+    "enable",
+    "gauge",
+    "is_enabled",
+    "reset",
+    "span",
+    "summary_table",
+    "to_chrome_events",
+    "to_chrome_json",
+    "trace_to_schedule",
+    "validate_chrome_events",
+]

@@ -1,0 +1,262 @@
+"""Zero-dependency observability core: spans, counters, gauges.
+
+The package traces its own pipeline (``parse -> schedule -> simulate ->
+layout -> encode``) the way Scully-Allison & Isaacs argue Gantt tooling
+should be fed: as an execution trace.  Instrumentation points call
+:class:`span` (a context manager that doubles as a decorator),
+:func:`add` (counters) and :func:`gauge` (gauges); everything lands in a
+per-run :class:`Trace`.
+
+Observability is **disabled by default** and every instrumentation point
+then reduces to a single module-attribute check — no allocation beyond
+the (tiny) ``span`` object itself, no time stamps, no dictionary traffic
+— so instrumented hot paths cost nothing measurable when tracing is off
+(see ``benchmarks/bench_obs_overhead.py``).
+
+Typical use::
+
+    from repro import obs
+
+    with obs.capture() as trace:
+        run_pipeline()
+    print(obs.summary_table(trace))
+
+or long-running::
+
+    obs.enable()
+    ...
+    trace = obs.current_trace()
+"""
+
+from __future__ import annotations
+
+import functools
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+__all__ = [
+    "SpanRecord",
+    "Trace",
+    "span",
+    "add",
+    "gauge",
+    "enable",
+    "disable",
+    "is_enabled",
+    "current_trace",
+    "reset",
+    "capture",
+]
+
+
+@dataclass(slots=True)
+class SpanRecord:
+    """One completed (or still-open) timed span.
+
+    ``start``/``end`` are seconds relative to the owning trace's epoch;
+    ``parent`` is an index into ``Trace.spans`` (``None`` for roots).
+    An open span has ``end == -1.0``.
+    """
+
+    name: str
+    start: float
+    end: float
+    depth: int
+    index: int
+    parent: int | None
+    attrs: dict[str, object] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return max(self.end - self.start, 0.0)
+
+
+class Trace:
+    """Spans (in start order), counters and gauges of one observed run."""
+
+    def __init__(self) -> None:
+        self.epoch = time.perf_counter()
+        self.spans: list[SpanRecord] = []
+        self.counters: dict[str, float] = {}
+        self.gauges: dict[str, float] = {}
+        self.gauge_peaks: dict[str, float] = {}
+
+    def roots(self) -> list[SpanRecord]:
+        """Top-level spans (pipeline stages)."""
+        return [s for s in self.spans if s.parent is None]
+
+    def children(self, parent: SpanRecord) -> list[SpanRecord]:
+        return [s for s in self.spans if s.parent == parent.index]
+
+    def find(self, name: str) -> SpanRecord | None:
+        """First span with the given name, or ``None``."""
+        for s in self.spans:
+            if s.name == name:
+                return s
+        return None
+
+    def find_all(self, name: str) -> list[SpanRecord]:
+        return [s for s in self.spans if s.name == name]
+
+    def total_time(self) -> float:
+        """Wall-clock covered by root spans."""
+        return sum(s.duration for s in self.roots())
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Trace({len(self.spans)} spans, {len(self.counters)} counters, "
+                f"{len(self.gauges)} gauges)")
+
+
+class _State:
+    __slots__ = ("enabled", "trace", "stack")
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self.trace: Trace | None = None
+        self.stack: list[int] = []
+
+
+_state = _State()
+
+
+def is_enabled() -> bool:
+    """True when instrumentation points currently record."""
+    return _state.enabled
+
+
+def enable() -> Trace:
+    """Turn observability on (keeping any trace already collected)."""
+    _state.enabled = True
+    if _state.trace is None:
+        _state.trace = Trace()
+    return _state.trace
+
+
+def disable() -> None:
+    """Turn observability off; instrumentation reverts to the no-op path."""
+    _state.enabled = False
+
+
+def current_trace() -> Trace | None:
+    """The trace being collected (``None`` when never enabled)."""
+    return _state.trace
+
+
+def reset() -> Trace:
+    """Drop collected data and start a fresh trace."""
+    _state.trace = Trace()
+    _state.stack = []
+    return _state.trace
+
+
+@contextmanager
+def capture():
+    """Enable observability into a fresh trace for the duration of a block.
+
+    Restores the previous state (enabled flag, trace, open-span stack) on
+    exit, so captures nest and never clobber a long-running session.
+    """
+    prev_enabled, prev_trace, prev_stack = _state.enabled, _state.trace, _state.stack
+    _state.enabled = True
+    _state.trace = trace = Trace()
+    _state.stack = []
+    try:
+        yield trace
+    finally:
+        _state.enabled = prev_enabled
+        _state.trace = prev_trace
+        _state.stack = prev_stack
+
+
+class span:
+    """Timed span: ``with obs.span("render.layout", mode="aligned"): ...``
+
+    Also usable as a decorator::
+
+        @obs.span("sched.heft")
+        def heft_schedule(...): ...
+
+    The enabled flag is checked at *entry* time, so decorating at import
+    time while observability is off still records once it is enabled.
+    When disabled, entering/exiting is a flag check and nothing more.
+    """
+
+    __slots__ = ("name", "attrs", "_record", "_trace")
+
+    def __init__(self, name: str, **attrs: object):
+        self.name = name
+        self.attrs = attrs
+        self._record: SpanRecord | None = None
+        self._trace: Trace | None = None
+
+    def __enter__(self) -> "span":
+        if _state.enabled:
+            trace = _state.trace
+            assert trace is not None
+            record = SpanRecord(
+                self.name,
+                time.perf_counter() - trace.epoch,
+                -1.0,
+                len(_state.stack),
+                len(trace.spans),
+                _state.stack[-1] if _state.stack else None,
+                dict(self.attrs) if self.attrs else {},
+            )
+            trace.spans.append(record)
+            _state.stack.append(record.index)
+            self._record = record
+            self._trace = trace
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        record, trace = self._record, self._trace
+        if record is not None and trace is not None:
+            record.end = time.perf_counter() - trace.epoch
+            if exc_type is not None:
+                record.attrs["error"] = exc_type.__name__
+            stack = _state.stack
+            if trace is _state.trace and record.index in stack:
+                # pop our frame (and anything a leaked child left behind)
+                del stack[stack.index(record.index):]
+            self._record = None
+            self._trace = None
+        return False
+
+    def set(self, **attrs: object) -> "span":
+        """Attach attributes to the live span (no-op when not recording)."""
+        if self._record is not None:
+            self._record.attrs.update(attrs)
+        return self
+
+    def __call__(self, fn):
+        name, attrs = self.name, self.attrs
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            if not _state.enabled:
+                return fn(*args, **kwargs)
+            with span(name, **attrs):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+
+def add(name: str, value: float = 1.0) -> None:
+    """Increment a named counter (no-op when disabled)."""
+    if _state.enabled:
+        counters = _state.trace.counters
+        counters[name] = counters.get(name, 0.0) + value
+
+
+def gauge(name: str, value: float) -> None:
+    """Record the current value of a gauge, tracking its peak."""
+    if _state.enabled:
+        trace = _state.trace
+        trace.gauges[name] = value
+        peak = trace.gauge_peaks.get(name)
+        if peak is None or value > peak:
+            trace.gauge_peaks[name] = value

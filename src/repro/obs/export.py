@@ -1,0 +1,209 @@
+"""Trace exporters: Chrome trace-event JSON, text summary, dog-food Gantt.
+
+Three ways out of a :class:`~repro.obs.core.Trace`:
+
+* :func:`to_chrome_json` — the Chrome trace-event format (B/E duration
+  pairs plus C counter samples), loadable in ``chrome://tracing`` and
+  Perfetto.  :func:`validate_chrome_events` checks the structural
+  invariants (sorted ``ts``, stack-matched B/E pairs) and is what the CI
+  smoke job runs against a real CLI render.
+* :func:`summary_table` — a plain-text per-span aggregation with
+  counters and gauges, for ``--stats``.
+* :func:`trace_to_schedule` — the dog-food path: the span tree becomes a
+  :class:`~repro.core.model.Schedule` (spans as tasks, pipeline stages as
+  cluster bands, nesting depth as host rows), so the tool renders its own
+  execution as a Jedule Gantt chart.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.core.model import Schedule
+from repro.errors import ScheduleError
+from repro.obs.core import Trace
+
+__all__ = [
+    "to_chrome_events",
+    "to_chrome_json",
+    "validate_chrome_events",
+    "summary_table",
+    "trace_to_schedule",
+]
+
+_PID = 1
+_TID = 1
+
+
+def to_chrome_events(trace: Trace) -> list[dict]:
+    """Chrome trace-event dicts: B/E pairs per span, C samples for counters.
+
+    Events come out sorted by ``ts``; at equal timestamps ends precede
+    begins (a stage may end exactly where the next starts) and nesting
+    order is preserved (outer B first, inner E first).
+    """
+    # The span list is a DFS of a properly nested tree (single-threaded
+    # execution), so the correct B/E interleaving falls out of a stack
+    # walk: before opening a span, close every open span that is not its
+    # ancestor.  This stays correct for zero-duration and still-open
+    # spans, where timestamp sorting alone cannot order B before E.
+    events: list[dict] = []
+    spans = trace.spans
+    stack: list[int] = []
+
+    def emit_end(s) -> None:
+        end = s.end if s.end >= s.start else s.start
+        events.append({"name": s.name, "ph": "E", "ts": end * 1e6,
+                       "pid": _PID, "tid": _TID})
+
+    for s in spans:
+        while stack and stack[-1] != s.parent:
+            emit_end(spans[stack.pop()])
+        begin = {"name": s.name, "cat": s.name.split(".")[0], "ph": "B",
+                 "ts": s.start * 1e6, "pid": _PID, "tid": _TID}
+        if s.attrs:
+            begin["args"] = {k: str(v) for k, v in s.attrs.items()}
+        events.append(begin)
+        stack.append(s.index)
+    while stack:
+        emit_end(spans[stack.pop()])
+    end_ts = max((e["ts"] for e in events), default=0.0)
+    for name in sorted(trace.counters):
+        events.append({"name": name, "ph": "C", "ts": end_ts, "pid": _PID,
+                       "tid": _TID, "args": {name: trace.counters[name]}})
+    for name in sorted(trace.gauge_peaks):
+        events.append({"name": name, "ph": "C", "ts": end_ts, "pid": _PID,
+                       "tid": _TID, "args": {name: trace.gauge_peaks[name]}})
+    return events
+
+
+def to_chrome_json(trace: Trace, *, indent: int | None = None) -> str:
+    """Serialize a trace as a Chrome trace-event JSON document."""
+    doc = {"traceEvents": to_chrome_events(trace), "displayTimeUnit": "ms"}
+    return json.dumps(doc, indent=indent) + "\n"
+
+
+def validate_chrome_events(events: list[dict]) -> None:
+    """Check trace-event structural invariants; raises ``ValueError``.
+
+    Enforced: every event has name/ph/ts/pid/tid, ``ts`` is monotonically
+    non-decreasing, and B/E events match like balanced parentheses per
+    (pid, tid) with E names matching the innermost open B.
+    """
+    last_ts = float("-inf")
+    stacks: dict[tuple, list[str]] = {}
+    for i, ev in enumerate(events):
+        for key in ("name", "ph", "ts", "pid", "tid"):
+            if key not in ev:
+                raise ValueError(f"event {i} lacks {key!r}: {ev}")
+        ts = ev["ts"]
+        if not isinstance(ts, (int, float)):
+            raise ValueError(f"event {i}: non-numeric ts {ts!r}")
+        if ts < last_ts:
+            raise ValueError(f"event {i}: ts {ts} after {last_ts} (unsorted)")
+        last_ts = ts
+        ph = ev["ph"]
+        if ph not in ("B", "E", "C", "X", "M", "i"):
+            raise ValueError(f"event {i}: unknown phase {ph!r}")
+        stack = stacks.setdefault((ev["pid"], ev["tid"]), [])
+        if ph == "B":
+            stack.append(ev["name"])
+        elif ph == "E":
+            if not stack:
+                raise ValueError(f"event {i}: E {ev['name']!r} without open B")
+            open_name = stack.pop()
+            if open_name != ev["name"]:
+                raise ValueError(
+                    f"event {i}: E {ev['name']!r} closes B {open_name!r}")
+    for key, stack in stacks.items():
+        if stack:
+            raise ValueError(f"unclosed B events on {key}: {stack}")
+
+
+def _fmt_ms(seconds: float) -> str:
+    return f"{seconds * 1e3:10.3f}"
+
+
+def summary_table(trace: Trace) -> str:
+    """Plain-text aggregation: per-name span timings, counters, gauges."""
+    child_time = [0.0] * len(trace.spans)
+    for s in trace.spans:
+        if s.parent is not None:
+            child_time[s.parent] += s.duration
+
+    order: list[str] = []
+    agg: dict[str, list[float]] = {}  # name -> [calls, total, self]
+    for s in trace.spans:
+        if s.name not in agg:
+            order.append(s.name)
+            agg[s.name] = [0.0, 0.0, 0.0]
+        row = agg[s.name]
+        row[0] += 1
+        row[1] += s.duration
+        row[2] += s.duration - child_time[s.index]
+
+    lines: list[str] = []
+    if order:
+        width = max(len(n) for n in order)
+        width = max(width, len("span"))
+        lines.append(f"{'span':<{width}}  {'calls':>6}  {'total ms':>10}  {'self ms':>10}")
+        for name in order:
+            calls, total, self_t = agg[name]
+            lines.append(f"{name:<{width}}  {int(calls):>6}  "
+                         f"{_fmt_ms(total)}  {_fmt_ms(max(self_t, 0.0))}")
+    if trace.counters:
+        lines.append("")
+        lines.append("counters:")
+        for name in sorted(trace.counters):
+            lines.append(f"  {name} = {trace.counters[name]:g}")
+    if trace.gauges:
+        lines.append("")
+        lines.append("gauges (last / peak):")
+        for name in sorted(trace.gauges):
+            lines.append(f"  {name} = {trace.gauges[name]:g} / "
+                         f"{trace.gauge_peaks.get(name, trace.gauges[name]):g}")
+    if not lines:
+        lines.append("(empty trace)")
+    return "\n".join(lines) + "\n"
+
+
+def trace_to_schedule(trace: Trace, *, name: str = "pipeline trace") -> Schedule:
+    """Dog-food conversion: render the tool's own execution as a Gantt.
+
+    Each top-level span is a *stage* and becomes a cluster band; nesting
+    depth inside the stage selects the host row; every span becomes one
+    task typed by its name.  Times are shifted so the trace starts at 0.
+    The result feeds straight into the normal render pipeline.
+    """
+    if not trace.spans:
+        raise ScheduleError("cannot build a Gantt from an empty trace")
+
+    stage_of: list[str] = []
+    for s in trace.spans:
+        stage_of.append(s.name if s.parent is None else stage_of[s.parent])
+
+    stage_order: list[str] = []
+    stage_depth: dict[str, int] = {}
+    for s, stage in zip(trace.spans, stage_of):
+        if stage not in stage_depth:
+            stage_order.append(stage)
+            stage_depth[stage] = 0
+        stage_depth[stage] = max(stage_depth[stage], s.depth)
+
+    t0 = min(s.start for s in trace.spans)
+    schedule = Schedule(meta={"source": "repro.obs", "trace": name,
+                              "units": "seconds"})
+    for i, stage in enumerate(stage_order):
+        schedule.new_cluster(f"s{i}", stage_depth[stage] + 1, stage)
+    cluster_of = {stage: f"s{i}" for i, stage in enumerate(stage_order)}
+
+    for s, stage in zip(trace.spans, stage_of):
+        end = s.end if s.end >= s.start else s.start
+        meta = {k: str(v) for k, v in s.attrs.items()}
+        meta["duration_ms"] = f"{(end - s.start) * 1e3:.3f}"
+        schedule.new_task(
+            f"{s.index}:{s.name}", s.name, s.start - t0, end - t0,
+            cluster=cluster_of[stage], host_start=s.depth, host_nb=1,
+            meta=meta,
+        )
+    return schedule

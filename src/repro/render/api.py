@@ -15,6 +15,7 @@ from repro.core.model import Schedule
 from repro.core.timeframe import ViewMode
 from repro.core.viewport import Viewport
 from repro.errors import RenderError
+from repro.obs import core as _obs
 from repro.render.backends import (
     render_bmp,
     render_eps,
@@ -62,7 +63,11 @@ def render_drawing(drawing: Drawing, format: str) -> bytes:
         raise RenderError(
             f"unknown output format {format!r}; "
             f"supported: {', '.join(sorted(OUTPUT_FORMATS))}") from None
-    return backend(drawing)
+    with _obs.span("render.encode", format=format.lower(),
+                   primitives=len(drawing)):
+        data = backend(drawing)
+    _obs.add("render.bytes", len(data))
+    return data
 
 
 def render_schedule(

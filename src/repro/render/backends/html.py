@@ -9,6 +9,8 @@ cursor — no external assets, openable from disk.
 
 from __future__ import annotations
 
+from xml.sax.saxutils import escape
+
 from repro.render.backends.svg import render_svg
 from repro.render.geometry import Drawing
 
@@ -77,8 +79,13 @@ double-click resets</p>
 
 
 def render_html(drawing: Drawing, *, title: str = "jedule schedule") -> bytes:
-    """Serialize a drawing as a standalone interactive HTML page."""
+    """Serialize a drawing as a standalone interactive HTML page.
+
+    ``title`` is user-controlled text (a schedule name such as ``a<b & c``)
+    and is escaped before interpolation — the rest of the page body is the
+    SVG backend's output, which already escapes all text and attributes.
+    """
     svg = render_svg(drawing).decode("utf-8")
     # drop the XML prolog: inline SVG in HTML5 must not carry it
     body = svg.split("?>", 1)[1].lstrip() if svg.startswith("<?xml") else svg
-    return _TEMPLATE.format(title=title, svg=body).encode("utf-8")
+    return _TEMPLATE.format(title=escape(title), svg=body).encode("utf-8")

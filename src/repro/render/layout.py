@@ -32,6 +32,7 @@ from repro.core.model import Schedule, Task
 from repro.core.timeframe import TimeFrame, ViewMode, cluster_frame, global_frame
 from repro.core.viewport import Viewport
 from repro.errors import RenderError
+from repro.obs import core as _obs
 from repro.render.geometry import Drawing, HAlign, Line, Rect, Text, VAlign
 from repro.render.lod import (
     LodOptions,
@@ -79,8 +80,16 @@ def nice_ticks(lo: float, hi: float, target: int = 8) -> list[float]:
         t = k * step
         if t > hi + step * 1e-6:
             break
-        ticks.append(0.0 if abs(t) < step * 1e-9 else t)
+        t = 0.0 if abs(t) < step * 1e-9 else t
+        if ticks and t <= ticks[-1]:
+            # The step is below the float resolution at this magnitude
+            # (sub-epsilon span): k advances but t cannot, so stop rather
+            # than emit duplicate tick positions.
+            break
+        ticks.append(t)
         k += 1
+        if len(ticks) > 4 * target:
+            break  # hard cap: never emit unboundedly many ticks
     return ticks or [lo]
 
 
@@ -211,9 +220,15 @@ def layout_schedule(
     style = (style or Style()).with_config(cmap.config)
     options = options or LayoutOptions()
     lod_opts = resolve_lod(lod)
-    if viewport is not None:
-        return _layout_windowed(schedule, cmap, style, options, viewport, lod_opts)
-    return _layout_full(schedule, cmap, style, options, lod_opts)
+    with _obs.span("render.layout", tasks=len(schedule),
+                   windowed=viewport is not None):
+        if viewport is not None:
+            drawing = _layout_windowed(schedule, cmap, style, options,
+                                       viewport, lod_opts)
+        else:
+            drawing = _layout_full(schedule, cmap, style, options, lod_opts)
+    _obs.add("render.primitives", len(drawing))
+    return drawing
 
 
 def _chrome(drawing: Drawing, schedule: Schedule, cmap: ColorMap, style: Style,
@@ -270,9 +285,12 @@ def _draw_band_tasks(drawing: Drawing, schedule: Schedule, band: _Band,
             drawing.add(Line(x, gy, x + w, gy, style.grid_color, 0.5))
     drawing.add(Rect(x, band.y, w, band.height, fill=None, stroke=style.axis_color))
     if lod_opts is not None:
-        drawing.extend(aggregate_band(schedule, band.cluster_id, band.frame,
-                                      band.rows, x, band.y, w, band.height,
-                                      cmap, lod_opts))
+        with _obs.span("render.lod", cluster=band.cluster_id):
+            cells = aggregate_band(schedule, band.cluster_id, band.frame,
+                                   band.rows, x, band.y, w, band.height,
+                                   cmap, lod_opts)
+            drawing.extend(cells)
+            _obs.add("render.lod_cells", len(cells))
         return
     for task in schedule.tasks_in_cluster(band.cluster_id):
         conf = task.configuration_for(band.cluster_id)
@@ -366,8 +384,11 @@ def _layout_windowed(schedule: Schedule, cmap: ColorMap, style: Style,
     offsets = {c.id: schedule.cluster_offset(c.id) for c in schedule.clusters}
     visible = _visible_tasks(schedule, viewport, offsets)
     if lod_active(lod_opts, len(visible), w, h):
-        drawing.extend(aggregate_window(schedule, visible, viewport,
-                                        x, y, w, h, cmap, lod_opts))
+        with _obs.span("render.lod", visible=len(visible)):
+            cells = aggregate_window(schedule, visible, viewport,
+                                     x, y, w, h, cmap, lod_opts)
+            drawing.extend(cells)
+            _obs.add("render.lod_cells", len(cells))
         _time_axis(drawing, style, x, w, y + h + 2, frame)
         return drawing
 

@@ -22,6 +22,7 @@ from repro.core.model import Schedule, Task
 from repro.dag.graph import TaskGraph
 from repro.dag.moldable import SpeedupModel
 from repro.errors import SchedulingError
+from repro.obs import core as _obs
 from repro.platform.model import Platform
 from repro.platform.network import CommModel
 from repro.simulate.executor import Mapping, SimResult
@@ -29,6 +30,7 @@ from repro.simulate.executor import Mapping, SimResult
 __all__ = ["backfill_mapping", "backfill_cra"]
 
 
+@_obs.span("sched.backfill")
 def backfill_mapping(
     graph: TaskGraph,
     mapping: Mapping,

@@ -12,12 +12,14 @@ from __future__ import annotations
 
 from repro.dag.graph import TaskGraph
 from repro.dag.moldable import AmdahlModel, SpeedupModel
+from repro.obs import core as _obs
 from repro.platform.model import Platform
 from repro.sched.mtask import MTaskProblem, MTaskResult, allocate, map_allocation
 
 __all__ = ["cpa_schedule"]
 
 
+@_obs.span("sched.cpa")
 def cpa_schedule(
     graph: TaskGraph,
     platform: Platform,

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.core.model import Configuration, Schedule, Task
 from repro.dag.graph import TaskGraph
 from repro.errors import SchedulingError
+from repro.obs import core as _obs
 from repro.platform.model import Platform
 from repro.platform.network import CommModel
 from repro.sched.heft import HeftResult, _HostAgenda, upward_ranks
@@ -43,9 +44,10 @@ def cpop_schedule(graph: TaskGraph, platform: Platform) -> HeftResult:
     if len(graph) == 0:
         raise SchedulingError("empty task graph")
     comm = CommModel(platform)
-    up = upward_ranks(graph, platform, comm)
-    down = downward_ranks(graph, platform, comm)
-    priority = {v: up[v] + down[v] for v in graph.task_ids}
+    with _obs.span("sched.cpop.priorities", tasks=len(graph)):
+        up = upward_ranks(graph, platform, comm)
+        down = downward_ranks(graph, platform, comm)
+        priority = {v: up[v] + down[v] for v in graph.task_ids}
 
     # the critical path: entry task with the highest priority, then greedily
     # follow the successor with (numerically) equal priority
@@ -71,34 +73,36 @@ def cpop_schedule(graph: TaskGraph, platform: Platform) -> HeftResult:
     finish: dict[str, float] = {}
 
     # schedule in priority order among ready tasks
-    pending = {v: graph.in_degree(v) for v in graph.task_ids}
-    ready = [v for v, d in pending.items() if d == 0]
-    while ready:
-        ready.sort(key=lambda v: (-priority[v], v))
-        v = ready.pop(0)
-        node = graph.node(v)
-        candidates = [platform.host(cp_host)] if v in cp else list(platform)
-        best_host, best_eft, best_est = None, float("inf"), 0.0
-        for host in candidates:
-            data_ready = 0.0
-            for pred in graph.predecessors(v):
-                e = graph.edge(pred, v)
-                delay = 0.0 if assignment[pred] == host.index else \
-                    comm.time(assignment[pred], host.index, e.data)
-                data_ready = max(data_ready, finish[pred] + delay)
-            duration = host.compute_time(node.work)
-            est = agendas[host.index].earliest_slot(data_ready, duration)
-            eft = est + duration
-            if eft < best_eft - 1e-12:
-                best_host, best_eft, best_est = host.index, eft, est
-        assert best_host is not None
-        assignment[v] = best_host
-        start[v], finish[v] = best_est, best_eft
-        agendas[best_host].insert(best_est, best_eft)
-        for succ in graph.successors(v):
-            pending[succ] -= 1
-            if pending[succ] == 0:
-                ready.append(succ)
+    with _obs.span("sched.cpop.place"):
+        pending = {v: graph.in_degree(v) for v in graph.task_ids}
+        ready = [v for v, d in pending.items() if d == 0]
+        while ready:
+            ready.sort(key=lambda v: (-priority[v], v))
+            v = ready.pop(0)
+            node = graph.node(v)
+            candidates = [platform.host(cp_host)] if v in cp else list(platform)
+            best_host, best_eft, best_est = None, float("inf"), 0.0
+            for host in candidates:
+                data_ready = 0.0
+                for pred in graph.predecessors(v):
+                    e = graph.edge(pred, v)
+                    delay = 0.0 if assignment[pred] == host.index else \
+                        comm.time(assignment[pred], host.index, e.data)
+                    data_ready = max(data_ready, finish[pred] + delay)
+                duration = host.compute_time(node.work)
+                est = agendas[host.index].earliest_slot(data_ready, duration)
+                eft = est + duration
+                if eft < best_eft - 1e-12:
+                    best_host, best_eft, best_est = host.index, eft, est
+            assert best_host is not None
+            assignment[v] = best_host
+            start[v], finish[v] = best_est, best_eft
+            agendas[best_host].insert(best_est, best_eft)
+            for succ in graph.successors(v):
+                pending[succ] -= 1
+                if pending[succ] == 0:
+                    ready.append(succ)
+    _obs.add("sched.tasks_placed", len(assignment))
 
     schedule = Schedule(platform_to_clusters(platform),
                         meta={"algorithm": "cpop", "platform": platform.name})

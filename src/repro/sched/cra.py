@@ -27,6 +27,7 @@ from repro.core.model import Schedule, Task
 from repro.dag.graph import TaskGraph
 from repro.dag.moldable import AmdahlModel, SpeedupModel
 from repro.errors import SchedulingError
+from repro.obs import core as _obs
 from repro.platform.model import Platform
 from repro.sched.cpa import cpa_schedule
 from repro.sched.mtask import MTaskResult
@@ -101,6 +102,7 @@ class CRAResult:
         return tuple(r.sim.schedule.end_time for r in self.app_results)
 
 
+@_obs.span("sched.cra")
 def cra_schedule(
     graphs: Sequence[TaskGraph],
     platform: Platform,

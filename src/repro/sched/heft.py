@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 from repro.core.model import Configuration, Schedule, Task
 from repro.dag.graph import TaskGraph
 from repro.errors import SchedulingError
+from repro.obs import core as _obs
 from repro.platform.model import Platform
 from repro.platform.network import CommModel
 from repro.simulate.executor import platform_to_clusters
@@ -100,39 +101,42 @@ def heft_schedule(
     if len(graph) == 0:
         raise SchedulingError("empty task graph")
     comm = CommModel(platform)
-    ranks = upward_ranks(graph, platform, comm)
-    order = sorted(graph.task_ids, key=lambda v: (-ranks[v], v))
+    with _obs.span("sched.heft.priorities", tasks=len(graph)):
+        ranks = upward_ranks(graph, platform, comm)
+        order = sorted(graph.task_ids, key=lambda v: (-ranks[v], v))
 
     agendas = {h.index: _HostAgenda() for h in platform}
     assignment: dict[str, int] = {}
     start: dict[str, float] = {}
     finish: dict[str, float] = {}
 
-    for v in order:
-        node = graph.node(v)
-        best_host: int | None = None
-        best_eft = float("inf")
-        best_est = 0.0
-        for host in platform:
-            ready = 0.0
-            for pred in graph.predecessors(v):
-                if pred not in finish:
-                    raise SchedulingError(
-                        f"rank order placed {v!r} before predecessor {pred!r}; "
-                        "edge costs must be non-negative")
-                e = graph.edge(pred, v)
-                delay = 0.0 if assignment[pred] == host.index else \
-                    comm.time(assignment[pred], host.index, e.data)
-                ready = max(ready, finish[pred] + delay)
-            duration = host.compute_time(node.work)
-            est = agendas[host.index].earliest_slot(ready, duration)
-            eft = est + duration
-            if eft < best_eft - 1e-12:
-                best_host, best_eft, best_est = host.index, eft, est
-        assert best_host is not None
-        assignment[v] = best_host
-        start[v], finish[v] = best_est, best_eft
-        agendas[best_host].insert(best_est, best_eft)
+    with _obs.span("sched.heft.place"):
+        for v in order:
+            node = graph.node(v)
+            best_host: int | None = None
+            best_eft = float("inf")
+            best_est = 0.0
+            for host in platform:
+                ready = 0.0
+                for pred in graph.predecessors(v):
+                    if pred not in finish:
+                        raise SchedulingError(
+                            f"rank order placed {v!r} before predecessor {pred!r}; "
+                            "edge costs must be non-negative")
+                    e = graph.edge(pred, v)
+                    delay = 0.0 if assignment[pred] == host.index else \
+                        comm.time(assignment[pred], host.index, e.data)
+                    ready = max(ready, finish[pred] + delay)
+                duration = host.compute_time(node.work)
+                est = agendas[host.index].earliest_slot(ready, duration)
+                eft = est + duration
+                if eft < best_eft - 1e-12:
+                    best_host, best_eft, best_est = host.index, eft, est
+            assert best_host is not None
+            assignment[v] = best_host
+            start[v], finish[v] = best_est, best_eft
+            agendas[best_host].insert(best_est, best_eft)
+    _obs.add("sched.tasks_placed", len(order))
 
     schedule = Schedule(platform_to_clusters(platform),
                         meta={"algorithm": "heft", "platform": platform.name})

@@ -25,6 +25,7 @@ from __future__ import annotations
 from repro.dag.graph import TaskGraph
 from repro.dag.moldable import AmdahlModel, SpeedupModel, execution_time
 from repro.errors import SchedulingError
+from repro.obs import core as _obs
 from repro.platform.model import Platform
 from repro.platform.network import CommModel
 from repro.simulate.executor import Mapping, SimResult, simulate_mapping
@@ -64,6 +65,7 @@ class MHeftResult:
         return self.mapping.hosts_of(task_id)
 
 
+@_obs.span("sched.mheft")
 def mheft_schedule(
     graph: TaskGraph,
     platform: Platform,

@@ -19,6 +19,7 @@ from collections.abc import Callable
 from dataclasses import dataclass, field
 
 from repro.errors import SimulationError
+from repro.obs import core as _obs
 
 __all__ = ["SimEngine", "EventHandle"]
 
@@ -29,18 +30,23 @@ class _Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    fired: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Handle returned by :meth:`SimEngine.at`; allows cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: _Event):
+    def __init__(self, event: _Event, engine: "SimEngine"):
         self._event = event
+        self._engine = engine
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled and not event.fired:
+            event.cancelled = True
+            self._engine._pending -= 1
 
     @property
     def time(self) -> float:
@@ -59,6 +65,8 @@ class SimEngine:
         self._seq = 0
         self._queue: list[_Event] = []
         self._processed = 0
+        self._pending = 0
+        self._peak_pending = 0
 
     @property
     def now(self) -> float:
@@ -67,8 +75,17 @@ class SimEngine:
 
     @property
     def pending(self) -> int:
-        """Number of not-yet-fired, not-cancelled events."""
-        return sum(1 for e in self._queue if not e.cancelled)
+        """Number of not-yet-fired, not-cancelled events.
+
+        Kept as a live counter (updated on schedule/cancel/fire) so the
+        read is O(1) rather than a scan of the whole calendar.
+        """
+        return self._pending
+
+    @property
+    def peak_pending(self) -> int:
+        """Largest :attr:`pending` value ever reached (peak queue depth)."""
+        return self._peak_pending
 
     @property
     def processed(self) -> int:
@@ -85,7 +102,10 @@ class SimEngine:
         event = _Event(max(time, self._now), self._seq, callback)
         self._seq += 1
         heapq.heappush(self._queue, event)
-        return EventHandle(event)
+        self._pending += 1
+        if self._pending > self._peak_pending:
+            self._peak_pending = self._pending
+        return EventHandle(event, self)
 
     def after(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Schedule a callback ``delay`` seconds from now."""
@@ -98,7 +118,9 @@ class SimEngine:
         while self._queue:
             event = heapq.heappop(self._queue)
             if event.cancelled:
-                continue
+                continue  # already uncounted at cancel time
+            event.fired = True
+            self._pending -= 1
             self._now = event.time
             self._processed += 1
             event.callback()
@@ -119,8 +141,7 @@ class SimEngine:
                 heapq.heappop(self._queue)
                 continue
             if until is not None and nxt.time > until:
-                self._now = max(self._now, until)
-                return self._now
+                break
             if max_events is not None and fired >= max_events:
                 raise SimulationError(
                     f"simulation exceeded {max_events} events at t={self._now:.6g} "
@@ -129,4 +150,7 @@ class SimEngine:
             fired += 1
         if until is not None:
             self._now = max(self._now, until)
+        if _obs.is_enabled():
+            _obs.add("sim.events_fired", fired)
+            _obs.gauge("sim.peak_queue_depth", self._peak_pending)
         return self._now

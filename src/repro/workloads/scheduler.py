@@ -27,6 +27,7 @@ from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
 
 from repro.errors import WorkloadError
+from repro.obs import core as _obs
 from repro.workloads.jobs import Job
 
 __all__ = ["SchedPolicy", "ScheduledJob", "ClusterJobScheduler", "simulate_jobs"]
@@ -164,6 +165,7 @@ class ClusterJobScheduler:
         return out
 
 
+@_obs.span("workload.simulate_jobs")
 def simulate_jobs(
     jobs: Iterable[Job],
     n_nodes: int,

@@ -31,6 +31,7 @@ import numpy as np
 
 from repro.errors import WorkloadError
 from repro.io.swf import iter_load
+from repro.obs import core as _obs
 from repro.workloads.jobs import Job, iter_jobs_from_swf
 
 __all__ = ["ThunderSpec", "generate_thunder_day", "thunder_day_from_swf",
@@ -109,6 +110,7 @@ def _diurnal_submit_times(rng: np.random.Generator, spec: ThunderSpec) -> np.nda
     return np.sort(np.asarray(times[: spec.n_jobs]) + spec.warmup_seconds)
 
 
+@_obs.span("workload.generate_thunder_day")
 def generate_thunder_day(spec: ThunderSpec | None = None,
                          seed: int | None = 20070202) -> list[Job]:
     """Generate one synthetic Thunder day of jobs.

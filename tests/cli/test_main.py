@@ -122,3 +122,50 @@ class TestValidate:
         rc = main(["validate", str(src), "--exclusive", "computation", "transfer"])
         assert rc == 1
         assert "overlap" in capsys.readouterr().out
+
+
+class TestObservabilityFlags:
+    def test_trace_writes_valid_chrome_json(self, tmp_path, sched_file, capsys):
+        import json
+
+        from repro import obs
+
+        out = tmp_path / "out.svg"
+        trace_path = tmp_path / "trace.json"
+        rc = main(["render", str(sched_file), "-o", str(out),
+                   "--trace", str(trace_path)])
+        assert rc == 0
+        doc = json.loads(trace_path.read_text())
+        assert doc["displayTimeUnit"] == "ms"
+        events = doc["traceEvents"]
+        assert events, "trace must record pipeline spans"
+        obs.validate_chrome_events(events)
+        names = {e["name"] for e in events}
+        assert "io.load" in names
+        assert "render.layout" in names
+        assert "render.encode" in names
+
+    def test_stats_prints_summary(self, tmp_path, sched_file, capsys):
+        out = tmp_path / "out.svg"
+        assert main(["render", str(sched_file), "-o", str(out),
+                     "--stats"]) == 0
+        text = capsys.readouterr().out
+        assert "span" in text and "total ms" in text
+        assert "render.layout" in text
+        assert "io.records" in text  # parser counter made it through
+
+    def test_trace_gantt_renders_own_execution(self, tmp_path, sched_file):
+        out = tmp_path / "out.svg"
+        gantt = tmp_path / "pipeline.svg"
+        assert main(["render", str(sched_file), "-o", str(out),
+                     "--trace-gantt", str(gantt)]) == 0
+        text = gantt.read_text()
+        assert "<svg" in text
+        assert text.count("<rect") >= 3  # at least load/layout/encode spans
+
+    def test_observability_off_by_default(self, tmp_path, sched_file):
+        from repro import obs
+
+        out = tmp_path / "out.svg"
+        assert main(["render", str(sched_file), "-o", str(out)]) == 0
+        assert not obs.is_enabled()

@@ -126,3 +126,68 @@ class TestCsv:
         path = tmp_path / "s.csv"
         csv_fmt.dump(simple_schedule, path)
         assert len(csv_fmt.load(path)) == 2
+
+
+class TestCsvErrorContext:
+    """Malformed input must surface as ParseError with line context —
+    never as a raw ValueError/ScheduleError from the model layer."""
+
+    HEADER = "# cluster,0,8\ntask_id,type,start,end,cluster,hosts\n"
+
+    def test_short_row_reports_line(self):
+        text = self.HEADER + "1,computation,0.0,1.0,0\n"
+        with pytest.raises(ParseError, match="fewer fields") as ei:
+            csv_fmt.loads(text, source="s.csv")
+        assert ei.value.line == 3
+        assert ei.value.source == "s.csv"
+
+    def test_long_row_reports_line(self):
+        text = self.HEADER + "1,computation,0.0,1.0,0,0-7,extra\n"
+        with pytest.raises(ParseError, match="more fields") as ei:
+            csv_fmt.loads(text)
+        assert ei.value.line == 3
+
+    def test_bad_cluster_size_is_parse_error(self):
+        with pytest.raises(ParseError, match="bad cluster declaration") as ei:
+            csv_fmt.loads("# cluster,0,0\n")
+        assert ei.value.line == 1
+
+    def test_bad_cluster_count_is_parse_error(self):
+        with pytest.raises(ParseError, match="bad cluster declaration"):
+            csv_fmt.loads("# cluster,0,eight\n")
+
+    def test_end_before_start_is_parse_error(self):
+        text = self.HEADER + "1,computation,2.0,1.0,0,0-7\n"
+        with pytest.raises(ParseError, match="task '1'") as ei:
+            csv_fmt.loads(text)
+        assert ei.value.line == 3
+
+    def test_duplicate_task_id_is_parse_error(self):
+        text = (self.HEADER
+                + "1,computation,0.0,1.0,0,0-7\n"
+                + "1,transfer,0.0,1.0,0,0-7\n")
+        with pytest.raises(ParseError, match="inconsistent|task '1'") as ei:
+            csv_fmt.loads(text)
+        assert ei.value.line == 4
+
+    def test_bad_host_spec_reports_line(self):
+        text = self.HEADER + "1,computation,0.0,1.0,0,7-0\n"
+        with pytest.raises(ParseError, match="bad host spec") as ei:
+            csv_fmt.loads(text)
+        assert ei.value.line == 3
+
+    def test_non_numeric_time_reports_line(self):
+        text = self.HEADER + "1,computation,zero,1.0,0,0-7\n"
+        with pytest.raises(ParseError, match="non-numeric times") as ei:
+            csv_fmt.loads(text)
+        assert ei.value.line == 3
+
+    def test_missing_columns_report_header_line(self):
+        with pytest.raises(ParseError, match="missing CSV columns") as ei:
+            csv_fmt.loads("# a comment\ntask_id,type\n1,computation\n")
+        assert ei.value.line == 2
+
+    def test_message_carries_location(self):
+        with pytest.raises(ParseError, match=r"in s\.csv at line 3"):
+            csv_fmt.loads(self.HEADER + "1,computation,0.0,1.0,0\n",
+                          source="s.csv")

@@ -86,6 +86,24 @@ def test_quotes_escaped():
     assert '"the \'big\' cluster"' in text
 
 
+def test_newlines_flattened():
+    """Embedded newlines would corrupt the line-based Paje format: every
+    emitted line must stay a well-formed record."""
+    from repro.core.model import Schedule
+
+    s = Schedule()
+    s.new_cluster(0, 1, name="evil\ncluster\r\nname")
+    s.new_task("t\n1", "comp\nute", 0.0, 1.0, cluster=0, host_start=0,
+               host_nb=1)
+    text = paje.dumps(s)
+    for line in text.splitlines():
+        if not line or line.startswith(("%", "#")):
+            continue
+        # every record line starts with a numeric event id
+        assert line.split()[0].isdigit(), line
+    assert '"evil cluster name"' in text
+
+
 def test_dump_to_file(tmp_path, simple_schedule):
     path = tmp_path / "trace.paje"
     paje.dump(simple_schedule, path)

@@ -1,0 +1,178 @@
+"""Tests for trace exporters: Chrome JSON, summary table, dog-food Gantt."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.errors import ScheduleError
+from repro.obs.core import SpanRecord, Trace
+
+
+def make_trace() -> Trace:
+    """A deterministic hand-built trace: two stages, one nested span."""
+    t = Trace()
+    t.spans = [
+        SpanRecord("io.load", 0.0, 0.010, 0, 0, None, {"path": "x.csv"}),
+        SpanRecord("parse.csv", 0.001, 0.008, 1, 1, 0),
+        SpanRecord("render.layout", 0.010, 0.025, 0, 2, None),
+    ]
+    t.counters = {"io.records": 12.0}
+    t.gauges = {"sim.peak_queue_depth": 3.0}
+    t.gauge_peaks = {"sim.peak_queue_depth": 7.0}
+    return t
+
+
+class TestChromeExport:
+    def test_events_validate(self):
+        events = obs.to_chrome_events(make_trace())
+        obs.validate_chrome_events(events)  # must not raise
+
+    def test_be_pairs_and_counters(self):
+        events = obs.to_chrome_events(make_trace())
+        phases = [e["ph"] for e in events]
+        assert phases.count("B") == 3 and phases.count("E") == 3
+        assert phases.count("C") == 2  # one counter + one gauge peak
+        c = [e for e in events if e["ph"] == "C" and e["name"] == "io.records"]
+        assert c[0]["args"] == {"io.records": 12.0}
+
+    def test_ts_microseconds_and_sorted(self):
+        events = obs.to_chrome_events(make_trace())
+        b = next(e for e in events if e["ph"] == "B" and e["name"] == "io.load")
+        assert b["ts"] == pytest.approx(0.0)
+        e = next(e for e in events if e["ph"] == "E" and e["name"] == "io.load")
+        assert e["ts"] == pytest.approx(10_000.0)  # 0.010 s -> us
+        ts = [e["ts"] for e in events]
+        assert ts == sorted(ts)
+
+    def test_category_is_name_prefix(self):
+        events = obs.to_chrome_events(make_trace())
+        b = next(e for e in events if e["ph"] == "B" and e["name"] == "parse.csv")
+        assert b["cat"] == "parse"
+
+    def test_coincident_edges_nest_correctly(self):
+        # Child ends exactly when the parent ends, and the next stage
+        # begins at that same instant: E(child), E(parent), B(next).
+        t = Trace()
+        t.spans = [
+            SpanRecord("outer", 0.0, 0.010, 0, 0, None),
+            SpanRecord("inner", 0.002, 0.010, 1, 1, 0),
+            SpanRecord("next", 0.010, 0.020, 0, 2, None),
+        ]
+        events = obs.to_chrome_events(t)
+        obs.validate_chrome_events(events)
+        at_10ms = [(e["ph"], e["name"]) for e in events
+                   if e["ts"] == pytest.approx(10_000.0)]
+        assert at_10ms == [("E", "inner"), ("E", "outer"), ("B", "next")]
+
+    def test_json_document_shape(self):
+        doc = json.loads(obs.to_chrome_json(make_trace()))
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        obs.validate_chrome_events(doc["traceEvents"])
+
+    def test_open_span_clamped(self):
+        t = Trace()
+        t.spans = [SpanRecord("open", 0.005, -1.0, 0, 0, None)]
+        events = obs.to_chrome_events(t)
+        obs.validate_chrome_events(events)  # E emitted at start ts
+
+    def test_real_capture_round_trips(self):
+        with obs.capture() as trace:
+            with obs.span("a"):
+                with obs.span("a.b"):
+                    obs.add("n", 2)
+        obs.validate_chrome_events(obs.to_chrome_events(trace))
+
+
+class TestValidator:
+    def test_rejects_missing_key(self):
+        with pytest.raises(ValueError, match="lacks"):
+            obs.validate_chrome_events([{"name": "x", "ph": "B", "ts": 0.0,
+                                         "pid": 1}])
+
+    def test_rejects_unsorted_ts(self):
+        events = [
+            {"name": "a", "ph": "B", "ts": 5.0, "pid": 1, "tid": 1},
+            {"name": "a", "ph": "E", "ts": 1.0, "pid": 1, "tid": 1},
+        ]
+        with pytest.raises(ValueError, match="unsorted"):
+            obs.validate_chrome_events(events)
+
+    def test_rejects_unbalanced_pairs(self):
+        events = [{"name": "a", "ph": "B", "ts": 0.0, "pid": 1, "tid": 1}]
+        with pytest.raises(ValueError, match="unclosed"):
+            obs.validate_chrome_events(events)
+        events = [{"name": "a", "ph": "E", "ts": 0.0, "pid": 1, "tid": 1}]
+        with pytest.raises(ValueError, match="without open B"):
+            obs.validate_chrome_events(events)
+
+    def test_rejects_name_mismatch(self):
+        events = [
+            {"name": "a", "ph": "B", "ts": 0.0, "pid": 1, "tid": 1},
+            {"name": "b", "ph": "E", "ts": 1.0, "pid": 1, "tid": 1},
+        ]
+        with pytest.raises(ValueError, match="closes"):
+            obs.validate_chrome_events(events)
+
+    def test_rejects_unknown_phase(self):
+        with pytest.raises(ValueError, match="phase"):
+            obs.validate_chrome_events([{"name": "x", "ph": "Z", "ts": 0.0,
+                                         "pid": 1, "tid": 1}])
+
+
+class TestSummaryTable:
+    def test_contents(self):
+        text = obs.summary_table(make_trace())
+        assert "io.load" in text and "parse.csv" in text
+        assert "calls" in text and "self ms" in text
+        assert "io.records = 12" in text
+        assert "sim.peak_queue_depth = 3 / 7" in text
+
+    def test_self_time_subtracts_children(self):
+        text = obs.summary_table(make_trace())
+        row = next(line for line in text.splitlines()
+                   if line.startswith("io.load"))
+        cols = row.split()
+        # total 10 ms, child parse.csv takes 7 ms -> self 3 ms
+        assert float(cols[-2]) == pytest.approx(10.0)
+        assert float(cols[-1]) == pytest.approx(3.0)
+
+    def test_empty_trace(self):
+        assert obs.summary_table(Trace()).strip() == "(empty trace)"
+
+
+class TestTraceToSchedule:
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ScheduleError, match="empty trace"):
+            obs.trace_to_schedule(Trace())
+
+    def test_stages_become_clusters(self):
+        sched = obs.trace_to_schedule(make_trace())
+        assert [c.name for c in sched.clusters] == ["io.load", "render.layout"]
+        # io.load stage has a depth-1 child -> 2 host rows
+        assert sched.clusters[0].num_hosts == 2
+        assert sched.clusters[1].num_hosts == 1
+
+    def test_spans_become_tasks(self):
+        sched = obs.trace_to_schedule(make_trace())
+        assert len(sched.tasks) == 3
+        by_type = {t.type: t for t in sched.tasks}
+        nested = by_type["parse.csv"]
+        assert nested.configurations[0].host_ranges[0].start == 1  # depth row
+        assert nested.meta["duration_ms"] == "7.000"
+        assert min(t.start_time for t in sched.tasks) == 0.0
+
+    def test_renders_through_normal_pipeline(self):
+        from repro.render.api import render_schedule
+
+        with obs.capture() as trace:
+            with obs.span("io.load"):
+                with obs.span("parse.csv"):
+                    pass
+            with obs.span("render.layout"):
+                pass
+        sched = obs.trace_to_schedule(trace)
+        svg = render_schedule(sched, "svg").decode()
+        assert "<svg" in svg
+        assert svg.count("<rect") >= 3

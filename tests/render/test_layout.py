@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.core.colormap import Color, default_colormap
@@ -39,6 +41,43 @@ class TestNiceTicks:
     def test_count_close_to_target(self):
         ticks = nice_ticks(0, 100, 8)
         assert 4 <= len(ticks) <= 9
+
+    def test_sub_epsilon_span_no_duplicates(self):
+        # span below the float resolution at lo: k*step cannot advance t,
+        # which used to emit thousands of identical tick positions
+        lo = 1.0
+        hi = lo + 1e-18
+        ticks = nice_ticks(lo, hi, 8)
+        assert len(ticks) <= 33  # bounded, not thousands
+        assert ticks == sorted(set(ticks))  # strictly increasing
+
+    def test_sub_epsilon_span_large_magnitude(self):
+        lo = 1e12
+        ticks = nice_ticks(lo, lo + 1e-6, 8)
+        assert len(ticks) <= 33
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+    def test_very_large_magnitudes(self):
+        ticks = nice_ticks(0.0, 1e308, 8)
+        assert 2 <= len(ticks) <= 33
+        assert all(math.isfinite(t) for t in ticks)
+        ticks = nice_ticks(-1e308, 1e308, 8)
+        assert all(math.isfinite(t) for t in ticks)
+
+    def test_very_small_magnitudes(self):
+        ticks = nice_ticks(0.0, 1e-300, 8)
+        assert ticks[0] == 0.0
+        assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+    def test_target_below_two_clamped(self):
+        for target in (1, 0, -5):
+            ticks = nice_ticks(0.0, 10.0, target)
+            assert 1 <= len(ticks) <= 9
+            assert all(b > a for a, b in zip(ticks, ticks[1:]))
+
+    def test_infinite_span_degenerates(self):
+        assert nice_ticks(0.0, float("inf")) == [0.0]
+        assert nice_ticks(3.0, float("nan")) == [3.0]
 
 
 class TestLayoutBasics:

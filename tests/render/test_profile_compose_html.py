@@ -122,11 +122,19 @@ class TestHtml:
         assert "<script>" in html
         assert "<?xml" not in html  # prolog stripped for inline svg
 
-    def test_custom_title(self):
+    def test_custom_title_escaped(self):
         d = Drawing(100, 60)
         d.add(Rect(5, 5, 20, 20, fill=None, stroke=None))
         html = render_html(d, title="My & Schedule").decode()
-        assert "<title>My & Schedule</title>" in html
+        assert "<title>My &amp; Schedule</title>" in html
+
+    def test_title_cannot_inject_markup(self):
+        d = Drawing(100, 60)
+        d.add(Rect(5, 5, 20, 20, fill=None, stroke=None))
+        title = 'a<b & c</title><script>alert(1)</script>'
+        html = render_html(d, title=title).decode()
+        assert "</title><script>alert(1)</script>" not in html
+        assert "a&lt;b &amp; c" in html
 
     def test_registered_as_output_format(self, tmp_path, simple_schedule):
         from repro.render.api import export_schedule

@@ -119,3 +119,84 @@ def test_processed_counter():
     engine.at(2.0, lambda: None)
     engine.run()
     assert engine.processed == 2
+
+
+class TestPendingCounter:
+    """`pending` is a live O(1) counter; it must agree with the logical
+    queue state through every schedule/cancel/fire combination."""
+
+    def test_counts_scheduled_events(self):
+        engine = SimEngine()
+        assert engine.pending == 0
+        engine.at(1.0, lambda: None)
+        engine.at(2.0, lambda: None)
+        assert engine.pending == 2
+
+    def test_cancel_decrements_once(self):
+        engine = SimEngine()
+        h = engine.at(1.0, lambda: None)
+        engine.at(2.0, lambda: None)
+        h.cancel()
+        assert engine.pending == 1
+        h.cancel()  # double-cancel is a no-op
+        assert engine.pending == 1
+        engine.run()
+        assert engine.pending == 0
+
+    def test_fire_decrements(self):
+        engine = SimEngine()
+        engine.at(1.0, lambda: None)
+        engine.at(2.0, lambda: None)
+        engine.step()
+        assert engine.pending == 1
+        engine.step()
+        assert engine.pending == 0
+
+    def test_cancel_after_fire_is_noop(self):
+        engine = SimEngine()
+        h = engine.at(1.0, lambda: None)
+        engine.step()
+        assert engine.pending == 0
+        h.cancel()  # already fired: must not go negative
+        assert engine.pending == 0
+
+    def test_consistency_with_callback_scheduling(self):
+        engine = SimEngine()
+
+        def chain(n):
+            if n:
+                engine.after(1.0, lambda: chain(n - 1))
+
+        engine.at(0.0, lambda: chain(3))
+        while engine.step():
+            assert engine.pending >= 0
+        assert engine.pending == 0
+
+    def test_peak_pending_tracks_high_water_mark(self):
+        engine = SimEngine()
+        for t in (1.0, 2.0, 3.0):
+            engine.at(t, lambda: None)
+        assert engine.peak_pending == 3
+        engine.run()
+        assert engine.pending == 0
+        assert engine.peak_pending == 3  # peak survives the drain
+
+    def test_peak_counts_live_events_only(self):
+        engine = SimEngine()
+        h1 = engine.at(1.0, lambda: None)
+        h1.cancel()
+        engine.at(2.0, lambda: None)
+        # one event was cancelled before the second arrived: peak stays 1
+        assert engine.pending == 1
+        assert engine.peak_pending == 1
+
+    def test_obs_gauges_published_when_enabled(self):
+        from repro import obs
+
+        engine = SimEngine()
+        for t in (1.0, 2.0):
+            engine.at(t, lambda: None)
+        with obs.capture() as trace:
+            engine.run()
+        assert trace.counters["sim.events_fired"] == 2
+        assert trace.gauge_peaks["sim.peak_queue_depth"] == 2
