@@ -50,7 +50,13 @@ def test_figure4_cpa_vs_mcpa(benchmark, artifacts_dir):
          mcpa2.mapping.meta["mcpa2_branch"]),
         ("MCPA2 makespan", f"== CPA ({cpa.makespan:.2f})",
          f"{mcpa2.makespan:.2f} s"),
-    ])
+    ], suite="f04_cpa_mcpa", entry="figure4",
+       metrics={"cpa_makespan": cpa.makespan,
+                "mcpa_makespan": mcpa.makespan,
+                "mcpa2_makespan": mcpa2.makespan,
+                "cpa_utilization": utilization(cpa.schedule),
+                "mcpa_utilization": utilization(mcpa.schedule),
+                "mcpa_idle_holes": len(holes)})
 
     assert mcpa.makespan > 1.5 * cpa.makespan
     assert utilization(mcpa.schedule) < utilization(cpa.schedule)

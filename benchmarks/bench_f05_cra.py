@@ -104,7 +104,13 @@ def test_figure5_cra_work(benchmark, artifacts_dir):
         ("backfill on loose schedule", "recovers slack, delays 0",
          f"makespan {loose.schedule.makespan:.2f} -> "
          f"{recompacted.schedule.makespan:.2f} s, delayed {loose_delayed}"),
-    ])
+    ], suite="f05_cra", entry="figure5",
+       metrics={"constraint_violations": violations,
+                "max_stretch": max(app_stretches),
+                "jain_fairness": jain_fairness(app_stretches),
+                "idle_before_backfill": idle_before,
+                "idle_after_backfill": idle_after,
+                "backfill_delayed_tasks": delayed})
 
     assert violations == 0
     assert min(tail_busy) < mean_busy

@@ -15,11 +15,12 @@ synthetic traces at three scales, renders each with ``lod="off"`` and
 from __future__ import annotations
 
 import random
-import time
 
 from conftest import report
 
 from repro.core.model import Schedule
+from repro.core.stats import utilization
+from repro.obs.bench import time_min_of_k
 from repro.render.api import render_schedule
 from repro.render.layout import layout_schedule
 from repro.render.lod import LOD_REF_PREFIX
@@ -44,23 +45,16 @@ def synthetic_trace(n_jobs: int, hosts: int = HOSTS, seed: int = 7) -> Schedule:
     return s
 
 
-def _best_of(fn, repeats: int = 3) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
-
-
 def test_lod_scaling(benchmark, artifacts_dir):
     schedules = {n: synthetic_trace(n) for n in SIZES}
 
     timings: dict[int, tuple[float, float]] = {}
+    runs: dict[int, tuple[list[float], list[float]]] = {}
     for n, s in schedules.items():
-        t_off = _best_of(lambda s=s: render_schedule(s, "png", lod="off"))
-        t_auto = _best_of(lambda s=s: render_schedule(s, "png", lod="auto"))
-        timings[n] = (t_off, t_auto)
+        off = time_min_of_k(lambda s=s: render_schedule(s, "png", lod="off"))
+        auto = time_min_of_k(lambda s=s: render_schedule(s, "png", lod="auto"))
+        timings[n] = (min(off), min(auto))
+        runs[n] = (off, auto)
 
     big = schedules[SIZES[-1]]
     d = layout_schedule(big, lod="auto")
@@ -74,6 +68,19 @@ def test_lod_scaling(benchmark, artifacts_dir):
     rows.append((f"rects at {SIZES[-1]} jobs", f"{SIZES[-1]} tasks",
                  f"{lod_rects} aggregated"))
     report("LOD scaling (full vs aggregated rendering)", rows)
+
+    # persist the trajectory: noisy timings per size, deterministic
+    # geometry/quality metrics that the regression gate hard-fails on
+    from conftest import persist
+    for n in SIZES:
+        persist("lod_scaling", f"render_{n}",
+                timings_s={"render_off": runs[n][0],
+                           "render_auto": runs[n][1]})
+    persist("lod_scaling", "quality",
+            metrics={"lod_rects_100k": lod_rects,
+                     "makespan_100k": big.makespan,
+                     "utilization_100k": utilization(big),
+                     "tasks_100k": len(big)})
 
     # Small inputs stay on the exact per-task path: identical output bytes.
     small = schedules[SIZES[0]]

@@ -27,24 +27,16 @@ from __future__ import annotations
 
 import time
 
-from conftest import report
+from conftest import persist, report
 
 from repro import obs
+from repro.obs.bench import time_min_of_k
 from repro.render.api import render_schedule
 
 from bench_lod_scaling import synthetic_trace
 
 N_TASKS = 10_000
 MAX_OVERHEAD = 0.02
-
-
-def _best_of(fn, repeats: int = 3) -> float:
-    best = float("inf")
-    for _ in range(repeats):
-        t0 = time.perf_counter()
-        fn()
-        best = min(best, time.perf_counter() - t0)
-    return best
 
 
 def _count_instrumentation_ops(schedule) -> int:
@@ -70,7 +62,9 @@ def test_obs_overhead(benchmark):
     schedule = synthetic_trace(N_TASKS)
 
     assert not obs.is_enabled()
-    t_disabled = _best_of(lambda: render_schedule(schedule, "png", lod="off"))
+    disabled_runs = time_min_of_k(
+        lambda: render_schedule(schedule, "png", lod="off"))
+    t_disabled = min(disabled_runs)
 
     n_ops = _count_instrumentation_ops(schedule)
     assert n_ops > 0, "instrumented pipeline must record spans when enabled"
@@ -82,7 +76,8 @@ def test_obs_overhead(benchmark):
         with obs.capture():
             render_schedule(schedule, "png", lod="off")
 
-    t_enabled = _best_of(_enabled_render)
+    enabled_runs = time_min_of_k(_enabled_render)
+    t_enabled = min(enabled_runs)
 
     report("observability overhead (10k-task render)", [
         ("render, obs disabled", "baseline", f"{t_disabled * 1e3:.1f} ms"),
@@ -98,6 +93,14 @@ def test_obs_overhead(benchmark):
         f"{n_ops} disabled instrumentation events cost {overhead * 1e3:.3f} ms "
         f"against a {t_disabled * 1e3:.1f} ms render "
         f"({overhead / t_disabled * 100:.2f} % > {MAX_OVERHEAD:.0%})")
+
+    # the persisted trajectory: timings stay noise-tolerant, the
+    # instrumentation-event count is deterministic and hard-gated
+    persist("obs_overhead", f"render_{N_TASKS}",
+            timings_s={"render_disabled": disabled_runs,
+                       "render_enabled": enabled_runs,
+                       "noop_per_op": [t_noop]},
+            metrics={"instrumentation_events": n_ops})
 
     result = benchmark.pedantic(
         lambda: render_schedule(schedule, "png", lod="off"),

@@ -5,6 +5,15 @@ experiment, prints the quantities the figure conveys (paper claim vs. what
 we measure), asserts the *shape* of the result, renders the figure to
 ``benchmarks/artifacts/``, and times the computational core with
 pytest-benchmark.
+
+Results are no longer print-only: :func:`report` (and the lower-level
+:func:`persist`) also feed the ``repro.obs`` run registry.  At session end
+every touched suite is written as ``benchmarks/artifacts/BENCH_<suite>.json``
+and appended to ``benchmarks/artifacts/runlog.jsonl``, giving each
+benchmark run a persisted, environment-stamped record.  Committed
+snapshots live in ``benchmarks/baselines/`` and
+``python -m repro.obs.regress`` compares the two (see
+``docs/observability.md``).
 """
 
 from __future__ import annotations
@@ -13,7 +22,13 @@ from pathlib import Path
 
 import pytest
 
+from repro.obs.bench import BenchSuite
+
 ARTIFACTS = Path(__file__).parent / "artifacts"
+BASELINES = Path(__file__).parent / "baselines"
+RUNLOG = ARTIFACTS / "runlog.jsonl"
+
+_suites: dict[str, BenchSuite] = {}
 
 
 @pytest.fixture(scope="session")
@@ -22,10 +37,44 @@ def artifacts_dir() -> Path:
     return ARTIFACTS
 
 
-def report(figure: str, rows: list[tuple[str, str, str]]) -> None:
-    """Print a paper-vs-measured table for one figure."""
+def persist(suite: str, entry: str, *, timings_s: dict | None = None,
+            metrics: dict | None = None, rows: list | None = None) -> None:
+    """Queue one benchmark record; flushed to disk at session end.
+
+    ``timings_s`` values may be run lists (min-of-k compares bests);
+    ``metrics`` must be deterministic — the regression gate hard-fails on
+    their drift.
+    """
+    bucket = _suites.setdefault(suite, BenchSuite(suite))
+    bucket.record(entry, timings_s=timings_s, metrics=metrics, rows=rows)
+
+
+def report(figure: str, rows: list[tuple[str, str, str]], *,
+           suite: str | None = None, entry: str | None = None,
+           timings_s: dict | None = None,
+           metrics: dict | None = None) -> None:
+    """Print a paper-vs-measured table for one figure; persist it if asked.
+
+    With ``suite`` given the table rows ride along into the suite's
+    ``BENCH_<suite>.json`` record together with any machine-readable
+    ``timings_s`` / ``metrics``.
+    """
     print(f"\n=== {figure} ===")
     width = max((len(r[0]) for r in rows), default=20)
     print(f"{'quantity':<{width}}  {'paper':>24}  {'measured':>24}")
     for name, paper, measured in rows:
         print(f"{name:<{width}}  {paper:>24}  {measured:>24}")
+    if suite is not None:
+        persist(suite, entry or figure, timings_s=timings_s, metrics=metrics,
+                rows=[list(r) for r in rows])
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Flush every touched suite to BENCH_*.json + the JSONL run log."""
+    if not _suites:
+        return
+    ARTIFACTS.mkdir(exist_ok=True)
+    for bucket in _suites.values():
+        path = bucket.write(ARTIFACTS, runlog=RUNLOG)
+        print(f"\nbench records: wrote {path}")
+    _suites.clear()

@@ -92,6 +92,14 @@ def build_parser() -> argparse.ArgumentParser:
     render.add_argument("--trace-gantt", metavar="OUT",
                         help="render this run's own execution trace as a "
                              "Gantt chart (spans as tasks, stages as bands)")
+    render.add_argument("--log-json", metavar="OUT.jsonl",
+                        help="write structured JSONL logs of this run (one "
+                             "event per pipeline span/counter, span ids "
+                             "shared with --trace)")
+    render.add_argument("--runlog", metavar="RUNLOG.jsonl",
+                        help="append a run record (stage timings, counters, "
+                             "schedule metrics, env fingerprint) to this "
+                             "JSONL run registry")
 
     convert = sub.add_parser("convert", help="convert between schedule formats")
     add_input(convert)
@@ -141,6 +149,21 @@ def build_parser() -> argparse.ArgumentParser:
     diff.add_argument("after", help="schedule file to compare against it")
     diff.add_argument("--fail-on-delay", action="store_true",
                       help="exit nonzero when any task finishes later")
+
+    rep = sub.add_parser("report",
+                         help="render a perf/quality dashboard from a "
+                              "JSONL run registry")
+    rep.add_argument("runlog", help="run registry written by --runlog or "
+                                    "the benchmark suites")
+    rep.add_argument("-o", "--output", required=True)
+    rep.add_argument("--format", choices=sorted(OUTPUT_FORMATS))
+    rep.add_argument("--suite", help="only plot records of this suite")
+    rep.add_argument("--name", help="only plot records with this name")
+    rep.add_argument("--last", type=int, metavar="N",
+                     help="only plot the N most recent matching records")
+    rep.add_argument("--width", type=int, default=1000)
+    rep.add_argument("--panel-height", type=int, default=260)
+    rep.add_argument("--title", help="dashboard title")
     return parser
 
 
@@ -159,6 +182,12 @@ def _load_cmap(args: argparse.Namespace, schedule) -> ColorMap:
 
 def _render_one(args: argparse.Namespace, input_path: str, output: Path) -> None:
     schedule = load_schedule(input_path, args.input_format)
+    if getattr(args, "runlog", None):
+        from repro.obs.runlog import schedule_metrics
+
+        # metrics of the rendered schedule land in the run record
+        # (last input wins for batch renders; inputs are listed in meta)
+        args._schedule_metrics = schedule_metrics(schedule)
     if args.types or args.clusters or args.window:
         schedule = schedule.filtered(
             types=args.types,
@@ -216,15 +245,29 @@ def _export_observability(args: argparse.Namespace, trace) -> None:
         print(f"wrote {args.trace_gantt} (pipeline Gantt, {len(gantt)} spans)")
     if args.stats:
         print(obs.summary_table(trace), end="")
+    if args.runlog:
+        record = obs.record_from_trace(
+            "cli", "render", trace,
+            metrics=getattr(args, "_schedule_metrics", None),
+            meta={"inputs": list(args.input),
+                  "output": args.output or args.outdir})
+        obs.RunLog(args.runlog).append(record)
+        print(f"logged run {record.run_id} to {args.runlog}")
 
 
 def _cmd_render(args: argparse.Namespace) -> int:
-    if args.trace or args.stats or args.trace_gantt:
+    if args.trace or args.stats or args.trace_gantt or args.log_json \
+            or args.runlog:
+        from contextlib import nullcontext
+
         from repro import obs
 
-        with obs.capture() as trace:
+        log_ctx = obs.log_to(args.log_json) if args.log_json else nullcontext()
+        with log_ctx, obs.capture() as trace:
             rc = _run_render(args)
         _export_observability(args, trace)
+        if args.log_json:
+            print(f"wrote {args.log_json} (structured JSONL log)")
         return rc
     return _run_render(args)
 
@@ -351,6 +394,17 @@ def _cmd_diff(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_report(args: argparse.Namespace) -> int:
+    from repro.obs.report import report_from_runlog
+
+    out, n = report_from_runlog(
+        args.runlog, args.output, suite=args.suite, name=args.name,
+        last=args.last, format=args.format, width=args.width,
+        panel_height=args.panel_height, title=args.title)
+    print(f"wrote {out} (dashboard over {n} run record(s))")
+    return 0
+
+
 def _cmd_view(args: argparse.Namespace) -> int:
     from repro.cli.interactive import InteractiveViewer
 
@@ -368,6 +422,7 @@ _COMMANDS = {
     "compare": _cmd_compare,
     "profile": _cmd_profile,
     "diff": _cmd_diff,
+    "report": _cmd_report,
 }
 
 

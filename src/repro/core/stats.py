@@ -56,6 +56,10 @@ def utilization(schedule: Schedule, *, types: Iterable[str] | None = None) -> fl
     Overlapping tasks on a shared host count each interval once per holding
     task (the quantity can exceed 1 for heavily timeshared schedules; the
     space-shared schedules of the case studies stay <= 1).
+
+    Degenerate inputs are well-defined rather than a ``ZeroDivisionError``:
+    an empty schedule, a schedule with no hosts, or a zero-span timeframe
+    (every task at the same instant) all yield ``0.0``.
     """
     span = schedule.makespan
     hosts = schedule.num_hosts
@@ -65,8 +69,16 @@ def utilization(schedule: Schedule, *, types: Iterable[str] | None = None) -> fl
 
 
 def idle_area(schedule: Schedule, *, busy_types: Iterable[str] | None = None) -> float:
-    """Total idle host-seconds: available area minus busy area."""
-    return schedule.makespan * schedule.num_hosts - total_busy_area(schedule, types=busy_types)
+    """Total idle host-seconds: available area minus busy area.
+
+    ``0.0`` for an empty schedule or a zero-span timeframe (no time in
+    which a host could have idled).
+    """
+    span = schedule.makespan
+    hosts = schedule.num_hosts
+    if span <= 0 or hosts == 0:
+        return 0.0
+    return span * hosts - total_busy_area(schedule, types=busy_types)
 
 
 @dataclass(frozen=True, slots=True)
@@ -179,7 +191,8 @@ def low_utilization_windows(
 
     This is the programmatic version of spotting the "holes" of Figures 4,
     11 and 12.  Only windows inside the schedule span and at least
-    ``min_duration`` long are reported.
+    ``min_duration`` long are reported.  An empty schedule or a zero-span
+    timeframe has no windows: the result is ``[]``, never an error.
     """
     profile = utilization_profile(schedule, types=types)
     if len(profile.times) < 2:

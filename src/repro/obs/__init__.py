@@ -2,11 +2,16 @@
 
 ``repro.obs`` instruments the whole pipeline (parsers, schedulers, the
 simulation engine, layout/LOD/encode, the CLI) with near-zero overhead
-when disabled.  See :mod:`repro.obs.core` for collection and
+when disabled.  See :mod:`repro.obs.core` for collection,
 :mod:`repro.obs.export` for the Chrome-trace / summary / Gantt exporters,
-and ``docs/observability.md`` for a walkthrough.
+:mod:`repro.obs.log` for structured JSONL logging,
+:mod:`repro.obs.runlog` / :mod:`repro.obs.bench` for the persistent
+cross-run registry, :mod:`repro.obs.regress` for the regression gate and
+:mod:`repro.obs.report` for the rendered dashboard, plus
+``docs/observability.md`` for a walkthrough.
 """
 
+from repro.obs.bench import BenchSuite, load_bench, time_min_of_k
 from repro.obs.core import (
     SpanRecord,
     Trace,
@@ -27,20 +32,48 @@ from repro.obs.export import (
     trace_to_schedule,
     validate_chrome_events,
 )
+from repro.obs.log import JsonlLogger, log_to
+from repro.obs.regress import Regression, compare_bench, compare_runlog
+from repro.obs.report import build_report, export_report, report_from_runlog
+from repro.obs.runlog import (
+    RunLog,
+    RunRecord,
+    env_fingerprint,
+    record_from_trace,
+    schedule_metrics,
+    stage_summary,
+)
 
 __all__ = [
+    "BenchSuite",
+    "JsonlLogger",
+    "Regression",
+    "RunLog",
+    "RunRecord",
     "SpanRecord",
     "Trace",
     "add",
+    "build_report",
     "capture",
+    "compare_bench",
+    "compare_runlog",
     "current_trace",
     "disable",
     "enable",
+    "env_fingerprint",
+    "export_report",
     "gauge",
     "is_enabled",
+    "load_bench",
+    "log_to",
+    "record_from_trace",
+    "report_from_runlog",
     "reset",
+    "schedule_metrics",
     "span",
+    "stage_summary",
     "summary_table",
+    "time_min_of_k",
     "to_chrome_events",
     "to_chrome_json",
     "trace_to_schedule",

@@ -1,0 +1,130 @@
+"""Benchmark result persistence: per-suite ``BENCH_<suite>.json`` files.
+
+The benchmark suites used to print their numbers and throw them away;
+this module is where they land instead.  A :class:`BenchSuite` collects
+named entries — noisy wall-clock **timings** (kept as full min-of-k run
+lists so the regression detector can compare bests) and deterministic
+schedule-quality **metrics** (makespan, utilization, LOD cell counts, …)
+— and writes them as one ``BENCH_<suite>.json`` document stamped with
+the environment fingerprint.  Committed snapshots of these files form
+the perf trajectory baselines under ``benchmarks/baselines/``;
+``repro.obs.regress`` compares fresh files against them.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+
+from repro.obs.runlog import (
+    SCHEMA_VERSION,
+    RunLog,
+    RunRecord,
+    _utc_now,
+    env_fingerprint,
+)
+
+__all__ = ["BenchSuite", "load_bench", "time_min_of_k", "bench_filename"]
+
+
+def bench_filename(suite: str) -> str:
+    return f"BENCH_{suite}.json"
+
+
+def time_min_of_k(fn, k: int = 3, *, warmup: int = 0) -> list[float]:
+    """Wall-clock ``fn()`` ``k`` times (after ``warmup`` unmeasured calls).
+
+    Returns all measurements; consumers take ``min()`` for the
+    noise-tolerant comparison and keep the full list in the record so the
+    spread stays inspectable.
+    """
+    if k < 1:
+        raise ValueError(f"need k >= 1, got {k}")
+    for _ in range(warmup):
+        fn()
+    runs: list[float] = []
+    for _ in range(k):
+        t0 = time.perf_counter()
+        fn()
+        runs.append(time.perf_counter() - t0)
+    return runs
+
+
+@dataclass(slots=True)
+class BenchSuite:
+    """Accumulates benchmark entries for one suite, then writes them."""
+
+    suite: str
+    entries: dict = field(default_factory=dict)
+
+    def record(
+        self,
+        name: str,
+        *,
+        timings_s: dict | None = None,
+        metrics: dict | None = None,
+        rows: list | None = None,
+    ) -> dict:
+        """Add (or extend) one named entry.
+
+        ``timings_s`` maps a label to one measurement or a run list (in
+        seconds); ``metrics`` maps a label to a deterministic number;
+        ``rows`` keeps the human-readable paper-vs-measured table lines
+        alongside the machine-readable values.
+        """
+        entry = self.entries.setdefault(
+            name, {"timings_s": {}, "metrics": {}})
+        if timings_s:
+            for key, value in timings_s.items():
+                runs = list(value) if isinstance(value, (list, tuple)) \
+                    else [float(value)]
+                entry["timings_s"][key] = [float(v) for v in runs]
+        if metrics:
+            for key, value in metrics.items():
+                entry["metrics"][key] = float(value)
+        if rows:
+            entry["rows"] = [[str(c) for c in row] for row in rows]
+        return entry
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "suite": self.suite,
+            "created_at": _utc_now(),
+            "env": env_fingerprint(),
+            "entries": self.entries,
+        }
+
+    def write(self, directory: str | Path, *,
+              runlog: str | Path | None = None) -> Path:
+        """Write ``BENCH_<suite>.json`` into ``directory``.
+
+        With ``runlog`` given, every entry is also appended to that
+        registry as one :class:`~repro.obs.runlog.RunRecord`, so the
+        JSONL trajectory and the per-suite snapshot stay in sync.
+        """
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / bench_filename(self.suite)
+        path.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True)
+                        + "\n", encoding="utf-8")
+        if runlog is not None:
+            log = RunLog(runlog)
+            for name, entry in self.entries.items():
+                log.append(RunRecord(
+                    suite=self.suite, name=name,
+                    timings_s=dict(entry.get("timings_s", {})),
+                    metrics=dict(entry.get("metrics", {})),
+                ))
+        return path
+
+
+def load_bench(path: str | Path) -> dict:
+    """Read one ``BENCH_*.json`` document; raises ``ValueError`` on junk."""
+    doc = json.loads(Path(path).read_text(encoding="utf-8"))
+    if not isinstance(doc, dict) or "suite" not in doc or "entries" not in doc:
+        raise ValueError(f"{path}: not a BENCH document "
+                         "(needs 'suite' and 'entries')")
+    return doc

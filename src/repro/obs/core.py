@@ -81,13 +81,39 @@ class Trace:
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.gauge_peaks: dict[str, float] = {}
+        self._roots: list[int] = []
+        self._children: list[list[int]] = []
+        self._indexed = 0  # spans[:_indexed] are reflected in the index
+
+    def child_index(self) -> list[list[int]]:
+        """Per-span child lists, built in one incremental pass.
+
+        ``child_index()[i]`` holds the indices of the spans whose parent is
+        ``spans[i]``.  The index is extended lazily as spans are appended,
+        so tree walks (``roots``/``children``, the exporters) stay O(n)
+        overall instead of re-scanning the span list per node.
+        """
+        spans = self.spans
+        if self._indexed > len(spans):  # spans list was replaced/truncated
+            self._roots, self._children, self._indexed = [], [], 0
+        if self._indexed < len(spans):
+            self._children.extend([] for _ in range(len(spans) - self._indexed))
+            for i in range(self._indexed, len(spans)):
+                parent = spans[i].parent
+                if parent is None:
+                    self._roots.append(i)
+                else:
+                    self._children[parent].append(i)
+            self._indexed = len(spans)
+        return self._children
 
     def roots(self) -> list[SpanRecord]:
         """Top-level spans (pipeline stages)."""
-        return [s for s in self.spans if s.parent is None]
+        self.child_index()
+        return [self.spans[i] for i in self._roots]
 
     def children(self, parent: SpanRecord) -> list[SpanRecord]:
-        return [s for s in self.spans if s.parent == parent.index]
+        return [self.spans[i] for i in self.child_index()[parent.index]]
 
     def find(self, name: str) -> SpanRecord | None:
         """First span with the given name, or ``None``."""
@@ -112,12 +138,16 @@ class Trace:
 
 
 class _State:
-    __slots__ = ("enabled", "trace", "stack")
+    __slots__ = ("enabled", "trace", "stack", "sink")
 
     def __init__(self) -> None:
         self.enabled = False
         self.trace: Trace | None = None
         self.stack: list[int] = []
+        # Optional event sink (structured logging, see repro.obs.log).  It
+        # is only consulted on the *enabled* path, so the disabled fast
+        # path is unchanged.  Receives plain dicts, one per event.
+        self.sink = None
 
 
 _state = _State()
@@ -210,6 +240,11 @@ class span:
             _state.stack.append(record.index)
             self._record = record
             self._trace = trace
+            if _state.sink is not None:
+                _state.sink({"event": "span_start", "name": record.name,
+                             "span_id": record.index, "parent": record.parent,
+                             "depth": record.depth, "ts": record.start,
+                             "attrs": record.attrs})
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -222,6 +257,12 @@ class span:
             if trace is _state.trace and record.index in stack:
                 # pop our frame (and anything a leaked child left behind)
                 del stack[stack.index(record.index):]
+            if _state.sink is not None and trace is _state.trace:
+                _state.sink({"event": "span_end", "name": record.name,
+                             "span_id": record.index, "parent": record.parent,
+                             "depth": record.depth, "ts": record.end,
+                             "dur": record.end - record.start,
+                             "attrs": record.attrs})
             self._record = None
             self._trace = None
         return False
@@ -250,6 +291,10 @@ def add(name: str, value: float = 1.0) -> None:
     if _state.enabled:
         counters = _state.trace.counters
         counters[name] = counters.get(name, 0.0) + value
+        if _state.sink is not None:
+            _state.sink({"event": "counter", "name": name, "value": value,
+                         "total": counters[name],
+                         "span_id": _state.stack[-1] if _state.stack else None})
 
 
 def gauge(name: str, value: float) -> None:
@@ -260,3 +305,7 @@ def gauge(name: str, value: float) -> None:
         peak = trace.gauge_peaks.get(name)
         if peak is None or value > peak:
             trace.gauge_peaks[name] = value
+        if _state.sink is not None:
+            _state.sink({"event": "gauge", "name": name, "value": value,
+                         "peak": trace.gauge_peaks[name],
+                         "span_id": _state.stack[-1] if _state.stack else None})

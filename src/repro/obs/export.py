@@ -18,6 +18,7 @@ Three ways out of a :class:`~repro.obs.core.Trace`:
 from __future__ import annotations
 
 import json
+import time
 
 from repro.core.model import Schedule
 from repro.errors import ScheduleError
@@ -35,7 +36,37 @@ _PID = 1
 _TID = 1
 
 
-def to_chrome_events(trace: Trace) -> list[dict]:
+def _effective_ends(trace: Trace, now: float | None = None
+                    ) -> tuple[list[float], int]:
+    """Per-span end times, closing still-open spans at capture time.
+
+    A span that is still running when the trace is exported has
+    ``end == -1.0``; reporting it as zero-duration would hide exactly the
+    span most worth looking at.  Open spans are closed at ``now`` (seconds
+    relative to the trace epoch, defaulting to the wall clock at the time
+    of the call) and counted, so exporters can mark them as open.
+
+    ``now`` is clamped to the latest timestamp already in the trace: an
+    open span encloses everything recorded after it, so closing it any
+    earlier (stale ``now``, clock skew) would un-sort the event stream.
+    """
+    ends: list[float] = []
+    open_count = 0
+    for s in trace.spans:
+        if s.end < s.start:  # still open
+            open_count += 1
+            if now is None:
+                now = time.perf_counter() - trace.epoch
+            if open_count == 1:
+                for x in trace.spans:
+                    now = max(now, x.start, x.end)
+            ends.append(max(now, s.start))
+        else:
+            ends.append(s.end)
+    return ends, open_count
+
+
+def to_chrome_events(trace: Trace, *, now: float | None = None) -> list[dict]:
     """Chrome trace-event dicts: B/E pairs per span, C samples for counters.
 
     Events come out sorted by ``ts``; at equal timestamps ends precede
@@ -49,11 +80,11 @@ def to_chrome_events(trace: Trace) -> list[dict]:
     # spans, where timestamp sorting alone cannot order B before E.
     events: list[dict] = []
     spans = trace.spans
+    ends, _ = _effective_ends(trace, now)
     stack: list[int] = []
 
     def emit_end(s) -> None:
-        end = s.end if s.end >= s.start else s.start
-        events.append({"name": s.name, "ph": "E", "ts": end * 1e6,
+        events.append({"name": s.name, "ph": "E", "ts": ends[s.index] * 1e6,
                        "pid": _PID, "tid": _TID})
 
     for s in spans:
@@ -61,8 +92,10 @@ def to_chrome_events(trace: Trace) -> list[dict]:
             emit_end(spans[stack.pop()])
         begin = {"name": s.name, "cat": s.name.split(".")[0], "ph": "B",
                  "ts": s.start * 1e6, "pid": _PID, "tid": _TID}
-        if s.attrs:
+        if s.attrs or s.end < s.start:
             begin["args"] = {k: str(v) for k, v in s.attrs.items()}
+            if s.end < s.start:  # closed at capture time, flag it
+                begin["args"]["open"] = "true"
         events.append(begin)
         stack.append(s.index)
     while stack:
@@ -124,12 +157,18 @@ def _fmt_ms(seconds: float) -> str:
     return f"{seconds * 1e3:10.3f}"
 
 
-def summary_table(trace: Trace) -> str:
-    """Plain-text aggregation: per-name span timings, counters, gauges."""
+def summary_table(trace: Trace, *, now: float | None = None) -> str:
+    """Plain-text aggregation: per-name span timings, counters, gauges.
+
+    Spans still open at capture time are closed at ``now`` (so their time
+    shows up instead of reading as zero) and flagged in a trailing note.
+    """
+    ends, open_count = _effective_ends(trace, now)
+    durations = [max(ends[s.index] - s.start, 0.0) for s in trace.spans]
     child_time = [0.0] * len(trace.spans)
     for s in trace.spans:
         if s.parent is not None:
-            child_time[s.parent] += s.duration
+            child_time[s.parent] += durations[s.index]
 
     order: list[str] = []
     agg: dict[str, list[float]] = {}  # name -> [calls, total, self]
@@ -139,8 +178,8 @@ def summary_table(trace: Trace) -> str:
             agg[s.name] = [0.0, 0.0, 0.0]
         row = agg[s.name]
         row[0] += 1
-        row[1] += s.duration
-        row[2] += s.duration - child_time[s.index]
+        row[1] += durations[s.index]
+        row[2] += durations[s.index] - child_time[s.index]
 
     lines: list[str] = []
     if order:
@@ -162,6 +201,10 @@ def summary_table(trace: Trace) -> str:
         for name in sorted(trace.gauges):
             lines.append(f"  {name} = {trace.gauges[name]:g} / "
                          f"{trace.gauge_peaks.get(name, trace.gauges[name]):g}")
+    if open_count:
+        lines.append("")
+        lines.append(f"note: {open_count} span(s) still open at capture "
+                     "(closed at capture time above)")
     if not lines:
         lines.append("(empty trace)")
     return "\n".join(lines) + "\n"
@@ -178,6 +221,7 @@ def trace_to_schedule(trace: Trace, *, name: str = "pipeline trace") -> Schedule
     if not trace.spans:
         raise ScheduleError("cannot build a Gantt from an empty trace")
 
+    ends, _ = _effective_ends(trace)
     stage_of: list[str] = []
     for s in trace.spans:
         stage_of.append(s.name if s.parent is None else stage_of[s.parent])
@@ -198,9 +242,11 @@ def trace_to_schedule(trace: Trace, *, name: str = "pipeline trace") -> Schedule
     cluster_of = {stage: f"s{i}" for i, stage in enumerate(stage_order)}
 
     for s, stage in zip(trace.spans, stage_of):
-        end = s.end if s.end >= s.start else s.start
+        end = ends[s.index]
         meta = {k: str(v) for k, v in s.attrs.items()}
         meta["duration_ms"] = f"{(end - s.start) * 1e3:.3f}"
+        if s.end < s.start:
+            meta["open"] = "true"
         schedule.new_task(
             f"{s.index}:{s.name}", s.name, s.start - t0, end - t0,
             cluster=cluster_of[stage], host_start=s.depth, host_nb=1,

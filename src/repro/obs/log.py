@@ -1,0 +1,88 @@
+"""Structured JSON logging wired into the span machinery.
+
+One JSON object per line, one event per pipeline happening: spans opening
+and closing, counters incrementing, gauges moving.  Events carry the
+``span_id`` of the owning :class:`~repro.obs.core.SpanRecord` (its index
+in ``Trace.spans``), so a log line and a Chrome-trace span from the same
+run point at each other — grep the log, click the trace.
+
+The sink rides the *enabled* instrumentation path only: with
+observability off nothing is consulted and the disabled fast path is
+byte-identical to before.  Typical use is the CLI's ``--log-json FILE``,
+or programmatically::
+
+    with obs.log_to("run.jsonl"):
+        with obs.capture() as trace:
+            run_pipeline()
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from pathlib import Path
+
+from repro.obs import core as _core
+from repro.obs.runlog import _utc_now
+
+__all__ = ["JsonlLogger", "log_to", "set_sink", "get_sink"]
+
+
+def set_sink(sink) -> None:
+    """Install (or with ``None`` remove) the global event sink.
+
+    The sink is called with one plain dict per event while observability
+    is enabled.  Exactly one sink exists at a time; compose externally if
+    you need fan-out.
+    """
+    _core._state.sink = sink
+
+
+def get_sink():
+    return _core._state.sink
+
+
+class JsonlLogger:
+    """Writes events as JSON lines to an open text stream.
+
+    Every event is stamped with a wall-clock ``time`` (ISO 8601 UTC) and
+    a monotonically increasing ``seq``; non-serializable attribute values
+    are stringified rather than dropped.
+    """
+
+    def __init__(self, stream):
+        self.stream = stream
+        self.seq = 0
+
+    def __call__(self, event: dict) -> None:
+        doc = {"seq": self.seq, "time": _utc_now()}
+        doc.update(event)
+        self.seq += 1
+        try:
+            line = json.dumps(doc)
+        except (TypeError, ValueError):
+            line = json.dumps({k: str(v) for k, v in doc.items()})
+        self.stream.write(line + "\n")
+
+    def flush(self) -> None:
+        self.stream.flush()
+
+
+@contextmanager
+def log_to(path: str | Path):
+    """Route observability events into a JSONL file for a block.
+
+    Restores the previous sink on exit, so logging contexts nest the way
+    :func:`~repro.obs.core.capture` does.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    prev = get_sink()
+    with open(path, "w", encoding="utf-8") as fh:
+        logger = JsonlLogger(fh)
+        set_sink(logger)
+        try:
+            yield logger
+        finally:
+            set_sink(prev)
+            logger.flush()

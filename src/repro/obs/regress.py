@@ -1,0 +1,264 @@
+"""Regression detection over the persisted perf trajectory.
+
+Two comparison modes, one severity model:
+
+* **BENCH vs. baseline** — :func:`compare_bench` diffs a freshly written
+  ``BENCH_<suite>.json`` against a committed baseline snapshot.
+* **Rolling run-log baseline** — :func:`compare_runlog` checks the latest
+  record of each (suite, name) series against the best of the previous
+  ``window`` records in the JSONL registry.
+
+Timings are noisy, so they are compared min-of-k against min-of-k and
+only *slowdowns* beyond ``time_threshold`` are flagged; with
+``timing_warn_only`` they demote to warnings (the CI default — runner
+hardware varies).  Schedule-quality metrics are deterministic, so *any*
+relative drift beyond ``metric_threshold`` — makespan up, utilization
+down, LOD cell count changed — is a hard failure.
+
+CLI (exits non-zero on failures)::
+
+    python -m repro.obs.regress CURRENT_DIR --baseline BASELINE_DIR
+    python -m repro.obs.regress --runlog runs.jsonl --window 5
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.obs.bench import load_bench
+from repro.obs.runlog import RunLog, RunRecord
+
+__all__ = ["Regression", "compare_bench", "compare_runlog", "main"]
+
+DEFAULT_TIME_THRESHOLD = 0.25
+DEFAULT_METRIC_THRESHOLD = 0.05
+
+
+@dataclass(frozen=True, slots=True)
+class Regression:
+    """One detected drift between a baseline and a current measurement."""
+
+    suite: str
+    entry: str
+    kind: str  # "timing" | "metric" | "missing"
+    key: str
+    baseline: float
+    current: float
+    severity: str  # "fail" | "warn"
+
+    @property
+    def ratio(self) -> float:
+        return self.current / self.baseline if self.baseline else float("inf")
+
+    def __str__(self) -> str:
+        if self.kind == "missing":
+            return (f"[{self.severity}] {self.suite}/{self.entry}: "
+                    f"{self.key} present in baseline but missing now")
+        arrow = f"{self.baseline:g} -> {self.current:g}"
+        if self.kind == "timing":
+            return (f"[{self.severity}] {self.suite}/{self.entry}: "
+                    f"timing {self.key} {arrow} ({self.ratio:.2f}x slower)")
+        return (f"[{self.severity}] {self.suite}/{self.entry}: "
+                f"metric {self.key} drifted {arrow} "
+                f"({(self.ratio - 1) * 100:+.1f}%)")
+
+
+def _best(value) -> float:
+    """Min-of-k: a run list collapses to its best measurement."""
+    if isinstance(value, (list, tuple)):
+        return min(float(v) for v in value) if value else 0.0
+    return float(value)
+
+
+def compare_bench(
+    baseline: dict,
+    current: dict,
+    *,
+    time_threshold: float = DEFAULT_TIME_THRESHOLD,
+    metric_threshold: float = DEFAULT_METRIC_THRESHOLD,
+    timing_warn_only: bool = False,
+) -> list[Regression]:
+    """Diff two BENCH documents (as loaded by :func:`load_bench`)."""
+    suite = str(baseline.get("suite", "?"))
+    out: list[Regression] = []
+    timing_severity = "warn" if timing_warn_only else "fail"
+    current_entries = current.get("entries", {})
+    for entry_name, base_entry in baseline.get("entries", {}).items():
+        cur_entry = current_entries.get(entry_name)
+        if cur_entry is None:
+            out.append(Regression(suite, entry_name, "missing", "entry",
+                                  0.0, 0.0, "fail"))
+            continue
+        for key, base_runs in base_entry.get("timings_s", {}).items():
+            cur_runs = cur_entry.get("timings_s", {}).get(key)
+            if cur_runs is None:
+                out.append(Regression(suite, entry_name, "missing", key,
+                                      _best(base_runs), 0.0, timing_severity))
+                continue
+            base_best, cur_best = _best(base_runs), _best(cur_runs)
+            if base_best > 0 and cur_best > base_best * (1 + time_threshold):
+                out.append(Regression(suite, entry_name, "timing", key,
+                                      base_best, cur_best, timing_severity))
+        for key, base_value in base_entry.get("metrics", {}).items():
+            cur_value = cur_entry.get("metrics", {}).get(key)
+            if cur_value is None:
+                out.append(Regression(suite, entry_name, "missing", key,
+                                      float(base_value), 0.0, "fail"))
+                continue
+            base_value, cur_value = float(base_value), float(cur_value)
+            scale = max(abs(base_value), 1e-12)
+            if abs(cur_value - base_value) > metric_threshold * scale:
+                out.append(Regression(suite, entry_name, "metric", key,
+                                      base_value, cur_value, "fail"))
+    return out
+
+
+def compare_runlog(
+    records: list[RunRecord],
+    *,
+    window: int = 5,
+    time_threshold: float = DEFAULT_TIME_THRESHOLD,
+    metric_threshold: float = DEFAULT_METRIC_THRESHOLD,
+    timing_warn_only: bool = False,
+) -> list[Regression]:
+    """Latest record of each (suite, name) series vs. a rolling baseline.
+
+    The baseline for a timing is the *best* value seen in the previous
+    ``window`` records (min-of-k across runs and across records); for a
+    metric it is the most recent previous value.  Series with no history
+    are skipped — a registry with one record cannot regress.
+    """
+    series: dict[tuple[str, str], list[RunRecord]] = {}
+    for r in records:
+        series.setdefault((r.suite, r.name), []).append(r)
+
+    out: list[Regression] = []
+    timing_severity = "warn" if timing_warn_only else "fail"
+    for (suite, name), runs in series.items():
+        if len(runs) < 2:
+            continue
+        latest, history = runs[-1], runs[-1 - window:-1]
+
+        def rolling_best(key: str, *, source: str) -> float | None:
+            values = []
+            for r in history:
+                bucket = r.timings_s if source == "timings" else r.stages
+                if source == "stages":
+                    stage = bucket.get(key)
+                    if stage is not None:
+                        values.append(float(stage.get("total_s", 0.0)))
+                else:
+                    v = bucket.get(key)
+                    if v is not None:
+                        values.append(_best(v))
+            return min(values) if values else None
+
+        for key, runs_list in latest.timings_s.items():
+            base = rolling_best(key, source="timings")
+            if base is not None and base > 0 and \
+                    _best(runs_list) > base * (1 + time_threshold):
+                out.append(Regression(suite, name, "timing", key,
+                                      base, _best(runs_list), timing_severity))
+        for key, stage in latest.stages.items():
+            base = rolling_best(key, source="stages")
+            cur = float(stage.get("total_s", 0.0))
+            if base is not None and base > 0 and \
+                    cur > base * (1 + time_threshold):
+                out.append(Regression(suite, name, "timing", f"stage:{key}",
+                                      base, cur, timing_severity))
+        for key, value in latest.metrics.items():
+            prev = None
+            for r in reversed(history):
+                if key in r.metrics:
+                    prev = float(r.metrics[key])
+                    break
+            if prev is None:
+                continue
+            scale = max(abs(prev), 1e-12)
+            if abs(float(value) - prev) > metric_threshold * scale:
+                out.append(Regression(suite, name, "metric", key,
+                                      prev, float(value), "fail"))
+    return out
+
+
+def _bench_pairs(current_dir: Path, baseline_dir: Path) -> list[tuple[Path, Path]]:
+    """Matching (baseline, current) BENCH files, keyed by file name."""
+    pairs: list[tuple[Path, Path]] = []
+    for base_path in sorted(baseline_dir.glob("BENCH_*.json")):
+        cur_path = current_dir / base_path.name
+        pairs.append((base_path, cur_path))
+    return pairs
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.regress",
+        description="Detect perf/quality regressions in persisted run records.")
+    parser.add_argument("current", nargs="?",
+                        help="directory holding freshly written BENCH_*.json")
+    parser.add_argument("--baseline",
+                        help="directory holding committed baseline BENCH_*.json")
+    parser.add_argument("--runlog", help="JSONL run registry to self-compare")
+    parser.add_argument("--window", type=int, default=5,
+                        help="rolling-baseline depth for --runlog (default 5)")
+    parser.add_argument("--time-threshold", type=float,
+                        default=DEFAULT_TIME_THRESHOLD,
+                        help="relative slowdown tolerated before flagging "
+                             "a timing (default 0.25 = 25%%)")
+    parser.add_argument("--metric-threshold", type=float,
+                        default=DEFAULT_METRIC_THRESHOLD,
+                        help="relative drift tolerated on quality metrics "
+                             "(default 0.05 = 5%%)")
+    parser.add_argument("--timing-warn-only", action="store_true",
+                        help="report timing regressions without failing "
+                             "(metric drift still fails)")
+    args = parser.parse_args(argv)
+
+    if not args.runlog and not (args.current and args.baseline):
+        parser.error("need CURRENT and --baseline, or --runlog")
+
+    findings: list[Regression] = []
+    compared = 0
+    if args.current and args.baseline:
+        current_dir, baseline_dir = Path(args.current), Path(args.baseline)
+        if not baseline_dir.is_dir():
+            print(f"error: baseline directory {baseline_dir} not found",
+                  file=sys.stderr)
+            return 2
+        for base_path, cur_path in _bench_pairs(current_dir, baseline_dir):
+            if not cur_path.exists():
+                print(f"warning: no current results for {base_path.name} "
+                      f"(expected {cur_path})", file=sys.stderr)
+                continue
+            compared += 1
+            findings.extend(compare_bench(
+                load_bench(base_path), load_bench(cur_path),
+                time_threshold=args.time_threshold,
+                metric_threshold=args.metric_threshold,
+                timing_warn_only=args.timing_warn_only))
+    if args.runlog:
+        records = RunLog(args.runlog).records()
+        compared += 1 if records else 0
+        findings.extend(compare_runlog(
+            records, window=args.window,
+            time_threshold=args.time_threshold,
+            metric_threshold=args.metric_threshold,
+            timing_warn_only=args.timing_warn_only))
+
+    if compared == 0:
+        print("error: nothing to compare", file=sys.stderr)
+        return 2
+    for f in findings:
+        print(str(f))
+    failures = [f for f in findings if f.severity == "fail"]
+    warnings = [f for f in findings if f.severity == "warn"]
+    print(f"regress: {compared} comparison(s), {len(failures)} failure(s), "
+          f"{len(warnings)} warning(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,273 @@
+"""Cross-run observability: a persistent, append-only run registry.
+
+PR 2 gave the pipeline *per-run* tracing; this module persists those runs
+so they can be compared *across* commits.  Each observed run — a render,
+a benchmark, a scheduler evaluation — is serialized as one
+:class:`RunRecord`: per-stage timings aggregated from the
+:class:`~repro.obs.core.Trace`, counters and gauge peaks, schedule-quality
+metrics (makespan, utilization, stretch, fairness, bounded slowdown), and
+an environment fingerprint (git sha, python, platform, timestamp) so a
+record read months later still says where it came from.
+
+Records land in an append-only JSONL file managed by :class:`RunLog`
+(one JSON object per line, corrupt lines skipped on read, never
+rewritten), the format Beránek et al. (arXiv:2204.07211) argue scheduler
+comparisons need: machine-readable, per-run, environment-stamped.
+``repro.obs.regress`` detects regressions over it and ``repro.obs.report``
+renders it as a dashboard through the normal render backends.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform as _platform
+import subprocess
+import sys
+import uuid
+from dataclasses import dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+
+from repro.obs.core import Trace
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "RunRecord",
+    "RunLog",
+    "env_fingerprint",
+    "stage_summary",
+    "record_from_trace",
+    "schedule_metrics",
+]
+
+SCHEMA_VERSION = 1
+
+_env_cache: dict | None = None
+
+
+def _git_sha(cwd: str | Path | None = None) -> str:
+    """Current git commit sha, or ``"unknown"`` outside a checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"], cwd=cwd, capture_output=True,
+            text=True, timeout=5)
+    except (OSError, subprocess.TimeoutExpired):
+        return "unknown"
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else "unknown"
+
+
+def env_fingerprint(*, fresh: bool = False) -> dict:
+    """Where a record was produced: git sha, python, platform, machine.
+
+    The fingerprint is cached per process (the git subprocess is not free);
+    pass ``fresh=True`` to re-probe.
+    """
+    global _env_cache
+    if _env_cache is None or fresh:
+        _env_cache = {
+            "git_sha": _git_sha(),
+            "python": _platform.python_version(),
+            "platform": sys.platform,
+            "machine": _platform.machine(),
+        }
+    return dict(_env_cache)
+
+
+def _utc_now() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+@dataclass(slots=True)
+class RunRecord:
+    """One observed run, ready to be appended to a :class:`RunLog`.
+
+    ``stages`` maps span name to ``{"calls", "total_s", "self_s"}``;
+    ``timings_s`` holds explicit wall-clock measurements (e.g. min-of-k
+    benchmark runs, as lists of seconds); ``metrics`` holds
+    schedule-quality numbers (deterministic, hard-gated by the regression
+    detector, unlike timings which are noise-tolerant).
+    """
+
+    suite: str
+    name: str
+    run_id: str = field(default_factory=lambda: uuid.uuid4().hex[:12])
+    created_at: str = field(default_factory=_utc_now)
+    env: dict = field(default_factory=env_fingerprint)
+    stages: dict = field(default_factory=dict)
+    counters: dict = field(default_factory=dict)
+    gauge_peaks: dict = field(default_factory=dict)
+    timings_s: dict = field(default_factory=dict)
+    metrics: dict = field(default_factory=dict)
+    meta: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "suite": self.suite,
+            "name": self.name,
+            "created_at": self.created_at,
+            "env": self.env,
+            "stages": self.stages,
+            "counters": self.counters,
+            "gauge_peaks": self.gauge_peaks,
+            "timings_s": self.timings_s,
+            "metrics": self.metrics,
+            "meta": self.meta,
+        }
+
+    @classmethod
+    def from_json(cls, doc: dict) -> "RunRecord":
+        return cls(
+            suite=str(doc.get("suite", "")),
+            name=str(doc.get("name", "")),
+            run_id=str(doc.get("run_id", "")),
+            created_at=str(doc.get("created_at", "")),
+            env=dict(doc.get("env", {})),
+            stages=dict(doc.get("stages", {})),
+            counters=dict(doc.get("counters", {})),
+            gauge_peaks=dict(doc.get("gauge_peaks", {})),
+            timings_s=dict(doc.get("timings_s", {})),
+            metrics=dict(doc.get("metrics", {})),
+            meta=dict(doc.get("meta", {})),
+        )
+
+    def total_stage_time(self) -> float:
+        """Wall-clock summed over top-level stage totals."""
+        return sum(v.get("total_s", 0.0) for v in self.stages.values())
+
+
+def stage_summary(trace: Trace, *, now: float | None = None) -> dict:
+    """Per-span-name aggregation of a trace: calls / total / self seconds.
+
+    Still-open spans are closed at capture time (see
+    :func:`repro.obs.export._effective_ends`) so long-running stages do
+    not serialize as zero.
+    """
+    from repro.obs.export import _effective_ends
+
+    ends, _ = _effective_ends(trace, now)
+    durations = [max(ends[s.index] - s.start, 0.0) for s in trace.spans]
+    child_time = [0.0] * len(trace.spans)
+    for s in trace.spans:
+        if s.parent is not None:
+            child_time[s.parent] += durations[s.index]
+    out: dict[str, dict] = {}
+    for s in trace.spans:
+        row = out.setdefault(s.name, {"calls": 0, "total_s": 0.0, "self_s": 0.0})
+        row["calls"] += 1
+        row["total_s"] += durations[s.index]
+        row["self_s"] += max(durations[s.index] - child_time[s.index], 0.0)
+    return out
+
+
+def record_from_trace(
+    suite: str,
+    name: str,
+    trace: Trace | None = None,
+    *,
+    metrics: dict | None = None,
+    timings_s: dict | None = None,
+    meta: dict | None = None,
+) -> RunRecord:
+    """Build a :class:`RunRecord` from a collected trace (or from scratch)."""
+    record = RunRecord(suite=suite, name=name)
+    if trace is not None:
+        record.stages = stage_summary(trace)
+        record.counters = dict(trace.counters)
+        record.gauge_peaks = dict(trace.gauge_peaks)
+    if metrics:
+        record.metrics = dict(metrics)
+    if timings_s:
+        record.timings_s = {k: list(v) if isinstance(v, (list, tuple)) else [float(v)]
+                            for k, v in timings_s.items()}
+    if meta:
+        record.meta = dict(meta)
+    return record
+
+
+def schedule_metrics(schedule) -> dict:
+    """Standard schedule-quality metrics of one schedule.
+
+    Makespan, utilization and idle area from :mod:`repro.core.stats`, plus
+    the task/host counts — the deterministic numbers the regression gate
+    hard-fails on.
+    """
+    from repro.core.stats import idle_area, utilization
+
+    return {
+        "makespan": float(schedule.makespan),
+        "utilization": float(utilization(schedule)),
+        "idle_area": float(idle_area(schedule)),
+        "tasks": float(len(schedule)),
+        "hosts": float(schedule.num_hosts),
+    }
+
+
+class RunLog:
+    """Append-only JSONL run registry.
+
+    Each :meth:`append` writes exactly one JSON line and flushes; nothing
+    is ever rewritten, so concurrent appenders at worst interleave whole
+    lines.  Reading skips lines that do not parse (counted in
+    ``skipped``), so a torn write never takes the registry down.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self.skipped = 0
+
+    def append(self, record: RunRecord) -> RunRecord:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        line = json.dumps(record.to_json(), separators=(",", ":"))
+        with open(self.path, "a", encoding="utf-8") as fh:
+            fh.write(line + "\n")
+            fh.flush()
+            os.fsync(fh.fileno())
+        return record
+
+    def records(self, *, suite: str | None = None,
+                name: str | None = None) -> list[RunRecord]:
+        """All parseable records, in append (= chronological) order."""
+        if not self.path.exists():
+            return []
+        out: list[RunRecord] = []
+        self.skipped = 0
+        with open(self.path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                except json.JSONDecodeError:
+                    self.skipped += 1
+                    continue
+                if not isinstance(doc, dict):
+                    self.skipped += 1
+                    continue
+                record = RunRecord.from_json(doc)
+                if suite is not None and record.suite != suite:
+                    continue
+                if name is not None and record.name != name:
+                    continue
+                out.append(record)
+        return out
+
+    def latest(self, n: int = 1, *, suite: str | None = None,
+               name: str | None = None) -> list[RunRecord]:
+        """The ``n`` most recent matching records, oldest first."""
+        records = self.records(suite=suite, name=name)
+        return records[-n:] if n > 0 else []
+
+    def suites(self) -> list[str]:
+        """Distinct suite names, in first-appearance order."""
+        seen: dict[str, None] = {}
+        for r in self.records():
+            seen.setdefault(r.suite, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.records())

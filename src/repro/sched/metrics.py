@@ -26,6 +26,7 @@ __all__ = [
     "stretch_imbalance",
     "speedup",
     "efficiency",
+    "stretch_summary",
 ]
 
 
@@ -76,6 +77,26 @@ def stretch_imbalance(contended: Sequence[float], dedicated: Sequence[float]) ->
     if lo <= 0:
         raise SchedulingError("non-positive stretch")
     return max(values) / lo
+
+
+def stretch_summary(contended: Sequence[float], dedicated: Sequence[float]) -> dict[str, float]:
+    """The batch's stretch metrics as one flat dict.
+
+    ``max_stretch``, ``mean_stretch``, ``jain_fairness`` and
+    ``stretch_imbalance`` of the batch — the shape
+    :mod:`repro.obs.runlog` persists per run so the regression gate can
+    watch schedule quality across commits.
+    """
+    values = stretches(contended, dedicated)
+    if not values:
+        raise SchedulingError("empty batch")
+    lo = min(values)
+    return {
+        "max_stretch": max(values),
+        "mean_stretch": sum(values) / len(values),
+        "jain_fairness": jain_fairness(values),
+        "stretch_imbalance": max(values) / lo if lo > 0 else math.inf,
+    }
 
 
 def speedup(serial_time: float, parallel_time: float) -> float:

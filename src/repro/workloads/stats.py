@@ -21,7 +21,7 @@ from repro.errors import WorkloadError
 from repro.workloads.scheduler import ScheduledJob
 
 __all__ = ["WaitStats", "wait_stats", "per_user_summary", "size_histogram",
-           "hourly_utilization", "bounded_slowdown"]
+           "hourly_utilization", "bounded_slowdown", "workload_metrics"]
 
 
 @dataclass(frozen=True, slots=True)
@@ -62,6 +62,24 @@ def bounded_slowdown(scheduled: Sequence[ScheduledJob], *, tau: float = 10.0) ->
         run = r.job.run_time
         total += max(1.0, (r.wait_time + run) / max(run, tau))
     return total / len(scheduled)
+
+
+def workload_metrics(scheduled: Sequence[ScheduledJob], *,
+                     tau: float = 10.0) -> dict[str, float]:
+    """Workload-quality summary as one flat dict.
+
+    Job count, wait statistics and mean bounded slowdown — the shape
+    :mod:`repro.obs.runlog` persists per run so scheduler-quality drift
+    between commits trips the regression gate.
+    """
+    ws = wait_stats(scheduled)
+    return {
+        "jobs": float(ws.count),
+        "mean_wait": ws.mean,
+        "p90_wait": ws.p90,
+        "max_wait": ws.max,
+        "bounded_slowdown": bounded_slowdown(scheduled, tau=tau),
+    }
 
 
 def per_user_summary(scheduled: Iterable[ScheduledJob]) -> dict[int, dict[str, float]]:

@@ -169,3 +169,107 @@ class TestObservabilityFlags:
         out = tmp_path / "out.svg"
         assert main(["render", str(sched_file), "-o", str(out)]) == 0
         assert not obs.is_enabled()
+
+
+class TestStructuredLogging:
+    def test_log_json_emits_valid_jsonl(self, tmp_path, sched_file, capsys):
+        import json
+
+        out = tmp_path / "out.svg"
+        log = tmp_path / "events.jsonl"
+        assert main(["render", str(sched_file), "-o", str(out),
+                     "--log-json", str(log)]) == 0
+        assert "structured JSONL log" in capsys.readouterr().out
+        lines = log.read_text().splitlines()
+        assert lines
+        docs = [json.loads(line) for line in lines]  # every line parses
+        assert all({"seq", "time", "event"} <= set(d) for d in docs)
+        assert [d["seq"] for d in docs] == list(range(len(docs)))
+        events = {d["event"] for d in docs}
+        assert {"span_start", "span_end", "counter"} <= events
+
+    def test_log_json_span_ids_match_trace(self, tmp_path, sched_file):
+        import json
+
+        from repro import obs
+
+        out = tmp_path / "out.svg"
+        log = tmp_path / "events.jsonl"
+        trace_file = tmp_path / "trace.json"
+        assert main(["render", str(sched_file), "-o", str(out),
+                     "--log-json", str(log), "--trace", str(trace_file)]) == 0
+        docs = [json.loads(line) for line in log.read_text().splitlines()]
+        trace_doc = json.loads(trace_file.read_text())
+        obs.validate_chrome_events(trace_doc["traceEvents"])
+        # each span id appears exactly once as a start and once as an end,
+        # and log names at a given id agree between start and end
+        starts = {d["span_id"]: d["name"] for d in docs
+                  if d["event"] == "span_start"}
+        ends = {d["span_id"]: d["name"] for d in docs
+                if d["event"] == "span_end"}
+        assert starts == ends and len(starts) > 0
+        assert sorted(starts) == list(range(len(starts)))  # trace indices
+        # the same spans, by name, appear in the Chrome trace
+        trace_names = {e["name"] for e in trace_doc["traceEvents"]
+                       if e["ph"] == "B"}
+        assert set(starts.values()) == trace_names
+
+    def test_runlog_appends_records(self, tmp_path, sched_file, capsys):
+        from repro.obs.runlog import RunLog
+
+        registry = tmp_path / "runs.jsonl"
+        for i in range(2):
+            out = tmp_path / f"out{i}.svg"
+            assert main(["render", str(sched_file), "-o", str(out),
+                         "--runlog", str(registry)]) == 0
+        assert "logged run" in capsys.readouterr().out
+        records = RunLog(registry).records()
+        assert len(records) == 2
+        for r in records:
+            assert (r.suite, r.name) == ("cli", "render")
+            assert r.stages  # pipeline stage timings captured
+            assert r.metrics["tasks"] == 2.0  # schedule quality recorded
+            assert r.env["python"]
+            assert r.meta["inputs"] and r.meta["output"]
+
+
+class TestReportCommand:
+    def test_dashboard_from_two_persisted_runs(self, tmp_path, sched_file,
+                                               capsys):
+        registry = tmp_path / "runs.jsonl"
+        for i in range(2):
+            main(["render", str(sched_file), "-o", str(tmp_path / f"o{i}.svg"),
+                  "--runlog", str(registry)])
+        dash = tmp_path / "dash.svg"
+        assert main(["report", str(registry), "-o", str(dash)]) == 0
+        assert "dashboard over 2 run record(s)" in capsys.readouterr().out
+        text = dash.read_text()
+        assert "<svg" in text
+        assert "makespan" in text  # quality panel drawn from the records
+
+    def test_report_png_backend(self, tmp_path, sched_file):
+        registry = tmp_path / "runs.jsonl"
+        for i in range(2):
+            main(["render", str(sched_file), "-o", str(tmp_path / f"o{i}.svg"),
+                  "--runlog", str(registry)])
+        dash = tmp_path / "dash.png"
+        assert main(["report", str(registry), "-o", str(dash)]) == 0
+        img = decode_png(dash.read_bytes())
+        assert img.shape[2] == 3 and img.shape[0] > 100
+
+    def test_report_filters(self, tmp_path, sched_file, capsys):
+        registry = tmp_path / "runs.jsonl"
+        for i in range(3):
+            main(["render", str(sched_file), "-o", str(tmp_path / f"o{i}.svg"),
+                  "--runlog", str(registry)])
+        dash = tmp_path / "dash.svg"
+        assert main(["report", str(registry), "-o", str(dash),
+                     "--suite", "cli", "--last", "2"]) == 0
+        assert "over 2 run record(s)" in capsys.readouterr().out
+
+    def test_report_empty_registry_fails_cleanly(self, tmp_path, capsys):
+        registry = tmp_path / "runs.jsonl"
+        registry.write_text("")
+        rc = main(["report", str(registry), "-o", str(tmp_path / "dash.svg")])
+        assert rc == 2
+        assert "no matching run records" in capsys.readouterr().err

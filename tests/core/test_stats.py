@@ -123,3 +123,41 @@ def test_area_lower_bound(staircase):
     assert area_lower_bound(staircase) == pytest.approx(5.0 / 4.0)
     # T_A is a lower bound on the makespan for this (space-shared) schedule
     assert area_lower_bound(staircase) <= staircase.makespan
+
+
+class TestDegenerateSchedules:
+    """Empty / zero-span schedules yield neutral values, never division
+    errors — the run registry records metrics for whatever a run produced."""
+
+    def test_empty_schedule(self):
+        s = Schedule()
+        assert utilization(s) == 0.0
+        assert idle_area(s) == 0.0
+        assert low_utilization_windows(s, 1) == []
+        assert total_busy_area(s) == 0.0
+
+    def test_cluster_without_tasks(self):
+        s = Schedule()
+        s.new_cluster(0, 4)
+        assert utilization(s) == 0.0
+        assert idle_area(s) == 0.0
+        assert low_utilization_windows(s, 1) == []
+
+    def test_zero_span_schedule(self):
+        # instantaneous tasks: makespan 0, so there is no area to divide by
+        s = Schedule()
+        s.new_cluster(0, 2)
+        s.new_task("t", "computation", 5.0, 5.0, cluster=0,
+                   host_start=0, host_nb=2)
+        assert s.makespan == 0.0
+        assert utilization(s) == 0.0
+        assert idle_area(s) == 0.0
+        assert low_utilization_windows(s, 1) == []
+
+    def test_zero_host_clusters_impossible(self):
+        # the num_hosts == 0 branch of the guards is unreachable through
+        # the model (Cluster requires >= 1 host) — pin that invariant
+        from repro.errors import ScheduleError
+
+        with pytest.raises(ScheduleError, match=">= 1 host"):
+            Schedule().new_cluster(0, 0)

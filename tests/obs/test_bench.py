@@ -1,0 +1,77 @@
+"""Tests for BENCH_<suite>.json persistence (repro.obs.bench)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.bench import BenchSuite, bench_filename, load_bench, time_min_of_k
+from repro.obs.runlog import SCHEMA_VERSION, RunLog
+
+
+class TestTimeMinOfK:
+    def test_returns_k_positive_measurements(self):
+        runs = time_min_of_k(lambda: sum(range(100)), k=4)
+        assert len(runs) == 4
+        assert all(t >= 0.0 for t in runs)
+
+    def test_warmup_calls_not_measured(self):
+        calls = []
+        runs = time_min_of_k(lambda: calls.append(1), k=2, warmup=3)
+        assert len(calls) == 5 and len(runs) == 2
+
+    def test_rejects_k_zero(self):
+        with pytest.raises(ValueError, match="k >= 1"):
+            time_min_of_k(lambda: None, k=0)
+
+
+class TestBenchSuite:
+    def test_record_normalizes_values(self):
+        suite = BenchSuite("demo")
+        entry = suite.record("e1", timings_s={"a": 0.5, "b": (0.1, 0.2)},
+                             metrics={"makespan": 3})
+        assert entry["timings_s"] == {"a": [0.5], "b": [0.1, 0.2]}
+        assert entry["metrics"] == {"makespan": 3.0}
+
+    def test_record_extends_existing_entry(self):
+        suite = BenchSuite("demo")
+        suite.record("e1", timings_s={"a": [0.5]})
+        suite.record("e1", metrics={"m": 1.0})
+        assert suite.entries["e1"]["timings_s"] == {"a": [0.5]}
+        assert suite.entries["e1"]["metrics"] == {"m": 1.0}
+
+    def test_rows_kept_as_strings(self):
+        suite = BenchSuite("demo")
+        entry = suite.record("e1", rows=[("metric", 1, 2.5)])
+        assert entry["rows"] == [["metric", "1", "2.5"]]
+
+    def test_write_and_load(self, tmp_path):
+        suite = BenchSuite("lod")
+        suite.record("render_1000", timings_s={"render": [0.1, 0.12]},
+                     metrics={"rects": 42.0})
+        path = suite.write(tmp_path)
+        assert path.name == bench_filename("lod") == "BENCH_lod.json"
+        doc = load_bench(path)
+        assert doc["schema"] == SCHEMA_VERSION
+        assert doc["suite"] == "lod"
+        assert set(doc["env"]) == {"git_sha", "python", "platform", "machine"}
+        assert doc["entries"]["render_1000"]["metrics"]["rects"] == 42.0
+
+    def test_write_also_appends_runlog(self, tmp_path):
+        suite = BenchSuite("lod")
+        suite.record("a", metrics={"x": 1.0})
+        suite.record("b", timings_s={"t": [0.2]})
+        suite.write(tmp_path, runlog=tmp_path / "runs.jsonl")
+        records = RunLog(tmp_path / "runs.jsonl").records()
+        assert [(r.suite, r.name) for r in records] == [("lod", "a"), ("lod", "b")]
+        assert records[0].metrics == {"x": 1.0}
+        assert records[1].timings_s == {"t": [0.2]}
+
+
+class TestLoadBench:
+    def test_rejects_junk(self, tmp_path):
+        path = tmp_path / "BENCH_junk.json"
+        path.write_text(json.dumps({"not": "a bench doc"}))
+        with pytest.raises(ValueError, match="not a BENCH document"):
+            load_bench(path)

@@ -75,7 +75,7 @@ class TestChromeExport:
         t = Trace()
         t.spans = [SpanRecord("open", 0.005, -1.0, 0, 0, None)]
         events = obs.to_chrome_events(t)
-        obs.validate_chrome_events(events)  # E emitted at start ts
+        obs.validate_chrome_events(events)  # E emitted at capture time
 
     def test_real_capture_round_trips(self):
         with obs.capture() as trace:
@@ -83,6 +83,75 @@ class TestChromeExport:
                 with obs.span("a.b"):
                     obs.add("n", 2)
         obs.validate_chrome_events(obs.to_chrome_events(trace))
+
+
+class TestOpenSpans:
+    """Spans still running at capture time (end == -1.0) must not vanish."""
+
+    def open_trace(self) -> Trace:
+        t = Trace()
+        t.spans = [
+            SpanRecord("sim.run", 0.0, -1.0, 0, 0, None),
+            SpanRecord("sim.step", 0.002, 0.004, 1, 1, 0),
+        ]
+        return t
+
+    def test_closed_at_capture_time_not_zero(self):
+        events = obs.to_chrome_events(self.open_trace(), now=0.010)
+        obs.validate_chrome_events(events)
+        end = next(e for e in events if e["ph"] == "E" and e["name"] == "sim.run")
+        assert end["ts"] == pytest.approx(10_000.0)  # closed at now, not start
+
+    def test_open_span_flagged_in_args(self):
+        events = obs.to_chrome_events(self.open_trace(), now=0.010)
+        begin = next(e for e in events
+                     if e["ph"] == "B" and e["name"] == "sim.run")
+        assert begin["args"]["open"] == "true"
+        inner = next(e for e in events
+                     if e["ph"] == "B" and e["name"] == "sim.step")
+        assert "args" not in inner  # properly closed span is not flagged
+
+    def test_default_now_uses_wall_clock(self):
+        # without an explicit `now`, the open span still gets a positive
+        # duration (the wall clock is past its start by definition)
+        t = self.open_trace()
+        events = obs.to_chrome_events(t)
+        obs.validate_chrome_events(events)
+        end = next(e for e in events if e["ph"] == "E" and e["name"] == "sim.run")
+        assert end["ts"] >= 0.0
+
+    def test_now_never_before_start(self):
+        # a stale `now` (clock skew) must not produce a negative duration
+        events = obs.to_chrome_events(self.open_trace(), now=-5.0)
+        obs.validate_chrome_events(events)
+        end = next(e for e in events if e["ph"] == "E" and e["name"] == "sim.run")
+        assert end["ts"] >= 0.0
+
+    def test_summary_table_counts_open_time(self):
+        text = obs.summary_table(self.open_trace(), now=0.010)
+        row = next(line for line in text.splitlines()
+                   if line.startswith("sim.run"))
+        assert float(row.split()[-2]) == pytest.approx(10.0)  # total ms
+        assert "1 span(s) still open at capture" in text
+
+    def test_summary_table_no_note_when_all_closed(self):
+        assert "still open" not in obs.summary_table(make_trace())
+
+    def test_trace_to_schedule_marks_open_tasks(self):
+        sched = obs.trace_to_schedule(self.open_trace())
+        task = next(t for t in sched.tasks if t.type == "sim.run")
+        assert task.meta["open"] == "true"
+        assert task.end_time > task.start_time
+
+    def test_real_interrupted_capture(self):
+        # the realistic shape: capture exits while a span is still open
+        # (e.g. an exception tore down the pipeline mid-stage)
+        sp = obs.span("stuck")
+        with obs.capture() as trace:
+            sp.__enter__()
+        assert trace.spans[0].end == -1.0
+        obs.validate_chrome_events(obs.to_chrome_events(trace))
+        assert "still open" in obs.summary_table(trace)
 
 
 class TestValidator:

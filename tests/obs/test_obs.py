@@ -186,3 +186,55 @@ class TestEnableDisableReset:
         fresh = obs.reset()
         assert obs.current_trace() is fresh
         assert fresh.counters == {} and len(fresh) == 0
+
+
+class TestChildIndex:
+    def test_index_matches_parents(self):
+        with obs.capture() as trace:
+            with obs.span("a"):
+                with obs.span("a.1"):
+                    pass
+                with obs.span("a.2"):
+                    pass
+            with obs.span("b"):
+                pass
+        index = trace.child_index()
+        assert len(index) == len(trace.spans)
+        for i, kids in enumerate(index):
+            for k in kids:
+                assert trace.spans[k].parent == i
+
+    def test_incremental_extension(self):
+        trace = obs.enable()
+        try:
+            with obs.span("first"):
+                pass
+            assert [s.name for s in trace.roots()] == ["first"]
+            with obs.span("second"):
+                with obs.span("second.child"):
+                    pass
+            # spans appended after the first query are picked up
+            roots = trace.roots()
+            assert [s.name for s in roots] == ["first", "second"]
+            assert [s.name for s in trace.children(roots[1])] == ["second.child"]
+        finally:
+            obs.disable()
+
+    def test_replaced_span_list_resets_index(self):
+        from repro.obs.core import SpanRecord, Trace
+
+        trace = Trace()
+        trace.spans = [
+            SpanRecord("x", 0.0, 1.0, 0, 0, None),
+            SpanRecord("x.1", 0.0, 1.0, 1, 1, 0),
+        ]
+        assert [s.name for s in trace.roots()] == ["x"]
+        trace.spans = [SpanRecord("y", 0.0, 1.0, 0, 0, None)]
+        assert [s.name for s in trace.roots()] == ["y"]
+        assert trace.children(trace.spans[0]) == []
+
+    def test_children_of_leaf_empty(self):
+        with obs.capture() as trace:
+            with obs.span("leaf"):
+                pass
+        assert trace.children(trace.spans[0]) == []

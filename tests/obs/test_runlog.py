@@ -1,0 +1,176 @@
+"""Tests for the persistent run registry (repro.obs.runlog)."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs.core import SpanRecord, Trace
+from repro.obs.runlog import (
+    SCHEMA_VERSION,
+    RunLog,
+    RunRecord,
+    env_fingerprint,
+    record_from_trace,
+    schedule_metrics,
+    stage_summary,
+)
+
+
+def make_trace() -> Trace:
+    t = Trace()
+    t.spans = [
+        SpanRecord("io.load", 0.0, 0.010, 0, 0, None),
+        SpanRecord("parse.csv", 0.001, 0.008, 1, 1, 0),
+        SpanRecord("io.load", 0.010, 0.014, 0, 2, None),
+    ]
+    t.counters = {"io.records": 12.0}
+    t.gauge_peaks = {"sim.queue": 7.0}
+    return t
+
+
+class TestEnvFingerprint:
+    def test_keys_and_caching(self):
+        fp = env_fingerprint()
+        assert set(fp) == {"git_sha", "python", "platform", "machine"}
+        assert all(isinstance(v, str) and v for v in fp.values())
+        # cached copy: mutating the returned dict must not poison the cache
+        fp["git_sha"] = "tampered"
+        assert env_fingerprint()["git_sha"] != "tampered"
+
+    def test_in_this_checkout_sha_is_hex(self):
+        sha = env_fingerprint(fresh=True)["git_sha"]
+        assert sha == "unknown" or (len(sha) == 40
+                                    and all(c in "0123456789abcdef" for c in sha))
+
+
+class TestStageSummary:
+    def test_aggregates_calls_total_self(self):
+        summary = stage_summary(make_trace())
+        assert summary["io.load"]["calls"] == 2
+        assert summary["io.load"]["total_s"] == pytest.approx(0.014)
+        # 14 ms total minus the 7 ms nested parse
+        assert summary["io.load"]["self_s"] == pytest.approx(0.007)
+        assert summary["parse.csv"]["calls"] == 1
+
+    def test_open_span_closed_at_now(self):
+        t = Trace()
+        t.spans = [SpanRecord("slow", 1.0, -1.0, 0, 0, None)]
+        summary = stage_summary(t, now=3.5)
+        assert summary["slow"]["total_s"] == pytest.approx(2.5)
+
+
+class TestRunRecord:
+    def test_json_round_trip(self):
+        rec = RunRecord(suite="cli", name="render",
+                        timings_s={"render": [0.1, 0.2]},
+                        metrics={"makespan": 5.0}, meta={"output": "x.svg"})
+        doc = rec.to_json()
+        assert doc["schema"] == SCHEMA_VERSION
+        back = RunRecord.from_json(json.loads(json.dumps(doc)))
+        assert back == rec
+
+    def test_defaults_are_stamped(self):
+        rec = RunRecord(suite="s", name="n")
+        assert len(rec.run_id) == 12
+        assert rec.created_at  # ISO timestamp
+        assert rec.env["python"]
+
+    def test_total_stage_time(self):
+        rec = RunRecord(suite="s", name="n",
+                        stages={"a": {"total_s": 1.0}, "b": {"total_s": 0.5}})
+        assert rec.total_stage_time() == pytest.approx(1.5)
+
+
+class TestRecordFromTrace:
+    def test_carries_stages_counters_peaks(self):
+        rec = record_from_trace("cli", "render", make_trace(),
+                                metrics={"makespan": 2.0},
+                                timings_s={"wall": 0.3})
+        assert rec.stages["io.load"]["calls"] == 2
+        assert rec.counters == {"io.records": 12.0}
+        assert rec.gauge_peaks == {"sim.queue": 7.0}
+        assert rec.metrics == {"makespan": 2.0}
+        assert rec.timings_s == {"wall": [0.3]}  # scalars become run lists
+
+    def test_without_trace(self):
+        rec = record_from_trace("bench", "entry", metrics={"x": 1.0})
+        assert rec.stages == {} and rec.metrics == {"x": 1.0}
+
+
+class TestScheduleMetrics:
+    def test_simple_schedule(self, simple_schedule):
+        m = schedule_metrics(simple_schedule)
+        assert set(m) == {"makespan", "utilization", "idle_area",
+                          "tasks", "hosts"}
+        assert m["makespan"] == pytest.approx(0.5)
+        assert m["tasks"] == 2.0 and m["hosts"] == 8.0
+        assert 0.0 < m["utilization"] <= 1.0
+
+    def test_empty_schedule(self):
+        from repro.core.model import Schedule
+
+        m = schedule_metrics(Schedule())
+        assert m["makespan"] == 0.0 and m["utilization"] == 0.0
+        assert m["idle_area"] == 0.0
+
+
+class TestRunLog:
+    def test_append_then_read(self, tmp_path):
+        log = RunLog(tmp_path / "runs.jsonl")
+        r1 = log.append(RunRecord(suite="a", name="x"))
+        r2 = log.append(RunRecord(suite="b", name="y"))
+        records = log.records()
+        assert [r.run_id for r in records] == [r1.run_id, r2.run_id]
+        assert len(log) == 2
+
+    def test_one_json_object_per_line(self, tmp_path):
+        log = RunLog(tmp_path / "runs.jsonl")
+        log.append(RunRecord(suite="a", name="x"))
+        log.append(RunRecord(suite="a", name="y"))
+        lines = (tmp_path / "runs.jsonl").read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert isinstance(json.loads(line), dict)
+
+    def test_filters(self, tmp_path):
+        log = RunLog(tmp_path / "runs.jsonl")
+        for suite, name in [("a", "x"), ("a", "y"), ("b", "x")]:
+            log.append(RunRecord(suite=suite, name=name))
+        assert len(log.records(suite="a")) == 2
+        assert len(log.records(suite="a", name="x")) == 1
+        assert log.suites() == ["a", "b"]
+
+    def test_latest(self, tmp_path):
+        log = RunLog(tmp_path / "runs.jsonl")
+        ids = [log.append(RunRecord(suite="a", name="x")).run_id
+               for _ in range(4)]
+        assert [r.run_id for r in log.latest(2)] == ids[-2:]
+        assert log.latest(0) == []
+
+    def test_corrupt_lines_skipped_not_fatal(self, tmp_path):
+        path = tmp_path / "runs.jsonl"
+        log = RunLog(path)
+        log.append(RunRecord(suite="a", name="x"))
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"torn": \n')     # torn write
+            fh.write('[1, 2, 3]\n')     # parseable but not a record
+        log.append(RunRecord(suite="a", name="y"))
+        records = log.records()
+        assert [r.name for r in records] == ["x", "y"]
+        assert log.skipped == 2
+
+    def test_missing_file_reads_empty(self, tmp_path):
+        log = RunLog(tmp_path / "nope" / "runs.jsonl")
+        assert log.records() == [] and len(log) == 0
+
+    def test_append_creates_parent_dirs(self, tmp_path):
+        log = RunLog(tmp_path / "deep" / "dir" / "runs.jsonl")
+        log.append(RunRecord(suite="a", name="x"))
+        assert len(log) == 1
+
+    def test_public_api_exposed(self):
+        assert obs.RunLog is RunLog
+        assert obs.record_from_trace is record_from_trace
