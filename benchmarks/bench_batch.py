@@ -1,0 +1,119 @@
+"""Batch renderer — parallel fan-out and content-addressed cache payoff.
+
+The batch subsystem exists so a whole paper's figure set regenerates in one
+command, fast: render jobs fan out across a process pool and re-runs are
+served from the content-addressed cache.  This benchmark builds a
+five-figure manifest from synthetic traces and measures:
+
+* cold serial vs. cold 4-worker wall clock (the parallel speedup claim,
+  >= 2.5x; needs >= 4 usable cores, otherwise the assertion is skipped);
+* cold vs. warm-cache wall clock (>= 10x; core-count independent);
+* that one corrupt input fails alone — every other figure still renders
+  and the report names the failure.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+from conftest import report
+
+from bench_lod_scaling import synthetic_trace
+
+from repro.batch import load_manifest, run_manifest
+from repro.io import save_schedule
+
+N_FIGURES = 5
+N_TASKS = 2_000
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def _write_manifest(root, *, corrupt: bool = False) -> str:
+    inputs = []
+    for i in range(N_FIGURES):
+        path = root / f"fig{i}.jed"
+        save_schedule(synthetic_trace(N_TASKS, seed=100 + i), path)
+        inputs.append(path.name)
+    jobs = [{"input": name, "title": f"figure {i}"}
+            for i, name in enumerate(inputs)]
+    if corrupt:
+        bad = root / "broken.jed"
+        bad.write_text("<jedule>this is not a schedule", encoding="utf-8")
+        jobs.append({"input": bad.name})
+    manifest = root / "manifest.json"
+    manifest.write_text(json.dumps({
+        "name": "bench-batch",
+        "output_dir": "out",
+        "cache_dir": ".cache",
+        "defaults": {"format": "png", "lod": "off"},
+        "jobs": jobs,
+    }), encoding="utf-8")
+    return str(manifest)
+
+
+def test_batch_warm_cache_speedup(tmp_path, benchmark):
+    manifest = load_manifest(_write_manifest(tmp_path))
+
+    cold = run_manifest(manifest, jobs=1)
+    assert cold.ok
+    assert cold.cache_misses == N_FIGURES
+
+    warm = benchmark(lambda: run_manifest(manifest, jobs=1))
+    assert warm.ok
+    assert warm.cache_hits == N_FIGURES
+
+    speedup = cold.elapsed_s / max(warm.elapsed_s, 1e-9)
+    report("batch warm cache", [
+        ("figures", "5", str(N_FIGURES)),
+        ("cold serial", "-", f"{cold.elapsed_s * 1e3:.1f} ms"),
+        ("warm cached", "-", f"{warm.elapsed_s * 1e3:.1f} ms"),
+        ("speedup", ">= 10x", f"{speedup:.1f}x"),
+    ], suite="batch", entry="warm_cache",
+       timings_s={"cold": [cold.elapsed_s], "warm": [warm.elapsed_s]},
+       metrics={"figures": N_FIGURES, "cache_hits": warm.cache_hits})
+    assert speedup >= 10.0, f"warm cache only {speedup:.1f}x faster"
+
+
+def test_batch_parallel_speedup(tmp_path):
+    cores = _usable_cores()
+    manifest = load_manifest(_write_manifest(tmp_path))
+
+    serial = run_manifest(manifest, jobs=1, use_cache=False)
+    parallel = run_manifest(manifest, jobs=4, use_cache=False)
+    assert serial.ok and parallel.ok
+
+    speedup = serial.elapsed_s / max(parallel.elapsed_s, 1e-9)
+    report("batch 4-worker fan-out", [
+        ("figures", "5", str(N_FIGURES)),
+        ("usable cores", ">= 4", str(cores)),
+        ("serial", "-", f"{serial.elapsed_s * 1e3:.1f} ms"),
+        ("4 workers", "-", f"{parallel.elapsed_s * 1e3:.1f} ms"),
+        ("speedup", ">= 2.5x", f"{speedup:.2f}x"),
+    ], suite="batch", entry="parallel_4x",
+       timings_s={"serial": [serial.elapsed_s],
+                  "parallel4": [parallel.elapsed_s]},
+       metrics={"figures": N_FIGURES})
+    if cores < 4:
+        pytest.skip(f"speedup assertion needs >= 4 usable cores, have {cores}")
+    assert speedup >= 2.5, f"4 workers only {speedup:.2f}x faster"
+
+
+def test_batch_survives_corrupt_input(tmp_path):
+    manifest = load_manifest(_write_manifest(tmp_path, corrupt=True))
+
+    result = run_manifest(manifest, jobs=2, retries=0)
+    assert not result.ok
+    assert len(result.failures) == 1
+    assert "broken.jed" in result.failures[0].input_path
+    assert sum(1 for r in result.results if r.ok) == N_FIGURES
+    for i in range(N_FIGURES):
+        assert (tmp_path / "out" / f"fig{i}.png").stat().st_size > 0
+    assert "broken.jed" in result.error_table()

@@ -16,12 +16,11 @@ from __future__ import annotations
 
 import random
 
-from conftest import report
+from conftest import render_bytes, report
 
 from repro.core.model import Schedule
 from repro.core.stats import utilization
 from repro.obs.bench import time_min_of_k
-from repro.render.api import render_schedule
 from repro.render.layout import layout_schedule
 from repro.render.lod import LOD_REF_PREFIX
 
@@ -51,8 +50,8 @@ def test_lod_scaling(benchmark, artifacts_dir):
     timings: dict[int, tuple[float, float]] = {}
     runs: dict[int, tuple[list[float], list[float]]] = {}
     for n, s in schedules.items():
-        off = time_min_of_k(lambda s=s: render_schedule(s, "png", lod="off"))
-        auto = time_min_of_k(lambda s=s: render_schedule(s, "png", lod="auto"))
+        off = time_min_of_k(lambda s=s: render_bytes(s, "png", lod="off"))
+        auto = time_min_of_k(lambda s=s: render_bytes(s, "png", lod="auto"))
         timings[n] = (min(off), min(auto))
         runs[n] = (off, auto)
 
@@ -84,8 +83,8 @@ def test_lod_scaling(benchmark, artifacts_dir):
 
     # Small inputs stay on the exact per-task path: identical output bytes.
     small = schedules[SIZES[0]]
-    assert render_schedule(small, "png", lod="auto") == \
-        render_schedule(small, "png", lod="off")
+    assert render_bytes(small, "png", lod="auto") == \
+        render_bytes(small, "png", lod="off")
 
     # The headline claim: >= 5x at 100k jobs, and the primitive count is
     # bounded by the pixel grid rather than the task count.
@@ -94,8 +93,8 @@ def test_lod_scaling(benchmark, artifacts_dir):
     assert 0 < lod_rects < SIZES[-1] / 2
 
     (artifacts_dir / "lod_scaling_100k.png").write_bytes(
-        render_schedule(big, "png", lod="auto", title="100k jobs, LOD auto"))
+        render_bytes(big, "png", lod="auto", title="100k jobs, LOD auto"))
 
     result = benchmark.pedantic(
-        lambda: render_schedule(big, "png", lod="auto"), rounds=3, iterations=1)
+        lambda: render_bytes(big, "png", lod="auto"), rounds=3, iterations=1)
     assert result  # non-empty PNG bytes

@@ -27,11 +27,10 @@ from __future__ import annotations
 
 import time
 
-from conftest import persist, report
+from conftest import persist, render_bytes, report
 
 from repro import obs
 from repro.obs.bench import time_min_of_k
-from repro.render.api import render_schedule
 
 from bench_lod_scaling import synthetic_trace
 
@@ -42,7 +41,7 @@ MAX_OVERHEAD = 0.02
 def _count_instrumentation_ops(schedule) -> int:
     """Instrumentation events one render crosses (from an enabled run)."""
     with obs.capture() as trace:
-        render_schedule(schedule, "png", lod="off")
+        render_bytes(schedule, "png", lod="off")
     return (len(trace.spans)
             + len(trace.counters) + len(trace.gauges) + len(trace.gauge_peaks))
 
@@ -63,7 +62,7 @@ def test_obs_overhead(benchmark):
 
     assert not obs.is_enabled()
     disabled_runs = time_min_of_k(
-        lambda: render_schedule(schedule, "png", lod="off"))
+        lambda: render_bytes(schedule, "png", lod="off"))
     t_disabled = min(disabled_runs)
 
     n_ops = _count_instrumentation_ops(schedule)
@@ -74,7 +73,7 @@ def test_obs_overhead(benchmark):
 
     def _enabled_render():
         with obs.capture():
-            render_schedule(schedule, "png", lod="off")
+            render_bytes(schedule, "png", lod="off")
 
     enabled_runs = time_min_of_k(_enabled_render)
     t_enabled = min(enabled_runs)
@@ -103,6 +102,6 @@ def test_obs_overhead(benchmark):
             metrics={"instrumentation_events": n_ops})
 
     result = benchmark.pedantic(
-        lambda: render_schedule(schedule, "png", lod="off"),
+        lambda: render_bytes(schedule, "png", lod="off"),
         rounds=3, iterations=1)
     assert result

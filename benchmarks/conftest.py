@@ -37,6 +37,18 @@ def artifacts_dir() -> Path:
     return ARTIFACTS
 
 
+def render_bytes(schedule, format: str = "png", **options) -> bytes:
+    """Render an in-memory schedule through the RenderRequest pipeline.
+
+    The single render entry point for benchmark code — same code path the
+    CLI and the batch runner use, so timings measure what users get.
+    """
+    from repro.render.api import RenderRequest, render_request_bytes
+
+    return render_request_bytes(
+        RenderRequest(output_format=format, **options), schedule)
+
+
 def persist(suite: str, entry: str, *, timings_s: dict | None = None,
             metrics: dict | None = None, rows: list | None = None) -> None:
     """Queue one benchmark record; flushed to disk at session end.

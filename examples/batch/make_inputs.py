@@ -1,0 +1,100 @@
+"""Regenerate the schedule inputs of the example batch manifest.
+
+Five figure-like schedules, one per input format worth exercising:
+
+* ``fig01_simple.jed``     -- the paper's small annotated example (Jedule XML)
+* ``fig03_overlap.jed``    -- overlapping computation/communication phases,
+                              rendered with ``composites: true``
+* ``fig05_heft.json``      -- HEFT of the Montage workflow on the
+                              hierarchical platform (JSON format)
+* ``fig08_heft_flat.csv``  -- the same workflow on the buggy flat-backbone
+                              platform (CSV format)
+* ``fig13_thunder.swf``    -- a synthetic Thunder day as a raw SWF trace,
+                              read back through the ``swf`` loader
+
+Everything is seeded, so re-running the script reproduces the committed
+files byte for byte::
+
+    PYTHONPATH=src python examples/batch/make_inputs.py
+    PYTHONPATH=src python -m repro.cli.main batch examples/batch/manifest.json
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.core.model import Schedule
+from repro.dag.montage import montage_50
+from repro.io import save_schedule
+from repro.io.swf import SWFJob, SWFTrace, dump as swf_dump
+from repro.platform.builders import heterogeneous_platform
+from repro.sched.heft import heft_schedule
+from repro.workloads.scheduler import simulate_jobs
+from repro.workloads.thunder import THUNDER_NODES, ThunderSpec, generate_thunder_day
+
+HERE = Path(__file__).parent
+
+
+def fig01_simple() -> Schedule:
+    """The small two-cluster schedule of the paper's annotated example."""
+    s = Schedule(meta={"figure": "01"})
+    s.new_cluster("0", 4, name="cluster 0")
+    s.new_cluster("1", 2, name="cluster 1")
+    s.new_task("t0", "comp", 0.0, 2.0, cluster="0", host_start=0, host_nb=2)
+    s.new_task("t1", "comp", 0.0, 3.0, cluster="0", host_start=2, host_nb=2)
+    s.new_task("t2", "comm", 2.0, 3.5, cluster="0", host_start=0, host_nb=2)
+    s.new_task("t3", "comp", 3.5, 6.0, cluster="0", host_start=0, host_nb=4)
+    s.new_task("t4", "comp", 0.5, 4.0, cluster="1", host_start=0, host_nb=2)
+    s.new_task("t5", "comm", 4.0, 5.0, cluster="1", host_start=0, host_nb=1)
+    s.new_task("t6", "comp", 5.0, 6.5, cluster="1", host_start=0, host_nb=2)
+    return s
+
+
+def fig03_overlap() -> Schedule:
+    """Computation overlapping communication on every host pair."""
+    s = Schedule(meta={"figure": "03"})
+    s.new_cluster("0", 8)
+    for i in range(4):
+        lo = 2 * i
+        s.new_task(f"comp{i}", "comp", 0.5 * i, 4.0 + 0.7 * i,
+                   cluster="0", host_start=lo, host_nb=2)
+        s.new_task(f"comm{i}", "comm", 2.0 + 0.5 * i, 5.5 + 0.7 * i,
+                   cluster="0", host_start=lo, host_nb=2)
+    return s
+
+
+def heft_figure(*, flat_backbone: bool) -> Schedule:
+    graph = montage_50(data_scale=10)
+    platform = heterogeneous_platform(flat_backbone=flat_backbone)
+    return heft_schedule(graph, platform).schedule
+
+
+def fig13_thunder_swf() -> SWFTrace:
+    """A small seeded Thunder day, exported as a raw SWF trace."""
+    jobs = generate_thunder_day(ThunderSpec(n_jobs=150), seed=20070202)
+    scheduled = simulate_jobs(jobs, THUNDER_NODES)
+    trace = SWFTrace()
+    trace.header["MaxProcs"] = str(THUNDER_NODES)
+    trace.jobs = [
+        SWFJob(job_id=r.job.id, submit_time=r.job.submit_time,
+               wait_time=r.wait_time, run_time=r.job.run_time,
+               allocated_procs=r.job.nodes, requested_procs=r.job.nodes,
+               requested_time=r.job.time_limit, status=1, user_id=r.job.user)
+        for r in scheduled
+    ]
+    return trace
+
+
+def main() -> None:
+    save_schedule(fig01_simple(), HERE / "fig01_simple.jed")
+    save_schedule(fig03_overlap(), HERE / "fig03_overlap.jed")
+    save_schedule(heft_figure(flat_backbone=False), HERE / "fig05_heft.json")
+    save_schedule(heft_figure(flat_backbone=True), HERE / "fig08_heft_flat.csv")
+    swf_dump(fig13_thunder_swf(), HERE / "fig13_thunder.swf")
+    for name in ("fig01_simple.jed", "fig03_overlap.jed", "fig05_heft.json",
+                 "fig08_heft_flat.csv", "fig13_thunder.swf"):
+        print(f"wrote {HERE / name}")
+
+
+if __name__ == "__main__":
+    main()

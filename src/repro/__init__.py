@@ -32,7 +32,14 @@ from repro.core import (
     with_composites,
 )
 from repro.io import load_schedule, save_schedule
-from repro.render import export_schedule, render_ascii, render_schedule
+from repro.render import (
+    RenderRequest,
+    RenderResult,
+    execute_request,
+    export_schedule,
+    render_ascii,
+    render_schedule,
+)
 
 __version__ = "1.0.0"
 
@@ -42,6 +49,8 @@ __all__ = [
     "ColorMap",
     "Configuration",
     "HostRange",
+    "RenderRequest",
+    "RenderResult",
     "Schedule",
     "Task",
     "ViewMode",
@@ -49,6 +58,7 @@ __all__ = [
     "__version__",
     "auto_colormap",
     "default_colormap",
+    "execute_request",
     "export_schedule",
     "grayscale_colormap",
     "load_schedule",

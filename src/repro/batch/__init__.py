@@ -1,0 +1,44 @@
+"""Parallel, cached, manifest-driven batch rendering.
+
+The pieces:
+
+* :mod:`repro.batch.manifest` — JSON manifests describing a figure set;
+* :mod:`repro.batch.cache` — the content-addressed render cache;
+* :mod:`repro.batch.runner` — the process-pool runner with per-job
+  robustness (timeout, retry, partial-failure reporting).
+
+Typical use::
+
+    from repro.batch import run_manifest
+
+    report = run_manifest("examples/batch/manifest.json", jobs=4)
+    print(report.summary())
+    if not report.ok:
+        print(report.error_table())
+"""
+
+from repro.batch.cache import RenderCache, cache_key, schedule_digest
+from repro.batch.manifest import BatchManifest, load_manifest, manifest_requests
+from repro.batch.runner import (
+    DEFAULT_CACHE_DIR,
+    BatchReport,
+    batch_record,
+    execute_with_cache,
+    run_batch,
+    run_manifest,
+)
+
+__all__ = [
+    "BatchManifest",
+    "BatchReport",
+    "DEFAULT_CACHE_DIR",
+    "RenderCache",
+    "batch_record",
+    "cache_key",
+    "execute_with_cache",
+    "load_manifest",
+    "manifest_requests",
+    "run_batch",
+    "run_manifest",
+    "schedule_digest",
+]

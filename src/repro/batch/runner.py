@@ -1,0 +1,362 @@
+"""Parallel batch renderer: fan render requests out across worker processes.
+
+The paper's command-line mode exists to mass-produce figures; this runner
+makes that cheap and repeatable.  Each :class:`~repro.render.api.RenderRequest`
+is executed by a ``ProcessPoolExecutor`` worker (requests are plain
+picklable dataclasses), consulting the content-addressed
+:class:`~repro.batch.cache.RenderCache` first: a hit is a file copy, a miss
+renders and populates the cache.
+
+Robustness rules:
+
+* one bad schedule never sinks the batch — the failure is captured in the
+  :class:`BatchReport` and every other job still runs;
+* jobs that exceed ``timeout_s`` are recorded as failures (their worker is
+  abandoned at shutdown rather than awaited);
+* failed jobs are retried up to ``retries`` extra rounds with exponential
+  backoff, for transient failures (NFS hiccups, OOM-killed workers).
+
+The parent process owns observability: per-job spans
+(``batch.job``), cache hit/miss counters (``batch.cache.hit`` /
+``batch.cache.miss``) and — via :func:`batch_record` — one run-registry
+record per batch.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from dataclasses import replace as dc_replace
+from pathlib import Path
+from time import perf_counter
+
+from repro.batch.cache import (
+    RenderCache,
+    cache_key_from_digest,
+    schedule_digest,
+    stat_token,
+)
+from repro.batch.manifest import BatchManifest, load_manifest
+from repro.errors import BatchError, ReproError
+from repro.obs import core as _obs
+from repro.render.api import RenderRequest, RenderResult
+
+__all__ = ["BatchReport", "run_batch", "run_manifest", "batch_record",
+           "execute_with_cache", "DEFAULT_CACHE_DIR"]
+
+#: Cache location when a batch asks for caching but names no directory.
+DEFAULT_CACHE_DIR = ".jedule-cache"
+
+
+def execute_with_cache(request: RenderRequest,
+                       cache_dir: str | None) -> RenderResult:
+    """Execute one request through the content-addressed cache.
+
+    This is the process-pool worker entry point, but it is just as happy
+    running inline (``jobs=1``).  With ``cache_dir=None`` it degrades to a
+    plain :func:`~repro.render.api.execute_request`.
+    """
+    from repro.render.api import execute_request
+
+    started = perf_counter()
+    if cache_dir is None:
+        return execute_request(request)
+
+    cache = RenderCache(cache_dir)
+    schedule = None
+    digest = (cache.digest_hint(request.input_path)
+              if request.input_path else None)
+    if digest is None:
+        token = stat_token(request.input_path) if request.input_path else None
+        schedule = request.load_schedule()
+        digest = schedule_digest(schedule)
+        if request.input_path:
+            cache.remember_digest(request.input_path, digest, token=token)
+    key = cache_key_from_digest(digest, request)
+    data = cache.get(key)
+    if data is not None:
+        if request.output_path is not None:
+            out = Path(request.output_path)
+            out.parent.mkdir(parents=True, exist_ok=True)
+            out.write_bytes(data)
+        return RenderResult(
+            input_path=request.input_path,
+            output_path=request.output_path,
+            format=request.resolved_output_format(),
+            nbytes=len(data),
+            duration_s=perf_counter() - started,
+            cache="hit",
+            data=None if request.output_path is not None else data,
+        )
+    from repro.render.api import render_request_bytes
+
+    if schedule is None:
+        schedule = request.load_schedule()
+    rendered = render_request_bytes(request, schedule)
+    cache.put(key, rendered)
+    if request.output_path is not None:
+        out = Path(request.output_path)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_bytes(rendered)
+    return RenderResult(
+        input_path=request.input_path,
+        output_path=request.output_path,
+        format=request.resolved_output_format(),
+        nbytes=len(rendered),
+        duration_s=perf_counter() - started,
+        cache="miss",
+        data=None if request.output_path is not None else rendered,
+    )
+
+
+def _fmt(request: RenderRequest) -> str:
+    """Best-effort output format for report rows (never raises)."""
+    try:
+        return request.resolved_output_format()
+    except ReproError:
+        return "?"
+
+
+def _worker(request: RenderRequest, cache_dir: str | None) -> RenderResult:
+    """Pool entry point: never raises; failures come back as results."""
+    started = perf_counter()
+    try:
+        return execute_with_cache(request, cache_dir)
+    except ReproError as exc:
+        error = str(exc)
+    except Exception as exc:  # defensive: a worker crash must stay a report row
+        error = f"{type(exc).__name__}: {exc}"
+    return RenderResult(
+        input_path=request.input_path,
+        output_path=request.output_path,
+        format=_fmt(request),
+        nbytes=0,
+        duration_s=perf_counter() - started,
+        cache="off" if cache_dir is None else "miss",
+        error=error,
+    )
+
+
+@dataclass
+class BatchReport:
+    """Outcome of one batch run."""
+
+    results: list[RenderResult] = field(default_factory=list)
+    elapsed_s: float = 0.0
+    workers: int = 1
+    cache_dir: str | None = None
+    name: str = "batch"
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    @property
+    def failures(self) -> list[RenderResult]:
+        return [r for r in self.results if not r.ok]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for r in self.results if r.cache == "hit")
+
+    @property
+    def cache_misses(self) -> int:
+        return sum(1 for r in self.results if r.ok and r.cache == "miss")
+
+    def error_table(self) -> str:
+        """Human-readable per-job failure table (empty string when ok)."""
+        rows = self.failures
+        if not rows:
+            return ""
+        width = max(len(str(r.input_path)) for r in rows)
+        lines = [f"{'input':<{width}}  attempts  error"]
+        for r in rows:
+            lines.append(f"{str(r.input_path):<{width}}  {r.attempts:>8}  {r.error}")
+        return "\n".join(lines) + "\n"
+
+    def summary(self) -> str:
+        done = len(self.results) - len(self.failures)
+        return (f"{self.name}: {done}/{len(self.results)} job(s) ok, "
+                f"{self.cache_hits} cache hit(s), "
+                f"{self.cache_misses} miss(es), "
+                f"{len(self.failures)} failed, "
+                f"{self.elapsed_s:.2f}s on {self.workers} worker(s)")
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "elapsed_s": self.elapsed_s,
+            "workers": self.workers,
+            "cache_dir": self.cache_dir,
+            "jobs": [r.to_json() for r in self.results],
+        }
+
+
+def _run_serial(requests, cache_dir, report: BatchReport) -> None:
+    for request in requests:
+        with _obs.span("batch.job", input=str(request.input_path)) as sp:
+            result = _worker(request, cache_dir)
+            sp.set(cache=result.cache, ok=result.ok)
+        report.results.append(result)
+        _record_result(result)
+
+
+def _record_result(result: RenderResult) -> None:
+    if result.cache == "hit":
+        _obs.add("batch.cache.hit")
+    elif result.ok and result.cache == "miss":
+        _obs.add("batch.cache.miss")
+    _obs.add("batch.jobs.ok" if result.ok else "batch.jobs.failed")
+
+
+def _run_pool(requests, cache_dir, jobs, timeout_s,
+              report: BatchReport) -> None:
+    pending: dict[Future, tuple[int, RenderRequest]] = {}
+    slots: dict[int, RenderResult | None] = {}
+    executor = ProcessPoolExecutor(max_workers=jobs)
+    abandoned = False
+    try:
+        for i, request in enumerate(requests):
+            slots[i] = None
+            pending[executor.submit(_worker, request, cache_dir)] = (i, request)
+        deadline = None if timeout_s is None else time.monotonic() + timeout_s
+        while pending:
+            remaining = None if deadline is None \
+                else max(deadline - time.monotonic(), 0.0)
+            done, _ = wait(set(pending), timeout=remaining,
+                           return_when=FIRST_COMPLETED)
+            if not done:  # batch deadline hit: fail whatever is still out
+                for future, (i, request) in pending.items():
+                    future.cancel()
+                    slots[i] = RenderResult(
+                        input_path=request.input_path,
+                        output_path=request.output_path,
+                        format=_fmt(request),
+                        nbytes=0, duration_s=timeout_s or 0.0, cache="miss",
+                        error=f"timed out after {timeout_s:g}s")
+                abandoned = True
+                break
+            for future in done:
+                i, request = pending.pop(future)
+                try:
+                    result = future.result()
+                except Exception as exc:  # BrokenProcessPool and friends
+                    result = RenderResult(
+                        input_path=request.input_path,
+                        output_path=request.output_path,
+                        format=_fmt(request),
+                        nbytes=0, duration_s=0.0, cache="miss",
+                        error=f"worker died: {type(exc).__name__}: {exc}")
+                slots[i] = result
+    finally:
+        # wait=False + cancel lets a hung worker be abandoned instead of
+        # blocking the whole batch on shutdown.
+        executor.shutdown(wait=not abandoned, cancel_futures=True)
+    for i in sorted(slots):
+        result = slots[i]
+        if result is None:  # cancelled before running (deadline path)
+            request = requests[i]
+            result = RenderResult(
+                input_path=request.input_path, output_path=request.output_path,
+                format=_fmt(request), nbytes=0,
+                duration_s=0.0, cache="miss",
+                error=f"timed out after {timeout_s:g}s")
+        report.results.append(result)
+        _record_result(result)
+
+
+def run_batch(
+    requests,
+    *,
+    jobs: int | None = None,
+    cache_dir: str | Path | None = DEFAULT_CACHE_DIR,
+    use_cache: bool = True,
+    timeout_s: float | None = None,
+    retries: int = 1,
+    backoff_s: float = 0.25,
+    name: str = "batch",
+) -> BatchReport:
+    """Render a batch of requests, in parallel, through the render cache.
+
+    ``jobs`` defaults to ``os.cpu_count()``; ``timeout_s`` bounds the whole
+    batch (per retry round).  Failed jobs are retried up to ``retries``
+    extra rounds with exponential backoff.  Never raises for per-job
+    failures — inspect ``report.ok`` / ``report.failures``; raises
+    :class:`~repro.errors.BatchError` only when the batch itself is
+    unrunnable (no requests, bad worker count).
+    """
+    requests = list(requests)
+    if not requests:
+        raise BatchError("batch has no render jobs")
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise BatchError(f"need >= 1 worker, got {jobs}")
+    if retries < 0:
+        raise BatchError(f"retries must be >= 0, got {retries}")
+    cache = str(cache_dir) if (use_cache and cache_dir is not None) else None
+
+    report = BatchReport(workers=jobs, cache_dir=cache, name=name)
+    started = perf_counter()
+    with _obs.span("batch.run", jobs=len(requests), workers=jobs,
+                   cache=cache or "off"):
+        if jobs == 1 or len(requests) == 1:
+            _run_serial(requests, cache, report)
+        else:
+            _run_pool(requests, cache, jobs, timeout_s, report)
+
+        round_no = 0
+        while not report.ok and round_no < retries:
+            round_no += 1
+            time.sleep(backoff_s * (2 ** (round_no - 1)))
+            retry_idx = [i for i, r in enumerate(report.results) if not r.ok]
+            retry_requests = [requests[i] for i in retry_idx]
+            _obs.add("batch.jobs.retried", len(retry_requests))
+            sub = BatchReport(workers=jobs, cache_dir=cache)
+            with _obs.span("batch.retry", round=round_no,
+                           jobs=len(retry_requests)):
+                if jobs == 1 or len(retry_requests) == 1:
+                    _run_serial(retry_requests, cache, sub)
+                else:
+                    _run_pool(retry_requests, cache, jobs, timeout_s, sub)
+            for slot, result in zip(retry_idx, sub.results):
+                report.results[slot] = dc_replace(
+                    result, attempts=report.results[slot].attempts + 1)
+    report.elapsed_s = perf_counter() - started
+    _obs.gauge("batch.elapsed_s", report.elapsed_s)
+    return report
+
+
+def run_manifest(
+    manifest: BatchManifest | str | Path,
+    **kwargs,
+) -> BatchReport:
+    """Run a parsed (or on-disk) manifest; manifest cache_dir is the default."""
+    if not isinstance(manifest, BatchManifest):
+        manifest = load_manifest(manifest)
+    kwargs.setdefault("cache_dir", manifest.cache_dir or DEFAULT_CACHE_DIR)
+    kwargs.setdefault("name", manifest.name)
+    return run_batch(manifest.requests, **kwargs)
+
+
+def batch_record(report: BatchReport, *, suite: str = "batch",
+                 trace=None, meta: dict | None = None):
+    """Build a run-registry record for one batch (append with ``RunLog``)."""
+    from repro.obs.runlog import record_from_trace
+
+    record = record_from_trace(
+        suite, report.name, trace,
+        timings_s={"batch_elapsed": [report.elapsed_s]},
+        meta={"workers": report.workers, "jobs": len(report.results),
+              "cache_dir": report.cache_dir,
+              "failed": [str(r.input_path) for r in report.failures],
+              **(meta or {})})
+    # the trace counts per attempt; the report's final outcomes win
+    record.counters["batch.cache.hit"] = float(report.cache_hits)
+    record.counters["batch.cache.miss"] = float(report.cache_misses)
+    record.counters["batch.jobs.ok"] = float(
+        len(report.results) - len(report.failures))
+    record.counters["batch.jobs.failed"] = float(len(report.failures))
+    return record

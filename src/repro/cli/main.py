@@ -3,6 +3,7 @@
 Subcommands::
 
     jedule render   schedule.jed -o out.png [--cmap map.xml] [--grayscale] ...
+    jedule batch    manifest.json [--jobs N] [--no-cache] ...
     jedule convert  schedule.jed out.json
     jedule info     schedule.jed
     jedule validate schedule.jed
@@ -11,7 +12,13 @@ Subcommands::
 ``render`` supports the parameters the paper names: output format, color
 map, width/height, scaled/aligned cluster time frames, plus style files,
 grayscale conversion, composite-task synthesis, type/cluster filters and a
-time window — everything needed to batch-produce figures from scripts.
+time window.  ``batch`` mass-produces a whole manifest of figures through
+the parallel, content-addressed-cached runner in :mod:`repro.batch`.
+
+Every subcommand loads its inputs through
+:func:`repro.io.registry.load_schedule`, so explicit ``--input-format``,
+suffix dispatch and content sniffing all behave identically everywhere,
+and renders through a single :class:`repro.render.api.RenderRequest`.
 """
 
 from __future__ import annotations
@@ -20,19 +27,14 @@ import argparse
 import sys
 from pathlib import Path
 
-from repro.core.colormap import ColorMap, auto_colormap, default_colormap
-from repro.core.composite import with_composites
 from repro.core.stats import idle_area, per_type_area, utilization
 from repro.core.timeframe import ViewMode
 from repro.core.validate import validate_schedule
-from repro.core.viewport import Viewport
 from repro.errors import ReproError
-from repro.io import colormap_xml, load_schedule, save_schedule
+from repro.io import load_schedule, save_schedule
 from repro.io.registry import available_formats
-from repro.render.api import OUTPUT_FORMATS, export_schedule
-from repro.render.backends.ascii_art import render_ascii
+from repro.render.api import OUTPUT_FORMATS, RenderRequest, execute_request
 from repro.render.lod import LOD_MODES
-from repro.render.style import Style, load_style_file
 
 __all__ = ["main", "build_parser"]
 
@@ -101,6 +103,29 @@ def build_parser() -> argparse.ArgumentParser:
                              "schedule metrics, env fingerprint) to this "
                              "JSONL run registry")
 
+    batch = sub.add_parser("batch",
+                           help="render a whole manifest of figures in "
+                                "parallel, with a content-addressed cache")
+    batch.add_argument("manifest", help="batch manifest JSON file")
+    batch.add_argument("-j", "--jobs", type=int,
+                       help="worker processes (default: all CPU cores)")
+    batch.add_argument("--cache-dir",
+                       help="render cache directory (default: from the "
+                            "manifest, else '.jedule-cache' next to it)")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="render everything, bypassing the cache")
+    batch.add_argument("--timeout", type=float, metavar="SECONDS",
+                       help="per-batch deadline; unfinished jobs fail")
+    batch.add_argument("--retries", type=int, default=1,
+                       help="extra attempts for failed jobs (default: 1)")
+    batch.add_argument("--stats", action="store_true",
+                       help="print a per-stage timing/counter summary")
+    batch.add_argument("--trace", metavar="OUT.json",
+                       help="write a Chrome trace-event JSON of this run")
+    batch.add_argument("--runlog", metavar="RUNLOG.jsonl",
+                       help="append a batch run record (jobs, cache "
+                            "hits/misses, timings) to this JSONL registry")
+
     convert = sub.add_parser("convert", help="convert between schedule formats")
     add_input(convert)
     convert.add_argument("output", help="output schedule file")
@@ -167,66 +192,41 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _load_cmap(args: argparse.Namespace, schedule) -> ColorMap:
-    if getattr(args, "cmap", None):
-        cmap = colormap_xml.load(args.cmap)
-    elif getattr(args, "auto_colors", None) is not None:
-        key = args.auto_colors or None
-        cmap = default_colormap().merged_with(auto_colormap(schedule, key=key))
-    else:
-        cmap = default_colormap()
-    if getattr(args, "grayscale", False):
-        cmap = cmap.to_grayscale()
-    return cmap
+def _request_from_args(args: argparse.Namespace, input_path: str,
+                       output: Path) -> RenderRequest:
+    """Map the ``render`` argparse namespace onto one RenderRequest."""
+    return RenderRequest(
+        input_path=str(input_path),
+        input_format=args.input_format,
+        output_path=str(output),
+        output_format=args.format,
+        width=args.width,
+        height=args.height,
+        mode=args.mode,
+        title=args.title,
+        lod=args.lod,
+        style_path=args.style,
+        cmap_path=args.cmap or None,
+        grayscale=args.grayscale,
+        auto_colors=args.auto_colors,
+        types=args.types,
+        clusters=args.clusters,
+        window=tuple(args.window) if args.window else None,
+        composites=args.composites,
+        with_profile=args.with_profile,
+    )
 
 
 def _render_one(args: argparse.Namespace, input_path: str, output: Path) -> None:
-    schedule = load_schedule(input_path, args.input_format)
+    request = _request_from_args(args, input_path, output)
+    schedule = request.load_schedule()
     if getattr(args, "runlog", None):
         from repro.obs.runlog import schedule_metrics
 
         # metrics of the rendered schedule land in the run record
-        # (last input wins for batch renders; inputs are listed in meta)
+        # (last input wins for multi-input renders; inputs listed in meta)
         args._schedule_metrics = schedule_metrics(schedule)
-    if args.types or args.clusters or args.window:
-        schedule = schedule.filtered(
-            types=args.types,
-            clusters=args.clusters,
-            time_window=tuple(args.window) if args.window else None,
-        )
-    if args.composites:
-        schedule = with_composites(schedule)
-    cmap = _load_cmap(args, schedule)
-    style = load_style_file(args.style) if args.style else Style()
-    viewport = None
-    if args.window:
-        full = Viewport.fit(schedule)
-        viewport = full.zoom_to(args.window[0], args.window[1])
-
-    if args.with_profile:
-        from repro.render.api import format_from_suffix, render_drawing
-        from repro.render.compose import stack_drawings
-        from repro.render.layout import LayoutOptions, layout_schedule
-        from repro.render.profile import layout_profile
-
-        gantt = layout_schedule(
-            schedule, cmap=cmap, style=style, viewport=viewport, lod=args.lod,
-            options=LayoutOptions(width=args.width, height=args.height,
-                                  mode=ViewMode.parse(args.mode),
-                                  title=args.title))
-        profile = layout_profile(schedule, cmap=cmap, style=style,
-                                 width=args.width,
-                                 height=max(args.height // 3, 140))
-        drawing = stack_drawings([gantt, profile])
-        fmt = args.format or format_from_suffix(output)
-        output.write_bytes(render_drawing(drawing, fmt))
-    else:
-        export_schedule(
-            schedule, output, args.format,
-            cmap=cmap, style=style, width=args.width, height=args.height,
-            mode=ViewMode.parse(args.mode), title=args.title, viewport=viewport,
-            lod=args.lod,
-        )
+    execute_request(request, schedule)
     print(f"wrote {output}")
 
 
@@ -239,6 +239,8 @@ def _export_observability(args: argparse.Namespace, trace) -> None:
                                     encoding="utf-8")
         print(f"wrote {args.trace} ({len(trace.spans)} spans)")
     if args.trace_gantt:
+        from repro.render.api import export_schedule
+
         gantt = obs.trace_to_schedule(trace)
         export_schedule(gantt, Path(args.trace_gantt),
                         title="repro pipeline trace")
@@ -287,6 +289,41 @@ def _run_render(args: argparse.Namespace) -> int:
         print("error: several inputs need --outdir", file=sys.stderr)
         return 2
     _render_one(args, args.input[0], Path(args.output))
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from repro.batch import batch_record, load_manifest, run_manifest
+
+    manifest = load_manifest(args.manifest)
+    kwargs = dict(jobs=args.jobs, use_cache=not args.no_cache,
+                  timeout_s=args.timeout, retries=args.retries)
+    if args.cache_dir:
+        kwargs["cache_dir"] = args.cache_dir
+
+    if args.stats or args.trace or args.runlog:
+        from repro import obs
+
+        with obs.capture() as trace:
+            report = run_manifest(manifest, **kwargs)
+        if args.trace:
+            Path(args.trace).write_text(obs.to_chrome_json(trace, indent=2),
+                                        encoding="utf-8")
+            print(f"wrote {args.trace} ({len(trace.spans)} spans)")
+        if args.stats:
+            print(obs.summary_table(trace), end="")
+        if args.runlog:
+            record = batch_record(report, trace=trace,
+                                  meta={"manifest": str(args.manifest)})
+            obs.RunLog(args.runlog).append(record)
+            print(f"logged run {record.run_id} to {args.runlog}")
+    else:
+        report = run_manifest(manifest, **kwargs)
+
+    print(report.summary())
+    if not report.ok:
+        print(report.error_table(), end="", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -415,6 +452,7 @@ def _cmd_view(args: argparse.Namespace) -> int:
 
 _COMMANDS = {
     "render": _cmd_render,
+    "batch": _cmd_batch,
     "convert": _cmd_convert,
     "info": _cmd_info,
     "validate": _cmd_validate,

@@ -14,6 +14,7 @@ __all__ = [
     "ParseError",
     "ColorError",
     "RenderError",
+    "BatchError",
     "PlatformError",
     "SchedulingError",
     "SimulationError",
@@ -53,6 +54,14 @@ class ColorError(ReproError):
 
 class RenderError(ReproError):
     """Rendering/layout failure (bad geometry, unsupported canvas op...)."""
+
+
+class BatchError(ReproError):
+    """The batch runner could not run at all (bad manifest, no jobs...).
+
+    Per-job render failures do *not* raise this — they land in the batch
+    report so one bad schedule never sinks the rest of the batch.
+    """
 
 
 class PlatformError(ReproError):

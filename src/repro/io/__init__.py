@@ -1,12 +1,14 @@
-"""Schedule and color-map IO: Jedule XML, JSON, CSV, SWF, format registry."""
+"""Schedule and color-map IO: Jedule XML, JSON, CSV, SWF, Pajé, format registry."""
 
 from repro.io import colormap_xml, csv_fmt, jedule_xml, json_fmt, paje, swf
 from repro.io.registry import (
     FormatSpec,
     available_formats,
+    format_for,
     load_schedule,
     register_format,
     save_schedule,
+    sniff_format,
 )
 
 __all__ = [
@@ -14,11 +16,13 @@ __all__ = [
     "available_formats",
     "colormap_xml",
     "csv_fmt",
+    "format_for",
     "jedule_xml",
     "json_fmt",
     "paje",
     "load_schedule",
     "register_format",
     "save_schedule",
+    "sniff_format",
     "swf",
 ]

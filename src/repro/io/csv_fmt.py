@@ -8,9 +8,11 @@ One row per (task, configuration) pair::
 
 ``hosts`` uses the compact range syntax ``a-b`` with comma-separated runs.
 Clusters are declared in comment header lines ``# cluster,<id>,<hosts>[,name]``
-so a CSV file round-trips without external platform information; when absent,
-clusters are inferred (one per distinct cluster column value, sized by the
-largest host index seen).
+and schedule-level metadata in ``# meta,<key>,<value>`` lines, so a CSV
+file round-trips without external platform information; when cluster
+declarations are absent, clusters are inferred (one per distinct cluster
+column value, sized by the largest host index seen).  Per-task metadata has
+no CSV column and is the format's one lossy corner.
 """
 
 from __future__ import annotations
@@ -66,6 +68,8 @@ def dumps(schedule: Schedule) -> str:
     buf = _io.StringIO()
     for c in schedule.clusters:
         buf.write(f"# cluster,{c.id},{c.num_hosts},{c.name}\n")
+    for key, value in schedule.meta.items():
+        buf.write(f"# meta,{key},{value}\n")
     writer = csv.writer(buf, lineterminator="\n")
     writer.writerow(_COLUMNS)
     for t in schedule.tasks:
@@ -100,6 +104,12 @@ def loads(text: str, *, source: str = "<string>") -> Schedule:
             except (ValueError, ScheduleError) as exc:
                 raise ParseError(f"bad cluster declaration {line!r} ({exc})",
                                  source=source, line=lineno) from None
+        elif line.startswith("# meta,"):
+            key, _, value = line[len("# meta,"):].partition(",")
+            if not key:
+                raise ParseError(f"bad meta declaration {line!r}",
+                                 source=source, line=lineno)
+            schedule.meta[key] = value
         elif line.startswith("#") or not line.strip():
             continue
         else:

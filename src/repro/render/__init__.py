@@ -2,9 +2,13 @@
 
 from repro.render.api import (
     OUTPUT_FORMATS,
+    RenderRequest,
+    RenderResult,
+    execute_request,
     export_schedule,
     format_from_suffix,
     render_drawing,
+    render_request_bytes,
     render_schedule,
 )
 from repro.render.backends import render_ascii
@@ -25,13 +29,17 @@ __all__ = [
     "LodOptions",
     "OUTPUT_FORMATS",
     "Rect",
+    "RenderRequest",
+    "RenderResult",
     "Style",
     "Text",
     "VAlign",
     "compare_schedules",
+    "execute_request",
     "export_dag",
     "export_profile",
     "export_schedule",
+    "render_request_bytes",
     "format_from_suffix",
     "layout_dag",
     "layout_profile",

@@ -3,6 +3,7 @@
 from repro.workloads.bridge import (
     HIGHLIGHT_TYPE,
     JOB_TYPE,
+    schedule_from_swf,
     workload_colormap,
     workload_schedule,
 )
@@ -51,6 +52,7 @@ __all__ = [
     "iter_jobs_from_swf",
     "jobs_from_swf",
     "jobs_to_swf",
+    "schedule_from_swf",
     "thunder_day_from_swf",
     "simulate_jobs",
     "workload_colormap",

@@ -1,0 +1,97 @@
+"""Tests for the content-addressed render cache."""
+
+from __future__ import annotations
+
+import os
+
+from repro.batch.cache import (
+    RenderCache,
+    cache_key,
+    cache_key_from_digest,
+    schedule_digest,
+    stat_token,
+)
+from repro.io import save_schedule
+from repro.io.registry import load_schedule
+from repro.render.api import RenderRequest
+
+
+def test_digest_format_independent(tmp_path, simple_schedule):
+    """XML, JSON and CSV encodings of one schedule share a digest."""
+    digests = set()
+    for suffix in (".jed", ".json", ".csv"):
+        path = tmp_path / f"s{suffix}"
+        save_schedule(simple_schedule, path)
+        digests.add(schedule_digest(load_schedule(path)))
+    assert len(digests) == 1
+
+
+def test_digest_sees_content_changes(simple_schedule, overlap_schedule):
+    assert schedule_digest(simple_schedule) != schedule_digest(overlap_schedule)
+
+
+def test_cache_key_depends_on_options(simple_schedule):
+    base = RenderRequest(output_format="png")
+    assert cache_key(simple_schedule, base) == cache_key(simple_schedule, base)
+    assert cache_key(simple_schedule, base) \
+        != cache_key(simple_schedule, base.with_options(width=1200))
+    assert cache_key(simple_schedule, base) \
+        != cache_key(simple_schedule, base.with_options(output_format="svg"))
+
+
+def test_cache_key_ignores_paths(simple_schedule):
+    a = RenderRequest(input_path="a.jed", output_path="x/a.png")
+    b = RenderRequest(input_path="b.jed", output_path="y/b.png")
+    assert cache_key(simple_schedule, a) == cache_key(simple_schedule, b)
+
+
+def test_put_get_roundtrip(tmp_path):
+    cache = RenderCache(tmp_path / "cache")
+    key = "ab" + "0" * 62
+    assert cache.get(key) is None
+    assert cache.misses == 1
+    cache.put(key, b"payload")
+    assert cache.get(key) == b"payload"
+    assert cache.hits == 1
+    assert key in cache
+    assert len(cache) == 1
+    assert cache.clear() == 1
+    assert len(cache) == 0
+
+
+def test_stat_index_skips_reparse(tmp_path, simple_schedule):
+    path = tmp_path / "s.jed"
+    save_schedule(simple_schedule, path)
+    cache = RenderCache(tmp_path / "cache")
+
+    assert cache.digest_hint(path) is None
+    digest = schedule_digest(simple_schedule)
+    cache.remember_digest(path, digest)
+    assert cache.digest_hint(path) == digest
+    # the stat index is bookkeeping, not a blob
+    assert len(cache) == 0
+
+
+def test_stat_index_invalidated_by_rewrite(tmp_path, simple_schedule,
+                                           overlap_schedule):
+    path = tmp_path / "s.jed"
+    save_schedule(simple_schedule, path)
+    cache = RenderCache(tmp_path / "cache")
+    cache.remember_digest(path, schedule_digest(simple_schedule))
+
+    save_schedule(overlap_schedule, path)
+    os.utime(path, ns=(1, 1))  # force a different mtime_ns even on fast FS
+    assert cache.digest_hint(path) is None
+
+
+def test_stat_token_none_for_missing_file(tmp_path):
+    assert stat_token(tmp_path / "nope.jed") is None
+    cache = RenderCache(tmp_path / "cache")
+    assert cache.digest_hint(tmp_path / "nope.jed") is None
+    cache.remember_digest(tmp_path / "nope.jed", "d")  # silently a no-op
+
+
+def test_key_from_digest_matches_cache_key(simple_schedule):
+    request = RenderRequest(output_format="png")
+    assert cache_key(simple_schedule, request) == cache_key_from_digest(
+        schedule_digest(simple_schedule), request)

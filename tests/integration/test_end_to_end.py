@@ -17,7 +17,7 @@ from repro.dag.moldable import AmdahlModel
 from repro.dag.montage import montage_50
 from repro.io import jedule_xml, load_schedule, save_schedule
 from repro.platform.builders import heterogeneous_platform, homogeneous_cluster
-from repro.render.api import render_schedule
+from repro.render.api import RenderRequest, render_request_bytes
 from repro.render.layout import layout_schedule
 from repro.render.png_codec import decode_png
 from repro.sched.cpa import cpa_schedule
@@ -33,6 +33,11 @@ from repro.workloads.thunder import ThunderSpec, generate_thunder_day
 MODEL = AmdahlModel(0.02)
 
 
+def _render(schedule, fmt, **options):
+    return render_request_bytes(
+        RenderRequest(output_format=fmt, **options), schedule)
+
+
 def test_mtask_pipeline_to_disk_and_back(tmp_path):
     """Case study 1 pipeline: schedule with CPA, export XML, reload, render."""
     g = imbalanced_layer_dag(width=10, seed=2)
@@ -46,7 +51,7 @@ def test_mtask_pipeline_to_disk_and_back(tmp_path):
     assert len(back) == len(g)
     assert back.makespan == pytest.approx(result.makespan)
 
-    png = render_schedule(back, "png", width=600, height=300)
+    png = _render(back, "png", width=600, height=300)
     assert decode_png(png).shape == (300, 600, 3)
 
 
@@ -57,7 +62,7 @@ def test_heft_pipeline_with_transfers_and_composites(tmp_path):
     s = result.schedule
     assert len(s.clusters) == 4
     for mode in ("aligned", "scaled"):
-        svg = render_schedule(s, "svg", mode=mode,
+        svg = _render(s, "svg", mode=mode,
                               cmap=auto_colormap(s), width=800, height=500)
         assert b"task:mAdd" in svg
 
@@ -95,7 +100,7 @@ def test_workload_pipeline_with_selection(tmp_path):
     highlighted = sel.highlighted_schedule(highlight_type="job:highlight")
     assert len(highlighted.tasks_of_type("job:highlight")) == n
 
-    svg = render_schedule(highlighted, "svg", width=900, height=500)
+    svg = _render(highlighted, "svg", width=900, height=500)
     assert svg.startswith(b"<?xml")
 
 
@@ -124,7 +129,7 @@ def test_grayscale_export_pipeline(tmp_path):
     g = imbalanced_layer_dag(width=5, seed=6)
     result = cpa_schedule(g, homogeneous_cluster(8, 1e9), MODEL)
     gray = default_colormap().to_grayscale()
-    png = render_schedule(result.schedule, "png", cmap=gray,
+    png = _render(result.schedule, "png", cmap=gray,
                           width=400, height=250)
     img = decode_png(png)
     # every pixel is gray (r == g == b)

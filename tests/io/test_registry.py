@@ -76,3 +76,72 @@ def test_read_only_format(tmp_path, simple_schedule):
 def test_format_for_case_insensitive(tmp_path):
     assert format_for(tmp_path / "a.JSON").name == "json"
     assert format_for(tmp_path / "a.xyz", format="JEDULE").name == "jedule"
+
+
+# ------------------------------------------- content sniffing + direction
+
+
+def test_sniff_json_under_unknown_suffix(tmp_path, simple_schedule):
+    path = tmp_path / "schedule.dat"
+    save_schedule(simple_schedule, path, format="json")
+    assert len(load_schedule(path)) == 2  # no format, no known suffix
+
+
+def test_sniff_jedule_without_extension(tmp_path, simple_schedule):
+    path = tmp_path / "schedule"
+    save_schedule(simple_schedule, path, format="jedule")
+    assert format_for(path).name == "jedule"
+    assert len(load_schedule(path)) == 2
+
+
+def test_sniff_csv_under_txt(tmp_path, simple_schedule):
+    path = tmp_path / "schedule.txt"
+    save_schedule(simple_schedule, path, format="csv")
+    assert len(load_schedule(path)) == 2
+
+
+def test_sniff_does_not_mask_bad_content(tmp_path):
+    path = tmp_path / "mystery.bin"
+    path.write_bytes(b"\x00\x01\x02 nothing schedule-like")
+    with pytest.raises(ParseError, match="cannot infer"):
+        load_schedule(path)
+
+
+def test_save_never_sniffs_target_content(tmp_path, simple_schedule):
+    """A pre-existing file must not decide the format a save dispatches to."""
+    path = tmp_path / "out.weird"
+    path.write_text("{}")  # looks like JSON
+    with pytest.raises(ParseError, match="cannot infer"):
+        save_schedule(simple_schedule, path)
+
+
+def test_swf_format_is_read_only(tmp_path, simple_schedule):
+    assert "swf" in available_formats()
+    with pytest.raises(ParseError, match="read-only"):
+        save_schedule(simple_schedule, tmp_path / "x.swf")
+
+
+def test_paje_format_is_write_only(tmp_path, simple_schedule):
+    assert "paje" in available_formats()
+    path = tmp_path / "x.paje"
+    save_schedule(simple_schedule, path)
+    assert path.stat().st_size > 0
+    with pytest.raises(ParseError, match="write-only"):
+        load_schedule(path)
+
+
+def test_swf_loads_as_schedule(tmp_path):
+    path = tmp_path / "trace.swf"
+    path.write_text("; MaxProcs: 8\n"
+                    "1 0.0 0.0 10.0 4 -1 -1 4 10.0 -1 1 7 -1 -1 -1 -1 -1 -1\n"
+                    "2 0.0 10.0 5.0 8 -1 -1 8 5.0 -1 1 7 -1 -1 -1 -1 -1 -1\n")
+    schedule = load_schedule(path)
+    assert len(schedule) == 2
+    assert schedule.num_hosts == 8
+    assert schedule.task("1").start_time == 0.0
+    assert schedule.task("2").start_time == 10.0
+
+
+def test_registering_formatless_format_rejected():
+    with pytest.raises(ValueError, match="needs a loader or a saver"):
+        register_format("void", (".void",), None, None, overwrite=True)

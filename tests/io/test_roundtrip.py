@@ -1,0 +1,84 @@
+"""Round-trip tests across every registered format pair.
+
+For every format that can both save and load, a schedule must survive
+save -> load with its canonical dict form intact (CSV is allowed to drop
+per-task metadata — its documented lossy corner — but nothing else).
+Conversions between any (writable, readable) format pair must preserve the
+canonical form too, since they all meet in the same in-memory model.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.io.json_fmt import to_dict
+from repro.io.registry import (
+    _REGISTRY,
+    available_formats,
+    load_schedule,
+    save_schedule,
+)
+
+#: formats that can round-trip on their own
+_TWO_WAY = sorted(name for name, spec in _REGISTRY.items()
+                  if spec.can_load and spec.can_save)
+
+
+def _strip_task_meta(doc: dict) -> dict:
+    doc = dict(doc)
+    doc["tasks"] = [{**t, "meta": {}} for t in doc["tasks"]]
+    return doc
+
+
+def _canonical(schedule, fmt: str) -> dict:
+    doc = to_dict(schedule)
+    return _strip_task_meta(doc) if fmt == "csv" else doc
+
+
+@pytest.mark.parametrize("fmt", _TWO_WAY)
+@pytest.mark.parametrize("fixture", ["simple_schedule", "overlap_schedule",
+                                     "multi_cluster_schedule"])
+def test_save_load_roundtrip(tmp_path, request, fmt, fixture):
+    schedule = request.getfixturevalue(fixture)
+    suffix = _REGISTRY[fmt].suffixes[0]
+    path = tmp_path / f"s{suffix}"
+    save_schedule(schedule, path, format=fmt)
+    back = load_schedule(path, format=fmt)
+    assert _canonical(back, fmt) == _canonical(schedule, fmt)
+
+
+@pytest.mark.parametrize("src", _TWO_WAY)
+@pytest.mark.parametrize("dst", _TWO_WAY)
+def test_cross_format_conversion(tmp_path, simple_schedule, src, dst):
+    """Every format pair converges on the same canonical schedule."""
+    first = tmp_path / f"a{_REGISTRY[src].suffixes[0]}"
+    second = tmp_path / f"b{_REGISTRY[dst].suffixes[0]}"
+    save_schedule(simple_schedule, first, format=src)
+    save_schedule(load_schedule(first, format=src), second, format=dst)
+    back = load_schedule(second, format=dst)
+    lossy = "csv" in (src, dst)
+    expect = _strip_task_meta(to_dict(simple_schedule)) if lossy \
+        else to_dict(simple_schedule)
+    got = _strip_task_meta(to_dict(back)) if lossy else to_dict(back)
+    assert got == expect
+
+
+def test_second_roundtrip_is_stable(tmp_path, simple_schedule):
+    """After one trip through any format, further trips are the identity."""
+    for fmt in _TWO_WAY:
+        suffix = _REGISTRY[fmt].suffixes[0]
+        p1, p2 = tmp_path / f"r1{suffix}", tmp_path / f"r2{suffix}"
+        save_schedule(simple_schedule, p1, format=fmt)
+        once = load_schedule(p1, format=fmt)
+        save_schedule(once, p2, format=fmt)
+        twice = load_schedule(p2, format=fmt)
+        assert to_dict(once) == to_dict(twice), fmt
+
+
+def test_every_registered_format_is_covered():
+    """New formats must either round-trip here or be one-directional."""
+    for name in available_formats():
+        spec = _REGISTRY[name]
+        assert spec.can_load or spec.can_save
+        if spec.can_load and spec.can_save:
+            assert name in _TWO_WAY

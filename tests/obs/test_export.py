@@ -233,7 +233,7 @@ class TestTraceToSchedule:
         assert min(t.start_time for t in sched.tasks) == 0.0
 
     def test_renders_through_normal_pipeline(self):
-        from repro.render.api import render_schedule
+        from repro.render.api import RenderRequest, render_request_bytes
 
         with obs.capture() as trace:
             with obs.span("io.load"):
@@ -242,6 +242,7 @@ class TestTraceToSchedule:
             with obs.span("render.layout"):
                 pass
         sched = obs.trace_to_schedule(trace)
-        svg = render_schedule(sched, "svg").decode()
+        svg = render_request_bytes(
+            RenderRequest(output_format="svg"), sched).decode()
         assert "<svg" in svg
         assert svg.count("<rect") >= 3

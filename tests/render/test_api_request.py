@@ -1,0 +1,104 @@
+"""Tests for the RenderRequest/RenderResult API and the deprecated shim."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.errors import RenderError
+from repro.io import save_schedule
+from repro.render.api import (
+    RenderRequest,
+    RenderResult,
+    execute_request,
+    export_schedule,
+    render_request_bytes,
+    render_schedule,
+)
+
+
+def test_request_pickles_roundtrip():
+    request = RenderRequest(
+        input_path="in.jed", output_path="out.png", width=640, height=400,
+        mode="scaled", title="figure", lod="auto", types=("comp", "comm"),
+        window=(1, 5), composites=True, auto_colors="user")
+    clone = pickle.loads(pickle.dumps(request))
+    assert clone == request
+    assert clone.window == (1.0, 5.0)
+    assert clone.types == ("comp", "comm")
+
+
+def test_request_normalizes_and_validates():
+    request = RenderRequest(output_path="x.PNG", mode="scaled", types="comp")
+    assert request.types == ("comp",)
+    assert request.resolved_output_format() == "png"
+    with pytest.raises(RenderError, match="unknown lod mode"):
+        RenderRequest(lod="sometimes")
+    with pytest.raises(RenderError, match="unknown output format"):
+        RenderRequest(output_format="tiff")
+    with pytest.raises(RenderError, match="cannot infer output format"):
+        RenderRequest(output_path="schedule.dat").resolved_output_format()
+
+
+def test_with_options_revalidates():
+    request = RenderRequest(output_format="png")
+    assert request.with_options(width=50).width == 50
+    with pytest.raises(RenderError):
+        request.with_options(output_format="tiff")
+
+
+def test_fingerprint_ignores_paths_but_not_options():
+    a = RenderRequest(input_path="a.jed", output_path="x/a.png",
+                      output_format="png")
+    b = RenderRequest(input_path="b.jed", output_path="y/b.png",
+                      output_format="png")
+    assert a.fingerprint() == b.fingerprint()
+    assert a.fingerprint() != a.with_options(grayscale=True).fingerprint()
+    assert a.fingerprint() != a.with_options(output_format="svg").fingerprint()
+
+
+def test_execute_request_end_to_end(tmp_path, simple_schedule):
+    src = tmp_path / "s.jed"
+    save_schedule(simple_schedule, src)
+    out = tmp_path / "fig" / "s.svg"
+    result = execute_request(RenderRequest(input_path=src, output_path=out))
+    assert isinstance(result, RenderResult)
+    assert result.ok
+    assert result.format == "svg"
+    assert result.nbytes == out.stat().st_size > 0
+    assert result.data is None  # bytes went to the file
+
+
+def test_execute_request_in_memory(simple_schedule):
+    request = RenderRequest(output_format="svg")
+    result = execute_request(request, simple_schedule)
+    assert result.output_path is None
+    assert result.data is not None and result.data.startswith(b"<?xml")
+    assert result.nbytes == len(result.data)
+
+
+def test_request_without_input_raises(tmp_path):
+    with pytest.raises(RenderError, match="no input_path"):
+        execute_request(RenderRequest(output_format="svg"))
+
+
+def test_render_schedule_shim_deprecated(simple_schedule):
+    with pytest.warns(DeprecationWarning, match="render_schedule"):
+        legacy = render_schedule(simple_schedule, "svg", width=500)
+    fresh = render_request_bytes(
+        RenderRequest(output_format="svg", width=500), simple_schedule)
+    assert legacy == fresh
+
+
+def test_export_schedule_by_suffix(tmp_path, simple_schedule):
+    out = export_schedule(simple_schedule, tmp_path / "fig.png", title="t")
+    data = out.read_bytes()
+    assert data[:8] == b"\x89PNG\r\n\x1a\n"
+
+
+def test_transformed_filters(simple_schedule):
+    request = RenderRequest(types=("computation",))
+    filtered = request.transformed(simple_schedule)
+    assert set(t.type for t in filtered.tasks) == {"computation"}
+    assert len(simple_schedule) == 2  # original untouched

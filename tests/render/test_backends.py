@@ -14,14 +14,20 @@ from repro.core.viewport import Viewport
 from repro.errors import RenderError
 from repro.render.api import (
     OUTPUT_FORMATS,
+    RenderRequest,
     export_schedule,
     format_from_suffix,
     render_drawing,
-    render_schedule,
+    render_request_bytes,
 )
 from repro.render.backends.ascii_art import ansi_256, render_ascii
 from repro.render.geometry import Drawing, Rect, Text
 from repro.render.png_codec import decode_png
+
+
+def _render(schedule, fmt, **options):
+    return render_request_bytes(
+        RenderRequest(output_format=fmt, **options), schedule)
 
 
 @pytest.fixture
@@ -46,7 +52,7 @@ class TestSvg:
         assert ">T1</text>" in svg
 
     def test_data_refs_exported(self, simple_schedule):
-        svg = render_schedule(simple_schedule, "svg").decode()
+        svg = _render(simple_schedule, "svg").decode()
         assert 'data-ref="task:1"' in svg
 
     def test_text_escaped(self):
@@ -140,7 +146,7 @@ class TestEps:
 class TestApi:
     def test_all_formats_render_schedule(self, simple_schedule):
         for fmt in OUTPUT_FORMATS:
-            data = render_schedule(simple_schedule, fmt, width=300, height=200)
+            data = _render(simple_schedule, fmt, width=300, height=200)
             assert isinstance(data, bytes) and len(data) > 100
 
     def test_unknown_format_rejected(self, drawing):
@@ -162,7 +168,7 @@ class TestApi:
         assert path.read_bytes().startswith(b"\x89PNG")
 
     def test_mode_string_accepted(self, simple_schedule):
-        data = render_schedule(simple_schedule, "svg", mode="scaled")
+        data = _render(simple_schedule, "svg", mode="scaled")
         assert len(data) > 0
 
 

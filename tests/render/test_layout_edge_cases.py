@@ -6,9 +6,14 @@ import pytest
 
 from repro.core.model import Configuration, Schedule, Task
 from repro.core.timeframe import ViewMode
-from repro.render.api import render_schedule
+from repro.render.api import RenderRequest, render_request_bytes
 from repro.render.layout import LayoutOptions, layout_schedule
 from repro.render.style import Style
+
+
+def _render(schedule, fmt, **options):
+    return render_request_bytes(
+        RenderRequest(output_format=fmt, **options), schedule)
 
 
 def test_empty_cluster_band_renders():
@@ -38,7 +43,7 @@ def test_single_host_single_task():
     s.new_cluster(0, 1)
     s.new_task(1, "computation", 0.0, 1.0, cluster=0, host_start=0, host_nb=1)
     for fmt in ("svg", "png"):
-        assert render_schedule(s, fmt, width=200, height=140)
+        assert _render(s, fmt, width=200, height=140)
 
 
 def test_many_hosts_host_labels_thinned():
@@ -64,7 +69,7 @@ def test_huge_time_values():
     s = Schedule()
     s.new_cluster(0, 2)
     s.new_task(1, "job", 1e9, 2e9, cluster=0, host_start=0, host_nb=2)
-    assert render_schedule(s, "svg")
+    assert _render(s, "svg")
 
 
 def test_tiny_time_values():
@@ -103,4 +108,4 @@ def test_unicode_in_meta_and_ids():
     s.new_cluster(0, 1)
     s.new_task("tâche", "computation", 0, 1, cluster=0, host_start=0, host_nb=1)
     for fmt in ("svg", "png", "pdf", "eps", "html"):
-        assert render_schedule(s, fmt, width=300, height=200)
+        assert _render(s, fmt, width=300, height=200)

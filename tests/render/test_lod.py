@@ -8,9 +8,14 @@ from repro.core.colormap import Color, ColorMap
 from repro.core.model import Schedule
 from repro.core.viewport import Viewport
 from repro.errors import RenderError
-from repro.render.api import render_schedule
+from repro.render.api import RenderRequest, render_request_bytes
 from repro.render.layout import layout_schedule
 from repro.render.lod import LOD_REF_PREFIX, LodOptions, lod_active, resolve_lod
+
+
+def _render(schedule, fmt, **options):
+    return render_request_bytes(
+        RenderRequest(output_format=fmt, **options), schedule)
 
 
 def _schedule(n: int, hosts: int = 64, types: tuple[str, ...] = ("a", "b")) -> Schedule:
@@ -66,11 +71,11 @@ class TestOptions:
 class TestSmallInputsUnchanged:
     def test_auto_matches_off_pixels(self):
         s = _schedule(150)
-        assert render_schedule(s, "png", lod="auto") == render_schedule(s, "png", lod="off")
+        assert _render(s, "png", lod="auto") == _render(s, "png", lod="off")
 
     def test_auto_matches_off_svg(self):
         s = _schedule(150)
-        assert render_schedule(s, "svg", lod="auto") == render_schedule(s, "svg", lod="off")
+        assert _render(s, "svg", lod="auto") == _render(s, "svg", lod="off")
 
     def test_off_never_aggregates(self):
         s = _schedule(60)

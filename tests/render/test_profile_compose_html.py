@@ -12,7 +12,7 @@ from repro.render.compose import compare_schedules, stack_drawings
 from repro.render.geometry import Drawing, Rect, Text
 from repro.render.layout import layout_schedule
 from repro.render.profile import export_profile, layout_profile
-from repro.render.api import render_drawing, render_schedule
+from repro.render.api import RenderRequest, render_drawing, render_request_bytes
 
 
 class TestProfile:
@@ -115,7 +115,8 @@ class TestCompose:
 
 class TestHtml:
     def test_structure(self, simple_schedule):
-        html = render_schedule(simple_schedule, "html").decode()
+        html = render_request_bytes(
+            RenderRequest(output_format="html"), simple_schedule).decode()
         assert html.startswith("<!DOCTYPE html>")
         assert "<svg" in html and "</svg>" in html
         assert "data-ref" in html
