@@ -27,7 +27,9 @@ from __future__ import annotations
 import hashlib
 import json
 import os
+import string
 import tempfile
+import time
 from pathlib import Path
 
 from repro.core.model import Schedule
@@ -68,6 +70,11 @@ def cache_key_from_digest(digest: str, request) -> str:
 def cache_key(schedule: Schedule, request) -> str:
     """Cache key of one (schedule, request) render job."""
     return cache_key_from_digest(schedule_digest(schedule), request)
+
+
+def _valid_digest(text: str) -> bool:
+    """True for a plausible SHA-256 hex digest (torn entries fail this)."""
+    return len(text) == 64 and all(c in string.hexdigits for c in text)
 
 
 def stat_token(path: str | Path) -> str | None:
@@ -127,15 +134,31 @@ class RenderCache:
         Returns ``None`` when the file's (path, size, mtime) triple has no
         entry — i.e. the input is new or was touched since
         :meth:`remember_digest` recorded it.
+
+        The index may be shared by a batch run and a resident render
+        service racing on the same directory, so a read that surfaces a
+        torn or junk entry (a non-atomic writer, a crashed one, bit rot)
+        is retried once and then treated as a plain miss; the bad entry
+        is unlinked so the next :meth:`remember_digest` rewrites it.
         """
         token = stat_token(input_path)
         if token is None:
             return None
+        entry = self.root / "stat" / token[:2] / token
+        for attempt in range(2):
+            try:
+                digest = entry.read_text("ascii").strip()
+            except (OSError, UnicodeDecodeError):
+                return None
+            if _valid_digest(digest):
+                return digest
+            if attempt == 0:  # maybe mid-replace: give the writer a beat
+                time.sleep(0.01)
         try:
-            digest = (self.root / "stat" / token[:2] / token).read_text("ascii")
+            entry.unlink()
         except OSError:
-            return None
-        return digest.strip() or None
+            pass
+        return None
 
     def remember_digest(self, input_path: str | Path, digest: str, *,
                         token: str | None = None) -> None:
@@ -166,6 +189,30 @@ class RenderCache:
 
     def __contains__(self, key: str) -> bool:
         return self.path_for(key).exists()
+
+    def sweep_tmp(self, *, max_age_s: float = 3600.0) -> int:
+        """Remove temp litter left behind by writers that crashed mid-write.
+
+        A crash between ``mkstemp`` and ``os.replace`` leaks a ``.tmp-*``
+        file; entries themselves are never torn (the replace is atomic),
+        so the litter is the only residue.  Young temp files may belong
+        to a live writer and are left alone.  Returns files removed.
+        """
+        removed = 0
+        cutoff = time.time() - max_age_s
+        roots = list(self._shards())
+        stat_root = self.root / "stat"
+        if stat_root.is_dir():
+            roots.extend(d for d in stat_root.iterdir() if d.is_dir())
+        for shard in roots:
+            for tmp in shard.glob(".tmp-*"):
+                try:
+                    if tmp.stat().st_mtime <= cutoff:
+                        tmp.unlink()
+                        removed += 1
+                except OSError:
+                    pass
+        return removed
 
     def _shards(self):
         if not self.root.is_dir():

@@ -1,20 +1,25 @@
-"""Parallel batch renderer: fan render requests out across worker processes.
+"""Parallel batch renderer: fan render requests out across warm workers.
 
 The paper's command-line mode exists to mass-produce figures; this runner
 makes that cheap and repeatable.  Each :class:`~repro.render.api.RenderRequest`
-is executed by a ``ProcessPoolExecutor`` worker (requests are plain
-picklable dataclasses), consulting the content-addressed
-:class:`~repro.batch.cache.RenderCache` first: a hit is a file copy, a miss
-renders and populates the cache.
+is executed by a worker of the process-wide **warm pool**
+(:func:`repro.serve.pool.shared_pool`) — resident processes that
+pre-import the render stack once and receive jobs over pipes as plain
+JSON payloads, not pickled object graphs — consulting the
+content-addressed :class:`~repro.batch.cache.RenderCache` first: a hit is
+a file copy, a miss renders and populates the cache.  Repeated batch runs
+in one process (a test session, a notebook, the render service) reuse the
+same workers, so spawn + import cost is paid exactly once.
 
 Robustness rules:
 
 * one bad schedule never sinks the batch — the failure is captured in the
   :class:`BatchReport` and every other job still runs;
-* jobs that exceed ``timeout_s`` are recorded as failures (their worker is
-  abandoned at shutdown rather than awaited);
+* jobs that exceed ``timeout_s`` are recorded as failures and their stuck
+  worker is killed and respawned instead of abandoned;
 * failed jobs are retried up to ``retries`` extra rounds with exponential
-  backoff, for transient failures (NFS hiccups, OOM-killed workers).
+  backoff, for transient failures (NFS hiccups, OOM-killed workers —
+  a crashed warm worker is restarted within its bounded budget).
 
 The parent process owns observability: per-job spans
 (``batch.job``), cache hit/miss counters (``batch.cache.hit`` /
@@ -24,9 +29,9 @@ record per batch.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
-from concurrent.futures import FIRST_COMPLETED, Future, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from dataclasses import replace as dc_replace
 from pathlib import Path
@@ -51,29 +56,47 @@ DEFAULT_CACHE_DIR = ".jedule-cache"
 
 
 def execute_with_cache(request: RenderRequest,
-                       cache_dir: str | None) -> RenderResult:
+                       cache_dir: str | None, *,
+                       schedule_bytes: bytes | None = None) -> RenderResult:
     """Execute one request through the content-addressed cache.
 
-    This is the process-pool worker entry point, but it is just as happy
-    running inline (``jobs=1``).  With ``cache_dir=None`` it degrades to a
-    plain :func:`~repro.render.api.execute_request`.
+    This is the warm-worker entry point, but it is just as happy running
+    inline (``jobs=1``).  With ``cache_dir=None`` it degrades to a plain
+    :func:`~repro.render.api.execute_request`.
+
+    ``schedule_bytes`` is the *canonical* byte form of an in-memory
+    schedule (:func:`repro.serve.protocol.canonical_schedule_bytes`):
+    because those bytes are exactly what :func:`schedule_digest` hashes,
+    the cache key is derived by hashing them directly — a repeat request
+    is served without parsing the schedule at all.
     """
     from repro.render.api import execute_request
 
+    def _schedule_from_bytes():
+        from repro.serve.protocol import schedule_from_canonical
+
+        return schedule_from_canonical(schedule_bytes)
+
     started = perf_counter()
     if cache_dir is None:
-        return execute_request(request)
+        return execute_request(
+            request, _schedule_from_bytes() if schedule_bytes is not None
+            else None)
 
     cache = RenderCache(cache_dir)
     schedule = None
-    digest = (cache.digest_hint(request.input_path)
-              if request.input_path else None)
-    if digest is None:
-        token = stat_token(request.input_path) if request.input_path else None
-        schedule = request.load_schedule()
-        digest = schedule_digest(schedule)
-        if request.input_path:
-            cache.remember_digest(request.input_path, digest, token=token)
+    if schedule_bytes is not None:
+        digest = hashlib.sha256(schedule_bytes).hexdigest()
+    else:
+        digest = (cache.digest_hint(request.input_path)
+                  if request.input_path else None)
+        if digest is None:
+            token = stat_token(request.input_path) \
+                if request.input_path else None
+            schedule = request.load_schedule()
+            digest = schedule_digest(schedule)
+            if request.input_path:
+                cache.remember_digest(request.input_path, digest, token=token)
     key = cache_key_from_digest(digest, request)
     data = cache.get(key)
     if data is not None:
@@ -93,7 +116,8 @@ def execute_with_cache(request: RenderRequest,
     from repro.render.api import render_request_bytes
 
     if schedule is None:
-        schedule = request.load_schedule()
+        schedule = _schedule_from_bytes() if schedule_bytes is not None \
+            else request.load_schedule()
     rendered = render_request_bytes(request, schedule)
     cache.put(key, rendered)
     if request.output_path is not None:
@@ -213,56 +237,20 @@ def _record_result(result: RenderResult) -> None:
 
 def _run_pool(requests, cache_dir, jobs, timeout_s,
               report: BatchReport) -> None:
-    pending: dict[Future, tuple[int, RenderRequest]] = {}
-    slots: dict[int, RenderResult | None] = {}
-    executor = ProcessPoolExecutor(max_workers=jobs)
-    abandoned = False
-    try:
-        for i, request in enumerate(requests):
-            slots[i] = None
-            pending[executor.submit(_worker, request, cache_dir)] = (i, request)
-        deadline = None if timeout_s is None else time.monotonic() + timeout_s
-        while pending:
-            remaining = None if deadline is None \
-                else max(deadline - time.monotonic(), 0.0)
-            done, _ = wait(set(pending), timeout=remaining,
-                           return_when=FIRST_COMPLETED)
-            if not done:  # batch deadline hit: fail whatever is still out
-                for future, (i, request) in pending.items():
-                    future.cancel()
-                    slots[i] = RenderResult(
-                        input_path=request.input_path,
-                        output_path=request.output_path,
-                        format=_fmt(request),
-                        nbytes=0, duration_s=timeout_s or 0.0, cache="miss",
-                        error=f"timed out after {timeout_s:g}s")
-                abandoned = True
-                break
-            for future in done:
-                i, request = pending.pop(future)
-                try:
-                    result = future.result()
-                except Exception as exc:  # BrokenProcessPool and friends
-                    result = RenderResult(
-                        input_path=request.input_path,
-                        output_path=request.output_path,
-                        format=_fmt(request),
-                        nbytes=0, duration_s=0.0, cache="miss",
-                        error=f"worker died: {type(exc).__name__}: {exc}")
-                slots[i] = result
-    finally:
-        # wait=False + cancel lets a hung worker be abandoned instead of
-        # blocking the whole batch on shutdown.
-        executor.shutdown(wait=not abandoned, cancel_futures=True)
-    for i in sorted(slots):
-        result = slots[i]
-        if result is None:  # cancelled before running (deadline path)
-            request = requests[i]
-            result = RenderResult(
-                input_path=request.input_path, output_path=request.output_path,
-                format=_fmt(request), nbytes=0,
-                duration_s=0.0, cache="miss",
-                error=f"timed out after {timeout_s:g}s")
+    """Fan requests across the process-wide warm pool.
+
+    The pool outlives this batch: repeated runs reuse the same resident
+    workers (the fix for per-invocation spawn + import cost).  A worker
+    stuck past the batch deadline is killed and respawned; a crashed
+    worker fails only its own job, which the retry rounds above may
+    still rescue.
+    """
+    from repro.serve.pool import shared_pool
+
+    pool = shared_pool(jobs)
+    results = pool.map_requests(requests, cache_dir=cache_dir,
+                                deadline_s=timeout_s, max_parallel=jobs)
+    for result in results:
         report.results.append(result)
         _record_result(result)
 

@@ -4,6 +4,8 @@ Subcommands::
 
     jedule render   schedule.jed -o out.png [--cmap map.xml] [--grayscale] ...
     jedule batch    manifest.json [--jobs N] [--no-cache] ...
+    jedule serve    [--port P | --socket PATH] [--workers N] ...
+    jedule submit   --url URL (--manifest man.json | inputs ...)
     jedule convert  schedule.jed out.json
     jedule info     schedule.jed
     jedule validate schedule.jed
@@ -125,6 +127,56 @@ def build_parser() -> argparse.ArgumentParser:
     batch.add_argument("--runlog", metavar="RUNLOG.jsonl",
                        help="append a batch run record (jobs, cache "
                             "hits/misses, timings) to this JSONL registry")
+
+    serve = sub.add_parser("serve",
+                           help="long-lived render service: warm worker "
+                                "pool, fair job queue, shared render cache")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8734,
+                       help="TCP port (default: 8734; 0 picks a free port)")
+    serve.add_argument("--socket", metavar="PATH",
+                       help="serve on a Unix domain socket instead of TCP")
+    serve.add_argument("--workers", type=int, default=2,
+                       help="warm render worker processes (default: 2)")
+    serve.add_argument("--queue-depth", type=int, default=64,
+                       help="max queued jobs before 429 backpressure "
+                            "(default: 64)")
+    serve.add_argument("--cache-dir",
+                       help="shared render cache directory "
+                            "(default: '.jedule-cache')")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the content-addressed render cache")
+    serve.add_argument("--job-timeout", type=float, metavar="SECONDS",
+                       help="kill a worker stuck on one job this long")
+    serve.add_argument("--runlog", metavar="RUNLOG.jsonl",
+                       help="append a service run record (job counts, cache "
+                            "hits, latency percentiles) at drain time")
+
+    submit = sub.add_parser("submit",
+                            help="submit render jobs to a running "
+                                 "'jedule serve' daemon")
+    where = submit.add_mutually_exclusive_group(required=True)
+    where.add_argument("--url", help="service URL, e.g. http://127.0.0.1:8734")
+    where.add_argument("--socket", metavar="PATH",
+                       help="service Unix domain socket")
+    submit.add_argument("inputs", nargs="*", help="schedule file(s)")
+    submit.add_argument("--manifest", metavar="MANIFEST.json",
+                        help="submit every job of a batch manifest instead "
+                             "of naming inputs")
+    submit.add_argument("-o", "--output",
+                        help="output image file (single input)")
+    submit.add_argument("--outdir", help="output directory (several inputs; "
+                                         "needs --format)")
+    submit.add_argument("--format", choices=sorted(OUTPUT_FORMATS),
+                        help="output format (default: by suffix)")
+    submit.add_argument("--width", type=int, default=900)
+    submit.add_argument("--height", type=int, default=480)
+    submit.add_argument("--client", default=None,
+                        help="client id for the server's fair queue "
+                             "(default: user@host)")
+    submit.add_argument("--timeout", type=float, default=300.0,
+                        help="max seconds to wait per job (default: 300)")
 
     convert = sub.add_parser("convert", help="convert between schedule formats")
     add_input(convert)
@@ -327,6 +379,108 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import signal
+    import threading
+
+    from repro.batch.runner import DEFAULT_CACHE_DIR
+    from repro.serve.server import RenderServer
+
+    cache_dir = None if args.no_cache \
+        else (args.cache_dir or DEFAULT_CACHE_DIR)
+    server = RenderServer(
+        host=args.host, port=args.port, socket_path=args.socket,
+        workers=args.workers, queue_depth=args.queue_depth,
+        cache_dir=cache_dir, runlog=args.runlog,
+        job_timeout_s=args.job_timeout).start()
+    print(f"serving on {server.url} "
+          f"({args.workers} warm worker(s), "
+          f"cache: {cache_dir or 'off'})", flush=True)
+
+    def _on_drain(signum, frame):
+        print("drain requested; finishing queued jobs ...", flush=True)
+        server.begin_drain()
+
+    def _on_reload(signum, frame):
+        print("reloading worker pool ...", flush=True)
+        threading.Thread(target=server.reload, daemon=True).start()
+
+    signal.signal(signal.SIGTERM, _on_drain)
+    signal.signal(signal.SIGINT, _on_drain)
+    if hasattr(signal, "SIGHUP"):
+        signal.signal(signal.SIGHUP, _on_reload)
+    while not server.wait(timeout=0.5):
+        pass
+    print("drained; all jobs finished", flush=True)
+    return 0
+
+
+def _submit_requests(args: argparse.Namespace) -> list[RenderRequest]:
+    if args.manifest:
+        from repro.batch.manifest import load_manifest
+
+        return list(load_manifest(args.manifest).requests)
+    if not args.inputs:
+        raise ReproError("submit needs schedule inputs or --manifest")
+    if args.outdir:
+        if not args.format:
+            raise ReproError("--outdir needs --format")
+        outdir = Path(args.outdir)
+        outdir.mkdir(parents=True, exist_ok=True)
+        return [RenderRequest(
+            input_path=str(p),
+            output_path=str(outdir / (Path(p).stem + f".{args.format}")),
+            output_format=args.format, width=args.width, height=args.height)
+            for p in args.inputs]
+    if len(args.inputs) != 1 or not args.output:
+        raise ReproError("several inputs need --outdir; one input needs -o")
+    return [RenderRequest(input_path=str(args.inputs[0]),
+                          output_path=str(args.output),
+                          output_format=args.format,
+                          width=args.width, height=args.height)]
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import getpass
+    import socket as _socket
+    import time
+
+    from repro.errors import ServeError
+    from repro.serve.client import ServeClient
+
+    client_id = args.client or f"{getpass.getuser()}@{_socket.gethostname()}"
+    client = ServeClient(args.url, socket_path=args.socket,
+                         client_id=client_id)
+    requests = _submit_requests(args)
+
+    submitted = []
+    for request in requests:
+        while True:  # honor the server's backpressure, don't hammer it
+            try:
+                submitted.append((request, client.submit(request)))
+                break
+            except ServeError as exc:
+                if exc.code != "queue-full":
+                    raise
+                time.sleep(getattr(exc, "retry_after", 1))
+
+    failures = 0
+    for request, job in submitted:
+        doc = client.wait(job["id"], timeout=args.timeout)
+        result = doc.get("result") or {}
+        tag = result.get("cache", "?")
+        target = result.get("output") or "<bytes>"
+        if doc["status"] == "done":
+            print(f"{request.input_path}: {target} [{tag}]")
+        else:
+            failures += 1
+            print(f"{request.input_path}: FAILED - "
+                  f"{result.get('error', 'unknown error')}", file=sys.stderr)
+    done = len(submitted) - failures
+    print(f"{done}/{len(submitted)} job(s) ok, {failures} failed")
+    return 1 if failures else 0
+
+
 def _cmd_convert(args: argparse.Namespace) -> int:
     schedule = load_schedule(args.input, args.input_format)
     save_schedule(schedule, args.output, args.output_format)
@@ -453,6 +607,8 @@ def _cmd_view(args: argparse.Namespace) -> int:
 _COMMANDS = {
     "render": _cmd_render,
     "batch": _cmd_batch,
+    "serve": _cmd_serve,
+    "submit": _cmd_submit,
     "convert": _cmd_convert,
     "info": _cmd_info,
     "validate": _cmd_validate,

@@ -15,6 +15,7 @@ __all__ = [
     "ColorError",
     "RenderError",
     "BatchError",
+    "ServeError",
     "PlatformError",
     "SchedulingError",
     "SimulationError",
@@ -62,6 +63,28 @@ class BatchError(ReproError):
     Per-job render failures do *not* raise this — they land in the batch
     report so one bad schedule never sinks the rest of the batch.
     """
+
+
+class ServeError(ReproError):
+    """The render service could not accept or process a request.
+
+    Carries an optional machine-readable payload (``code``, ``field``)
+    so the HTTP layer can return a structured error document instead of
+    a bare string.
+    """
+
+    def __init__(self, message: str, *, code: str = "error",
+                 field: str | None = None):
+        super().__init__(message)
+        self.code = code
+        self.field = field
+
+    def to_payload(self) -> dict:
+        """JSON-serializable error document for wire responses."""
+        out: dict[str, object] = {"code": self.code, "message": str(self)}
+        if self.field is not None:
+            out["field"] = self.field
+        return out
 
 
 class PlatformError(ReproError):

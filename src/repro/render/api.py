@@ -14,6 +14,7 @@ and the deprecated :func:`render_schedule` keyword sprawl it replaced.
 
 from __future__ import annotations
 
+import math
 import warnings
 from collections.abc import Callable
 from dataclasses import dataclass, field, fields, replace
@@ -98,6 +99,25 @@ def render_drawing(drawing: Drawing, format: str) -> bytes:
     return data
 
 
+def _positive_int(name: str, value) -> int:
+    """Validate a dimension-like field: finite, numeric, >= 1.
+
+    NaN, infinities, negatives, zero and non-numeric junk used to slip
+    through here and surface as cryptic worker-side layout crashes; the
+    serve front end needs them rejected at request-construction time so
+    they can become structured 400 responses.
+    """
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise RenderError(f"{name} must be a number, got {value!r}")
+    if not math.isfinite(value):
+        raise RenderError(f"{name} must be finite, got {value!r}")
+    if int(value) != value:
+        raise RenderError(f"{name} must be a whole number, got {value!r}")
+    if value < 1:
+        raise RenderError(f"{name} must be >= 1, got {value!r}")
+    return int(value)
+
+
 def _as_str_tuple(value) -> tuple[str, ...] | None:
     if value is None:
         return None
@@ -151,6 +171,8 @@ class RenderRequest:
             value = getattr(self, key)
             if value is not None and not isinstance(value, str):
                 object.__setattr__(self, key, str(value))
+        for key in ("width", "height"):
+            object.__setattr__(self, key, _positive_int(key, getattr(self, key)))
         mode = self.mode
         if isinstance(mode, ViewMode):
             object.__setattr__(self, "mode", mode.value)
@@ -164,7 +186,11 @@ class RenderRequest:
         object.__setattr__(self, "clusters", _as_str_tuple(self.clusters))
         if self.window is not None:
             t0, t1 = self.window
-            object.__setattr__(self, "window", (float(t0), float(t1)))
+            t0, t1 = float(t0), float(t1)
+            if not (math.isfinite(t0) and math.isfinite(t1)):
+                raise RenderError(
+                    f"window bounds must be finite, got ({t0!r}, {t1!r})")
+            object.__setattr__(self, "window", (t0, t1))
         if self.output_format is not None:
             fmt = self.output_format.lower()
             if fmt not in OUTPUT_FORMATS:

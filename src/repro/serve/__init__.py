@@ -1,0 +1,49 @@
+"""Long-lived render service: warm workers, fair queue, HTTP front end.
+
+The batch subsystem (:mod:`repro.batch`) fans a manifest across a process
+pool once and exits; this package keeps the expensive part — imported,
+warmed-up render processes — resident, and feeds them a *stream* of
+render jobs:
+
+* :mod:`repro.serve.protocol` — the JSON wire format shared by the HTTP
+  front end, the worker pipes and the client helper, plus hardened
+  request validation with structured error payloads;
+* :mod:`repro.serve.pool` — the warm worker pool: processes that
+  pre-import the render stack once and then receive jobs over pipes as
+  canonical schedule bytes, with crash detection and a bounded restart
+  budget (also reused by ``repro.batch`` for parallel fan-out);
+* :mod:`repro.serve.jobqueue` — a bounded job queue with per-client
+  round-robin fairness and explicit backpressure;
+* :mod:`repro.serve.server` — the ``jedule serve`` daemon: stdlib HTTP
+  (TCP or Unix socket), ``/healthz`` / ``/statz`` / ``/drain``
+  endpoints, graceful drain on SIGTERM and pool reload on SIGHUP;
+* :mod:`repro.serve.client` — the client helper behind ``jedule submit``
+  and the end-to-end tests.
+"""
+
+from repro.serve.client import ServeClient
+from repro.serve.jobqueue import FairQueue, QueueClosed, QueueFull
+from repro.serve.pool import WorkerCrash, WorkerPool, WorkerTimeout, shared_pool
+from repro.serve.protocol import (
+    canonical_schedule_bytes,
+    request_from_payload,
+    request_to_payload,
+    schedule_from_canonical,
+)
+from repro.serve.server import RenderServer
+
+__all__ = [
+    "FairQueue",
+    "QueueClosed",
+    "QueueFull",
+    "RenderServer",
+    "ServeClient",
+    "WorkerCrash",
+    "WorkerPool",
+    "WorkerTimeout",
+    "canonical_schedule_bytes",
+    "request_from_payload",
+    "request_to_payload",
+    "schedule_from_canonical",
+    "shared_pool",
+]

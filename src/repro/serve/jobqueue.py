@@ -1,0 +1,130 @@
+"""Bounded job queue with per-client round-robin fairness.
+
+One greedy client must not starve everyone else, and a full queue must
+push back *at admission time* (an HTTP 429 with ``Retry-After``) instead
+of accepting work it cannot finish.  So:
+
+* jobs are bucketed by client id; :meth:`FairQueue.get` serves the
+  buckets round-robin — a client with 100 queued jobs and a client with
+  1 alternate until the short bucket empties;
+* total depth is capped; :meth:`FairQueue.put` raises :class:`QueueFull`
+  when the cap is reached (backpressure is the caller's to translate);
+* :meth:`FairQueue.close` stops admission while letting consumers drain
+  what is already queued — the mechanics behind graceful ``/drain``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+from repro.errors import ServeError
+
+__all__ = ["FairQueue", "QueueFull", "QueueClosed"]
+
+
+class QueueFull(ServeError):
+    """Admission rejected: the queue is at capacity."""
+
+    def __init__(self, message: str, *, depth: int = 0):
+        super().__init__(message, code="queue-full")
+        self.depth = depth
+
+
+class QueueClosed(ServeError):
+    """The queue is draining (closed for new work) and fully consumed."""
+
+    def __init__(self, message: str = "queue is closed"):
+        super().__init__(message, code="draining")
+
+
+class FairQueue:
+    """Thread-safe bounded queue, fair across client ids.
+
+    Invariant: ``_rotation`` holds exactly the clients whose buckets are
+    non-empty, in service order.
+    """
+
+    def __init__(self, maxsize: int = 64):
+        if maxsize < 1:
+            raise ServeError(f"queue depth must be >= 1, got {maxsize}",
+                             code="bad-config")
+        self.maxsize = maxsize
+        self._cv = threading.Condition()
+        self._buckets: dict[str, deque] = {}
+        self._rotation: deque[str] = deque()
+        self._size = 0
+        self._closed = False
+
+    def put(self, item, client: str = "") -> int:
+        """Enqueue for ``client``; returns the new depth.
+
+        Raises :class:`QueueFull` at capacity and :class:`QueueClosed`
+        once draining has begun.
+        """
+        with self._cv:
+            if self._closed:
+                raise QueueClosed("queue is closed to new jobs (draining)")
+            if self._size >= self.maxsize:
+                raise QueueFull(
+                    f"queue is full ({self._size}/{self.maxsize} jobs)",
+                    depth=self._size)
+            bucket = self._buckets.get(client)
+            if bucket is None:
+                bucket = self._buckets[client] = deque()
+            if not bucket:
+                self._rotation.append(client)
+            bucket.append(item)
+            self._size += 1
+            self._cv.notify()
+            return self._size
+
+    def get(self, timeout: float | None = None):
+        """Next item in round-robin client order.
+
+        Returns ``None`` on timeout; raises :class:`QueueClosed` when the
+        queue is closed *and* empty (the drain-complete signal).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cv:
+            while self._size == 0:
+                if self._closed:
+                    raise QueueClosed()
+                if deadline is None:
+                    self._cv.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cv.wait(remaining):
+                        if self._size == 0:
+                            if self._closed:
+                                raise QueueClosed()
+                            return None
+            client = self._rotation.popleft()
+            bucket = self._buckets[client]
+            item = bucket.popleft()
+            if bucket:
+                self._rotation.append(client)  # back of the line
+            else:
+                del self._buckets[client]
+            self._size -= 1
+            return item
+
+    def close(self) -> None:
+        """Stop admission; wake every waiting consumer."""
+        with self._cv:
+            self._closed = True
+            self._cv.notify_all()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        with self._cv:
+            return self._size
+
+    def depth_by_client(self) -> dict[str, int]:
+        """Snapshot of queued jobs per client id."""
+        with self._cv:
+            return {c: len(b) for c, b in self._buckets.items() if b}

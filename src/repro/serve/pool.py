@@ -1,0 +1,566 @@
+"""Warm worker pool: resident render processes fed over pipes.
+
+The batch runner used to pay process spawn + interpreter import for every
+invocation; a pool instance pays it **once**.  Each worker process
+pre-imports the render stack, then sits in a loop receiving jobs over a
+:func:`multiprocessing.Pipe`:
+
+* frame 1 — a JSON header (the plain-payload render request, the cache
+  directory, flags);
+* frame 2 (optional) — the *canonical schedule bytes* of an in-memory
+  schedule (see :func:`repro.serve.protocol.canonical_schedule_bytes`).
+
+Nothing is pickled across the boundary on the canonical path; requests
+that carry in-memory style/colormap objects fall back to an explicit
+pickle frame (same machine, same codebase — safe, just not canonical).
+
+Because the schedule bytes are canonical, a worker can hash them directly
+to the content-addressed cache key: a repeat request is a cache hit
+**without parsing the schedule at all**.
+
+Crash handling: a worker that dies mid-job (OOM killer, segfault, power
+user) is detected by the broken pipe, restarted within a bounded
+per-worker restart budget, and the failure is surfaced to the caller as
+:class:`WorkerCrash` so job-level policy (retry once, then report) stays
+with the caller.  A worker that exceeds a job timeout is killed and
+restarted the same way (:class:`WorkerTimeout`).
+
+Both the render service (:mod:`repro.serve.server`) and the batch runner
+(:mod:`repro.batch.runner`, via :func:`shared_pool`) run on this pool.
+"""
+
+from __future__ import annotations
+
+import atexit
+import base64
+import json
+import multiprocessing as mp
+import os
+import pickle
+import queue as _queue
+import threading
+import time
+from time import perf_counter
+
+from repro.errors import ReproError, ServeError
+from repro.render.api import RenderRequest, RenderResult
+from repro.serve.protocol import (
+    request_from_payload,
+    request_to_payload,
+    result_from_payload,
+    result_to_payload,
+)
+
+__all__ = [
+    "WorkerCrash",
+    "WorkerTimeout",
+    "WarmWorker",
+    "WorkerPool",
+    "shared_pool",
+    "shutdown_shared_pool",
+]
+
+#: Modules a worker imports before accepting its first job, so the first
+#: request is as fast as the hundredth.
+_PREIMPORT = (
+    "repro.io.registry",
+    "repro.render.api",
+    "repro.render.backends",
+    "repro.batch.cache",
+    "repro.batch.runner",
+)
+
+_EXIT_CRASH_HOOK = 23  # worker exit code for the test-only crash hook
+
+
+class WorkerCrash(ServeError):
+    """A warm worker died while (or before) running a job."""
+
+    def __init__(self, message: str):
+        super().__init__(message, code="worker-crash")
+
+
+class WorkerTimeout(ServeError):
+    """A job exceeded its deadline; the worker was killed and replaced."""
+
+    def __init__(self, message: str):
+        super().__init__(message, code="worker-timeout")
+
+
+# --------------------------------------------------------------- worker side
+def _execute_job(header: dict, schedule_bytes: bytes | None):
+    """Run one job inside a worker; returns (meta dict, data bytes|None)."""
+    from repro.batch.runner import execute_with_cache
+
+    started = perf_counter()
+    request = None
+    try:
+        if "pickle" in header:
+            request = pickle.loads(base64.b64decode(header["pickle"]))
+        else:
+            request = request_from_payload(header["request"])
+        result = execute_with_cache(request, header.get("cache_dir"),
+                                    schedule_bytes=schedule_bytes)
+    except ReproError as exc:
+        result = _error_result(request, str(exc), started,
+                               header.get("cache_dir"))
+    except Exception as exc:  # a worker must answer, whatever happened
+        result = _error_result(request, f"{type(exc).__name__}: {exc}",
+                               started, header.get("cache_dir"))
+    return result_to_payload(result), result.data
+
+
+def _error_result(request, error: str, started: float,
+                  cache_dir) -> RenderResult:
+    fmt = "?"
+    if request is not None:
+        try:
+            fmt = request.resolved_output_format()
+        except ReproError:
+            pass
+    return RenderResult(
+        input_path=getattr(request, "input_path", None),
+        output_path=getattr(request, "output_path", None),
+        format=fmt, nbytes=0, duration_s=perf_counter() - started,
+        cache="off" if cache_dir is None else "miss", error=error)
+
+
+def _worker_main(conn, debug_hooks: bool = False) -> None:
+    """Entry point of one warm worker process."""
+    import importlib
+
+    for name in _PREIMPORT:
+        importlib.import_module(name)
+    while True:
+        try:
+            raw = conn.recv_bytes()
+        except (EOFError, OSError):
+            return
+        try:
+            header = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            conn.send_bytes(b'{"op":"error","error":"bad job frame"}')
+            continue
+        op = header.get("op")
+        if op == "shutdown":
+            return
+        if op == "ping":
+            conn.send_bytes(json.dumps(
+                {"op": "pong", "pid": os.getpid()}).encode("utf-8"))
+            continue
+        schedule_bytes = conn.recv_bytes() if header.get("schedule") else None
+        if debug_hooks and header.get("x_crash"):
+            os._exit(_EXIT_CRASH_HOOK)
+        if debug_hooks and header.get("x_sleep_s"):
+            time.sleep(float(header["x_sleep_s"]))
+        meta, data = _execute_job(header, schedule_bytes)
+        meta["data"] = data is not None
+        conn.send_bytes(json.dumps(meta).encode("utf-8"))
+        if data is not None:
+            conn.send_bytes(data)
+
+
+# --------------------------------------------------------------- parent side
+class WarmWorker:
+    """One resident worker process plus its parent end of the pipe."""
+
+    def __init__(self, ctx, index: int, *, debug_hooks: bool = False):
+        self._ctx = ctx
+        self.index = index
+        self.debug_hooks = debug_hooks
+        self.process = None
+        self.conn = None
+        self.restarts = 0
+        self.jobs_done = 0
+
+    def start(self) -> None:
+        parent, child = self._ctx.Pipe(duplex=True)
+        self.process = self._ctx.Process(
+            target=_worker_main, args=(child, self.debug_hooks),
+            name=f"jedule-warm-{self.index}", daemon=True)
+        self.process.start()
+        child.close()
+        self.conn = parent
+
+    @property
+    def alive(self) -> bool:
+        return self.process is not None and self.process.is_alive()
+
+    @property
+    def pid(self) -> int | None:
+        return self.process.pid if self.process is not None else None
+
+    def ping(self, timeout: float = 10.0) -> int:
+        """Round-trip the pipe; returns the worker pid."""
+        meta, _ = self.run({"op": "ping"}, timeout=timeout)
+        return int(meta["pid"])
+
+    def run(self, header: dict, schedule_bytes: bytes | None = None,
+            *, timeout: float | None = None):
+        """Send one job frame (plus optional schedule bytes); await reply.
+
+        Returns ``(meta, data)``.  Raises :class:`WorkerCrash` when the
+        pipe breaks and :class:`WorkerTimeout` when the reply does not
+        arrive in time (the caller is expected to kill + restart).
+        """
+        try:
+            self.conn.send_bytes(json.dumps(header).encode("utf-8"))
+            if schedule_bytes is not None:
+                self.conn.send_bytes(schedule_bytes)
+            if timeout is not None and not self.conn.poll(timeout):
+                raise WorkerTimeout(
+                    f"worker {self.index} (pid {self.pid}) gave no answer "
+                    f"within {timeout:g}s")
+            raw = self.conn.recv_bytes()
+            meta = json.loads(raw.decode("utf-8"))
+            data = self.conn.recv_bytes() if meta.get("data") else None
+        except (EOFError, OSError, BrokenPipeError) as exc:
+            raise WorkerCrash(
+                f"worker {self.index} (pid {self.pid}) died: "
+                f"{type(exc).__name__}") from exc
+        self.jobs_done += 1
+        return meta, data
+
+    def kill(self) -> None:
+        if self.process is not None and self.process.is_alive():
+            self.process.kill()
+            self.process.join(timeout=5.0)
+        if self.conn is not None:
+            self.conn.close()
+            self.conn = None
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Polite shutdown; falls back to kill."""
+        if self.conn is not None and self.alive:
+            try:
+                self.conn.send_bytes(b'{"op":"shutdown"}')
+            except (OSError, BrokenPipeError):
+                pass
+        if self.process is not None:
+            self.process.join(timeout=timeout)
+        self.kill()
+
+
+def _default_start_method() -> str:
+    # fork inherits the parent's already-imported modules (near-free spawn);
+    # spawn is the portable fallback and the safe choice once threads exist.
+    return "fork" if "fork" in mp.get_all_start_methods() else "spawn"
+
+
+class WorkerPool:
+    """A fixed-size pool of :class:`WarmWorker` with crash replacement.
+
+    Two usage patterns:
+
+    * *acquire-based* — :meth:`run_request` grabs any idle worker
+      (the batch runner's fan-out path, via :meth:`map_requests`);
+    * *bound* — a caller owns one worker index outright and calls
+      :meth:`run_once_on` (the serve dispatcher threads).
+
+    ``max_restarts`` bounds restarts *per worker*; a worker whose budget
+    is exhausted stays dead, and when every worker is dead the pool
+    raises instead of hanging.
+    """
+
+    def __init__(self, workers: int, *, start_method: str | None = None,
+                 max_restarts: int = 3, debug_hooks: bool = False):
+        if workers < 1:
+            raise ServeError(f"need >= 1 worker, got {workers}",
+                             code="bad-config")
+        self._ctx = mp.get_context(start_method or _default_start_method())
+        self.max_restarts = max_restarts
+        self.debug_hooks = debug_hooks
+        self._workers: list[WarmWorker] = [
+            WarmWorker(self._ctx, i, debug_hooks=debug_hooks)
+            for i in range(workers)]
+        self._idle: _queue.Queue[int] = _queue.Queue()
+        self._lock = threading.Lock()
+        self._dead = 0
+        self.total_restarts = 0
+        self._started = False
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "WorkerPool":
+        with self._lock:
+            if self._started:
+                return self
+            for worker in self._workers:
+                worker.start()
+                self._idle.put(worker.index)
+            self._started = True
+        return self
+
+    def ensure_workers(self, n: int) -> None:
+        """Grow the pool to at least ``n`` workers (never shrinks)."""
+        with self._lock:
+            while len(self._workers) < n:
+                worker = WarmWorker(self._ctx, len(self._workers),
+                                    debug_hooks=self.debug_hooks)
+                self._workers.append(worker)
+                if self._started:
+                    worker.start()
+                    self._idle.put(worker.index)
+
+    @property
+    def size(self) -> int:
+        return len(self._workers)
+
+    @property
+    def alive_count(self) -> int:
+        return sum(1 for w in self._workers if w.alive)
+
+    def worker(self, index: int) -> WarmWorker:
+        return self._workers[index]
+
+    def pids(self) -> list[int | None]:
+        return [w.pid for w in self._workers]
+
+    def stop(self) -> None:
+        with self._lock:
+            for worker in self._workers:
+                worker.stop()
+            self._started = False
+            # drop stale idle tokens; a restart repopulates them
+            while True:
+                try:
+                    self._idle.get_nowait()
+                except _queue.Empty:
+                    break
+
+    @property
+    def usable(self) -> bool:
+        return self._started and self._dead < self.size
+
+    def restart_worker(self, index: int) -> bool:
+        """Kill + respawn one worker, within its restart budget.
+
+        Returns False (and leaves the slot dead) once the budget is
+        exhausted — a render input that reliably kills workers must not
+        be allowed to respawn-loop the whole pool.
+        """
+        worker = self._workers[index]
+        worker.kill()
+        if worker.restarts >= self.max_restarts:
+            with self._lock:
+                self._dead += 1
+            return False
+        worker.restarts += 1
+        with self._lock:
+            self.total_restarts += 1
+        worker.start()
+        return True
+
+    def restart_all(self) -> None:
+        """Rolling restart (SIGHUP reload): waits for each busy worker."""
+        for index in range(self.size):
+            acquired = self._acquire(timeout=None)
+            try:
+                self.restart_worker(acquired)
+            finally:
+                if self._workers[acquired].alive:
+                    self._idle.put(acquired)
+
+    # ------------------------------------------------------------ job plumbing
+    def job_header(self, request: RenderRequest, *,
+                   cache_dir: str | None = None,
+                   has_schedule: bool = False) -> dict:
+        """The frame-1 header for one render job.
+
+        Canonical JSON payload when the request is wire-representable;
+        explicit pickle frame otherwise (same-machine fallback for
+        requests carrying in-memory style/colormap objects).
+        """
+        header: dict[str, object] = {"op": "render", "cache_dir": cache_dir,
+                                     "schedule": has_schedule}
+        try:
+            header["request"] = request_to_payload(request)
+        except ValueError:
+            header["pickle"] = base64.b64encode(
+                pickle.dumps(request)).decode("ascii")
+        return header
+
+    def run_once_on(self, index: int, request: RenderRequest, *,
+                    cache_dir: str | None = None,
+                    schedule_bytes: bytes | None = None,
+                    timeout: float | None = None,
+                    header: dict | None = None) -> RenderResult:
+        """Run one job on one specific worker (no acquire, no retry).
+
+        On crash or timeout the worker is killed and restarted (budget
+        permitting) and the original exception propagates — retry policy
+        belongs to the caller.
+        """
+        worker = self._workers[index]
+        if not worker.alive:
+            raise WorkerCrash(f"worker {index} is not running")
+        if header is None:
+            header = self.job_header(request, cache_dir=cache_dir,
+                                     has_schedule=schedule_bytes is not None)
+        try:
+            meta, data = worker.run(header, schedule_bytes, timeout=timeout)
+        except (WorkerCrash, WorkerTimeout):
+            self.restart_worker(index)
+            raise
+        return result_from_payload(meta, data)
+
+    def run_request(self, request: RenderRequest, *,
+                    cache_dir: str | None = None,
+                    schedule_bytes: bytes | None = None,
+                    timeout: float | None = None,
+                    crash_retries: int = 1) -> RenderResult:
+        """Run one job on any idle worker; never raises for job failures.
+
+        A crashed worker fails the attempt; the job is retried
+        ``crash_retries`` times on a (restarted) worker before the crash
+        is reported as an error result.
+        """
+        header = self.job_header(request, cache_dir=cache_dir,
+                                 has_schedule=schedule_bytes is not None)
+        attempt = 0
+        while True:
+            attempt += 1
+            try:
+                index = self._acquire(timeout=timeout)
+            except _queue.Empty:
+                return self._failure(request, cache_dir,
+                                     f"no idle worker within {timeout:g}s")
+            except ServeError as exc:  # pool broken: every worker is dead
+                return self._failure(request, cache_dir, str(exc),
+                                     attempts=attempt)
+            try:
+                result = self.run_once_on(
+                    index, request, schedule_bytes=schedule_bytes,
+                    timeout=timeout, header=header)
+            except WorkerTimeout:
+                return self._failure(
+                    request, cache_dir,
+                    f"timed out after {timeout:g}s (worker killed)")
+            except WorkerCrash as exc:
+                if attempt <= crash_retries and self.usable:
+                    continue
+                return self._failure(
+                    request, cache_dir,
+                    f"{exc} (after {attempt} attempt(s))", attempts=attempt)
+            finally:
+                if self._workers[index].alive:
+                    self._idle.put(index)
+            if attempt > 1:
+                from dataclasses import replace as dc_replace
+
+                result = dc_replace(result, attempts=attempt)
+            return result
+
+    def map_requests(self, requests, *, cache_dir: str | None = None,
+                     deadline_s: float | None = None,
+                     max_parallel: int | None = None,
+                     crash_retries: int = 1) -> list[RenderResult]:
+        """Fan a request list across the pool; results keep input order.
+
+        ``deadline_s`` bounds the whole map: jobs still queued when it
+        expires come back as timeout failures, and a worker stuck past
+        the deadline is killed rather than awaited.
+        """
+        requests = list(requests)
+        results: list[RenderResult | None] = [None] * len(requests)
+        deadline = None if deadline_s is None \
+            else time.monotonic() + deadline_s
+        pending: _queue.SimpleQueue[int] = _queue.SimpleQueue()
+        for i in range(len(requests)):
+            pending.put(i)
+
+        def feed() -> None:
+            while True:
+                try:
+                    i = pending.get_nowait()
+                except _queue.Empty:
+                    return
+                remaining = None
+                if deadline is not None:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        results[i] = self._failure(
+                            requests[i], cache_dir,
+                            f"timed out after {deadline_s:g}s")
+                        continue
+                results[i] = self.run_request(
+                    requests[i], cache_dir=cache_dir, timeout=remaining,
+                    crash_retries=crash_retries)
+
+        n_threads = min(self.size, len(requests), max_parallel or self.size)
+        threads = [threading.Thread(target=feed, daemon=True,
+                                    name=f"pool-feed-{t}")
+                   for t in range(max(n_threads, 1))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        return [r if r is not None else
+                self._failure(requests[i], cache_dir, "internal: job dropped")
+                for i, r in enumerate(results)]
+
+    # ------------------------------------------------------------ internals
+    def _acquire(self, timeout: float | None) -> int:
+        while True:
+            if not self.usable:
+                raise ServeError("worker pool has no live workers",
+                                 code="pool-broken")
+            try:
+                index = self._idle.get(timeout=timeout if timeout is not None
+                                       else 1.0)
+            except _queue.Empty:
+                if timeout is not None:
+                    raise
+                continue  # poll usability again, then keep waiting
+            if self._workers[index].alive:
+                return index
+            # the worker died *between* jobs (external kill, OOM): the
+            # crash was never observed by run_once_on, so restart here
+            if self.restart_worker(index):
+                return index
+            # restart budget exhausted: token dropped, look again
+
+    def _failure(self, request: RenderRequest, cache_dir, error: str,
+                 *, attempts: int = 1) -> RenderResult:
+        fmt = "?"
+        try:
+            fmt = request.resolved_output_format()
+        except ReproError:
+            pass
+        return RenderResult(
+            input_path=request.input_path, output_path=request.output_path,
+            format=fmt, nbytes=0, duration_s=0.0,
+            cache="off" if cache_dir is None else "miss",
+            error=error, attempts=attempts)
+
+
+# ------------------------------------------------------------- shared pool
+_shared: WorkerPool | None = None
+_shared_lock = threading.Lock()
+
+
+def shared_pool(workers: int) -> WorkerPool:
+    """The process-wide warm pool, grown on demand and reused forever.
+
+    Repeated batch runs (or a long-lived embedder) pay worker spawn and
+    import cost once, which is exactly the fix for per-invocation pool
+    spawning.  The pool is stopped automatically at interpreter exit.
+    """
+    global _shared
+    with _shared_lock:
+        if _shared is None or not _shared.usable:
+            if _shared is not None:
+                _shared.stop()
+            _shared = WorkerPool(workers).start()
+            atexit.register(shutdown_shared_pool)
+        elif _shared.size < workers:
+            _shared.ensure_workers(workers)
+        return _shared
+
+
+def shutdown_shared_pool() -> None:
+    """Stop the shared pool (tests and interpreter exit)."""
+    global _shared
+    with _shared_lock:
+        if _shared is not None:
+            _shared.stop()
+            _shared = None

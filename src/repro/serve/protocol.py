@@ -1,0 +1,208 @@
+"""Wire format of the render service.
+
+One vocabulary for three transports: the HTTP front end (JSON request
+bodies), the worker pipes (a JSON header frame, optionally followed by
+raw canonical schedule bytes) and the client helper.  Everything here is
+plain-JSON-able on purpose — no pickled object graphs cross a process or
+network boundary.
+
+Validation is deliberately strict and *structured*: a bad field raises
+:class:`~repro.errors.ServeError` carrying a machine-readable ``code``
+and ``field``, which the HTTP layer returns verbatim as a 400 body
+instead of letting the junk surface as a worker-side traceback.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+
+from repro.core.model import Schedule
+from repro.errors import ParseError, RenderError, ServeError
+from repro.render.api import OUTPUT_FORMATS, RenderRequest, RenderResult
+from repro.render.lod import LOD_MODES
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "REQUEST_FIELDS",
+    "request_to_payload",
+    "request_from_payload",
+    "result_to_payload",
+    "result_from_payload",
+    "canonical_schedule_bytes",
+    "schedule_from_canonical",
+]
+
+PROTOCOL_VERSION = 1
+
+#: RenderRequest fields allowed on the wire (all plain JSON values).
+#: The in-memory-object fields (``style``, ``cmap``, ``viewport``, a
+#: ``LodOptions`` instance) are library-only conveniences; remote callers
+#: use the ``*_path`` variants instead.
+REQUEST_FIELDS = frozenset({
+    "input_path", "input_format", "output_path", "output_format",
+    "width", "height", "mode", "title", "lod", "style_path", "cmap_path",
+    "grayscale", "auto_colors", "types", "clusters", "window",
+    "composites", "with_profile",
+})
+
+_BOOL_FIELDS = frozenset({"grayscale", "composites", "with_profile"})
+_STRING_FIELDS = frozenset({
+    "input_path", "input_format", "output_path", "output_format",
+    "mode", "title", "lod", "style_path", "cmap_path", "auto_colors",
+})
+_LIST_FIELDS = frozenset({"types", "clusters"})
+
+
+def _bad(message: str, *, code: str = "bad-request",
+         field: str | None = None) -> ServeError:
+    return ServeError(message, code=code, field=field)
+
+
+def request_to_payload(request: RenderRequest) -> dict:
+    """Plain-JSON payload of a request.
+
+    Raises ``ValueError`` when the request carries in-memory objects
+    (style/cmap/viewport instances) that have no wire representation —
+    callers with such requests fall back to a same-machine transport.
+    """
+    for key in ("style", "cmap", "viewport"):
+        if getattr(request, key) is not None:
+            raise ValueError(f"request field {key!r} holds an in-memory "
+                             f"object; not representable on the wire")
+    if not isinstance(request.lod, str):
+        raise ValueError("request field 'lod' holds a LodOptions object; "
+                         "not representable on the wire")
+    payload: dict[str, object] = {}
+    for key in sorted(REQUEST_FIELDS):
+        value = getattr(request, key)
+        if value is None:
+            continue
+        if key in _LIST_FIELDS or key == "window":
+            value = list(value)
+        payload[key] = value
+    return payload
+
+
+def _check_number(field: str, value, *, reject_nan: bool = True) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise _bad(f"{field} must be a number, got {value!r}",
+                   code="invalid-type", field=field)
+    if reject_nan and not math.isfinite(value):
+        raise _bad(f"{field} must be finite, got {value!r}",
+                   code="invalid-value", field=field)
+    return float(value)
+
+
+def request_from_payload(doc: object) -> RenderRequest:
+    """Validate a wire payload into a :class:`RenderRequest`.
+
+    Every rejection is a :class:`~repro.errors.ServeError` whose
+    ``to_payload()`` names the offending field — NaN/negative dimensions,
+    unknown formats and unknown keys all come back as structured 400s
+    rather than worker-side exceptions.
+    """
+    if not isinstance(doc, dict):
+        raise _bad(f"request must be a JSON object, got "
+                   f"{type(doc).__name__}", code="invalid-type")
+    unknown = set(doc) - REQUEST_FIELDS
+    if unknown:
+        raise _bad(f"unknown request field(s): {', '.join(sorted(unknown))}",
+                   code="unknown-field", field=sorted(unknown)[0])
+
+    kwargs: dict[str, object] = {}
+    for field, value in doc.items():
+        if value is None:
+            continue
+        if field in ("width", "height"):
+            number = _check_number(field, value)
+            if number != int(number) or number < 1:
+                raise _bad(f"{field} must be a positive whole number, "
+                           f"got {value!r}", code="invalid-dimension",
+                           field=field)
+            kwargs[field] = int(number)
+        elif field in _BOOL_FIELDS:
+            if not isinstance(value, bool):
+                raise _bad(f"{field} must be a boolean, got {value!r}",
+                           code="invalid-type", field=field)
+            kwargs[field] = value
+        elif field in _LIST_FIELDS:
+            if not isinstance(value, (list, tuple)) or \
+                    not all(isinstance(v, str) for v in value):
+                raise _bad(f"{field} must be a list of strings, got {value!r}",
+                           code="invalid-type", field=field)
+            kwargs[field] = tuple(value)
+        elif field == "window":
+            if not isinstance(value, (list, tuple)) or len(value) != 2:
+                raise _bad(f"window must be a [t0, t1] pair, got {value!r}",
+                           code="invalid-value", field="window")
+            kwargs[field] = (_check_number("window[0]", value[0]),
+                             _check_number("window[1]", value[1]))
+        elif field in _STRING_FIELDS:
+            if not isinstance(value, str):
+                raise _bad(f"{field} must be a string, got {value!r}",
+                           code="invalid-type", field=field)
+            if field == "output_format" and value.lower() not in OUTPUT_FORMATS:
+                raise _bad(
+                    f"unknown output format {value!r}; supported: "
+                    f"{', '.join(sorted(OUTPUT_FORMATS))}",
+                    code="unknown-format", field=field)
+            if field == "lod" and value not in LOD_MODES:
+                raise _bad(f"unknown lod mode {value!r} (expected one of: "
+                           f"{', '.join(LOD_MODES)})",
+                           code="unknown-format", field=field)
+            kwargs[field] = value
+        else:  # pragma: no cover - REQUEST_FIELDS and the sets above agree
+            raise _bad(f"unhandled field {field!r}", field=field)
+    try:
+        return RenderRequest(**kwargs)
+    except RenderError as exc:  # backstop: constructor re-validates
+        raise _bad(str(exc)) from exc
+
+
+def result_to_payload(result: RenderResult) -> dict:
+    """JSON header of a result; the raw bytes travel as a separate frame."""
+    payload = result.to_json()
+    payload["has_data"] = result.data is not None
+    return payload
+
+
+def result_from_payload(doc: dict, data: bytes | None = None) -> RenderResult:
+    return RenderResult(
+        input_path=doc.get("input"),
+        output_path=doc.get("output"),
+        format=str(doc.get("format", "?")),
+        nbytes=int(doc.get("bytes", 0)),
+        duration_s=float(doc.get("duration_s", 0.0)),
+        cache=str(doc.get("cache", "off")),
+        error=doc.get("error"),
+        attempts=int(doc.get("attempts", 1)),
+        data=data,
+    )
+
+
+def canonical_schedule_bytes(schedule: Schedule) -> bytes:
+    """The canonical byte form of a schedule.
+
+    Compact, sorted-keys JSON over :func:`repro.io.json_fmt.to_dict` —
+    byte-identical to what :func:`repro.batch.cache.schedule_digest`
+    hashes, so a worker holding these bytes can compute the cache key
+    without parsing them.
+    """
+    from repro.io.json_fmt import to_dict
+
+    return json.dumps(to_dict(schedule), sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+
+
+def schedule_from_canonical(data: bytes, *,
+                            source: str = "<wire>") -> Schedule:
+    """Rebuild a schedule from its canonical byte form."""
+    try:
+        doc = json.loads(data.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ParseError(f"malformed canonical schedule bytes: {exc}",
+                         source=source) from exc
+    from repro.io.json_fmt import from_dict
+
+    return from_dict(doc, source=source)

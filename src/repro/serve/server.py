@@ -1,0 +1,640 @@
+"""The ``jedule serve`` daemon: HTTP front end over the warm pool.
+
+Architecture (all stdlib)::
+
+    HTTP threads            dispatcher threads         worker processes
+    ------------            ------------------         ----------------
+    POST /render  --put-->  FairQueue  --get-->  [T0]  --pipe-->  [W0]
+    GET  /jobs/<id>                              [T1]  --pipe-->  [W1]
+    GET  /healthz|/statz                          ...              ...
+    POST /drain
+
+One dispatcher thread is bound to each warm worker: it pulls the next
+job in round-robin client order, ships it over the worker's pipe
+(canonical schedule bytes, no pickled graphs), and files the result
+under the job id for the client to poll.  Backpressure is explicit — a
+full queue answers 429 with a ``Retry-After`` estimate — and shutdown is
+graceful: ``/drain`` (or SIGTERM) stops admission, finishes every
+queued and in-flight job, persists a run-registry record, then exits.
+SIGHUP performs a rolling worker restart without dropping the queue.
+
+Observability: per-request ``serve.job`` spans, ``serve.queue.depth``
+gauges and ``serve.*`` counters flow through :mod:`repro.obs` when a
+trace is being captured; an always-on local stats block feeds
+``/statz`` (latency percentiles included) and the drain-time runlog
+record regardless.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import os
+import socket
+import socketserver
+import threading
+import time
+import uuid
+from collections import OrderedDict, deque
+from dataclasses import dataclass
+from dataclasses import replace as dc_replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import urlsplit
+
+from repro.errors import ParseError, ReproError, ServeError
+from repro.obs import core as _obs
+from repro.render.api import RenderRequest, RenderResult
+from repro.serve.jobqueue import FairQueue, QueueClosed, QueueFull
+from repro.serve.pool import WorkerCrash, WorkerPool, WorkerTimeout
+from repro.serve.protocol import (
+    canonical_schedule_bytes,
+    request_from_payload,
+    result_to_payload,
+)
+
+__all__ = ["RenderServer", "Job", "CONTENT_TYPES", "latency_percentiles"]
+
+#: output format -> HTTP content type of /jobs/<id>/result
+CONTENT_TYPES = {
+    "svg": "image/svg+xml",
+    "png": "image/png",
+    "ppm": "image/x-portable-pixmap",
+    "bmp": "image/bmp",
+    "pdf": "application/pdf",
+    "eps": "application/postscript",
+    "html": "text/html; charset=utf-8",
+}
+
+_MAX_BODY = 64 * 1024 * 1024  # refuse absurd request bodies outright
+
+
+def latency_percentiles(values, points=(0.50, 0.95, 0.99)) -> dict[str, float]:
+    """Nearest-rank percentiles of a latency sample, keyed ``p50``-style."""
+    out = {f"p{int(p * 100)}": 0.0 for p in points}
+    data = sorted(values)
+    if not data:
+        return out
+    for p in points:
+        rank = max(0, math.ceil(p * len(data)) - 1)
+        out[f"p{int(p * 100)}"] = data[rank]
+    return out
+
+
+@dataclass
+class Job:
+    """One submitted render job as it moves queued -> running -> done."""
+
+    id: str
+    client: str
+    request: RenderRequest
+    schedule_bytes: bytes | None
+    status: str = "queued"      # queued | running | done | failed
+    submitted_at: float = 0.0
+    started_at: float | None = None
+    finished_at: float | None = None
+    seq: int | None = None      # completion order, for fairness inspection
+    result: RenderResult | None = None
+    debug: dict | None = None   # extra worker header keys (tests only)
+
+    @property
+    def finished(self) -> bool:
+        return self.status in ("done", "failed")
+
+    def to_payload(self) -> dict:
+        doc: dict[str, object] = {
+            "id": self.id,
+            "client": self.client,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "seq": self.seq,
+        }
+        if self.result is not None:
+            doc["result"] = result_to_payload(self.result)
+        return doc
+
+
+class _HTTPServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+    app: "RenderServer"
+
+
+class _UnixHTTPServer(_HTTPServer):
+    address_family = socket.AF_UNIX
+
+    def server_bind(self):
+        # HTTPServer.server_bind assumes an (host, port) tuple; a Unix
+        # path needs only the raw bind.
+        socketserver.TCPServer.server_bind(self)
+        self.server_name = "unix"
+        self.server_port = 0
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "jedule-serve"
+
+    @property
+    def app(self) -> "RenderServer":
+        return self.server.app
+
+    def log_message(self, format, *args):  # route nothing to stderr
+        pass
+
+    # ------------------------------------------------------------- helpers
+    def _send_json(self, status: int, doc: dict,
+                   headers: dict | None = None) -> None:
+        body = json.dumps(doc).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for key, value in (headers or {}).items():
+            self.send_header(key, str(value))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _send_bytes(self, status: int, data: bytes, content_type: str) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(data)))
+        self.end_headers()
+        self.wfile.write(data)
+
+    def _read_body(self) -> bytes | None:
+        try:
+            length = int(self.headers.get("Content-Length", "0"))
+        except ValueError:
+            return None
+        if length < 0 or length > _MAX_BODY:
+            return None
+        return self.rfile.read(length) if length else b""
+
+    # -------------------------------------------------------------- routes
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        path = urlsplit(self.path).path
+        if path == "/healthz":
+            self._send_json(200, self.app.healthz_payload())
+        elif path == "/statz":
+            self._send_json(200, self.app.statz_payload())
+        elif path.startswith("/jobs/"):
+            parts = path.split("/")
+            if len(parts) == 3:
+                status, doc = self.app.job_payload(parts[2])
+                self._send_json(status, doc)
+            elif len(parts) == 4 and parts[3] == "result":
+                status, payload, ctype = self.app.job_result(parts[2])
+                if isinstance(payload, bytes):
+                    self._send_bytes(status, payload, ctype)
+                else:
+                    self._send_json(status, payload)
+            else:
+                self._send_json(404, _error("not-found", "unknown jobs path"))
+        else:
+            self._send_json(404, _error("not-found", f"no route {path!r}"))
+
+    def do_POST(self) -> None:  # noqa: N802
+        path = urlsplit(self.path).path
+        if path == "/render":
+            body = self._read_body()
+            if body is None:
+                self._send_json(400, _error("bad-body",
+                                            "missing or oversized body"))
+                return
+            try:
+                doc = json.loads(body.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+                self._send_json(400, _error("bad-json",
+                                            f"body is not JSON: {exc}"))
+                return
+            client = self.headers.get("X-Jedule-Client") or None
+            status, payload, headers = self.app.submit_payload(doc,
+                                                               client=client)
+            self._send_json(status, payload, headers)
+        elif path == "/drain":
+            self._send_json(200, self.app.begin_drain())
+        else:
+            self._send_json(404, _error("not-found", f"no route {path!r}"))
+
+
+def _error(code: str, message: str, **extra) -> dict:
+    return {"error": {"code": code, "message": message, **extra}}
+
+
+class RenderServer:
+    """Long-lived render service over a warm worker pool.
+
+    ``port=0`` binds an ephemeral TCP port (read it back from
+    :attr:`port`); ``socket_path`` switches to a Unix domain socket.
+    ``debug_hooks`` enables the test-only worker crash/sleep hooks and
+    must never be set from user-facing entry points.
+    """
+
+    def __init__(self, *, host: str = "127.0.0.1", port: int = 0,
+                 socket_path: str | None = None, workers: int = 2,
+                 queue_depth: int = 64, cache_dir: str | None = None,
+                 runlog: str | None = None, name: str = "serve",
+                 job_timeout_s: float | None = None, crash_retries: int = 1,
+                 keep_jobs: int = 1024, start_method: str | None = None,
+                 debug_hooks: bool = False):
+        self.host = host
+        self.port = port
+        self.socket_path = socket_path
+        self.cache_dir = cache_dir
+        self.runlog = runlog
+        self.name = name
+        self.job_timeout_s = job_timeout_s
+        self.crash_retries = crash_retries
+        self.keep_jobs = keep_jobs
+
+        self._pool = WorkerPool(workers, start_method=start_method,
+                                debug_hooks=debug_hooks)
+        self._queue = FairQueue(queue_depth)
+        self._jobs: OrderedDict[str, Job] = OrderedDict()
+        self._jobs_lock = threading.Lock()
+        self._seq = 0
+
+        self._stats_lock = threading.Lock()
+        self._counters: dict[str, float] = {}
+        self._latencies: deque[float] = deque(maxlen=4096)
+        self._started_at = time.time()
+
+        self._gate = threading.Event()   # cleared = dispatch paused
+        self._gate.set()
+        self._busy = 0
+        self._busy_cv = threading.Condition()
+        self._parked = 0
+        self._parked_cv = threading.Condition()
+
+        self._dispatchers: list[threading.Thread] = []
+        self._httpd: _HTTPServer | None = None
+        self._http_thread: threading.Thread | None = None
+        self._draining = False
+        self._drain_lock = threading.Lock()
+        self._done = threading.Event()
+
+    # ------------------------------------------------------------ lifecycle
+    def start(self) -> "RenderServer":
+        self._pool.start()
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except FileNotFoundError:
+                pass
+            self._httpd = _UnixHTTPServer(self.socket_path, _Handler,
+                                          bind_and_activate=True)
+        else:
+            self._httpd = _HTTPServer((self.host, self.port), _Handler)
+            self.port = self._httpd.server_address[1]
+        self._httpd.app = self
+        for index in range(self._pool.size):
+            thread = threading.Thread(target=self._dispatch, args=(index,),
+                                      name=f"serve-dispatch-{index}",
+                                      daemon=True)
+            thread.start()
+            self._dispatchers.append(thread)
+        self._http_thread = threading.Thread(
+            target=self._httpd.serve_forever, kwargs={"poll_interval": 0.1},
+            name="serve-http", daemon=True)
+        self._http_thread.start()
+        self._started_at = time.time()
+        return self
+
+    @property
+    def url(self) -> str:
+        if self.socket_path is not None:
+            return f"unix:{self.socket_path}"
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """Block until the server has fully drained and shut down."""
+        return self._done.wait(timeout)
+
+    def begin_drain(self) -> dict:
+        """Start a graceful drain in the background; returns immediately."""
+        threading.Thread(target=self.drain, name="serve-drain",
+                         daemon=True).start()
+        return {"draining": True, "pending": len(self._queue)}
+
+    def drain(self) -> None:
+        """Stop admission, finish queued + in-flight jobs, shut down."""
+        with self._drain_lock:
+            if self._draining:
+                self._done.wait()
+                return
+            self._draining = True
+        self._queue.close()
+        self.resume_dispatch()           # a paused server must still drain
+        for thread in self._dispatchers:
+            thread.join()
+        self._write_runlog()
+        self._pool.stop()
+        if self._httpd is not None:
+            self._httpd.shutdown()
+            self._httpd.server_close()
+        if self.socket_path is not None:
+            try:
+                os.unlink(self.socket_path)
+            except OSError:
+                pass
+        self._done.set()
+
+    def reload(self) -> None:
+        """Rolling worker restart (SIGHUP): queue and jobs survive."""
+        self.pause_dispatch()
+        try:
+            with self._busy_cv:
+                while self._busy:
+                    self._busy_cv.wait()
+            for index in range(self._pool.size):
+                self._pool.restart_worker(index)
+            self._count("serve.worker.reload")
+        finally:
+            self.resume_dispatch()
+
+    def pause_dispatch(self, *, wait: bool = True,
+                       timeout: float = 5.0) -> None:
+        """Hold dispatchers before their next job (tests, reload).
+
+        With ``wait=True`` (the default) this returns only once every
+        idle dispatcher is parked on the gate, so a job submitted after
+        the call is guaranteed to stay queued until resume.
+        """
+        self._gate.clear()
+        if not wait:
+            return
+        deadline = time.monotonic() + timeout
+        with self._parked_cv:
+            while self._parked + self._busy < \
+                    sum(1 for t in self._dispatchers if t.is_alive()):
+                remaining = deadline - time.monotonic()
+                if remaining <= 0 or not self._parked_cv.wait(remaining):
+                    break
+
+    def resume_dispatch(self) -> None:
+        self._gate.set()
+
+    # ------------------------------------------------------------ dispatch
+    def _dispatch(self, index: int) -> None:
+        while True:
+            if not self._gate.is_set():
+                with self._parked_cv:
+                    self._parked += 1
+                    self._parked_cv.notify_all()
+                self._gate.wait()
+                with self._parked_cv:
+                    self._parked -= 1
+            try:
+                job = self._queue.get(timeout=0.2)
+            except QueueClosed:
+                return
+            if job is None:
+                continue
+            with self._busy_cv:
+                self._busy += 1
+            try:
+                self._run_job(index, job)
+            finally:
+                with self._busy_cv:
+                    self._busy -= 1
+                    self._busy_cv.notify_all()
+            if not self._pool.worker(index).alive:
+                return  # restart budget exhausted; slot is gone
+
+    def _run_job(self, index: int, job: Job) -> None:
+        job.started_at = time.time()
+        job.status = "running"
+        _obs.gauge("serve.queue.depth", len(self._queue))
+        header = self._pool.job_header(
+            job.request, cache_dir=self.cache_dir,
+            has_schedule=job.schedule_bytes is not None)
+        if job.debug:
+            header.update(job.debug)
+        with _obs.span("serve.job", client=job.client, job=job.id) as sp:
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    result = self._pool.run_once_on(
+                        index, job.request, schedule_bytes=job.schedule_bytes,
+                        timeout=self.job_timeout_s, header=header)
+                    if attempts > 1:
+                        result = dc_replace(result, attempts=attempts)
+                    break
+                except WorkerTimeout as exc:
+                    self._count("serve.worker.timeout")
+                    result = self._failure(job, str(exc), attempts)
+                    break
+                except WorkerCrash as exc:
+                    self._count("serve.worker.crash")
+                    if attempts <= self.crash_retries and \
+                            self._pool.worker(index).alive:
+                        continue
+                    result = self._failure(
+                        job, f"{exc} (after {attempts} attempt(s))", attempts)
+                    break
+            sp.set(cache=result.cache, ok=result.ok, attempts=attempts)
+        job.result = result
+        job.finished_at = time.time()
+        job.status = "done" if result.ok else "failed"
+        with self._jobs_lock:
+            self._seq += 1
+            job.seq = self._seq
+        latency = job.finished_at - job.submitted_at
+        with self._stats_lock:
+            self._latencies.append(latency)
+        self._count("serve.jobs.ok" if result.ok else "serve.jobs.failed")
+        if result.cache in ("hit", "miss", "off"):
+            self._count(f"serve.cache.{result.cache}")
+        _obs.add("serve.latency_ms", latency * 1000.0)
+
+    def _failure(self, job: Job, error: str, attempts: int) -> RenderResult:
+        fmt = "?"
+        try:
+            fmt = job.request.resolved_output_format()
+        except ReproError:
+            pass
+        return RenderResult(
+            input_path=job.request.input_path,
+            output_path=job.request.output_path, format=fmt, nbytes=0,
+            duration_s=0.0,
+            cache="off" if self.cache_dir is None else "miss",
+            error=error, attempts=attempts)
+
+    def _count(self, name: str, value: float = 1.0) -> None:
+        with self._stats_lock:
+            self._counters[name] = self._counters.get(name, 0.0) + value
+        _obs.add(name, value)
+
+    # ------------------------------------------------------------ endpoints
+    def submit_payload(self, doc: object, *, client: str | None = None):
+        """Admit one job; returns ``(status, payload, headers)``."""
+        self._count("serve.requests")
+        if self._draining:
+            return 503, _error("draining", "server is draining"), {}
+        if not isinstance(doc, dict):
+            return 400, _error("bad-body", "body must be a JSON object"), {}
+        allowed = {"request", "schedule", "client"}
+        if self._pool.debug_hooks:  # test-only worker hooks (x_crash, ...)
+            allowed.add("debug")
+        unknown = set(doc) - allowed
+        if unknown:
+            self._count("serve.rejected.invalid")
+            return 400, _error(
+                "unknown-field",
+                f"unknown body field(s): {', '.join(sorted(unknown))}"), {}
+        try:
+            request = request_from_payload(doc.get("request") or {})
+        except ServeError as exc:
+            self._count("serve.rejected.invalid")
+            return 400, {"error": exc.to_payload()}, {}
+
+        schedule_bytes = None
+        schedule_doc = doc.get("schedule")
+        if schedule_doc is not None:
+            from repro.io.json_fmt import from_dict
+
+            try:
+                schedule = from_dict(schedule_doc, source="<submit>")
+            except ParseError as exc:
+                self._count("serve.rejected.invalid")
+                return 400, _error("bad-schedule", str(exc)), {}
+            schedule_bytes = canonical_schedule_bytes(schedule)
+        elif request.input_path is None:
+            self._count("serve.rejected.invalid")
+            return 400, _error(
+                "missing-input",
+                "job needs either request.input_path or an inline schedule",
+                field="input_path"), {}
+
+        debug = doc.get("debug") if self._pool.debug_hooks else None
+        job = Job(id=uuid.uuid4().hex[:12],
+                  client=client or str(doc.get("client") or "anon"),
+                  request=request, schedule_bytes=schedule_bytes,
+                  submitted_at=time.time(),
+                  debug=dict(debug) if isinstance(debug, dict) else None)
+        try:
+            depth = self._queue.put(job, client=job.client)
+        except QueueFull as exc:
+            self._count("serve.rejected.queue_full")
+            return (429, {"error": exc.to_payload()},
+                    {"Retry-After": self._retry_after()})
+        except QueueClosed:
+            return 503, _error("draining", "server is draining"), {}
+        with self._jobs_lock:
+            self._jobs[job.id] = job
+            self._prune_jobs()
+        self._count("serve.jobs.submitted")
+        _obs.gauge("serve.queue.depth", depth)
+        return 202, {"job": job.to_payload(), "queue_depth": depth}, {}
+
+    def _prune_jobs(self) -> None:
+        # caller holds _jobs_lock; drop oldest *finished* jobs beyond cap
+        excess = len(self._jobs) - self.keep_jobs
+        if excess <= 0:
+            return
+        for job_id in [j.id for j in self._jobs.values()
+                       if j.finished][:excess]:
+            del self._jobs[job_id]
+
+    def _retry_after(self) -> int:
+        with self._stats_lock:
+            sample = list(self._latencies)
+        avg = (sum(sample) / len(sample)) if sample else 1.0
+        backlog = len(self._queue) * avg / max(self._pool.alive_count, 1)
+        return max(1, min(60, math.ceil(backlog)))
+
+    def job_payload(self, job_id: str):
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            return 404, _error("unknown-job", f"no job {job_id!r}")
+        return 200, {"job": job.to_payload()}
+
+    def job_result(self, job_id: str):
+        """Raw result bytes: ``(status, bytes-or-error-doc, content_type)``."""
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            return 404, _error("unknown-job", f"no job {job_id!r}"), ""
+        if not job.finished:
+            return (409, _error("not-finished",
+                                f"job is {job.status}", status=job.status), "")
+        if job.status == "failed":
+            return (410, {"error": {"code": "job-failed",
+                                    "message": job.result.error or "failed"},
+                          "job": job.to_payload()}, "")
+        data = job.result.data
+        if data is None and job.result.output_path:
+            try:
+                data = open(job.result.output_path, "rb").read()
+            except OSError:
+                data = None
+        if data is None:
+            return 204, b"", "application/octet-stream"
+        ctype = CONTENT_TYPES.get(job.result.format,
+                                  "application/octet-stream")
+        return 200, data, ctype
+
+    def healthz_payload(self) -> dict:
+        return {
+            "ok": self._pool.alive_count > 0 and not self._draining,
+            "workers": self._pool.size,
+            "workers_alive": self._pool.alive_count,
+            "draining": self._draining,
+            "queue_depth": len(self._queue),
+        }
+
+    def statz_payload(self) -> dict:
+        with self._stats_lock:
+            counters = dict(self._counters)
+            sample = list(self._latencies)
+        with self._jobs_lock:
+            states: dict[str, int] = {}
+            for job in self._jobs.values():
+                states[job.status] = states.get(job.status, 0) + 1
+        return {
+            "uptime_s": time.time() - self._started_at,
+            "draining": self._draining,
+            "queue": {
+                "depth": len(self._queue),
+                "capacity": self._queue.maxsize,
+                "by_client": self._queue.depth_by_client(),
+            },
+            "workers": {
+                "total": self._pool.size,
+                "alive": self._pool.alive_count,
+                "restarts": self._pool.total_restarts,
+            },
+            "jobs": states,
+            "counters": counters,
+            "latency_s": {**latency_percentiles(sample),
+                          "count": len(sample)},
+        }
+
+    # ------------------------------------------------------------- runlog
+    def _write_runlog(self) -> None:
+        if not self.runlog:
+            return
+        from repro.obs.runlog import RunLog, record_from_trace
+
+        with self._stats_lock:
+            counters = dict(self._counters)
+            sample = list(self._latencies)
+        pcts = latency_percentiles(sample)
+        record = record_from_trace(
+            "serve", self.name,
+            _obs.current_trace() if _obs.is_enabled() else None,
+            timings_s={key: [value] for key, value in pcts.items() if sample},
+            meta={"workers": self._pool.size,
+                  "queue_depth": self._queue.maxsize,
+                  "cache_dir": self.cache_dir,
+                  "restarts": self._pool.total_restarts,
+                  "jobs": int(counters.get("serve.jobs.submitted", 0))})
+        record.counters.update(counters)
+        RunLog(self.runlog).append(record)

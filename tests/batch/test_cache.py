@@ -95,3 +95,121 @@ def test_key_from_digest_matches_cache_key(simple_schedule):
     request = RenderRequest(output_format="png")
     assert cache_key(simple_schedule, request) == cache_key_from_digest(
         schedule_digest(simple_schedule), request)
+
+
+def _stat_entry(cache: RenderCache, path) -> "os.PathLike":
+    token = stat_token(path)
+    return cache.root / "stat" / token[:2] / token
+
+
+def test_torn_stat_entry_is_a_miss_and_self_heals(tmp_path, simple_schedule):
+    """A junk/torn index entry reads as a miss and is unlinked, so the
+    next remember_digest rewrites it cleanly."""
+    path = tmp_path / "s.jed"
+    save_schedule(simple_schedule, path)
+    cache = RenderCache(tmp_path / "cache")
+    digest = schedule_digest(simple_schedule)
+    cache.remember_digest(path, digest)
+
+    entry = _stat_entry(cache, path)
+    entry.write_text(digest[:20])  # torn: a partial non-atomic write
+    assert cache.digest_hint(path) is None
+    assert not entry.exists()  # junk removed
+    cache.remember_digest(path, digest)
+    assert cache.digest_hint(path) == digest
+
+
+def test_binary_junk_stat_entry_is_a_miss(tmp_path, simple_schedule):
+    path = tmp_path / "s.jed"
+    save_schedule(simple_schedule, path)
+    cache = RenderCache(tmp_path / "cache")
+    cache.remember_digest(path, schedule_digest(simple_schedule))
+    _stat_entry(cache, path).write_bytes(b"\xff\xfe\x00garbage")
+    assert cache.digest_hint(path) is None
+
+
+def test_concurrent_writers_never_surface_torn_reads(tmp_path,
+                                                     simple_schedule,
+                                                     overlap_schedule):
+    """Writers hammering one entry with distinct digests: every read is
+    either one of the two valid digests or a clean miss — never junk."""
+    import threading
+
+    path = tmp_path / "s.jed"
+    save_schedule(simple_schedule, path)
+    cache = RenderCache(tmp_path / "cache")
+    digests = [schedule_digest(simple_schedule),
+               schedule_digest(overlap_schedule)]
+    stop = threading.Event()
+    problems: list[str] = []
+
+    def write(digest: str) -> None:
+        while not stop.is_set():
+            cache.remember_digest(path, digest)
+
+    def read() -> None:
+        while not stop.is_set():
+            hint = cache.digest_hint(path)
+            if hint is not None and hint not in digests:
+                problems.append(hint)
+
+    threads = [threading.Thread(target=write, args=(d,)) for d in digests]
+    threads += [threading.Thread(target=read) for _ in range(2)]
+    for t in threads:
+        t.start()
+    import time
+
+    time.sleep(0.4)
+    stop.set()
+    for t in threads:
+        t.join(timeout=5.0)
+    assert problems == []
+    assert cache.digest_hint(path) in digests
+
+
+def test_sweep_tmp_removes_only_stale_litter(tmp_path, simple_schedule):
+    """Crash-mid-write residue (.tmp-*) is swept once old; fresh temp
+    files of a live writer and real entries are left alone."""
+    path = tmp_path / "s.jed"
+    save_schedule(simple_schedule, path)
+    cache = RenderCache(tmp_path / "cache")
+    key = "ab" + "0" * 62
+    cache.put(key, b"payload")
+    cache.remember_digest(path, schedule_digest(simple_schedule))
+
+    blob_shard = cache.path_for(key).parent
+    stale = blob_shard / ".tmp-crashed"
+    stale.write_bytes(b"partial")
+    os.utime(stale, (1, 1))
+    fresh = blob_shard / ".tmp-live"
+    fresh.write_bytes(b"inflight")
+    stat_stale = _stat_entry(cache, path).parent / ".tmp-dead"
+    stat_stale.write_text("par")
+    os.utime(stat_stale, (1, 1))
+
+    assert cache.sweep_tmp() == 2
+    assert not stale.exists() and not stat_stale.exists()
+    assert fresh.exists()
+    assert cache.get(key) == b"payload"
+    assert cache.digest_hint(path) == schedule_digest(simple_schedule)
+    assert len(cache) == 1  # temp litter never counted as a blob
+
+
+def test_concurrent_put_same_key_one_winner(tmp_path):
+    import threading
+
+    cache = RenderCache(tmp_path / "cache")
+    key = "cd" + "1" * 62
+    payload = b"x" * 4096
+
+    def write() -> None:
+        for _ in range(50):
+            cache.put(key, payload)
+
+    threads = [threading.Thread(target=write) for _ in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=10.0)
+    assert cache.get(key) == payload
+    assert len(cache) == 1

@@ -41,6 +41,22 @@ def test_request_normalizes_and_validates():
         RenderRequest(output_path="schedule.dat").resolved_output_format()
 
 
+def test_dimension_validation():
+    assert RenderRequest(width=640.0).width == 640  # whole floats normalize
+    for bad in [0, -1, float("nan"), float("inf"), 12.5, "640", True, None]:
+        with pytest.raises(RenderError):
+            RenderRequest(width=bad)
+        with pytest.raises(RenderError):
+            RenderRequest(height=bad)
+
+
+def test_window_must_be_finite():
+    assert RenderRequest(window=(0, 5)).window == (0.0, 5.0)
+    for bad in [(0.0, float("nan")), (float("inf"), 1.0)]:
+        with pytest.raises(RenderError, match="finite"):
+            RenderRequest(window=bad)
+
+
 def test_with_options_revalidates():
     request = RenderRequest(output_format="png")
     assert request.with_options(width=50).width == 50

@@ -1,0 +1,96 @@
+"""Tests for the fair bounded job queue."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.jobqueue import FairQueue, QueueClosed, QueueFull
+
+
+def test_fifo_single_client():
+    q = FairQueue(8)
+    for i in range(4):
+        q.put(i, client="a")
+    assert [q.get() for _ in range(4)] == [0, 1, 2, 3]
+
+
+def test_round_robin_across_clients():
+    q = FairQueue(16)
+    for i in range(4):
+        q.put(f"a{i}", client="a")
+    for i in range(2):
+        q.put(f"b{i}", client="b")
+    order = [q.get() for _ in range(6)]
+    # the short bucket alternates until it empties, then a drains alone
+    assert order == ["a0", "b0", "a1", "b1", "a2", "a3"]
+
+
+def test_new_client_joins_rotation_tail():
+    q = FairQueue(16)
+    q.put("a0", client="a")
+    q.put("a1", client="a")
+    assert q.get() == "a0"
+    q.put("b0", client="b")
+    assert [q.get(), q.get()] == ["a1", "b0"]
+
+
+def test_backpressure_at_capacity():
+    q = FairQueue(2)
+    q.put(1)
+    q.put(2)
+    with pytest.raises(QueueFull) as err:
+        q.put(3)
+    assert err.value.code == "queue-full"
+    assert err.value.depth == 2
+    assert len(q) == 2
+    q.get()
+    q.put(3)  # a consumed slot reopens admission
+
+
+def test_close_drains_then_signals():
+    q = FairQueue(8)
+    q.put("x")
+    q.close()
+    with pytest.raises(QueueClosed):
+        q.put("y")
+    assert q.get() == "x"  # already-queued work still comes out
+    with pytest.raises(QueueClosed):
+        q.get()
+
+
+def test_get_timeout_returns_none():
+    q = FairQueue(8)
+    assert q.get(timeout=0.05) is None
+
+
+def test_close_wakes_blocked_consumer():
+    q = FairQueue(8)
+    seen = []
+
+    def consume():
+        try:
+            q.get(timeout=10.0)
+        except QueueClosed:
+            seen.append("closed")
+
+    t = threading.Thread(target=consume)
+    t.start()
+    q.close()
+    t.join(timeout=5.0)
+    assert seen == ["closed"]
+
+
+def test_depth_by_client():
+    q = FairQueue(8)
+    q.put(1, client="a")
+    q.put(2, client="a")
+    q.put(3, client="b")
+    assert q.depth_by_client() == {"a": 2, "b": 1}
+
+
+def test_bad_depth_rejected():
+    with pytest.raises(ServeError):
+        FairQueue(0)

@@ -1,0 +1,244 @@
+"""End-to-end tests of the render service over real HTTP."""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+
+import pytest
+
+from repro.errors import ServeError
+from repro.io.json_fmt import to_dict
+from repro.render.api import RenderRequest, execute_request
+from repro.serve.client import ServeClient
+from repro.serve.server import RenderServer, latency_percentiles
+
+
+@contextmanager
+def serving(**kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("port", 0)  # ephemeral
+    server = RenderServer(**kwargs).start()
+    try:
+        yield server
+    finally:
+        server.drain()
+        assert server.wait(timeout=30)
+
+
+def _request(**kwargs):
+    kwargs.setdefault("output_format", "svg")
+    kwargs.setdefault("width", 320)
+    kwargs.setdefault("height", 240)
+    return RenderRequest(**kwargs)
+
+
+def test_submit_poll_result_matches_direct_render(tmp_path, simple_schedule):
+    with serving(cache_dir=str(tmp_path / "cache")) as server:
+        client = ServeClient(server.url, client_id="t1")
+        request = _request()
+        job = client.render(request, schedule=simple_schedule)
+        assert job["status"] == "done"
+        assert job["result"]["cache"] == "miss"
+        served = client.result_bytes(job["id"])
+        direct = execute_request(request, simple_schedule)
+        assert served == direct.data
+
+        again = client.render(request, schedule=simple_schedule)
+        assert again["result"]["cache"] == "hit"
+        assert client.result_bytes(again["id"]) == direct.data
+
+
+def test_file_input_written_to_output_path(tmp_path, simple_schedule):
+    from repro.io import save_schedule
+
+    src = tmp_path / "s.jed"
+    save_schedule(simple_schedule, src)
+    out = tmp_path / "out" / "s.svg"
+    with serving(cache_dir=str(tmp_path / "cache")) as server:
+        client = ServeClient(server.url)
+        job = client.render(RenderRequest(input_path=str(src),
+                                          output_path=str(out)))
+        assert job["status"] == "done"
+        assert out.stat().st_size == job["result"]["bytes"] > 0
+        assert client.result_bytes(job["id"]) == out.read_bytes()
+
+
+def test_unix_socket_transport(tmp_path, simple_schedule):
+    sock = str(tmp_path / "jedule.sock")
+    with serving(socket_path=sock, cache_dir=None) as server:
+        assert server.url == f"unix:{sock}"
+        client = ServeClient(socket_path=sock)
+        assert client.healthz()["ok"] is True
+        job = client.render(_request(), schedule=simple_schedule)
+        assert job["status"] == "done"
+
+
+def test_queue_full_answers_429_with_retry_after(tmp_path, simple_schedule):
+    with serving(queue_depth=2, cache_dir=None) as server:
+        server.pause_dispatch()
+        client = ServeClient(server.url, client_id="flood")
+        for _ in range(2):
+            client.submit(_request(), schedule=simple_schedule)
+        with pytest.raises(ServeError) as err:
+            client.submit(_request(), schedule=simple_schedule)
+        assert err.value.code == "queue-full"
+        assert err.value.retry_after >= 1
+        server.resume_dispatch()
+        # the rejected submit succeeds once the queue drains
+        job = client.render(_request(), schedule=simple_schedule,
+                            timeout=60.0)
+        assert job["status"] == "done"
+
+
+def test_fairness_between_competing_clients(tmp_path, simple_schedule):
+    with serving(cache_dir=None, queue_depth=16) as server:
+        server.pause_dispatch()
+        greedy = ServeClient(server.url, client_id="greedy")
+        modest = ServeClient(server.url, client_id="modest")
+        greedy_jobs = [greedy.submit(_request(), schedule=simple_schedule)
+                       for _ in range(4)]
+        modest_jobs = [modest.submit(_request(), schedule=simple_schedule)
+                       for _ in range(2)]
+        assert server.statz_payload()["queue"]["by_client"] == {
+            "greedy": 4, "modest": 2}
+        server.resume_dispatch()
+        greedy_seq = [greedy.wait(j["id"])["seq"] for j in greedy_jobs]
+        modest_seq = [modest.wait(j["id"])["seq"] for j in modest_jobs]
+        # round-robin: modest's 2 jobs finish 2nd and 4th, not 5th and 6th —
+        # they never wait behind the whole greedy backlog
+        assert sorted(modest_seq) == [2, 4]
+        assert sorted(greedy_seq) == [1, 3, 5, 6]
+
+
+def test_drain_completes_inflight_and_queued_jobs(tmp_path, simple_schedule):
+    with serving(cache_dir=None, debug_hooks=True) as server:
+        client = ServeClient(server.url)
+        payload = {"request": {"output_format": "svg"},
+                   "schedule": to_dict(simple_schedule),
+                   "debug": {"x_sleep_s": 0.4}}
+        slow = client.request("POST", "/render", payload)[2]["job"]
+        queued = [client.submit(_request(), schedule=simple_schedule)
+                  for _ in range(2)]
+        server.drain()
+        assert server.wait(timeout=30)
+        for doc in [slow] + queued:
+            job = server._jobs[doc["id"]]
+            assert job.status == "done", (job.status, job.result)
+
+
+def test_draining_server_refuses_new_jobs(tmp_path, simple_schedule):
+    with serving(cache_dir=None) as server:
+        client = ServeClient(server.url)
+        server._draining = True  # simulate the window before shutdown
+        with pytest.raises(ServeError) as err:
+            client.submit(_request(), schedule=simple_schedule)
+        assert err.value.code == "draining"
+        server._draining = False
+
+
+def test_worker_crash_retried_once_then_reported(tmp_path, simple_schedule):
+    with serving(cache_dir=None, debug_hooks=True) as server:
+        client = ServeClient(server.url)
+        payload = {"request": {"output_format": "svg"},
+                   "schedule": to_dict(simple_schedule),
+                   "debug": {"x_crash": True}}
+        status, _, body = client.request("POST", "/render", payload)
+        assert status == 202
+        job = client.wait(body["job"]["id"], timeout=60.0)
+        assert job["status"] == "failed"
+        assert job["result"]["attempts"] == 2  # retried once, then reported
+        assert "died" in job["result"]["error"]
+        # the crash did not poison the service: a normal job still runs
+        ok = client.render(_request(), schedule=simple_schedule)
+        assert ok["status"] == "done"
+        assert server.statz_payload()["workers"]["restarts"] >= 2
+
+
+def test_validation_errors_are_structured_400s(tmp_path, simple_schedule):
+    with serving(cache_dir=None) as server:
+        client = ServeClient(server.url)
+        cases = [
+            ({"request": {"width": float("nan")}}, "invalid-value"),
+            ({"request": {"width": -3}}, "invalid-dimension"),
+            ({"request": {"output_format": "tiff"}}, "unknown-format"),
+            ({"request": {"bogus": 1}}, "unknown-field"),
+            ({"request": {}}, "missing-input"),
+            ({"request": {}, "schedule": {"tasks": "nope"}}, "bad-schedule"),
+            ({"request": {}, "schedule": [1, 2]}, "bad-schedule"),
+            ({"debug": {"x_crash": True}}, "unknown-field"),  # hooks off
+        ]
+        for payload, code in cases:
+            status, _, body = client.request("POST", "/render", payload)
+            assert status == 400, (payload, body)
+            assert body["error"]["code"] == code, (payload, body)
+
+
+def test_unknown_job_is_404(tmp_path):
+    with serving(cache_dir=None) as server:
+        client = ServeClient(server.url)
+        status, _, body = client.request("GET", "/jobs/deadbeef")
+        assert status == 404 and body["error"]["code"] == "unknown-job"
+        status, _, _ = client.request("GET", "/nope")
+        assert status == 404
+
+
+def test_result_of_unfinished_job_is_409(tmp_path, simple_schedule):
+    with serving(cache_dir=None) as server:
+        server.pause_dispatch()
+        client = ServeClient(server.url)
+        job = client.submit(_request(), schedule=simple_schedule)
+        status, _, body = client.request("GET", f"/jobs/{job['id']}/result")
+        assert status == 409 and body["error"]["code"] == "not-finished"
+        server.resume_dispatch()
+        client.wait(job["id"])
+
+
+def test_statz_counters_and_latency(tmp_path, simple_schedule):
+    with serving(cache_dir=str(tmp_path / "cache")) as server:
+        client = ServeClient(server.url, client_id="statz")
+        for _ in range(3):
+            client.render(_request(), schedule=simple_schedule)
+        stats = client.statz()
+        assert stats["counters"]["serve.jobs.submitted"] == 3
+        assert stats["counters"]["serve.jobs.ok"] == 3
+        assert stats["counters"]["serve.cache.hit"] == 2
+        assert stats["counters"]["serve.cache.miss"] == 1
+        assert stats["latency_s"]["count"] == 3
+        assert stats["latency_s"]["p50"] <= stats["latency_s"]["p99"]
+        assert stats["workers"] == {"total": 1, "alive": 1, "restarts": 0}
+
+
+def test_reload_replaces_workers_without_dropping_jobs(tmp_path,
+                                                       simple_schedule):
+    with serving(cache_dir=None, workers=2) as server:
+        client = ServeClient(server.url)
+        before = set(server._pool.pids())
+        job = client.render(_request(), schedule=simple_schedule)
+        assert job["status"] == "done"
+        server.reload()
+        assert set(server._pool.pids()).isdisjoint(before)
+        job = client.render(_request(), schedule=simple_schedule)
+        assert job["status"] == "done"
+
+
+def test_drain_writes_runlog_record(tmp_path, simple_schedule):
+    runlog = tmp_path / "runlog.jsonl"
+    with serving(cache_dir=str(tmp_path / "cache"),
+                 runlog=str(runlog)) as server:
+        client = ServeClient(server.url)
+        client.render(_request(), schedule=simple_schedule)
+        client.render(_request(), schedule=simple_schedule)
+    record = json.loads(runlog.read_text().splitlines()[-1])
+    assert record["suite"] == "serve"
+    assert record["counters"]["serve.jobs.ok"] == 2
+    assert record["counters"]["serve.cache.hit"] == 1
+    assert record["meta"]["jobs"] == 2
+    assert "p95" in record["timings_s"]
+
+
+def test_latency_percentiles_helper():
+    assert latency_percentiles([]) == {"p50": 0.0, "p95": 0.0, "p99": 0.0}
+    values = list(range(1, 101))
+    pcts = latency_percentiles(values)
+    assert pcts == {"p50": 50, "p95": 95, "p99": 99}
