@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+from repro.obs import core as _obs
 from repro.render.geometry import Drawing
 from repro.render.png_codec import encode_png
 from repro.render.raster import rasterize
@@ -11,4 +12,6 @@ __all__ = ["render_png"]
 
 def render_png(drawing: Drawing, *, compress_level: int = 6) -> bytes:
     """Serialize a drawing as a PNG byte string."""
-    return encode_png(rasterize(drawing).pixels, compress_level=compress_level)
+    pixels = rasterize(drawing).pixels
+    _obs.add("render.raster.pixels", pixels.shape[0] * pixels.shape[1])
+    return encode_png(pixels, compress_level=compress_level)

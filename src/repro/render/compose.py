@@ -16,7 +16,7 @@ from repro.core.model import Schedule
 from repro.core.timeframe import ViewMode
 from repro.core.viewport import Viewport
 from repro.errors import RenderError
-from repro.render.geometry import Drawing, Line, Rect, Text
+from repro.render.geometry import Drawing
 from repro.render.layout import LayoutOptions, layout_schedule
 from repro.render.style import Style
 
@@ -25,16 +25,11 @@ __all__ = ["stack_drawings", "compare_schedules"]
 
 def _shifted(item, dx: float, dy: float):
     """A copy of one primitive translated by (dx, dy)."""
-    if isinstance(item, Rect):
-        return Rect(item.x + dx, item.y + dy, item.w, item.h, item.fill,
-                    item.stroke, item.stroke_width, item.ref)
-    if isinstance(item, Line):
-        return Line(item.x0 + dx, item.y0 + dy, item.x1 + dx, item.y1 + dy,
-                    item.color, item.width)
-    if isinstance(item, Text):
-        return Text(item.x + dx, item.y + dy, item.text, item.size, item.color,
-                    item.halign, item.valign, item.rotated)
-    raise RenderError(f"cannot shift primitive {type(item).__name__}")
+    try:
+        return item.shifted(dx, dy)
+    except AttributeError:
+        raise RenderError(
+            f"cannot shift primitive {type(item).__name__}") from None
 
 
 def stack_drawings(drawings: Sequence[Drawing], *, gap: int = 12,
@@ -52,8 +47,7 @@ def stack_drawings(drawings: Sequence[Drawing], *, gap: int = 12,
     offset = 0
     for d in drawings:
         dx, dy = (offset, 0) if horizontal else (0, offset)
-        for item in d:
-            out.add(_shifted(item, dx, dy))
+        out.extend(_shifted(item, dx, dy) for item in d)
         offset += (d.width if horizontal else d.height) + gap
     return out
 

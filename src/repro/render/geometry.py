@@ -58,6 +58,11 @@ class Rect:
     def contains(self, px: float, py: float) -> bool:
         return self.x <= px < self.x1 and self.y <= py < self.y1
 
+    def shifted(self, dx: float, dy: float) -> "Rect":
+        """A copy translated by (dx, dy)."""
+        return Rect(self.x + dx, self.y + dy, self.w, self.h, self.fill,
+                    self.stroke, self.stroke_width, self.ref)
+
 
 @dataclass(frozen=True, slots=True)
 class Line:
@@ -69,6 +74,11 @@ class Line:
     y1: float
     color: Color = Color(0, 0, 0)
     width: float = 1.0
+
+    def shifted(self, dx: float, dy: float) -> "Line":
+        """A copy translated by (dx, dy)."""
+        return Line(self.x0 + dx, self.y0 + dy, self.x1 + dx, self.y1 + dy,
+                    self.color, self.width)
 
 
 @dataclass(frozen=True, slots=True)
@@ -87,6 +97,11 @@ class Text:
     halign: HAlign = HAlign.LEFT
     valign: VAlign = VAlign.BOTTOM
     rotated: bool = False
+
+    def shifted(self, dx: float, dy: float) -> "Text":
+        """A copy translated by (dx, dy)."""
+        return Text(self.x + dx, self.y + dy, self.text, self.size, self.color,
+                    self.halign, self.valign, self.rotated)
 
 
 Primitive = Rect | Line | Text

@@ -1,12 +1,22 @@
 """Minimal PNG encoder/decoder (truecolor, 8-bit).
 
-Implemented from the PNG specification on top of :mod:`zlib` (stdlib):
-signature, IHDR/IDAT/IEND chunks, CRC32 per chunk, and the five scanline
-filter types.  The encoder picks per-row between None, Sub and Up filters by
-the standard minimum-sum-of-absolute-differences heuristic; the decoder
-supports all five filters so it can read anything the encoder (or another
-conforming encoder of color type 2, bit depth 8) produced.  The decoder
-exists chiefly so tests can verify exported images pixel-for-pixel.
+Implemented from the PNG specification as numpy array passes on top of
+:mod:`zlib` (stdlib): signature, IHDR/IDAT/IEND chunks, CRC32 per chunk,
+and the five scanline filter types.  The encoder picks per-row between
+None, Sub and Up filters by the standard minimum-sum-of-absolute-
+differences heuristic; the decoder supports all five filters so it can
+read anything the encoder (or another conforming encoder of color type 2,
+bit depth 8) produced.  The decoder exists chiefly so tests can verify
+exported images pixel-for-pixel.
+
+There are no per-pixel (or per-row) Python loops on the encode side: the
+three candidate filters, their costs, and the interleaved
+``filter-byte + filtered-row`` stream handed to zlib are all built as
+whole-image uint8 array operations (uint8 arithmetic wraps mod 256, which
+is exactly PNG filter arithmetic).  On the decode side None/Sub/Up rows are
+one array op each — Sub unfilters via a modular cumulative sum along the
+scanline — while the rarely-seen Average/Paeth rows (our encoder never
+emits them) fall back to a tight scalar recurrence over Python ints.
 """
 
 from __future__ import annotations
@@ -17,6 +27,7 @@ import zlib
 import numpy as np
 
 from repro.errors import RenderError
+from repro.obs import core as _obs
 
 __all__ = ["encode_png", "decode_png"]
 
@@ -28,6 +39,16 @@ def _chunk(kind: bytes, payload: bytes) -> bytes:
             + struct.pack(">I", zlib.crc32(kind + payload) & 0xFFFFFFFF))
 
 
+def _filter_cost(filtered: np.ndarray) -> np.ndarray:
+    """Per-row sum of absolute signed filter residuals (MSAD heuristic).
+
+    ``min(v, 256 - v)`` on uint8 is the magnitude of the residual read as a
+    signed byte; ``np.negative`` computes ``256 - v`` without leaving uint8.
+    """
+    return np.minimum(filtered, np.negative(filtered)).sum(
+        axis=1, dtype=np.int64)
+
+
 def encode_png(pixels: np.ndarray, *, compress_level: int = 6) -> bytes:
     """Encode an (h, w, 3) uint8 array as a PNG byte string."""
     if pixels.ndim != 3 or pixels.shape[2] != 3 or pixels.dtype != np.uint8:
@@ -35,42 +56,71 @@ def encode_png(pixels: np.ndarray, *, compress_level: int = 6) -> bytes:
     h, w, _ = pixels.shape
     ihdr = struct.pack(">IIBBBBB", w, h, 8, 2, 0, 0, 0)  # 8-bit, truecolor
 
-    rows = pixels.astype(np.int16)
-    # Candidate filters: 0 (None), 1 (Sub), 2 (Up); pick per row by MSAD.
-    none_f = rows.astype(np.uint8)
-    sub = rows.copy()
-    sub[:, 1:, :] -= rows[:, :-1, :]
-    sub_f = (sub & 0xFF).astype(np.uint8)
-    up = rows.copy()
-    up[1:, :, :] -= rows[:-1, :, :]
-    up_f = (up & 0xFF).astype(np.uint8)
+    with _obs.span("render.png.filter", rows=h):
+        flat = np.ascontiguousarray(pixels).reshape(h, w * 3)
+        # Candidate filters: 0 (None), 1 (Sub), 2 (Up); pick per row by MSAD.
+        sub_f = flat.copy()
+        sub_f[:, 3:] -= flat[:, :-3]
+        up_f = flat.copy()
+        up_f[1:] -= flat[:-1]
+        costs = np.stack(
+            [_filter_cost(flat), _filter_cost(sub_f), _filter_cost(up_f)])
+        choice = np.argmin(costs, axis=0)
 
-    def cost(filtered: np.ndarray) -> np.ndarray:
-        signed = filtered.astype(np.int16)
-        signed = np.where(signed > 127, 256 - signed, signed)
-        return signed.reshape(h, -1).sum(axis=1)
-
-    costs = np.stack([cost(none_f), cost(sub_f), cost(up_f)])
-    choice = np.argmin(costs, axis=0)
-
-    out = bytearray()
-    encoded = (none_f, sub_f, up_f)
-    for y in range(h):
-        f = int(choice[y])
-        out.append(f)
-        out.extend(encoded[f][y].tobytes())
-    idat = zlib.compress(bytes(out), compress_level)
+        # One (h, 1 + stride) array interleaves the per-row filter byte with
+        # the chosen filtered row; its raw buffer is the zlib input.
+        out = np.empty((h, 1 + w * 3), np.uint8)
+        out[:, 0] = choice
+        out[:, 1:] = flat
+        rows = choice == 1
+        out[rows, 1:] = sub_f[rows]
+        rows = choice == 2
+        out[rows, 1:] = up_f[rows]
+    with _obs.span("render.png.compress", nbytes=out.nbytes):
+        idat = zlib.compress(out, compress_level)
     return (_SIGNATURE + _chunk(b"IHDR", ihdr) + _chunk(b"IDAT", idat)
             + _chunk(b"IEND", b""))
 
 
-def _paeth(a: np.ndarray, b: np.ndarray, c: np.ndarray) -> np.ndarray:
-    """Paeth predictor, vectorized over one scanline."""
-    p = a.astype(np.int16) + b.astype(np.int16) - c.astype(np.int16)
-    pa = np.abs(p - a)
-    pb = np.abs(p - b)
-    pc = np.abs(p - c)
-    return np.where((pa <= pb) & (pa <= pc), a, np.where(pb <= pc, b, c)).astype(np.uint8)
+def _unfilter_average(data: np.ndarray, prev: np.ndarray) -> list[int]:
+    """Average unfiltering of one scanline.
+
+    The left neighbour is this row's own output, a sequential recurrence
+    the array layer cannot express; run it over plain Python ints, which
+    is ~2 orders of magnitude faster than element-wise numpy indexing.
+    """
+    line = data.tolist()
+    up = prev.tolist()
+    for x in range(3):
+        line[x] = (line[x] + (up[x] >> 1)) & 0xFF
+    for x in range(3, len(line)):
+        line[x] = (line[x] + ((line[x - 3] + up[x]) >> 1)) & 0xFF
+    return line
+
+
+def _unfilter_paeth(data: np.ndarray, prev: np.ndarray) -> list[int]:
+    """Paeth unfiltering of one scanline (same scalar-recurrence shape)."""
+    line = data.tolist()
+    up = prev.tolist()
+    for x in range(3):
+        # With no left neighbour the predictor always resolves to "up".
+        line[x] = (line[x] + up[x]) & 0xFF
+    for x in range(3, len(line)):
+        a = line[x - 3]
+        b = up[x]
+        c = up[x - 3]
+        p = a + b - c
+        pa = p - a if p >= a else a - p
+        pb = p - b if p >= b else b - p
+        pc = p - c if p >= c else c - p
+        if pa <= pb and pa <= pc:
+            pred = a
+        elif pb <= pc:
+            pred = b
+        else:
+            pred = c
+        line[x] = (line[x] + pred) & 0xFF
+    return line
 
 
 def decode_png(data: bytes) -> np.ndarray:
@@ -114,31 +164,26 @@ def decode_png(data: bytes) -> np.ndarray:
     if len(raw) != height * (stride + 1):
         raise RenderError(
             f"PNG data length {len(raw)} != expected {height * (stride + 1)}")
-    img = np.zeros((height, width, 3), dtype=np.uint8)
-    prev = np.zeros(stride, dtype=np.uint8)
-    for y in range(height):
-        off = y * (stride + 1)
-        ftype = raw[off]
-        line = np.frombuffer(raw, dtype=np.uint8, count=stride, offset=off + 1).copy()
-        if ftype == 0:
-            pass
-        elif ftype == 1:  # Sub
-            for x in range(3, stride):
-                line[x] = (int(line[x]) + int(line[x - 3])) & 0xFF
-        elif ftype == 2:  # Up
-            line = (line.astype(np.int16) + prev).astype(np.uint8)
-        elif ftype == 3:  # Average
-            for x in range(stride):
-                left = int(line[x - 3]) if x >= 3 else 0
-                line[x] = (int(line[x]) + (left + int(prev[x])) // 2) & 0xFF
-        elif ftype == 4:  # Paeth
-            for x in range(stride):
-                left = int(line[x - 3]) if x >= 3 else 0
-                ul = int(prev[x - 3]) if x >= 3 else 0
-                line[x] = (int(line[x]) + int(_paeth(
-                    np.uint8(left), prev[x], np.uint8(ul)))) & 0xFF
-        else:
-            raise RenderError(f"PNG row {y}: unknown filter {ftype}")
-        prev = line
-        img[y] = line.reshape(width, 3)
-    return img
+    with _obs.span("render.png.decode", rows=height):
+        scan = np.frombuffer(raw, dtype=np.uint8).reshape(height, stride + 1)
+        ftypes = scan[:, 0]
+        data_rows = scan[:, 1:]
+        img = np.empty((height, stride), dtype=np.uint8)
+        prev = np.zeros(stride, dtype=np.uint8)
+        for y in range(height):
+            ftype = ftypes[y]
+            if ftype == 0:
+                img[y] = data_rows[y]
+            elif ftype == 1:  # Sub: modular cumulative sum along the row
+                img[y] = data_rows[y].reshape(width, 3).cumsum(
+                    axis=0, dtype=np.uint8).reshape(stride)
+            elif ftype == 2:  # Up
+                img[y] = data_rows[y] + prev
+            elif ftype == 3:  # Average
+                img[y] = _unfilter_average(data_rows[y], prev)
+            elif ftype == 4:  # Paeth
+                img[y] = _unfilter_paeth(data_rows[y], prev)
+            else:
+                raise RenderError(f"PNG row {y}: unknown filter {ftype}")
+            prev = img[y]
+    return img.reshape(height, width, 3)

@@ -14,6 +14,7 @@ from repro.core.model import Schedule
 from repro.core.stats import utilization_profile
 from repro.core.timeframe import global_frame
 from repro.errors import RenderError
+from repro.obs import core as _obs
 from repro.render.geometry import Drawing, HAlign, Line, Rect, Text, VAlign
 from repro.render.layout import _time_axis, nice_ticks  # shared axis drawing
 from repro.render.style import Style
@@ -40,7 +41,15 @@ def layout_profile(
     cmap = cmap or default_colormap()
     style = (style or Style()).with_config(cmap.config)
     drawing = Drawing(width, height, style.background)
+    with _obs.span("render.profile", tasks=len(schedule)):
+        _layout_profile_into(drawing, schedule, cmap, style, width, height,
+                             types, title)
+    return drawing
 
+
+def _layout_profile_into(drawing, schedule, cmap, style, width, height,
+                         types, title) -> None:
+    """Emit the profile chart's primitives into ``drawing``."""
     x = style.margin_left
     top = style.margin_top + (style.font_size_title if title else 0.0)
     w = width - x - style.margin_right
@@ -114,7 +123,6 @@ def layout_profile(
                              size=style.font_size_axes,
                              color=style.axis_color, valign=VAlign.MIDDLE))
             cx += sw + 10 + len(g) * style.font_size_axes * 0.6
-    return drawing
 
 
 def export_profile(schedule: Schedule, path, **kwargs):

@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import numpy as np
 from hypothesis import given, settings, strategies as st
 
 from repro.core.model import Cluster, Configuration, Schedule, Task
@@ -9,7 +10,7 @@ from repro.core.timeframe import ViewMode
 from repro.render.backends.svg import render_svg
 from repro.render.geometry import Rect
 from repro.render.layout import LayoutOptions, layout_schedule
-from repro.render.png_codec import decode_png
+from repro.render.png_codec import decode_png, encode_png
 from repro.render.backends.png import render_png
 from repro.render.raster import rasterize
 
@@ -83,6 +84,18 @@ def test_png_roundtrips_through_own_decoder(schedule):
     assert img.shape == (200, 300, 3)
     # the decoded image equals the rasterized pixels exactly
     assert (img == rasterize(drawing).pixels).all()
+
+
+@given(st.integers(1, 40), st.integers(1, 40), st.integers(0, 2**32 - 1))
+@settings(max_examples=50, deadline=None)
+def test_codec_roundtrip_random_images(h, w, seed):
+    """decode(encode(img)) == img for arbitrary raw pixel data.
+
+    Random images hit all three encoder filter choices (None/Sub/Up) via
+    the per-row cost heuristic; exactness here pins the whole codec."""
+    img = np.random.default_rng(seed).integers(0, 256, (h, w, 3),
+                                               dtype=np.uint8)
+    assert np.array_equal(decode_png(encode_png(img)), img)
 
 
 @given(render_schedules())

@@ -165,6 +165,64 @@ def test_decode_average_paeth_match_reference(ftype):
     assert np.array_equal(decode_png(data), _unfilter_reference(rows, w))
 
 
+def _idat_filter_bytes(data: bytes, height: int, stride: int) -> set[int]:
+    """The per-row filter types an encoded PNG actually used."""
+    idat = bytearray()
+    pos = 8
+    while pos + 8 <= len(data):
+        (length,) = struct.unpack(">I", data[pos:pos + 4])
+        if data[pos + 4:pos + 8] == b"IDAT":
+            idat.extend(data[pos + 8:pos + 8 + length])
+        pos += 12 + length
+    raw = zlib.decompress(bytes(idat))
+    return {raw[y * (stride + 1)] for y in range(height)}
+
+
+def test_encoder_exercises_every_filter_choice_roundtrip():
+    """An image whose rows favor None, Sub and Up respectively must use
+    all three encoder filters and still round-trip pixel-exactly."""
+    rng = np.random.default_rng(11)
+    h, w = 12, 64
+    img = np.empty((h, w, 3), np.uint8)
+    img[0:4] = rng.integers(0, 256, (4, w, 3))          # noise -> None
+    ramp = (np.arange(w, dtype=np.int32) * 3 % 256).astype(np.uint8)
+    img[4:8] = np.stack([ramp, ramp, ramp], axis=-1)    # h-gradient -> Sub
+    img[8:12] = img[4:8]                                 # repeats -> Up
+    data = encode_png(img)
+    used = _idat_filter_bytes(data, h, w * 3)
+    assert {0, 1, 2} <= used
+    assert np.array_equal(decode_png(data), img)
+
+
+def test_decode_mixed_filters_match_reference():
+    """Every filter type interleaved in one foreign-encoder image."""
+    rng = np.random.default_rng(5)
+    w = 7
+    ftypes = [0, 4, 3, 2, 1, 3, 4, 0, 2]
+    rows = [(f, bytes(rng.integers(0, 256, w * 3, dtype=np.uint8).tolist()))
+            for f in ftypes]
+    raw = b"".join(bytes([f]) + payload for f, payload in rows)
+    ihdr = struct.pack(">IIBBBBB", w, len(rows), 8, 2, 0, 0, 0)
+    data = (b"\x89PNG\r\n\x1a\n" + _make_chunk(b"IHDR", ihdr)
+            + _make_chunk(b"IDAT", zlib.compress(raw)) + _make_chunk(b"IEND", b""))
+    assert np.array_equal(decode_png(data), _unfilter_reference(rows, w))
+
+
+def test_roundtrip_non_contiguous_input():
+    img = _random_image(30, 30, seed=9)[::2, ::2]
+    assert not img.flags["C_CONTIGUOUS"]
+    assert np.array_equal(decode_png(encode_png(img)), img)
+
+
+def test_roundtrip_wide_image():
+    """Wide rows exercise the cumulative-sum Sub unfiltering path."""
+    ramp = (np.arange(2048, dtype=np.int64) % 256).astype(np.uint8)
+    third = (np.arange(2048, dtype=np.int64) * 7 % 256).astype(np.uint8)
+    img = np.stack([ramp, ramp[::-1], third], axis=-1)[None, :, :]
+    img = np.repeat(img, 5, axis=0)
+    assert np.array_equal(decode_png(encode_png(img)), img)
+
+
 def test_decode_truncated_inside_idat():
     """A file cut mid-chunk must raise RenderError, not a raw struct.error."""
     data = encode_png(_random_image(8, 8))

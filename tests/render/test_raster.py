@@ -106,6 +106,33 @@ class TestRasterImage:
         assert img.pixel(5, 5) == BLACK
         assert img.pixel(10, 10) == WHITE  # interior untouched
 
+    def test_stroke_rect_negative_extents_normalized(self):
+        """w/h < 0 must outline the same normalized rectangle."""
+        a = RasterImage(30, 30)
+        a.stroke_rect(5, 6, 12, 9, RED, width=2)
+        b = RasterImage(30, 30)
+        b.stroke_rect(17, 15, -12, -9, RED, width=2)
+        assert np.array_equal(a.pixels, b.pixels)
+        assert a.count_color(RED) > 0
+        assert b.pixel(10, 10) == WHITE  # still hollow, not torn
+
+    def test_stroke_rect_one_negative_extent(self):
+        a = RasterImage(30, 30)
+        a.stroke_rect(4, 3, 10, 8, BLACK)
+        b = RasterImage(30, 30)
+        b.stroke_rect(14, 3, -10, 8, BLACK)
+        assert np.array_equal(a.pixels, b.pixels)
+
+    def test_adjacent_half_edge_rects_seamless(self):
+        """Rects sharing *.5 edges: half-up snapping leaves no seams or
+        double-painted columns regardless of the edge's parity."""
+        img = RasterImage(20, 10)
+        for k in range(2, 18):
+            img.fill_rect(k + 0.5, 2, 1.0, 5, RED if k % 2 == 0 else BLACK)
+        # 16 alternating unit rects -> 8 columns each, 5 px per column
+        assert img.count_color(RED) == 8 * 5
+        assert img.count_color(BLACK) == 8 * 5
+
     def test_horizontal_line(self):
         img = RasterImage(20, 20)
         img.draw_line(0, 10, 19, 10, BLACK)
@@ -122,6 +149,31 @@ class TestRasterImage:
         assert img.pixel(0, 0) == BLACK
         assert img.pixel(19, 19) == BLACK
         assert img.pixel(10, 10) == BLACK
+
+    def test_thick_diagonal_line_pixel_count(self):
+        """width must thicken the Bresenham path, not stay 1 px."""
+        thin = RasterImage(60, 60)
+        thin.draw_line(5, 5, 55, 55, BLACK, width=1)
+        thick = RasterImage(60, 60)
+        thick.draw_line(5, 5, 55, 55, BLACK, width=5)
+        n1 = thin.count_color(BLACK)
+        n5 = thick.count_color(BLACK)
+        # A 5x5 brush stamped along the walk covers several times the
+        # hairline's pixels, but nowhere near the whole canvas.
+        assert n5 >= 4 * n1
+        assert n5 <= 12 * n1
+
+    def test_thick_diagonal_line_covers_perpendicular_neighbors(self):
+        img = RasterImage(40, 40)
+        img.draw_line(5, 5, 35, 35, BLACK, width=3)
+        # pixels one step perpendicular to the path center are painted
+        assert img.pixel(20, 19) == BLACK
+        assert img.pixel(19, 20) == BLACK
+
+    def test_thick_line_clipped_at_edges(self):
+        img = RasterImage(10, 10)
+        img.draw_line(-5, -8, 14, 12, BLACK, width=7)  # partly off-canvas
+        assert img.count_color(BLACK) > 0  # and no IndexError
 
     def test_line_clipped_outside(self):
         img = RasterImage(10, 10)
@@ -164,6 +216,81 @@ class TestRasterImage:
     def test_bad_size_rejected(self):
         with pytest.raises(ValueError):
             RasterImage(0, 10)
+
+
+def reference_rasterize(drawing: Drawing) -> RasterImage:
+    """The naive one-Python-call-per-primitive z-order walk."""
+    img = RasterImage(drawing.width, drawing.height, drawing.background)
+    for item in drawing:
+        if isinstance(item, Rect):
+            if item.fill is not None:
+                img.fill_rect(item.x, item.y, item.w, item.h, item.fill)
+            if item.stroke is not None:
+                img.stroke_rect(item.x, item.y, item.w, item.h, item.stroke,
+                                item.stroke_width)
+        elif isinstance(item, Line):
+            img.draw_line(item.x0, item.y0, item.x1, item.y1, item.color,
+                          item.width)
+        elif isinstance(item, Text):
+            img.draw_text(item.x, item.y, item.text, item.color, item.size,
+                          item.halign, item.valign, item.rotated)
+    return img
+
+
+class TestBatchedRasterize:
+    """Batched fill runs must be pixel-identical to the per-item walk."""
+
+    GREEN = Color(0, 160, 0)
+
+    def test_overlapping_colors_keep_z_order(self):
+        # Below the scratch threshold: exercises the in-order bounds path.
+        d = Drawing(200, 120)
+        for i in range(40):
+            d.add(Rect(3 * i, 2 * i % 60, 30, 25,
+                       fill=RED if i % 2 == 0 else BLACK))
+        assert np.array_equal(rasterize(d).pixels,
+                              reference_rasterize(d).pixels)
+
+    def test_scratch_path_keeps_z_order(self):
+        # A small canvas pushes a 60-rect run over the whole-canvas
+        # compositing threshold; overlaps make order observable.
+        d = Drawing(40, 40)
+        for i in range(60):
+            d.add(Rect((7 * i) % 30, (5 * i) % 30, 12, 9,
+                       fill=(RED, BLACK, self.GREEN)[i % 3]))
+        assert np.array_equal(rasterize(d).pixels,
+                              reference_rasterize(d).pixels)
+
+    def test_batch_handles_negative_clipped_and_subpixel(self):
+        d = Drawing(50, 50)
+        d.add(Rect(30, 30, 0, 0, fill=RED))           # zero: invisible
+        for i in range(8):
+            d.add(Rect(45 + i, 10, 20, 5, fill=RED))  # partly off-canvas
+        d.add(Rect(10, 10, 0.2, 0.3, fill=BLACK))     # sub-pixel bump
+        d.add(Rect(-100, -100, 5, 5, fill=BLACK))     # fully outside
+        for i in range(8):
+            d.add(Rect(20 + i, 40, 0, 3, fill=self.GREEN))  # zero-width
+        assert np.array_equal(rasterize(d).pixels,
+                              reference_rasterize(d).pixels)
+
+    def test_batch_interrupted_by_stroke_and_line(self):
+        d = Drawing(120, 80)
+        for i in range(12):
+            d.add(Rect(5 * i, 5, 40, 30, fill=RED))
+        d.add(Rect(20, 10, 50, 40, fill=self.GREEN, stroke=BLACK))
+        for i in range(12):
+            d.add(Rect(5 * i + 2, 25, 40, 30, fill=BLACK))
+        d.add(Line(0, 0, 119, 79, RED, 3))
+        assert np.array_equal(rasterize(d).pixels,
+                              reference_rasterize(d).pixels)
+
+    def test_half_up_snapping_matches_scalar_path(self):
+        # *.5 edges through the vectorized bounds == scalar _snap
+        d = Drawing(60, 20)
+        for k in range(10):
+            d.add(Rect(2 * k + 0.5, 1.5, 1.5, 10.5, fill=RED))
+        assert np.array_equal(rasterize(d).pixels,
+                              reference_rasterize(d).pixels)
 
 
 class TestRasterize:
