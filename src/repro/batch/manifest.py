@@ -52,6 +52,8 @@ _OPTION_KEYS = {
     "window": "window",
     "composites": "composites",
     "with_profile": "with_profile",
+    "html_threshold": "html_threshold",
+    "html_tiers": "html_tiers",
 }
 
 _JOB_ONLY_KEYS = {"input", "output", "formats"}

@@ -79,6 +79,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="level-of-detail aggregation for large schedules "
                              "(auto: only when tasks outnumber pixels)")
     render.add_argument("--title", help="title drawn above the chart")
+    render.add_argument("--html-threshold", type=int, metavar="N",
+                        help="html backend: embed raw tasks up to N of them, "
+                             "LOD cell tiers beyond (default 4000)")
+    render.add_argument("--html-tiers", type=int, metavar="K",
+                        help="html backend: number of LOD zoom tiers to "
+                             "embed (1..6, default 3)")
     render.add_argument("--composites", action="store_true",
                         help="synthesize composite tasks for overlaps")
     render.add_argument("--auto-colors", metavar="METAKEY", nargs="?", const="",
@@ -266,6 +272,9 @@ def _request_from_args(args: argparse.Namespace, input_path: str,
         window=tuple(args.window) if args.window else None,
         composites=args.composites,
         with_profile=args.with_profile,
+        **{k: v for k, v in (("html_threshold", args.html_threshold),
+                             ("html_tiers", args.html_tiers))
+           if v is not None},
     )
 
 

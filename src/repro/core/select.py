@@ -6,6 +6,12 @@ to clusters, types, or users.  This module implements that logic as pure
 functions over the schedule plane, where time is the x axis and global
 resource rows (see :meth:`repro.core.model.Schedule.cluster_offset`) the
 y axis: resource row ``k`` spans ``[k, k+1)``.
+
+All intervals here are half-open — task time ``[start, end)``, rows
+``[k, k+1)`` — matching the :class:`repro.core.viewport.Viewport`
+convention, so hit-testing and viewport containment agree on boundary
+points.  The embedded JavaScript of the HTML export
+(:mod:`repro.render.backends.html`) mirrors exactly these semantics.
 """
 
 from __future__ import annotations
@@ -75,6 +81,25 @@ class TaskInfo:
     num_hosts: int
     resources: tuple[tuple[str, tuple[int, ...]], ...]
     meta: tuple[tuple[str, str], ...]
+
+    def to_json(self) -> dict:
+        """Plain-JSON form of the inspector payload.
+
+        This is the exact shape the HTML export embeds per task (see
+        :mod:`repro.render.html_payload`), so the browser inspector and
+        :meth:`lines` stay field-for-field equivalent.
+        """
+        return {
+            "id": self.task_id,
+            "type": self.type,
+            "start": self.start_time,
+            "end": self.end_time,
+            "duration": self.duration,
+            "num_hosts": self.num_hosts,
+            "resources": [[cluster_id, _format_hosts(hosts)]
+                          for cluster_id, hosts in self.resources],
+            "meta": {k: v for k, v in self.meta},
+        }
 
     def lines(self) -> list[str]:
         """Human-readable inspector text."""

@@ -9,6 +9,13 @@ the terminal interactive mode and by any GUI embedding.
 
 Resources use fractional units — resource row ``k`` occupies ``[k, k+1)`` —
 so a viewport can cut through the middle of a row when zooming.
+
+**Interval convention:** the viewport window is half-open on both axes,
+``[t0, t1) x [r0, r1)``, matching task time intervals ``[start, end)``,
+row semantics ``[k, k+1)`` and the hit-testing in :mod:`repro.core.select`.
+A point exactly on ``t1`` or ``r1`` belongs to the *next* window, so
+:meth:`Viewport.contains`, :meth:`Viewport.intersects_time` and
+:func:`repro.core.select.hit_test` always agree on boundary points.
 """
 
 from __future__ import annotations
@@ -67,7 +74,15 @@ class Viewport:
         return ((self.t0 + self.t1) / 2, (self.r0 + self.r1) / 2)
 
     def contains(self, t: float, r: float) -> bool:
-        return self.t0 <= t <= self.t1 and self.r0 <= r <= self.r1
+        """True when plane point ``(t, r)`` lies in ``[t0, t1) x [r0, r1)``.
+
+        Half-open on both axes (see the module docstring): a click exactly
+        on ``t1``/``r1`` is *outside*, consistent with
+        :meth:`intersects_time` and :func:`repro.core.select.hit_test` —
+        it used to be closed on both ends, so such a click "contained" a
+        point no task could ever be hit at.
+        """
+        return self.t0 <= t < self.t1 and self.r0 <= r < self.r1
 
     def intersects_time(self, start: float, end: float) -> bool:
         """True when interval ``[start, end)`` is at least partly visible."""

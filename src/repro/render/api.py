@@ -37,6 +37,11 @@ from repro.render.backends import (
     render_svg,
 )
 from repro.render.geometry import Drawing
+from repro.render.html_payload import (
+    DEFAULT_HTML_THRESHOLD,
+    DEFAULT_HTML_TIERS,
+    MAX_HTML_TIERS,
+)
 from repro.render.layout import LayoutOptions, layout_schedule
 from repro.render.lod import LOD_MODES, LodOptions
 from repro.render.style import Style
@@ -165,14 +170,20 @@ class RenderRequest:
     window: tuple[float, float] | None = None
     composites: bool = False
     with_profile: bool = False
+    # html backend knobs (ignored by every other format)
+    html_threshold: int = DEFAULT_HTML_THRESHOLD
+    html_tiers: int = DEFAULT_HTML_TIERS
 
     def __post_init__(self) -> None:
         for key in ("input_path", "output_path", "style_path", "cmap_path"):
             value = getattr(self, key)
             if value is not None and not isinstance(value, str):
                 object.__setattr__(self, key, str(value))
-        for key in ("width", "height"):
+        for key in ("width", "height", "html_threshold", "html_tiers"):
             object.__setattr__(self, key, _positive_int(key, getattr(self, key)))
+        if self.html_tiers > MAX_HTML_TIERS:
+            raise RenderError(
+                f"html_tiers must be in 1..{MAX_HTML_TIERS}, got {self.html_tiers}")
         mode = self.mode
         if isinstance(mode, ViewMode):
             object.__setattr__(self, "mode", mode.value)
@@ -296,6 +307,11 @@ class RenderRequest:
             "composites": self.composites,
             "with_profile": self.with_profile,
         }
+        if token["format"] == "html":
+            # html-only knobs: keyed in only for html so cache entries of
+            # every other format are unaffected by their defaults changing
+            token["html_threshold"] = self.html_threshold
+            token["html_tiers"] = self.html_tiers
         if self.cmap_path is not None:
             token["cmap_path"] = str(Path(self.cmap_path).resolve())
         elif self.cmap is not None:
@@ -384,8 +400,38 @@ def render_request_bytes(request: RenderRequest,
     if schedule is None:
         schedule = request.load_schedule()
     schedule = request.transformed(schedule)
+    fmt = request.resolved_output_format()
+    if fmt == "html":
+        return _render_html_request(schedule, request)
     drawing = _layout_request(schedule, request)
-    return render_drawing(drawing, request.resolved_output_format())
+    return render_drawing(drawing, fmt)
+
+
+def _render_html_request(schedule: Schedule, request: RenderRequest) -> bytes:
+    """Data-driven interactive HTML export of a request.
+
+    Unlike the drawing formats this embeds the schedule itself (raw tasks
+    or LOD tiers per ``html_threshold``/``html_tiers``/``lod``) rather
+    than baked geometry; ``with_profile`` does not apply here.
+    """
+    from repro.render.backends.html import render_html_interactive
+    from repro.render.html_payload import build_payload
+
+    lod_mode = request.lod if isinstance(request.lod, str) else request.lod.mode
+    with _obs.span("render.encode", format="html", tasks=len(schedule)):
+        payload = build_payload(
+            schedule,
+            cmap=request.resolve_cmap(schedule),
+            title=request.title,
+            threshold=request.html_threshold,
+            tiers=request.html_tiers,
+            lod_mode=lod_mode,
+            initial=request.resolve_viewport(schedule),
+        )
+        data = render_html_interactive(payload, width=request.width,
+                                       height=request.height)
+    _obs.add("render.bytes", len(data))
+    return data
 
 
 def execute_request(request: RenderRequest,

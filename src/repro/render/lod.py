@@ -47,6 +47,8 @@ __all__ = [
     "LodOptions",
     "resolve_lod",
     "lod_active",
+    "band_cell_grid",
+    "cell_runs",
     "aggregate_band",
     "aggregate_window",
 ]
@@ -177,14 +179,15 @@ class _TypeGrids:
         return types, cells
 
 
-def _cells_to_rects(types: list[str], cells: np.ndarray, x: float, y: float,
-                    w: float, h: float, cmap: ColorMap, ref: str) -> list[Rect]:
-    """Merge horizontal runs of equally-typed cells into filled rects."""
+def cell_runs(cells: np.ndarray) -> Iterable[tuple[int, int, int, int]]:
+    """Yield ``(iy, x0, x1, type_index)`` runs of equally-typed cells.
+
+    Horizontal runs of the same type merge into one entry; empty cells
+    (type -1) are skipped.  Shared by the raster LOD path (runs become
+    :class:`Rect` primitives) and the HTML exporter (runs become tier
+    payload entries).
+    """
     ny, nx = cells.shape
-    cell_w = w / nx
-    cell_h = h / ny
-    fills = [cmap.style_for_type(t).bg for t in types]
-    rects: list[Rect] = []
     for iy in range(ny):
         row = cells[iy]
         if not (row >= 0).any():
@@ -192,20 +195,94 @@ def _cells_to_rects(types: list[str], cells: np.ndarray, x: float, y: float,
         change = np.flatnonzero(np.diff(row)) + 1
         starts = np.concatenate(([0], change))
         ends = np.concatenate((change, [nx]))
-        ry = y + iy * cell_h
         for s, e in zip(starts, ends):
             ti = int(row[s])
-            if ti < 0:
-                continue
-            rects.append(Rect(x + s * cell_w, ry, (e - s) * cell_w, cell_h,
-                              fill=fills[ti], ref=ref))
-    return rects
+            if ti >= 0:
+                yield iy, int(s), int(e), ti
+
+
+def _cells_to_rects(types: list[str], cells: np.ndarray, x: float, y: float,
+                    w: float, h: float, cmap: ColorMap, ref: str) -> list[Rect]:
+    """Merge horizontal runs of equally-typed cells into filled rects."""
+    ny, nx = cells.shape
+    cell_w = w / nx
+    cell_h = h / ny
+    fills = [cmap.style_for_type(t).bg for t in types]
+    return [Rect(x + s * cell_w, y + iy * cell_h, (e - s) * cell_w, cell_h,
+                 fill=fills[ti], ref=ref)
+            for iy, s, e, ti in cell_runs(cells)]
 
 
 def _grid_shape(options: LodOptions, w: float, h: float, rows: int) -> tuple[int, int]:
     nx = max(1, int(w / options.time_bucket_px))
     ny = max(1, min(rows, int(h / options.row_bucket_px)))
     return nx, ny
+
+
+def band_cell_grid(
+    schedule: Schedule,
+    cluster_id: str,
+    frame: TimeFrame,
+    rows: int,
+    nx: int,
+    ny: int,
+) -> tuple[list[str], np.ndarray]:
+    """Dominant-type cell grid of one cluster band: ``(types, cells)``.
+
+    ``cells[iy, ix]`` indexes ``types`` (-1 where nothing deposited); the
+    grid covers ``frame`` horizontally and the cluster-local host rows
+    ``[0, rows)`` vertically.  Shared by the raster LOD path
+    (:func:`aggregate_band`) and the HTML tier exporter
+    (:mod:`repro.render.html_payload`).
+    """
+    span = frame.span or 1.0
+    f0, f1 = frame.start, frame.end
+    wanted = str(cluster_id)
+    # Hot path at 100k+ tasks: one comprehension extracts the numeric columns,
+    # everything after is vectorized numpy.
+    type_ids: dict[str, int] = {}
+    deposits = [
+        (type_ids.setdefault(t.type, len(type_ids)),
+         t.start_time, t.end_time, r.start, r.stop)
+        for t in schedule
+        if (conf := t.configuration_for(wanted)) is not None
+        for r in conf.host_ranges
+    ]
+    empty = np.full((ny, nx), -1, dtype=np.intp)
+    if not deposits:
+        return [], empty
+    ti, st, en, r0, r1 = (np.asarray(col) for col in zip(*deposits))
+    cst = np.maximum(st, f0)
+    cen = np.minimum(en, f1)
+    # Keep tasks with positive in-frame overlap, plus zero-duration tasks
+    # lying inside the frame (they get a defined one-cell deposit below).
+    # Anything with cen < cst is entirely outside; tasks merely *touching*
+    # the frame edge (cen == cst but en > st) cover zero in-frame area and
+    # used to deposit phantom epsilon slivers in the first/last column.
+    keep = (cen > cst) | ((en == st) & (cen == cst))
+    if not keep.all():
+        ti, st, en, r0, r1, cst, cen = (
+            a[keep] for a in (ti, st, en, r0, r1, cst, cen))
+        if not ti.size:
+            return list(type_ids), empty
+    gx0 = (cst - f0) * (nx / span)
+    gx1 = (cen - f0) * (nx / span)
+    bx0 = np.minimum(gx0.astype(np.intp), nx - 1)
+    # Zero-duration tasks have gx1 == gx0, so bx1 collapses to bx0 + 1:
+    # exactly one cell, carrying the epsilon weight term below.
+    bx1 = np.maximum(np.minimum(np.ceil(gx1).astype(np.intp), nx), bx0 + 1)
+    gy0 = r0 * (ny / rows)
+    gy1 = r1 * (ny / rows)
+    by0 = np.minimum(gy0.astype(np.intp), ny - 1)
+    by1 = np.maximum(np.minimum(np.ceil(gy1).astype(np.intp), ny), by0 + 1)
+    # Approximate per-cell covered area: exact for interior cells, an
+    # overestimate on the boundary cells a task only partly covers.
+    cell_t = 1.0 / nx
+    cell_r = 1.0 / ny
+    wt = ((np.minimum((gx1 - gx0) * cell_t, cell_t) + 1e-12)
+          * (np.minimum((gy1 - gy0) * cell_r, cell_r) + 1e-12))
+    cells = _dominant_cells(len(type_ids), ti, bx0, bx1, by0, by1, wt, nx, ny)
+    return list(type_ids), cells
 
 
 def aggregate_band(
@@ -227,47 +304,11 @@ def aggregate_band(
     band_y+band_h]``.
     """
     nx, ny = _grid_shape(options, w, band_h, rows)
-    span = frame.span or 1.0
-    f0, f1 = frame.start, frame.end
-    wanted = str(cluster_id)
-    ref = f"{LOD_REF_PREFIX}{cluster_id}"
-    # Hot path at 100k+ tasks: one comprehension extracts the numeric columns,
-    # everything after is vectorized numpy.
-    type_ids: dict[str, int] = {}
-    deposits = [
-        (type_ids.setdefault(t.type, len(type_ids)),
-         t.start_time, t.end_time, r.start, r.stop)
-        for t in schedule
-        if (conf := t.configuration_for(wanted)) is not None
-        for r in conf.host_ranges
-    ]
-    if not deposits:
+    types, cells = band_cell_grid(schedule, cluster_id, frame, rows, nx, ny)
+    if not types:
         return []
-    ti, st, en, r0, r1 = (np.asarray(col) for col in zip(*deposits))
-    cst = np.maximum(st, f0)
-    cen = np.minimum(en, f1)
-    keep = ~((cen <= cst) & (en > st))  # drop tasks entirely outside the frame
-    if not keep.all():
-        ti, st, en, r0, r1, cst, cen = (
-            a[keep] for a in (ti, st, en, r0, r1, cst, cen))
-        if not ti.size:
-            return []
-    gx0 = (cst - f0) * (nx / span)
-    gx1 = (cen - f0) * (nx / span)
-    bx0 = np.minimum(gx0.astype(np.intp), nx - 1)
-    bx1 = np.maximum(np.minimum(np.ceil(gx1).astype(np.intp), nx), bx0 + 1)
-    gy0 = r0 * (ny / rows)
-    gy1 = r1 * (ny / rows)
-    by0 = np.minimum(gy0.astype(np.intp), ny - 1)
-    by1 = np.maximum(np.minimum(np.ceil(gy1).astype(np.intp), ny), by0 + 1)
-    # Approximate per-cell covered area: exact for interior cells, an
-    # overestimate on the boundary cells a task only partly covers.
-    cell_t = 1.0 / nx
-    cell_r = 1.0 / ny
-    wt = ((np.minimum(np.maximum(gx1 - gx0, 0.0) * cell_t, cell_t) + 1e-12)
-          * (np.minimum((gy1 - gy0) * cell_r, cell_r) + 1e-12))
-    cells = _dominant_cells(len(type_ids), ti, bx0, bx1, by0, by1, wt, nx, ny)
-    return _cells_to_rects(list(type_ids), cells, x, band_y, w, band_h, cmap, ref)
+    return _cells_to_rects(types, cells, x, band_y, w, band_h, cmap,
+                           f"{LOD_REF_PREFIX}{cluster_id}")
 
 
 def aggregate_window(

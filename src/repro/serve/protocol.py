@@ -43,7 +43,7 @@ REQUEST_FIELDS = frozenset({
     "input_path", "input_format", "output_path", "output_format",
     "width", "height", "mode", "title", "lod", "style_path", "cmap_path",
     "grayscale", "auto_colors", "types", "clusters", "window",
-    "composites", "with_profile",
+    "composites", "with_profile", "html_threshold", "html_tiers",
 })
 
 _BOOL_FIELDS = frozenset({"grayscale", "composites", "with_profile"})
@@ -114,7 +114,7 @@ def request_from_payload(doc: object) -> RenderRequest:
     for field, value in doc.items():
         if value is None:
             continue
-        if field in ("width", "height"):
+        if field in ("width", "height", "html_threshold", "html_tiers"):
             number = _check_number(field, value)
             if number != int(number) or number < 1:
                 raise _bad(f"{field} must be a positive whole number, "

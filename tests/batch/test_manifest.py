@@ -35,6 +35,14 @@ def test_formats_expansion(tmp_path):
     assert reqs[1].output_path == str(tmp_path / "out" / "fig.svg")
 
 
+def test_html_knobs_accepted(tmp_path):
+    doc = {"defaults": {"format": "html", "html_threshold": 100},
+           "jobs": [{"input": "a.jed"}, {"input": "b.jed", "html_tiers": 2}]}
+    a, b = manifest_requests(doc, base_dir=tmp_path)
+    assert a.html_threshold == b.html_threshold == 100
+    assert b.html_tiers == 2
+
+
 def test_explicit_output_resolves_against_output_dir(tmp_path):
     doc = {"output_dir": "out",
            "jobs": [{"input": "a.jed", "output": "renamed.svg"}]}

@@ -69,6 +69,22 @@ class TestRender:
         data = out.read_bytes()
         assert b"task:2" in data and b"task:1" not in data
 
+    def test_render_html_knobs(self, tmp_path, sched_file):
+        import json
+        import re
+
+        out = tmp_path / "out.html"
+        assert main(["render", str(sched_file), "-o", str(out),
+                     "--html-threshold", "1", "--html-tiers", "2",
+                     "--title", "cli page"]) == 0
+        page = out.read_text(encoding="utf-8")
+        m = re.search(r'id="jedule-data">(.*?)</script>', page, re.S)
+        payload = json.loads(m.group(1))
+        assert payload["threshold"] == 1
+        assert payload["tasks"] is None  # 2 tasks > threshold 1
+        assert len(payload["lod"]["tiers"]) == 2
+        assert payload["title"] == "cli page"
+
     def test_render_style_file(self, tmp_path, sched_file):
         style = tmp_path / "style.cfg"
         style.write_text("draw_legend = false\n")

@@ -133,6 +133,26 @@ class TestMapping:
         assert not vp.contains(150, 5)
         assert not vp.contains(50, 15)
 
+    def test_contains_half_open(self, vp):
+        # [t0, t1) x [r0, r1): the lower edges are inside, the upper edges
+        # are not — contains used to be closed on t1/r1, disagreeing with
+        # intersects_time and hit_test on boundary points
+        assert vp.contains(vp.t0, vp.r0)
+        assert not vp.contains(vp.t1, 5)
+        assert not vp.contains(50, vp.r1)
+        assert not vp.contains(vp.t1, vp.r1)
+
+    def test_contains_agrees_with_hit_test_at_boundary(self, simple_schedule):
+        # a click exactly on the fit viewport's upper edge hits no task, so
+        # contains must say "outside" there too
+        from repro.core.select import hit_test
+
+        vp = Viewport.fit(simple_schedule)
+        assert hit_test(simple_schedule, vp.t1, 0.0) is None
+        assert not vp.contains(vp.t1, 0.0)
+        assert hit_test(simple_schedule, 0.0, vp.r1) is None
+        assert not vp.contains(0.0, vp.r1)
+
     def test_intersects_time(self, vp):
         assert vp.intersects_time(-10, 5)
         assert vp.intersects_time(95, 200)

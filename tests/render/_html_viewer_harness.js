@@ -1,0 +1,134 @@
+// Headless smoke harness for the embedded HTML viewer: stubs just enough
+// DOM/canvas for the page's viewer script to boot, then replays a session
+// (wheel zoom at the cursor, drag pan, shift-drag rubber band, hover,
+// click-to-pin, Escape, double-click reset, filter toggle) and prints a
+// JSON report.  Run:  node _html_viewer_harness.js <page.html>
+"use strict";
+const fs = require("fs");
+
+const page = fs.readFileSync(process.argv[2], "utf8");
+const dataText = page.match(
+  /<script type="application\/json" id="jedule-data">([\s\S]*?)<\/script>/)[1];
+const scripts = [...page.matchAll(/<script>\n([\s\S]*?)<\/script>/g)];
+const viewer = scripts[scripts.length - 1][1];
+
+const calls = { fillRect: 0, strokeRect: 0, fillText: 0 };
+const ctx = new Proxy({}, {
+  get(target, prop) {
+    if (prop in target) return target[prop];
+    return (...args) => { if (prop in calls) calls[prop] += 1; };
+  },
+  set(target, prop, value) { target[prop] = value; return true; },
+});
+
+const handlers = {};   // event name -> [fn]
+function listen(name, fn) { (handlers[name] = handlers[name] || []).push(fn); }
+function fire(name, ev) {
+  ev.preventDefault = ev.preventDefault || (() => {});
+  (handlers[name] || []).forEach(fn => fn(ev));
+}
+
+function makeEl(tag) {
+  const children = [];
+  const el = {
+    tagName: tag, style: {}, children,
+    classList: { toggle() {}, add() {}, remove() {} },
+    appendChild(c) { children.push(c); return c; },
+    addEventListener(name, fn) {
+      if (el._listen) el._listen(name, fn);
+    },
+    setAttribute() {}, textContent: "",
+  };
+  return el;
+}
+
+const canvas = makeEl("canvas");
+canvas._listen = listen;
+canvas.getContext = () => ctx;
+canvas.getBoundingClientRect = () => ({ left: 0, top: 0, width: 900, height: 480 });
+
+const byId = {
+  "jedule-data": { textContent: dataText },
+  chart: canvas,
+  head: makeEl("h1"),
+  status: makeEl("div"),
+  inspector: makeEl("div"),
+  typefs: makeEl("fieldset"),
+  clusterfs: makeEl("fieldset"),
+};
+
+global.document = {
+  title: "",
+  getElementById: id => byId[id],
+  createElement: tag => {
+    const el = makeEl(tag);
+    if (tag === "input") {
+      el.type = "";
+      el.checked = false;
+      el._listen = (name, fn) => { if (name === "change") el._change = fn; };
+    }
+    return el;
+  },
+  createTextNode: text => ({ text }),
+};
+global.window = {
+  devicePixelRatio: 1,
+  addEventListener: listen,
+};
+
+new Function(viewer)();   // boot the viewer
+
+const report = { boot_status: byId.status.textContent, errors: [] };
+function step(name, fn) {
+  try { fn(); } catch (e) { report.errors.push(name + ": " + e.message); }
+}
+
+step("wheel-zoom-in", () => {
+  for (let i = 0; i < 3; i++)
+    fire("wheel", { deltaY: -1, clientX: 500, clientY: 200 });
+  report.after_zoom = byId.status.textContent;
+});
+step("drag-pan", () => {
+  fire("mousedown", { clientX: 400, clientY: 200, shiftKey: false });
+  fire("mousemove", { clientX: 300, clientY: 180 });
+  fire("mouseup", { clientX: 300, clientY: 180 });
+  report.after_pan = byId.status.textContent;
+});
+step("rubber-band", () => {
+  fire("mousedown", { clientX: 200, clientY: 100, shiftKey: true });
+  fire("mousemove", { clientX: 600, clientY: 300 });
+  fire("mouseup", { clientX: 600, clientY: 300 });
+  report.after_band = byId.status.textContent;
+});
+step("dblclick-reset", () => {
+  fire("dblclick", {});
+  report.after_reset = byId.status.textContent;
+});
+step("hover-and-pin", () => {
+  // sweep for a hit: hover across the plot until the inspector shows a task
+  outer:
+  for (let x = 70; x < 880; x += 40) {
+    for (let y = 15; y < 440; y += 30) {
+      fire("mousemove", { clientX: x, clientY: y });
+      if (byId.inspector.textContent.startsWith("task ")) {
+        fire("mousedown", { clientX: x, clientY: y, shiftKey: false });
+        fire("mouseup", { clientX: x, clientY: y });
+        break outer;
+      }
+    }
+  }
+  report.inspector = byId.inspector.textContent.split("\n")[0];
+});
+step("escape-unpin", () => { fire("keydown", { key: "Escape" }); });
+step("filter-toggle", () => {
+  const label = byId.typefs.children[0];
+  const box = label.children[0];
+  box.checked = false;
+  box._change();
+  report.after_filter = byId.status.textContent;
+  box.checked = true;
+  box._change();
+});
+
+report.draw_calls = calls;
+console.log(JSON.stringify(report, null, 1));

@@ -74,6 +74,26 @@ def test_fingerprint_ignores_paths_but_not_options():
     assert a.fingerprint() != a.with_options(output_format="svg").fingerprint()
 
 
+def test_fingerprint_covers_html_knobs_only_for_html():
+    html = RenderRequest(output_format="html")
+    assert html.fingerprint() != \
+        html.with_options(html_threshold=10).fingerprint()
+    assert html.fingerprint() != html.with_options(html_tiers=2).fingerprint()
+    # non-html cache entries must not churn when the html defaults change
+    png = RenderRequest(output_format="png")
+    assert "html_threshold" not in png.fingerprint()
+    assert png.fingerprint() == png.with_options(html_tiers=2).fingerprint()
+
+
+def test_html_knobs_validated():
+    with pytest.raises(RenderError):
+        RenderRequest(html_threshold=0)
+    with pytest.raises(RenderError, match="html_tiers"):
+        RenderRequest(html_tiers=7)
+    with pytest.raises(RenderError):
+        RenderRequest(html_tiers=float("nan"))
+
+
 def test_execute_request_end_to_end(tmp_path, simple_schedule):
     src = tmp_path / "s.jed"
     save_schedule(simple_schedule, src)

@@ -141,3 +141,71 @@ class TestViewportLod:
         d = layout_schedule(s, viewport=vp, lod="off")
         # far fewer task rects than tasks: off-window tasks are culled
         assert 0 < len(_task_rects(d)) < 400
+
+
+class TestBandCellGrid:
+    """Regression tests for the aggregation keep mask (phantom cells).
+
+    The old mask ``~((cen <= cst) & (en > st))`` only dropped *nonzero*
+    tasks clipped to nothing, so zero-duration tasks entirely outside the
+    frame slipped through and deposited phantom cells in the first or
+    last grid column.
+    """
+
+    @staticmethod
+    def _grid(s, frame=(0.0, 100.0), nx=10, ny=4):
+        from repro.core.timeframe import TimeFrame
+        from repro.render.lod import band_cell_grid
+
+        return band_cell_grid(s, "c0", TimeFrame(*frame), 4, nx, ny)
+
+    @staticmethod
+    def _base():
+        s = Schedule()
+        s.new_cluster("c0", 4)
+        return s
+
+    def test_zero_duration_outside_frame_drops(self):
+        s = self._base()
+        s.new_task("before", "a", -5.0, -5.0, cluster="c0", host_start=0,
+                   host_nb=4)
+        s.new_task("after", "a", 200.0, 200.0, cluster="c0", host_start=0,
+                   host_nb=4)
+        types, cells = self._grid(s)
+        assert (cells == -1).all()  # no phantom first/last-column cells
+
+    def test_nonzero_task_outside_frame_drops(self):
+        s = self._base()
+        s.new_task("t", "a", 150.0, 190.0, cluster="c0", host_start=0,
+                   host_nb=4)
+        types, cells = self._grid(s)
+        assert (cells == -1).all()
+
+    def test_task_ending_at_frame_start_drops(self):
+        # [start, end) touching f0 exactly is invisible — used to deposit
+        # an epsilon sliver in column 0
+        s = self._base()
+        s.new_task("t", "a", -40.0, 0.0, cluster="c0", host_start=0, host_nb=4)
+        types, cells = self._grid(s)
+        assert (cells == -1).all()
+
+    def test_zero_duration_inside_frame_one_cell(self):
+        s = self._base()
+        s.new_task("t", "a", 50.0, 50.0, cluster="c0", host_start=0, host_nb=4)
+        types, cells = self._grid(s)
+        filled = (cells >= 0).nonzero()
+        # exactly one column of cells, at the task's position (col 5 of 10)
+        assert set(filled[1].tolist()) == {5}
+
+    def test_aggregate_band_no_phantom_rects(self):
+        from repro.core.timeframe import TimeFrame
+        from repro.render.lod import aggregate_band
+
+        s = self._base()
+        s.new_task("ghost", "a", 500.0, 500.0, cluster="c0", host_start=0,
+                   host_nb=4)
+        cmap = ColorMap()
+        cmap.set_style("a", "#112233")
+        rects = aggregate_band(s, "c0", TimeFrame(0.0, 100.0), 4,
+                               0.0, 0.0, 100.0, 40.0, cmap, LodOptions())
+        assert rects == []

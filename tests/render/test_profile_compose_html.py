@@ -115,12 +115,21 @@ class TestCompose:
 
 class TestHtml:
     def test_structure(self, simple_schedule):
+        # request-level html is the data-driven interactive page: it embeds
+        # the schedule as JSON plus the canvas viewer, not baked SVG
         html = render_request_bytes(
             RenderRequest(output_format="html"), simple_schedule).decode()
         assert html.startswith("<!DOCTYPE html>")
+        assert '<script type="application/json" id="jedule-data">' in html
+        assert "<canvas" in html
+        assert "vpZoom" in html  # embedded viewport algebra
+
+    def test_legacy_drawing_wrapper_structure(self, simple_schedule):
+        # drawing-level callers (render_drawing) still get the SVG wrapper
+        html = render_drawing(layout_schedule(simple_schedule), "html").decode()
+        assert html.startswith("<!DOCTYPE html>")
         assert "<svg" in html and "</svg>" in html
         assert "data-ref" in html
-        assert "<script>" in html
         assert "<?xml" not in html  # prolog stripped for inline svg
 
     def test_custom_title_escaped(self):

@@ -33,7 +33,15 @@ def test_request_defaults_roundtrip():
     assert request_from_payload({}) == RenderRequest()
 
 
-@pytest.mark.parametrize("field", ["width", "height"])
+def test_html_knobs_roundtrip():
+    request = RenderRequest(output_format="html", html_threshold=500,
+                            html_tiers=2)
+    clone = request_from_payload(request_to_payload(request))
+    assert clone == request
+
+
+@pytest.mark.parametrize("field", ["width", "height", "html_threshold",
+                                   "html_tiers"])
 @pytest.mark.parametrize("value,code", [
     (float("nan"), "invalid-value"),
     (float("inf"), "invalid-value"),
