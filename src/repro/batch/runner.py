@@ -250,9 +250,37 @@ def _run_pool(requests, cache_dir, jobs, timeout_s,
     pool = shared_pool(jobs)
     results = pool.map_requests(requests, cache_dir=cache_dir,
                                 deadline_s=timeout_s, max_parallel=jobs)
+    _graft_worker_segments(results)
     for result in results:
         report.results.append(result)
         _record_result(result)
+
+
+def _graft_worker_segments(results) -> None:
+    """Splice worker-side span segments into the current batch trace.
+
+    Warm-pool workers run each job under a local obs trace whenever the
+    parent is capturing (see :mod:`repro.serve.pool`); grafting those
+    segments here gives ``jedule batch --trace`` per-job ``render.*`` /
+    ``io.*`` stage breakdowns across the process boundary for free.
+    Segments of concurrently-run jobs overlap, so each becomes its own
+    Chrome lane.
+    """
+    if not _obs.is_enabled():
+        return
+    from repro.obs.export import graft_trace_doc
+
+    trace = _obs.current_trace()
+    lane = 2  # lane 1 is the parent's own timeline
+    for result in results:
+        if result is None or result.worker_obs is None:
+            continue
+        try:
+            graft_trace_doc(trace, result.worker_obs, tid=lane)
+        except ValueError:
+            _obs.add("batch.obs.bad_segment")
+            continue
+        lane += 1
 
 
 def run_batch(

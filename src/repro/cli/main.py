@@ -6,6 +6,7 @@ Subcommands::
     jedule batch    manifest.json [--jobs N] [--no-cache] ...
     jedule serve    [--port P | --socket PATH] [--workers N] ...
     jedule submit   --url URL (--manifest man.json | inputs ...)
+    jedule top      --url URL [--interval S | --once]
     jedule convert  schedule.jed out.json
     jedule info     schedule.jed
     jedule validate schedule.jed
@@ -158,6 +159,9 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--runlog", metavar="RUNLOG.jsonl",
                        help="append a service run record (job counts, cache "
                             "hits, latency percentiles) at drain time")
+    serve.add_argument("--no-trace", action="store_true",
+                       help="disable per-request trace stitching "
+                            "(X-Jedule-Trace ids, /jobs/<id>/trace)")
 
     submit = sub.add_parser("submit",
                             help="submit render jobs to a running "
@@ -183,6 +187,26 @@ def build_parser() -> argparse.ArgumentParser:
                              "(default: user@host)")
     submit.add_argument("--timeout", type=float, default=300.0,
                         help="max seconds to wait per job (default: 300)")
+    submit.add_argument("--trace", metavar="OUT.json",
+                        help="fetch the stitched request traces and write "
+                             "one combined Chrome trace-event JSON")
+    submit.add_argument("--trace-gantt", metavar="OUT.img",
+                        help="render the stitched request traces as a "
+                             "Gantt chart (the service visualized by "
+                             "the tool it serves)")
+
+    top = sub.add_parser("top",
+                         help="live terminal dashboard of a running "
+                              "'jedule serve' daemon (/statz + /metricz)")
+    where_top = top.add_mutually_exclusive_group(required=True)
+    where_top.add_argument("--url",
+                           help="service URL, e.g. http://127.0.0.1:8734")
+    where_top.add_argument("--socket", metavar="PATH",
+                           help="service Unix domain socket")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="refresh period in seconds (default: 2)")
+    top.add_argument("--once", action="store_true",
+                     help="print one snapshot and exit (no screen refresh)")
 
     convert = sub.add_parser("convert", help="convert between schedule formats")
     add_input(convert)
@@ -401,7 +425,8 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         host=args.host, port=args.port, socket_path=args.socket,
         workers=args.workers, queue_depth=args.queue_depth,
         cache_dir=cache_dir, runlog=args.runlog,
-        job_timeout_s=args.job_timeout).start()
+        job_timeout_s=args.job_timeout,
+        trace_jobs=not args.no_trace).start()
     print(f"serving on {server.url} "
           f"({args.workers} warm worker(s), "
           f"cache: {cache_dir or 'off'})", flush=True)
@@ -487,7 +512,53 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                   f"{result.get('error', 'unknown error')}", file=sys.stderr)
     done = len(submitted) - failures
     print(f"{done}/{len(submitted)} job(s) ok, {failures} failed")
+    if args.trace or args.trace_gantt:
+        _export_submit_traces(args, client, [job for _, job in submitted])
     return 1 if failures else 0
+
+
+def _export_submit_traces(args: argparse.Namespace, client,
+                          jobs: list[dict]) -> None:
+    """Fetch the stitched per-request traces and export them combined."""
+    from repro.errors import ServeError
+    from repro.obs.export import (
+        to_chrome_json,
+        trace_from_doc,
+        trace_to_schedule,
+    )
+    from repro.serve.tracing import merge_traces
+
+    traces = []
+    for job in jobs:
+        try:
+            traces.append(trace_from_doc(client.job_trace(job["id"])))
+        except (ServeError, ValueError):
+            continue  # failed job, pruned job, or tracing disabled
+    if not traces:
+        print("no stitched traces available (server started with "
+              "--no-trace?)", file=sys.stderr)
+        return
+    merged = merge_traces(traces)
+    if args.trace:
+        Path(args.trace).write_text(to_chrome_json(merged, indent=2),
+                                    encoding="utf-8")
+        print(f"wrote {args.trace} ({len(merged.spans)} spans, "
+              f"{len(traces)} request(s))")
+    if args.trace_gantt:
+        from repro.render.api import export_schedule
+
+        gantt = trace_to_schedule(merged, name="serve requests")
+        export_schedule(gantt, Path(args.trace_gantt),
+                        title="render service request trace")
+        print(f"wrote {args.trace_gantt} (service Gantt, "
+              f"{len(gantt)} spans)")
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.cli.top import run_top
+
+    return run_top(url=args.url, socket_path=args.socket,
+                   interval_s=args.interval, once=args.once)
 
 
 def _cmd_convert(args: argparse.Namespace) -> int:
@@ -618,6 +689,7 @@ _COMMANDS = {
     "batch": _cmd_batch,
     "serve": _cmd_serve,
     "submit": _cmd_submit,
+    "top": _cmd_top,
     "convert": _cmd_convert,
     "info": _cmd_info,
     "validate": _cmd_validate,

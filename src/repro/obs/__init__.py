@@ -13,6 +13,7 @@ cross-run registry, :mod:`repro.obs.regress` for the regression gate and
 
 from repro.obs.bench import BenchSuite, load_bench, time_min_of_k
 from repro.obs.core import (
+    Histogram,
     SpanRecord,
     Trace,
     add,
@@ -22,13 +23,18 @@ from repro.obs.core import (
     enable,
     gauge,
     is_enabled,
+    observe,
     reset,
     span,
 )
 from repro.obs.export import (
+    graft_trace_doc,
+    merge_chrome_traces,
     summary_table,
     to_chrome_events,
     to_chrome_json,
+    trace_from_doc,
+    trace_to_doc,
     trace_to_schedule,
     validate_chrome_events,
 )
@@ -46,6 +52,7 @@ from repro.obs.runlog import (
 
 __all__ = [
     "BenchSuite",
+    "Histogram",
     "JsonlLogger",
     "Regression",
     "RunLog",
@@ -63,9 +70,12 @@ __all__ = [
     "env_fingerprint",
     "export_report",
     "gauge",
+    "graft_trace_doc",
     "is_enabled",
     "load_bench",
     "log_to",
+    "merge_chrome_traces",
+    "observe",
     "record_from_trace",
     "report_from_runlog",
     "reset",
@@ -76,6 +86,8 @@ __all__ = [
     "time_min_of_k",
     "to_chrome_events",
     "to_chrome_json",
+    "trace_from_doc",
+    "trace_to_doc",
     "trace_to_schedule",
     "validate_chrome_events",
 ]

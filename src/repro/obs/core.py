@@ -31,16 +31,21 @@ or long-running::
 from __future__ import annotations
 
 import functools
+import math
+import threading
 import time
+from bisect import bisect_left
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 __all__ = [
+    "Histogram",
     "SpanRecord",
     "Trace",
     "span",
     "add",
     "gauge",
+    "observe",
     "enable",
     "disable",
     "is_enabled",
@@ -48,6 +53,109 @@ __all__ = [
     "reset",
     "capture",
 ]
+
+
+class Histogram:
+    """Bounded streaming histogram over fixed log-spaced buckets.
+
+    Built for latency metrics that must survive millions of samples in a
+    long-lived process: a fixed set of log-spaced bucket upper bounds
+    (``buckets_per_decade`` per factor of ten between ``lo`` and ``hi``),
+    one overflow bucket, plus running ``count`` / ``sum`` / ``min`` /
+    ``max``.  Memory is constant, :meth:`observe` is O(log buckets), and
+    every mutation happens under one lock so concurrent writers (HTTP
+    threads, dispatchers) never tear a sample.
+
+    ``percentile`` answers from the bucket cumulative counts: the value
+    returned is the *upper bound* of the bucket holding that rank (the
+    same upper-bound convention Prometheus ``le`` buckets use), clamped
+    to the largest observed value for the overflow bucket.
+    """
+
+    __slots__ = ("bounds", "counts", "count", "sum", "min", "max", "_lock")
+
+    def __init__(self, lo: float = 1e-4, hi: float = 1e3,
+                 buckets_per_decade: int = 5):
+        if not (0 < lo < hi) or not math.isfinite(hi):
+            raise ValueError(f"need 0 < lo < hi finite, got [{lo}, {hi}]")
+        if buckets_per_decade < 1:
+            raise ValueError(f"need >= 1 bucket per decade, "
+                             f"got {buckets_per_decade}")
+        n = round(math.log10(hi / lo) * buckets_per_decade)
+        bounds = [lo * 10.0 ** (i / buckets_per_decade) for i in range(n)]
+        bounds.append(hi)  # exact top bound, no float drift
+        self.bounds: list[float] = bounds
+        self.counts: list[int] = [0] * (len(bounds) + 1)  # +1: overflow
+        self.count = 0
+        self.sum = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one sample (values above ``hi`` land in the overflow)."""
+        value = float(value)
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self.counts[index] += 1
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+
+    def snapshot(self) -> tuple[list[int], int, float, float, float]:
+        """Consistent (counts, count, sum, min, max) under the lock."""
+        with self._lock:
+            return (list(self.counts), self.count, self.sum,
+                    self.min, self.max)
+
+    def percentile(self, q: float) -> float:
+        """Upper-bound estimate of the ``q``-quantile (0 < q <= 1)."""
+        counts, count, _, _, largest = self.snapshot()
+        if count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * count))
+        seen = 0
+        for index, bucket_count in enumerate(counts):
+            seen += bucket_count
+            if seen >= rank:
+                if index >= len(self.bounds):  # overflow bucket
+                    return largest
+                return self.bounds[index]
+        return largest  # pragma: no cover - seen always reaches count
+
+    @property
+    def mean(self) -> float:
+        with self._lock:
+            return self.sum / self.count if self.count else 0.0
+
+    def cumulative(self) -> list[tuple[float, int]]:
+        """(upper bound, cumulative count) pairs, ending at (+inf, count)."""
+        counts, count, _, _, _ = self.snapshot()
+        out: list[tuple[float, int]] = []
+        seen = 0
+        for bound, bucket_count in zip(self.bounds, counts):
+            seen += bucket_count
+            out.append((bound, seen))
+        out.append((math.inf, count))
+        return out
+
+    def to_json(self) -> dict:
+        counts, count, total, low, high = self.snapshot()
+        return {
+            "bounds": list(self.bounds),
+            "counts": counts,
+            "count": count,
+            "sum": total,
+            "min": low if count else None,
+            "max": high if count else None,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Histogram(count={self.count}, sum={self.sum:g}, "
+                f"buckets={len(self.counts)})")
 
 
 @dataclass(slots=True)
@@ -73,14 +181,27 @@ class SpanRecord:
 
 
 class Trace:
-    """Spans (in start order), counters and gauges of one observed run."""
+    """Spans (in start order), counters, gauges and histograms of one run.
 
-    def __init__(self) -> None:
+    ``epoch`` is the monotonic (``perf_counter``) zero of all span
+    timestamps; ``epoch_wall`` is the wall-clock (``time.time``) instant
+    of that same zero, which is what lets traces captured in *different
+    processes* be stitched onto one timeline (see
+    :func:`repro.obs.export.trace_to_doc` and
+    :mod:`repro.serve.tracing`).  ``trace_id`` names the request this
+    trace belongs to; when set, every sink event carries it so log lines
+    correlate across process boundaries.
+    """
+
+    def __init__(self, *, trace_id: str | None = None) -> None:
         self.epoch = time.perf_counter()
+        self.epoch_wall = time.time()
+        self.trace_id = trace_id
         self.spans: list[SpanRecord] = []
         self.counters: dict[str, float] = {}
         self.gauges: dict[str, float] = {}
         self.gauge_peaks: dict[str, float] = {}
+        self.histograms: dict[str, Histogram] = {}
         self._roots: list[int] = []
         self._children: list[list[int]] = []
         self._indexed = 0  # spans[:_indexed] are reflected in the index
@@ -131,6 +252,13 @@ class Trace:
 
     def __len__(self) -> int:
         return len(self.spans)
+
+    def histogram(self, name: str, **kwargs) -> Histogram:
+        """The named histogram, created on first use."""
+        hist = self.histograms.get(name)
+        if hist is None:
+            hist = self.histograms[name] = Histogram(**kwargs)
+        return hist
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Trace({len(self.spans)} spans, {len(self.counters)} counters, "
@@ -184,15 +312,18 @@ def reset() -> Trace:
 
 
 @contextmanager
-def capture():
+def capture(*, trace_id: str | None = None):
     """Enable observability into a fresh trace for the duration of a block.
 
     Restores the previous state (enabled flag, trace, open-span stack) on
     exit, so captures nest and never clobber a long-running session.
+    ``trace_id`` tags the captured trace (and every sink event emitted
+    during the block) with a request identity — the cross-process
+    correlation key of the render service.
     """
     prev_enabled, prev_trace, prev_stack = _state.enabled, _state.trace, _state.stack
     _state.enabled = True
-    _state.trace = trace = Trace()
+    _state.trace = trace = Trace(trace_id=trace_id)
     _state.stack = []
     try:
         yield trace
@@ -241,10 +372,13 @@ class span:
             self._record = record
             self._trace = trace
             if _state.sink is not None:
-                _state.sink({"event": "span_start", "name": record.name,
-                             "span_id": record.index, "parent": record.parent,
-                             "depth": record.depth, "ts": record.start,
-                             "attrs": record.attrs})
+                event = {"event": "span_start", "name": record.name,
+                         "span_id": record.index, "parent": record.parent,
+                         "depth": record.depth, "ts": record.start,
+                         "attrs": record.attrs}
+                if trace.trace_id is not None:
+                    event["trace_id"] = trace.trace_id
+                _state.sink(event)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
@@ -258,11 +392,14 @@ class span:
                 # pop our frame (and anything a leaked child left behind)
                 del stack[stack.index(record.index):]
             if _state.sink is not None and trace is _state.trace:
-                _state.sink({"event": "span_end", "name": record.name,
-                             "span_id": record.index, "parent": record.parent,
-                             "depth": record.depth, "ts": record.end,
-                             "dur": record.end - record.start,
-                             "attrs": record.attrs})
+                event = {"event": "span_end", "name": record.name,
+                         "span_id": record.index, "parent": record.parent,
+                         "depth": record.depth, "ts": record.end,
+                         "dur": record.end - record.start,
+                         "attrs": record.attrs}
+                if trace.trace_id is not None:
+                    event["trace_id"] = trace.trace_id
+                _state.sink(event)
             self._record = None
             self._trace = None
         return False
@@ -289,12 +426,16 @@ class span:
 def add(name: str, value: float = 1.0) -> None:
     """Increment a named counter (no-op when disabled)."""
     if _state.enabled:
-        counters = _state.trace.counters
+        trace = _state.trace
+        counters = trace.counters
         counters[name] = counters.get(name, 0.0) + value
         if _state.sink is not None:
-            _state.sink({"event": "counter", "name": name, "value": value,
-                         "total": counters[name],
-                         "span_id": _state.stack[-1] if _state.stack else None})
+            event = {"event": "counter", "name": name, "value": value,
+                     "total": counters[name],
+                     "span_id": _state.stack[-1] if _state.stack else None}
+            if trace.trace_id is not None:
+                event["trace_id"] = trace.trace_id
+            _state.sink(event)
 
 
 def gauge(name: str, value: float) -> None:
@@ -306,6 +447,27 @@ def gauge(name: str, value: float) -> None:
         if peak is None or value > peak:
             trace.gauge_peaks[name] = value
         if _state.sink is not None:
-            _state.sink({"event": "gauge", "name": name, "value": value,
-                         "peak": trace.gauge_peaks[name],
-                         "span_id": _state.stack[-1] if _state.stack else None})
+            event = {"event": "gauge", "name": name, "value": value,
+                     "peak": trace.gauge_peaks[name],
+                     "span_id": _state.stack[-1] if _state.stack else None}
+            if trace.trace_id is not None:
+                event["trace_id"] = trace.trace_id
+            _state.sink(event)
+
+
+def observe(name: str, value: float) -> None:
+    """Record one sample into a named trace histogram (no-op when disabled).
+
+    The histogram is created on first use with the default latency
+    buckets (100 µs .. 1000 s, five per decade); callers needing custom
+    bounds pre-create it via ``current_trace().histogram(name, ...)``.
+    """
+    if _state.enabled:
+        trace = _state.trace
+        trace.histogram(name).observe(value)
+        if _state.sink is not None:
+            event = {"event": "observe", "name": name, "value": value,
+                     "span_id": _state.stack[-1] if _state.stack else None}
+            if trace.trace_id is not None:
+                event["trace_id"] = trace.trace_id
+            _state.sink(event)

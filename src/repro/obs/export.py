@@ -1,18 +1,26 @@
 """Trace exporters: Chrome trace-event JSON, text summary, dog-food Gantt.
 
-Three ways out of a :class:`~repro.obs.core.Trace`:
+Four ways out of a :class:`~repro.obs.core.Trace`:
 
 * :func:`to_chrome_json` — the Chrome trace-event format (B/E duration
   pairs plus C counter samples), loadable in ``chrome://tracing`` and
   Perfetto.  :func:`validate_chrome_events` checks the structural
   invariants (sorted ``ts``, stack-matched B/E pairs) and is what the CI
   smoke job runs against a real CLI render.
+  :func:`merge_chrome_traces` folds several per-request trace documents
+  into one timeline (one ``tid`` per request).
 * :func:`summary_table` — a plain-text per-span aggregation with
-  counters and gauges, for ``--stats``.
+  counters, gauges and histograms, for ``--stats``.
 * :func:`trace_to_schedule` — the dog-food path: the span tree becomes a
   :class:`~repro.core.model.Schedule` (spans as tasks, pipeline stages as
   cluster bands, nesting depth as host rows), so the tool renders its own
   execution as a Jedule Gantt chart.
+* :func:`trace_to_doc` / :func:`trace_from_doc` — the plain-JSON *wire
+  form* of a trace, anchored to the wall clock so segments captured in
+  another process can be shipped home and grafted
+  (:func:`graft_trace_doc`) onto the local timeline.  This is how the
+  render service's workers return their span segments
+  (:mod:`repro.serve.tracing` stitches them).
 """
 
 from __future__ import annotations
@@ -22,14 +30,18 @@ import time
 
 from repro.core.model import Schedule
 from repro.errors import ScheduleError
-from repro.obs.core import Trace
+from repro.obs.core import SpanRecord, Trace
 
 __all__ = [
     "to_chrome_events",
     "to_chrome_json",
+    "merge_chrome_traces",
     "validate_chrome_events",
     "summary_table",
     "trace_to_schedule",
+    "trace_to_doc",
+    "trace_from_doc",
+    "graft_trace_doc",
 ]
 
 _PID = 1
@@ -66,40 +78,77 @@ def _effective_ends(trace: Trace, now: float | None = None
     return ends, open_count
 
 
+def _span_tids(trace: Trace) -> list[int]:
+    """Chrome ``tid`` per span: a ``tid`` attribute starts a lane, children
+    inherit it.  Ordinary single-timeline traces all map to ``_TID``;
+    grafted segments from concurrent workers (``graft_trace_doc`` with
+    ``tid=``) overlap in time and must not share a B/E stack."""
+    tids: list[int] = []
+    for s in trace.spans:
+        tid = None
+        if "tid" in s.attrs:
+            try:
+                tid = int(s.attrs["tid"])
+            except (TypeError, ValueError):
+                tid = None
+        if tid is None:
+            tid = tids[s.parent] if s.parent is not None else _TID
+        tids.append(tid)
+    return tids
+
+
 def to_chrome_events(trace: Trace, *, now: float | None = None) -> list[dict]:
     """Chrome trace-event dicts: B/E pairs per span, C samples for counters.
 
     Events come out sorted by ``ts``; at equal timestamps ends precede
     begins (a stage may end exactly where the next starts) and nesting
-    order is preserved (outer B first, inner E first).
+    order is preserved (outer B first, inner E first).  Spans carrying a
+    ``tid`` attribute (and their descendants) are emitted on that lane,
+    so overlapping segments grafted from concurrent worker processes keep
+    per-lane B/E nesting intact.
     """
-    # The span list is a DFS of a properly nested tree (single-threaded
-    # execution), so the correct B/E interleaving falls out of a stack
-    # walk: before opening a span, close every open span that is not its
-    # ancestor.  This stays correct for zero-duration and still-open
-    # spans, where timestamp sorting alone cannot order B before E.
-    events: list[dict] = []
+    # Each lane's span sublist is a DFS of a properly nested tree
+    # (single-threaded execution), so the correct B/E interleaving falls
+    # out of a stack walk: before opening a span, close every open span
+    # that is not its ancestor.  This stays correct for zero-duration and
+    # still-open spans, where timestamp sorting alone cannot order B
+    # before E.  Multi-lane traces are merged with a stable ts sort,
+    # which preserves each lane's internal order.
     spans = trace.spans
     ends, _ = _effective_ends(trace, now)
-    stack: list[int] = []
-
-    def emit_end(s) -> None:
-        events.append({"name": s.name, "ph": "E", "ts": ends[s.index] * 1e6,
-                       "pid": _PID, "tid": _TID})
-
+    tids = _span_tids(trace)
+    lanes: dict[int, list] = {}
     for s in spans:
-        while stack and stack[-1] != s.parent:
+        lanes.setdefault(tids[s.index], []).append(s)
+
+    events: list[dict] = []
+
+    def emit_lane(tid: int, lane_spans: list) -> None:
+        stack: list[int] = []
+
+        def emit_end(s) -> None:
+            events.append({"name": s.name, "ph": "E",
+                           "ts": ends[s.index] * 1e6, "pid": _PID,
+                           "tid": tid})
+
+        for s in lane_spans:
+            while stack and stack[-1] != s.parent:
+                emit_end(spans[stack.pop()])
+            begin = {"name": s.name, "cat": s.name.split(".")[0], "ph": "B",
+                     "ts": s.start * 1e6, "pid": _PID, "tid": tid}
+            if s.attrs or s.end < s.start:
+                begin["args"] = {k: str(v) for k, v in s.attrs.items()}
+                if s.end < s.start:  # closed at capture time, flag it
+                    begin["args"]["open"] = "true"
+            events.append(begin)
+            stack.append(s.index)
+        while stack:
             emit_end(spans[stack.pop()])
-        begin = {"name": s.name, "cat": s.name.split(".")[0], "ph": "B",
-                 "ts": s.start * 1e6, "pid": _PID, "tid": _TID}
-        if s.attrs or s.end < s.start:
-            begin["args"] = {k: str(v) for k, v in s.attrs.items()}
-            if s.end < s.start:  # closed at capture time, flag it
-                begin["args"]["open"] = "true"
-        events.append(begin)
-        stack.append(s.index)
-    while stack:
-        emit_end(spans[stack.pop()])
+
+    for tid in sorted(lanes):
+        emit_lane(tid, lanes[tid])
+    if len(lanes) > 1:
+        events.sort(key=lambda ev: ev["ts"])  # stable: lane order survives
     end_ts = max((e["ts"] for e in events), default=0.0)
     for name in sorted(trace.counters):
         events.append({"name": name, "ph": "C", "ts": end_ts, "pid": _PID,
@@ -114,6 +163,24 @@ def to_chrome_json(trace: Trace, *, indent: int | None = None) -> str:
     """Serialize a trace as a Chrome trace-event JSON document."""
     doc = {"traceEvents": to_chrome_events(trace), "displayTimeUnit": "ms"}
     return json.dumps(doc, indent=indent) + "\n"
+
+
+def merge_chrome_traces(docs: list[dict]) -> dict:
+    """Merge Chrome trace documents into one, each on its own ``tid``.
+
+    Overlapping requests cannot share a ``tid`` — their B/E pairs would
+    interleave — so document ``i`` gets ``tid i+1``.  Events are then
+    stable-sorted by ``ts``: per-tid event order is preserved (each input
+    stream is already internally ordered) while the merged stream
+    satisfies the global sorted-``ts`` invariant
+    :func:`validate_chrome_events` checks.
+    """
+    events: list[dict] = []
+    for tid, doc in enumerate(docs, start=1):
+        for ev in doc.get("traceEvents", []):
+            events.append({**ev, "tid": tid})
+    events.sort(key=lambda ev: ev.get("ts", 0.0))
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def validate_chrome_events(events: list[dict]) -> None:
@@ -201,6 +268,15 @@ def summary_table(trace: Trace, *, now: float | None = None) -> str:
         for name in sorted(trace.gauges):
             lines.append(f"  {name} = {trace.gauges[name]:g} / "
                          f"{trace.gauge_peaks.get(name, trace.gauges[name]):g}")
+    if trace.histograms:
+        lines.append("")
+        lines.append("histograms (count / mean / p50 / p95 / p99):")
+        for name in sorted(trace.histograms):
+            hist = trace.histograms[name]
+            lines.append(
+                f"  {name} = {hist.count} / {hist.mean:g} / "
+                f"{hist.percentile(0.50):g} / {hist.percentile(0.95):g} / "
+                f"{hist.percentile(0.99):g}")
     if open_count:
         lines.append("")
         lines.append(f"note: {open_count} span(s) still open at capture "
@@ -253,3 +329,112 @@ def trace_to_schedule(trace: Trace, *, name: str = "pipeline trace") -> Schedule
             meta=meta,
         )
     return schedule
+
+
+# --------------------------------------------------------- trace wire form
+#: Schema tag of the trace wire form (bump on incompatible change).
+TRACE_DOC_VERSION = 1
+
+
+def trace_to_doc(trace: Trace, *, now: float | None = None) -> dict:
+    """The plain-JSON wire form of a trace.
+
+    Spans serialize as compact ``[name, start, end, depth, parent,
+    attrs]`` rows (indices are implicit in row order); attribute values
+    are stringified so arbitrary objects never poison the JSON encoder.
+    ``wall0`` anchors the trace's time zero to the wall clock, which is
+    what lets a receiving process place these spans on *its* timeline
+    (:func:`graft_trace_doc`).  Still-open spans are closed at capture
+    time, exactly like the Chrome exporter does.
+    """
+    ends, _ = _effective_ends(trace, now)
+    spans = [[s.name, s.start, ends[s.index], s.depth, s.parent,
+              {k: str(v) for k, v in s.attrs.items()}]
+             for s in trace.spans]
+    doc: dict[str, object] = {
+        "version": TRACE_DOC_VERSION,
+        "wall0": trace.epoch_wall,
+        "spans": spans,
+    }
+    if trace.trace_id is not None:
+        doc["trace_id"] = trace.trace_id
+    if trace.counters:
+        doc["counters"] = dict(trace.counters)
+    if trace.gauge_peaks:
+        doc["gauge_peaks"] = dict(trace.gauge_peaks)
+    return doc
+
+
+def trace_from_doc(doc: dict) -> Trace:
+    """Rebuild a :class:`Trace` from its wire form.
+
+    Raises ``ValueError`` on structurally broken documents (wrong span
+    row shape, dangling parent index) so corrupted segments surface at
+    the stitching boundary instead of deep inside an exporter.
+    """
+    if not isinstance(doc, dict):
+        raise ValueError(f"trace doc must be an object, "
+                         f"got {type(doc).__name__}")
+    rows = doc.get("spans", [])
+    if not isinstance(rows, list):
+        raise ValueError("trace doc 'spans' must be a list")
+    trace = Trace(trace_id=doc.get("trace_id"))
+    trace.epoch_wall = float(doc.get("wall0", trace.epoch_wall))
+    for index, row in enumerate(rows):
+        if not isinstance(row, (list, tuple)) or len(row) != 6:
+            raise ValueError(f"span row {index} malformed: {row!r}")
+        name, start, end, depth, parent, attrs = row
+        if parent is not None and not (0 <= int(parent) < index):
+            raise ValueError(f"span row {index} has dangling parent "
+                             f"{parent!r}")
+        trace.spans.append(SpanRecord(
+            str(name), float(start), float(end), int(depth), index,
+            None if parent is None else int(parent),
+            dict(attrs) if isinstance(attrs, dict) else {}))
+    for key, value in (doc.get("counters") or {}).items():
+        trace.counters[str(key)] = float(value)
+    for key, value in (doc.get("gauge_peaks") or {}).items():
+        trace.gauge_peaks[str(key)] = float(value)
+    return trace
+
+
+def graft_trace_doc(trace: Trace, doc: dict, *, parent: int | None = None,
+                    tid: int | None = None) -> list[SpanRecord]:
+    """Splice a wire-form segment into ``trace`` on the wall-clock timeline.
+
+    The segment's spans are re-indexed, shifted by the difference between
+    the two traces' wall epochs, and re-parented: segment roots become
+    children of ``parent`` (an index into ``trace.spans``) or roots of
+    ``trace`` when ``parent`` is None.  Counters merge additively.
+    ``tid`` tags the segment roots with a Chrome lane id — required when
+    several time-overlapping segments (concurrent workers) land in one
+    trace, so the Chrome exporter keeps their B/E stacks apart.
+    Returns the appended records (segment order preserved).
+    """
+    segment = trace_from_doc(doc)
+    offset = segment.epoch_wall - trace.epoch_wall
+    base = len(trace.spans)
+    base_depth = 0
+    if parent is not None:
+        if not 0 <= parent < base:
+            raise ValueError(f"graft parent {parent} out of range")
+        base_depth = trace.spans[parent].depth + 1
+    grafted: list[SpanRecord] = []
+    for s in segment.spans:
+        attrs = dict(s.attrs)
+        if tid is not None and s.parent is None:
+            attrs["tid"] = tid
+        record = SpanRecord(
+            s.name, s.start + offset, s.end + offset,
+            s.depth + base_depth, base + s.index,
+            parent if s.parent is None else base + s.parent,
+            attrs)
+        trace.spans.append(record)
+        grafted.append(record)
+    for key, value in segment.counters.items():
+        trace.counters[key] = trace.counters.get(key, 0.0) + value
+    for key, value in segment.gauge_peaks.items():
+        peak = trace.gauge_peaks.get(key)
+        if peak is None or value > peak:
+            trace.gauge_peaks[key] = value
+    return grafted

@@ -351,6 +351,9 @@ class RenderResult:
     error: str | None = None
     attempts: int = 1
     data: bytes | None = field(default=None, repr=False, compare=False)
+    #: wire-form obs trace captured inside the worker that ran this job
+    #: (see repro.obs.export.trace_to_doc); local-only, never in to_json
+    worker_obs: dict | None = field(default=None, repr=False, compare=False)
 
     @property
     def ok(self) -> bool:

@@ -13,10 +13,15 @@ import http.client
 import json
 import socket
 import time
+import uuid
 
 from repro.errors import ServeError
 from repro.render.api import RenderRequest
-from repro.serve.protocol import canonical_schedule_bytes, request_to_payload
+from repro.serve.protocol import (
+    TRACE_HEADER,
+    canonical_schedule_bytes,
+    request_to_payload,
+)
 
 __all__ = ["ServeClient"]
 
@@ -73,19 +78,23 @@ class ServeClient:
         return http.client.HTTPConnection(self._host, self._port,
                                           timeout=self.timeout)
 
-    def request(self, method: str, path: str, doc: dict | None = None):
+    def request(self, method: str, path: str, doc: dict | None = None,
+                *, headers: dict | None = None):
         """One round trip; returns ``(status, headers, body)``.
 
         ``body`` is a parsed JSON document when the response is JSON,
-        raw bytes otherwise.
+        raw bytes otherwise.  ``headers`` adds/overrides request headers
+        (e.g. the ``X-Jedule-Trace`` trace id).
         """
         body = None
+        extra = dict(headers or {})
         headers = {}
         if doc is not None:
             body = json.dumps(doc).encode("utf-8")
             headers["Content-Type"] = "application/json"
         if self.client_id:
             headers["X-Jedule-Client"] = self.client_id
+        headers.update(extra)
         conn = self._connection()
         try:
             conn.request(method, path, body=body, headers=headers)
@@ -114,11 +123,16 @@ class ServeClient:
                          code="http-error")
 
     # ---------------------------------------------------------------- calls
-    def submit(self, request: RenderRequest, *, schedule=None) -> dict:
+    def submit(self, request: RenderRequest, *, schedule=None,
+               trace_id: str | None = None) -> dict:
         """Submit one job; returns the job document (``id``, ``status``).
 
         ``schedule`` may be an in-memory :class:`~repro.core.model.Schedule`
         (shipped as its canonical dict form) for input-path-less jobs.
+        A ``trace_id`` is minted per submission (pass your own to join an
+        outer trace) and sent as ``X-Jedule-Trace``; the server threads
+        it through queue and worker and exposes the stitched request
+        trace at ``/jobs/<id>/trace``.
         Raises :class:`ServeError` — ``queue-full`` carries the server's
         ``Retry-After`` estimate in :attr:`ServeError.retry_after`.
         """
@@ -127,7 +141,10 @@ class ServeClient:
             # reuse the canonical byte form so client and server agree
             doc["schedule"] = json.loads(
                 canonical_schedule_bytes(schedule).decode("utf-8"))
-        status, headers, body = self.request("POST", "/render", doc)
+        if trace_id is None:
+            trace_id = uuid.uuid4().hex[:16]
+        status, headers, body = self.request(
+            "POST", "/render", doc, headers={TRACE_HEADER: trace_id})
         if status != 202:
             try:
                 self._raise_for(status, body)
@@ -171,6 +188,28 @@ class ServeClient:
         """Submit + wait; returns the finished job document."""
         job = self.submit(request, schedule=schedule)
         return self.wait(job["id"], timeout=timeout)
+
+    def job_trace(self, job_id: str, *, chrome: bool = False) -> dict:
+        """The stitched request trace of a finished job.
+
+        Returns the wire-form doc (rebuild with
+        :func:`repro.obs.export.trace_from_doc`), or a Chrome trace JSON
+        document when ``chrome`` is true.
+        """
+        path = f"/jobs/{job_id}/trace"
+        if chrome:
+            path += "?format=chrome"
+        status, _, body = self.request("GET", path)
+        if status != 200:
+            self._raise_for(status, body)
+        return body if chrome else body["trace"]
+
+    def metricz(self) -> str:
+        """The raw /metricz body (Prometheus text exposition format)."""
+        status, _, body = self.request("GET", "/metricz")
+        if status != 200:
+            self._raise_for(status, body)
+        return body.decode("utf-8") if isinstance(body, bytes) else str(body)
 
     def healthz(self) -> dict:
         status, _, body = self.request("GET", "/healthz")

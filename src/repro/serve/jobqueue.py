@@ -55,6 +55,7 @@ class FairQueue:
         self._buckets: dict[str, deque] = {}
         self._rotation: deque[str] = deque()
         self._size = 0
+        self._peak = 0
         self._closed = False
 
     def put(self, item, client: str = "") -> int:
@@ -77,6 +78,8 @@ class FairQueue:
                 self._rotation.append(client)
             bucket.append(item)
             self._size += 1
+            if self._size > self._peak:
+                self._peak = self._size
             self._cv.notify()
             return self._size
 
@@ -119,6 +122,12 @@ class FairQueue:
     @property
     def closed(self) -> bool:
         return self._closed
+
+    @property
+    def peak_depth(self) -> int:
+        """High-water mark of the total depth since construction."""
+        with self._cv:
+            return self._peak
 
     def __len__(self) -> int:
         with self._cv:

@@ -40,9 +40,11 @@ import pickle
 import queue as _queue
 import threading
 import time
+import uuid
 from time import perf_counter
 
 from repro.errors import ReproError, ServeError
+from repro.obs import core as _obs
 from repro.render.api import RenderRequest, RenderResult
 from repro.serve.protocol import (
     request_from_payload,
@@ -68,6 +70,7 @@ _PREIMPORT = (
     "repro.render.backends",
     "repro.batch.cache",
     "repro.batch.runner",
+    "repro.obs.export",
 )
 
 _EXIT_CRASH_HOOK = 23  # worker exit code for the test-only crash hook
@@ -153,7 +156,19 @@ def _worker_main(conn, debug_hooks: bool = False) -> None:
             os._exit(_EXIT_CRASH_HOOK)
         if debug_hooks and header.get("x_sleep_s"):
             time.sleep(float(header["x_sleep_s"]))
-        meta, data = _execute_job(header, schedule_bytes)
+        trace_id = header.get("trace_id")
+        if trace_id:
+            # run the job under a local obs trace and ship the span
+            # segment back with the result, so the parent can stitch a
+            # cross-process request timeline (see repro.serve.tracing)
+            from repro.obs import core as _obs_core
+            from repro.obs.export import trace_to_doc
+
+            with _obs_core.capture(trace_id=str(trace_id)) as worker_trace:
+                meta, data = _execute_job(header, schedule_bytes)
+            meta["obs"] = trace_to_doc(worker_trace)
+        else:
+            meta, data = _execute_job(header, schedule_bytes)
         meta["data"] = data is not None
         conn.send_bytes(json.dumps(meta).encode("utf-8"))
         if data is not None:
@@ -363,15 +378,20 @@ class WorkerPool:
     # ------------------------------------------------------------ job plumbing
     def job_header(self, request: RenderRequest, *,
                    cache_dir: str | None = None,
-                   has_schedule: bool = False) -> dict:
+                   has_schedule: bool = False,
+                   trace_id: str | None = None) -> dict:
         """The frame-1 header for one render job.
 
         Canonical JSON payload when the request is wire-representable;
         explicit pickle frame otherwise (same-machine fallback for
         requests carrying in-memory style/colormap objects).
+        ``trace_id`` asks the worker to run the job under a local obs
+        trace and return its span segment alongside the result.
         """
         header: dict[str, object] = {"op": "render", "cache_dir": cache_dir,
                                      "schedule": has_schedule}
+        if trace_id is not None:
+            header["trace_id"] = trace_id
         try:
             header["request"] = request_to_payload(request)
         except ValueError:
@@ -407,15 +427,21 @@ class WorkerPool:
                     cache_dir: str | None = None,
                     schedule_bytes: bytes | None = None,
                     timeout: float | None = None,
-                    crash_retries: int = 1) -> RenderResult:
+                    crash_retries: int = 1,
+                    trace_id: str | None = None) -> RenderResult:
         """Run one job on any idle worker; never raises for job failures.
 
         A crashed worker fails the attempt; the job is retried
         ``crash_retries`` times on a (restarted) worker before the crash
-        is reported as an error result.
+        is reported as an error result.  When the caller is capturing an
+        obs trace, a per-job trace id is minted automatically so the
+        result carries the worker's span segment (``worker_obs``).
         """
+        if trace_id is None and _obs.is_enabled():
+            trace_id = uuid.uuid4().hex[:12]
         header = self.job_header(request, cache_dir=cache_dir,
-                                 has_schedule=schedule_bytes is not None)
+                                 has_schedule=schedule_bytes is not None,
+                                 trace_id=trace_id)
         attempt = 0
         while True:
             attempt += 1

@@ -25,6 +25,7 @@ from repro.render.lod import LOD_MODES
 __all__ = [
     "PROTOCOL_VERSION",
     "REQUEST_FIELDS",
+    "TRACE_HEADER",
     "request_to_payload",
     "request_from_payload",
     "result_to_payload",
@@ -34,6 +35,11 @@ __all__ = [
 ]
 
 PROTOCOL_VERSION = 1
+
+#: HTTP header carrying the client-minted request trace id; the same id
+#: travels in the worker job header (``trace_id``) and tags every span
+#: of the stitched request trace (see :mod:`repro.serve.tracing`).
+TRACE_HEADER = "X-Jedule-Trace"
 
 #: RenderRequest fields allowed on the wire (all plain JSON values).
 #: The in-memory-object fields (``style``, ``cmap``, ``viewport``, a
@@ -168,6 +174,7 @@ def result_to_payload(result: RenderResult) -> dict:
 
 
 def result_from_payload(doc: dict, data: bytes | None = None) -> RenderResult:
+    obs_doc = doc.get("obs")
     return RenderResult(
         input_path=doc.get("input"),
         output_path=doc.get("output"),
@@ -178,6 +185,7 @@ def result_from_payload(doc: dict, data: bytes | None = None) -> RenderResult:
         error=doc.get("error"),
         attempts=int(doc.get("attempts", 1)),
         data=data,
+        worker_obs=obs_doc if isinstance(obs_doc, dict) else None,
     )
 
 

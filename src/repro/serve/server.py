@@ -39,18 +39,22 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass
 from dataclasses import replace as dc_replace
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.parse import urlsplit
+from urllib.parse import parse_qs, urlsplit
 
 from repro.errors import ParseError, ReproError, ServeError
 from repro.obs import core as _obs
+from repro.obs.export import to_chrome_events, trace_from_doc, trace_to_doc
 from repro.render.api import RenderRequest, RenderResult
 from repro.serve.jobqueue import FairQueue, QueueClosed, QueueFull
+from repro.serve.metrics import Metrics
 from repro.serve.pool import WorkerCrash, WorkerPool, WorkerTimeout
 from repro.serve.protocol import (
+    TRACE_HEADER,
     canonical_schedule_bytes,
     request_from_payload,
     result_to_payload,
 )
+from repro.serve.tracing import stitch_job_trace
 
 __all__ = ["RenderServer", "Job", "CONTENT_TYPES", "latency_percentiles"]
 
@@ -94,6 +98,8 @@ class Job:
     finished_at: float | None = None
     seq: int | None = None      # completion order, for fairness inspection
     result: RenderResult | None = None
+    trace_id: str | None = None
+    trace_doc: dict | None = None  # stitched request trace (wire form)
     debug: dict | None = None   # extra worker header keys (tests only)
 
     @property
@@ -109,6 +115,7 @@ class Job:
             "started_at": self.started_at,
             "finished_at": self.finished_at,
             "seq": self.seq,
+            "trace_id": self.trace_id,
         }
         if self.result is not None:
             doc["result"] = result_to_payload(self.result)
@@ -173,11 +180,15 @@ class _Handler(BaseHTTPRequestHandler):
 
     # -------------------------------------------------------------- routes
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
-        path = urlsplit(self.path).path
+        split = urlsplit(self.path)
+        path = split.path
         if path == "/healthz":
             self._send_json(200, self.app.healthz_payload())
         elif path == "/statz":
             self._send_json(200, self.app.statz_payload())
+        elif path == "/metricz":
+            self._send_bytes(200, self.app.metricz_text().encode("utf-8"),
+                             "text/plain; version=0.0.4; charset=utf-8")
         elif path.startswith("/jobs/"):
             parts = path.split("/")
             if len(parts) == 3:
@@ -189,6 +200,11 @@ class _Handler(BaseHTTPRequestHandler):
                     self._send_bytes(status, payload, ctype)
                 else:
                     self._send_json(status, payload)
+            elif len(parts) == 4 and parts[3] == "trace":
+                query = parse_qs(split.query)
+                fmt = (query.get("format") or [None])[0]
+                status, doc = self.app.job_trace_payload(parts[2], fmt=fmt)
+                self._send_json(status, doc)
             else:
                 self._send_json(404, _error("not-found", "unknown jobs path"))
         else:
@@ -209,8 +225,9 @@ class _Handler(BaseHTTPRequestHandler):
                                             f"body is not JSON: {exc}"))
                 return
             client = self.headers.get("X-Jedule-Client") or None
-            status, payload, headers = self.app.submit_payload(doc,
-                                                               client=client)
+            trace_id = self.headers.get(TRACE_HEADER) or None
+            status, payload, headers = self.app.submit_payload(
+                doc, client=client, trace_id=trace_id)
             self._send_json(status, payload, headers)
         elif path == "/drain":
             self._send_json(200, self.app.begin_drain())
@@ -220,6 +237,30 @@ class _Handler(BaseHTTPRequestHandler):
 
 def _error(code: str, message: str, **extra) -> dict:
     return {"error": {"code": code, "message": message, **extra}}
+
+
+#: stage histogram family behind /metricz and the drain runlog record
+STAGE_FAMILY = "jedule_serve_stage_seconds"
+
+#: legacy stats-block counter -> /metricz counter family (+ labels)
+_METRIC_MAP: dict[str, tuple[str, dict[str, str] | None]] = {
+    "serve.requests": ("jedule_serve_requests_total", None),
+    "serve.jobs.ok": ("jedule_serve_jobs_total", {"status": "ok"}),
+    "serve.jobs.failed": ("jedule_serve_jobs_total", {"status": "failed"}),
+    "serve.cache.hit": ("jedule_serve_cache_total", {"outcome": "hit"}),
+    "serve.cache.miss": ("jedule_serve_cache_total", {"outcome": "miss"}),
+    "serve.cache.off": ("jedule_serve_cache_total", {"outcome": "off"}),
+    "serve.rejected.invalid":
+        ("jedule_serve_rejected_total", {"reason": "invalid"}),
+    "serve.rejected.queue_full":
+        ("jedule_serve_rejected_total", {"reason": "queue-full"}),
+    "serve.rejected.draining":
+        ("jedule_serve_rejected_total", {"reason": "draining"}),
+    "serve.worker.timeout":
+        ("jedule_serve_worker_failures_total", {"kind": "timeout"}),
+    "serve.worker.crash":
+        ("jedule_serve_worker_failures_total", {"kind": "crash"}),
+}
 
 
 class RenderServer:
@@ -237,7 +278,7 @@ class RenderServer:
                  runlog: str | None = None, name: str = "serve",
                  job_timeout_s: float | None = None, crash_retries: int = 1,
                  keep_jobs: int = 1024, start_method: str | None = None,
-                 debug_hooks: bool = False):
+                 trace_jobs: bool = True, debug_hooks: bool = False):
         self.host = host
         self.port = port
         self.socket_path = socket_path
@@ -247,6 +288,7 @@ class RenderServer:
         self.job_timeout_s = job_timeout_s
         self.crash_retries = crash_retries
         self.keep_jobs = keep_jobs
+        self.trace_jobs = trace_jobs
 
         self._pool = WorkerPool(workers, start_method=start_method,
                                 debug_hooks=debug_hooks)
@@ -254,11 +296,15 @@ class RenderServer:
         self._jobs: OrderedDict[str, Job] = OrderedDict()
         self._jobs_lock = threading.Lock()
         self._seq = 0
+        # incremental status -> count snapshot (updated on every job state
+        # transition) so /statz and /metricz never walk the jobs dict
+        self._job_states: dict[str, int] = {}
 
         self._stats_lock = threading.Lock()
         self._counters: dict[str, float] = {}
         self._latencies: deque[float] = deque(maxlen=4096)
         self._started_at = time.time()
+        self.metrics = self._build_metrics()
 
         self._gate = threading.Event()   # cleared = dispatch paused
         self._gate.set()
@@ -408,11 +454,15 @@ class RenderServer:
 
     def _run_job(self, index: int, job: Job) -> None:
         job.started_at = time.time()
-        job.status = "running"
+        self._transition(job, "running")
+        queue_wait = max(job.started_at - job.submitted_at, 0.0)
+        self.metrics.observe(STAGE_FAMILY, queue_wait,
+                             labels={"stage": "queue_wait"})
         _obs.gauge("serve.queue.depth", len(self._queue))
         header = self._pool.job_header(
             job.request, cache_dir=self.cache_dir,
-            has_schedule=job.schedule_bytes is not None)
+            has_schedule=job.schedule_bytes is not None,
+            trace_id=job.trace_id)
         if job.debug:
             header.update(job.debug)
         with _obs.span("serve.job", client=job.client, job=job.id) as sp:
@@ -441,17 +491,42 @@ class RenderServer:
             sp.set(cache=result.cache, ok=result.ok, attempts=attempts)
         job.result = result
         job.finished_at = time.time()
-        job.status = "done" if result.ok else "failed"
         with self._jobs_lock:
             self._seq += 1
             job.seq = self._seq
+        self._transition(job, "done" if result.ok else "failed")
         latency = job.finished_at - job.submitted_at
         with self._stats_lock:
             self._latencies.append(latency)
+        self.metrics.observe(
+            STAGE_FAMILY, max(job.finished_at - job.started_at, 0.0),
+            labels={"stage": "worker"})
+        self.metrics.observe(STAGE_FAMILY, max(latency, 0.0),
+                             labels={"stage": "total"})
         self._count("serve.jobs.ok" if result.ok else "serve.jobs.failed")
         if result.cache in ("hit", "miss", "off"):
             self._count(f"serve.cache.{result.cache}")
+        if result.ok and result.nbytes:
+            self.metrics.inc("jedule_serve_bytes_rendered_total",
+                             result.nbytes)
         _obs.add("serve.latency_ms", latency * 1000.0)
+        if job.trace_id is not None:
+            self._stitch(job, result)
+
+    def _stitch(self, job: Job, result: RenderResult) -> None:
+        """Unify server-side intervals with the worker's span segment."""
+        try:
+            trace = stitch_job_trace(job, result.worker_obs)
+        except ValueError:
+            # corrupt worker segment: keep the server-side view at least
+            trace = stitch_job_trace(job, None)
+        # worker-side root spans become latency stages on /metricz
+        # (spans[2] is serve.worker; its children are the segment roots)
+        for s in trace.spans:
+            if s.parent == 2:
+                self.metrics.observe(STAGE_FAMILY, s.duration,
+                                     labels={"stage": s.name})
+        job.trace_doc = trace_to_doc(trace)
 
     def _failure(self, job: Job, error: str, attempts: int) -> RenderResult:
         fmt = "?"
@@ -470,12 +545,79 @@ class RenderServer:
         with self._stats_lock:
             self._counters[name] = self._counters.get(name, 0.0) + value
         _obs.add(name, value)
+        mapped = _METRIC_MAP.get(name)
+        if mapped is not None:
+            family, labels = mapped
+            self.metrics.inc(family, value, labels=labels)
+
+    def _build_metrics(self) -> Metrics:
+        """Declare every /metricz family (gauges read live at scrape)."""
+        m = Metrics()
+        m.gauge("jedule_serve_uptime_seconds",
+                "Seconds since the service started.",
+                lambda: time.time() - self._started_at)
+        m.gauge("jedule_serve_draining",
+                "1 while the service is draining, else 0.",
+                lambda: 1.0 if self._draining else 0.0)
+        m.gauge("jedule_serve_queue_depth",
+                "Jobs currently queued.", lambda: len(self._queue))
+        m.gauge("jedule_serve_queue_capacity",
+                "Maximum queue depth before 429s.",
+                lambda: self._queue.maxsize)
+        m.gauge("jedule_serve_queue_peak",
+                "High-water mark of the queue depth.",
+                lambda: self._queue.peak_depth)
+        m.gauge("jedule_serve_workers",
+                "Size of the warm worker pool.", lambda: self._pool.size)
+        m.gauge("jedule_serve_workers_alive",
+                "Workers currently alive.", lambda: self._pool.alive_count)
+        m.counter("jedule_serve_worker_restarts_total",
+                  "Worker processes restarted after crash/timeout/reload.",
+                  fn=lambda: self._pool.total_restarts)
+        m.counter("jedule_serve_requests_total",
+                  "POST /render admissions attempted.")
+        m.counter("jedule_serve_jobs_total",
+                  "Finished jobs by status (ok|failed).")
+        m.counter("jedule_serve_cache_total",
+                  "Finished jobs by render-cache outcome (hit|miss|off).")
+        m.counter("jedule_serve_rejected_total",
+                  "Rejected submissions by reason "
+                  "(queue-full|invalid|draining).")
+        m.counter("jedule_serve_worker_failures_total",
+                  "Job attempts lost to a worker crash or timeout.")
+        m.counter("jedule_serve_bytes_rendered_total",
+                  "Total output bytes produced by successful jobs.")
+        m.histogram(STAGE_FAMILY,
+                    "Per-stage job latency in seconds (stage label: "
+                    "queue_wait|worker|total plus worker-side root spans).")
+        return m
+
+    def metricz_text(self) -> str:
+        """The /metricz body (Prometheus text exposition format)."""
+        return self.metrics.render()
+
+    def _transition(self, job: Job, status: str) -> None:
+        """Move a job between states, keeping the O(1) count snapshot."""
+        with self._jobs_lock:
+            old = job.status
+            job.status = status
+            counts = self._job_states
+            if counts.get(old, 0) > 0:
+                counts[old] -= 1
+            counts[status] = counts.get(status, 0) + 1
 
     # ------------------------------------------------------------ endpoints
-    def submit_payload(self, doc: object, *, client: str | None = None):
-        """Admit one job; returns ``(status, payload, headers)``."""
+    def submit_payload(self, doc: object, *, client: str | None = None,
+                       trace_id: str | None = None):
+        """Admit one job; returns ``(status, payload, headers)``.
+
+        ``trace_id`` is the client-minted ``X-Jedule-Trace`` value; when
+        absent (and job tracing is on) the server mints one, so every
+        admitted job has a stitched request trace either way.
+        """
         self._count("serve.requests")
         if self._draining:
+            self._count("serve.rejected.draining")
             return 503, _error("draining", "server is draining"), {}
         if not isinstance(doc, dict):
             return 400, _error("bad-body", "body must be a JSON object"), {}
@@ -513,18 +655,29 @@ class RenderServer:
                 field="input_path"), {}
 
         debug = doc.get("debug") if self._pool.debug_hooks else None
+        if self.trace_jobs and trace_id is None:
+            trace_id = uuid.uuid4().hex[:16]
         job = Job(id=uuid.uuid4().hex[:12],
                   client=client or str(doc.get("client") or "anon"),
                   request=request, schedule_bytes=schedule_bytes,
                   submitted_at=time.time(),
+                  trace_id=trace_id if self.trace_jobs else None,
                   debug=dict(debug) if isinstance(debug, dict) else None)
+        # count the queued state *before* the put: a dispatcher may pull
+        # the job (and transition it) the instant it lands in the queue
+        with self._jobs_lock:
+            self._job_states["queued"] = \
+                self._job_states.get("queued", 0) + 1
         try:
             depth = self._queue.put(job, client=job.client)
-        except QueueFull as exc:
-            self._count("serve.rejected.queue_full")
-            return (429, {"error": exc.to_payload()},
-                    {"Retry-After": self._retry_after()})
-        except QueueClosed:
+        except (QueueFull, QueueClosed) as exc:
+            with self._jobs_lock:
+                self._job_states["queued"] -= 1
+            if isinstance(exc, QueueFull):
+                self._count("serve.rejected.queue_full")
+                return (429, {"error": exc.to_payload()},
+                        {"Retry-After": self._retry_after()})
+            self._count("serve.rejected.draining")
             return 503, _error("draining", "server is draining"), {}
         with self._jobs_lock:
             self._jobs[job.id] = job
@@ -540,7 +693,9 @@ class RenderServer:
             return
         for job_id in [j.id for j in self._jobs.values()
                        if j.finished][:excess]:
-            del self._jobs[job_id]
+            dropped = self._jobs.pop(job_id)
+            if self._job_states.get(dropped.status, 0) > 0:
+                self._job_states[dropped.status] -= 1
 
     def _retry_after(self) -> int:
         with self._stats_lock:
@@ -581,6 +736,28 @@ class RenderServer:
                                   "application/octet-stream")
         return 200, data, ctype
 
+    def job_trace_payload(self, job_id: str, *, fmt: str | None = None):
+        """The stitched request trace: wire doc, or Chrome trace JSON."""
+        with self._jobs_lock:
+            job = self._jobs.get(job_id)
+        if job is None:
+            return 404, _error("unknown-job", f"no job {job_id!r}")
+        if job.trace_doc is None:
+            if not job.finished:
+                return 409, _error("not-finished", f"job is {job.status}",
+                                   status=job.status)
+            return 404, _error("no-trace",
+                               "job has no stitched trace "
+                               "(server started with tracing disabled?)")
+        if fmt == "chrome":
+            events = to_chrome_events(trace_from_doc(job.trace_doc))
+            return 200, {"traceEvents": events, "displayTimeUnit": "ms"}
+        if fmt not in (None, "doc"):
+            return 400, _error("bad-format",
+                               f"unknown trace format {fmt!r} "
+                               f"(expected 'doc' or 'chrome')")
+        return 200, {"trace": job.trace_doc}
+
     def healthz_payload(self) -> dict:
         return {
             "ok": self._pool.alive_count > 0 and not self._draining,
@@ -595,15 +772,15 @@ class RenderServer:
             counters = dict(self._counters)
             sample = list(self._latencies)
         with self._jobs_lock:
-            states: dict[str, int] = {}
-            for job in self._jobs.values():
-                states[job.status] = states.get(job.status, 0) + 1
+            # O(1) snapshot kept by _transition — never walks the dict
+            states = {k: v for k, v in self._job_states.items() if v}
         return {
             "uptime_s": time.time() - self._started_at,
             "draining": self._draining,
             "queue": {
                 "depth": len(self._queue),
                 "capacity": self._queue.maxsize,
+                "peak": self._queue.peak_depth,
                 "by_client": self._queue.depth_by_client(),
             },
             "workers": {
@@ -626,13 +803,24 @@ class RenderServer:
         with self._stats_lock:
             counters = dict(self._counters)
             sample = list(self._latencies)
-        pcts = latency_percentiles(sample)
+        # the drain record ALWAYS carries the whole-job percentiles and
+        # every per-stage section, zeros included — consumers (CI, the
+        # regress gate) must never have to guard against missing keys
+        timings_s: dict[str, list[float]] = {
+            key: [value] for key, value in latency_percentiles(sample).items()
+        }
+        for stage in ("queue_wait", "worker", "total"):
+            hist = self.metrics.stage_histogram(STAGE_FAMILY, stage)
+            for q, label in ((0.50, "p50"), (0.95, "p95"), (0.99, "p99")):
+                value = hist.percentile(q) if hist is not None else 0.0
+                timings_s[f"{stage}_{label}"] = [value]
         record = record_from_trace(
             "serve", self.name,
             _obs.current_trace() if _obs.is_enabled() else None,
-            timings_s={key: [value] for key, value in pcts.items() if sample},
+            timings_s=timings_s,
             meta={"workers": self._pool.size,
                   "queue_depth": self._queue.maxsize,
+                  "queue_peak": self._queue.peak_depth,
                   "cache_dir": self.cache_dir,
                   "restarts": self._pool.total_restarts,
                   "jobs": int(counters.get("serve.jobs.submitted", 0))})

@@ -1,0 +1,89 @@
+"""Stitching per-request traces across the service's process boundary.
+
+One render request touches three execution contexts: the HTTP thread
+that admits it, the dispatcher thread that runs it, and the worker
+*process* that renders it.  The worker runs the job under its own local
+obs trace (:func:`repro.serve.pool._worker_main`) and ships the segment
+back as a wire-form doc (:func:`repro.obs.export.trace_to_doc`); this
+module rebuilds the request's unified timeline:
+
+* ``serve.request`` — the whole submitted→finished interval (root);
+* ``serve.queue_wait`` — submitted→started (time spent in the
+  :class:`~repro.serve.jobqueue.FairQueue`);
+* ``serve.worker`` — started→finished, under which the worker's own
+  ``render.*`` / ``io.*`` spans are grafted on the wall-clock timeline.
+
+Every span inherits the request's trace id, so the stitched trace, the
+server's JSONL log lines and the worker's log lines all correlate.  The
+result is an ordinary :class:`~repro.obs.core.Trace`: exportable as
+Chrome trace JSON and — the paper's thesis applied to the tool itself —
+renderable as a Gantt via :func:`repro.obs.export.trace_to_schedule`.
+"""
+
+from __future__ import annotations
+
+from repro.obs.core import SpanRecord, Trace
+from repro.obs.export import graft_trace_doc, trace_to_doc
+
+__all__ = ["stitch_job_trace", "merge_traces"]
+
+
+def _append_span(trace: Trace, name: str, start: float, end: float, *,
+                 parent: int | None = None,
+                 attrs: dict | None = None) -> SpanRecord:
+    depth = 0 if parent is None else trace.spans[parent].depth + 1
+    record = SpanRecord(name, start, max(end, start), depth,
+                        len(trace.spans), parent, dict(attrs or {}))
+    trace.spans.append(record)
+    return record
+
+
+def stitch_job_trace(job, worker_doc: dict | None = None) -> Trace:
+    """One job's unified request trace, anchored at its submit instant.
+
+    ``job`` is a :class:`~repro.serve.server.Job` that has finished (or
+    at least started); ``worker_doc`` is the worker-side span segment
+    that came back with the result (``RenderResult.worker_obs``), if
+    any.  Timestamps are seconds since ``job.submitted_at``, which is
+    also the trace's ``epoch_wall`` — so grafting lands worker spans at
+    the right offset without any clock juggling beyond wall time.
+    """
+    trace = Trace(trace_id=job.trace_id)
+    trace.epoch_wall = job.submitted_at
+    started = job.started_at if job.started_at is not None \
+        else job.submitted_at
+    finished = job.finished_at if job.finished_at is not None else started
+    t_started = max(started - job.submitted_at, 0.0)
+    t_finished = max(finished - job.submitted_at, t_started)
+
+    attrs: dict[str, object] = {"job": job.id, "client": job.client,
+                                "status": job.status}
+    if job.result is not None:
+        attrs["cache"] = job.result.cache
+        attrs["ok"] = job.result.ok
+    root = _append_span(trace, "serve.request", 0.0, t_finished, attrs=attrs)
+    _append_span(trace, "serve.queue_wait", 0.0, t_started,
+                 parent=root.index)
+    worker = _append_span(trace, "serve.worker", t_started, t_finished,
+                          parent=root.index)
+    if worker_doc is not None:
+        graft_trace_doc(trace, worker_doc, parent=worker.index)
+    return trace
+
+
+def merge_traces(traces, *, trace_id: str | None = None) -> Trace:
+    """Several request traces on one wall-clock timeline.
+
+    Concurrent requests overlap, so each input trace is grafted as its
+    own Chrome lane (``tid`` 1..n); the merged epoch is the earliest
+    input epoch.  Feed the result to ``to_chrome_json`` for a combined
+    Chrome trace or to ``trace_to_schedule`` for a service-level Gantt.
+    """
+    traces = list(traces)
+    if not traces:
+        raise ValueError("nothing to merge: no traces given")
+    merged = Trace(trace_id=trace_id)
+    merged.epoch_wall = min(t.epoch_wall for t in traces)
+    for lane, trace in enumerate(traces, start=1):
+        graft_trace_doc(merged, trace_to_doc(trace), tid=lane)
+    return merged

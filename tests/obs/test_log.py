@@ -138,3 +138,39 @@ class TestLogTo:
         names = [json.loads(line).get("name")
                  for line in path.read_text().splitlines()]
         assert "inside" in names and "outside" not in names
+
+
+class TestTraceIdInEvents:
+    def test_events_carry_trace_id_when_set(self):
+        events: list[dict] = []
+        set_sink(events.append)
+        try:
+            with obs.capture(trace_id="feed0001"):
+                with obs.span("work"):
+                    obs.add("n", 1)
+                    obs.gauge("g", 2.0)
+                    obs.observe("h.seconds", 0.01)
+        finally:
+            set_sink(None)
+        assert events, "sink saw no events"
+        assert all(e["trace_id"] == "feed0001" for e in events), events
+
+    def test_events_omit_trace_id_when_unset(self):
+        events: list[dict] = []
+        set_sink(events.append)
+        try:
+            with obs.capture():
+                with obs.span("work"):
+                    pass
+        finally:
+            set_sink(None)
+        assert events and all("trace_id" not in e for e in events)
+
+    def test_jsonl_lines_carry_trace_id(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        with log_to(path):
+            with obs.capture(trace_id="0ddba11"):
+                with obs.span("io.load"):
+                    pass
+        lines = [json.loads(line) for line in path.read_text().splitlines()]
+        assert lines and all(e["trace_id"] == "0ddba11" for e in lines)

@@ -242,3 +242,71 @@ def test_latency_percentiles_helper():
     values = list(range(1, 101))
     pcts = latency_percentiles(values)
     assert pcts == {"p50": 50, "p95": 95, "p99": 99}
+
+
+def test_drain_runlog_empty_sample_still_has_stage_keys(tmp_path):
+    """A server drained before any job finished still writes a complete
+    record: whole-job and per-stage percentile keys all present, zeroed."""
+    runlog = tmp_path / "runlog.jsonl"
+    with serving(cache_dir=None, runlog=str(runlog)):
+        pass  # no jobs at all
+    record = json.loads(runlog.read_text().splitlines()[-1])
+    timings = record["timings_s"]
+    for key in ("p50", "p95", "p99"):
+        assert timings[key] == [0.0]
+    for stage in ("queue_wait", "worker", "total"):
+        for label in ("p50", "p95", "p99"):
+            assert timings[f"{stage}_{label}"] == [0.0], (stage, label)
+    assert record["meta"]["jobs"] == 0
+    assert record["meta"]["queue_peak"] == 0
+
+
+def test_drain_runlog_stage_timings_populated(tmp_path, simple_schedule):
+    runlog = tmp_path / "runlog.jsonl"
+    with serving(cache_dir=None, runlog=str(runlog)) as server:
+        client = ServeClient(server.url)
+        client.render(_request(), schedule=simple_schedule)
+    record = json.loads(runlog.read_text().splitlines()[-1])
+    timings = record["timings_s"]
+    # one finished job: worker and total stage percentiles are real times
+    assert timings["worker_p95"][0] > 0.0
+    assert timings["total_p95"][0] >= timings["worker_p95"][0]
+    assert record["meta"]["queue_peak"] >= 1
+
+
+def test_statz_job_state_counts_incremental(tmp_path, simple_schedule):
+    """/statz job states come from the O(1) transition counters and stay
+    consistent with a full walk of the jobs dict."""
+    with serving(cache_dir=None) as server:
+        client = ServeClient(server.url, client_id="states")
+        for _ in range(3):
+            assert client.render(_request(),
+                                 schedule=simple_schedule)["status"] == "done"
+        assert server.statz_payload()["jobs"] == {"done": 3}
+        with server._jobs_lock:
+            walked = {}
+            for job in server._jobs.values():
+                walked[job.status] = walked.get(job.status, 0) + 1
+            live = {k: v for k, v in server._job_states.items() if v}
+            assert walked == live == {"done": 3}
+
+
+def test_job_state_counts_survive_prune(tmp_path, simple_schedule):
+    with serving(cache_dir=None, keep_jobs=2) as server:
+        client = ServeClient(server.url, client_id="prune")
+        for _ in range(5):
+            client.render(_request(), schedule=simple_schedule)
+        states = server.statz_payload()["jobs"]
+        with server._jobs_lock:
+            assert len(server._jobs) <= 2 + 1  # cap, +1 for in-flight slack
+            assert states == {"done": len(server._jobs)}
+
+
+def test_queue_peak_depth_reported(tmp_path, simple_schedule):
+    with serving(queue_depth=8, cache_dir=None) as server:
+        server.pause_dispatch()
+        client = ServeClient(server.url, client_id="peaky")
+        for _ in range(4):
+            client.submit(_request(), schedule=simple_schedule)
+        assert server.statz_payload()["queue"]["peak"] == 4
+        server.resume_dispatch()
