@@ -1,0 +1,103 @@
+"""Scheduler zoo — deterministic quality metrics for the online schedulers.
+
+Every scheduler of the online/OS families runs on the same seeded Poisson
+arrival trace through the registry; the resulting makespan, flow/stretch
+and fairness metrics are persisted to ``BENCH_sched_zoo.json`` so the
+regression gate catches any behavioural drift in the policies.  Two
+ablations ride along: the round-robin quantum sweep (smaller quanta →
+fairer but choppier) and the MLFQ feedback-level sweep.
+"""
+
+from __future__ import annotations
+
+from conftest import persist, report
+
+from repro.core.slices import validate_slices
+from repro.obs.bench import time_min_of_k
+from repro.render.api import export_schedule
+from repro.sched.registry import JobsProblem, run_scheduler
+from repro.workloads.arrivals import poisson_arrivals
+
+#: scheduler name -> options (all explicit, so defaults may evolve freely)
+ZOO = {
+    "rr": {"cpus": 2, "quantum": 4.0},
+    "sjf": {"cpus": 2},
+    "mlfq": {"cpus": 2, "levels": 3, "quantum": 2.0, "boost": 60.0},
+    "cfs": {"cpus": 2, "latency": 12.0, "min_granularity": 1.5},
+    "online-list": {"speeds": "2,1.5,1,1", "eligibility": "gos", "levels": 2},
+    "moldable-list": {"alpha": 0.5, "cap": 0.5},
+}
+
+_KEEP = ("makespan", "mean_flow", "max_flow", "mean_stretch", "max_stretch",
+         "jain_fairness", "preemptions", "slices", "shrunk_jobs")
+
+
+def _problem() -> JobsProblem:
+    return JobsProblem(poisson_arrivals(n=24, rate=0.15, mean_work=15.0,
+                                        seed=11), machines=8)
+
+
+def test_zoo_metrics(artifacts_dir):
+    problem = _problem()
+    metrics: dict[str, float] = {}
+    rows = []
+    for name, options in ZOO.items():
+        result = run_scheduler(name, problem, **options)
+        assert validate_slices(result.schedule) == []
+        for key in _KEEP:
+            if key in result.metrics:
+                metrics[f"{name}.{key}"] = round(result.metrics[key], 9)
+        rows.append((name, "(online, no paper figure)",
+                     f"makespan {result.metrics['makespan']:.2f}  "
+                     f"stretch {result.metrics['mean_stretch']:.2f}"))
+        export_schedule(result.schedule,
+                        artifacts_dir / f"sched_zoo_{name}.png",
+                        width=1000, height=420, auto_colors="job",
+                        title=f"{name}: 24 Poisson arrivals")
+
+    # SRPT is flow-optimal on one machine; on 2 CPUs it must still beat RR
+    assert metrics["sjf.mean_flow"] < metrics["rr.mean_flow"]
+
+    mlfq_runs = time_min_of_k(
+        lambda: run_scheduler("mlfq", problem, **ZOO["mlfq"]), k=5)
+    report("Scheduler zoo (online + OS pack)", rows,
+           suite="sched_zoo", entry="zoo",
+           timings_s={"mlfq_run": mlfq_runs},
+           metrics=metrics)
+
+
+def test_quantum_ablation(artifacts_dir):
+    """RR quantum sweep: slices shrink monotonically as the quantum grows."""
+    problem = _problem()
+    metrics: dict[str, float] = {}
+    slices_by_q = []
+    for quantum in (1.0, 2.0, 4.0, 8.0, 16.0):
+        result = run_scheduler("rr", problem, cpus=2, quantum=quantum)
+        key = f"q{quantum:g}"
+        metrics[f"{key}.makespan"] = round(result.metrics["makespan"], 9)
+        metrics[f"{key}.mean_stretch"] = round(result.metrics["mean_stretch"], 9)
+        metrics[f"{key}.slices"] = result.metrics["slices"]
+        slices_by_q.append(result.metrics["slices"])
+    assert slices_by_q == sorted(slices_by_q, reverse=True)
+    persist("sched_zoo", "ablation_quantum", metrics=metrics)
+
+
+def test_mlfq_levels_ablation(artifacts_dir):
+    """MLFQ level sweep: 1 level degenerates to RR, more levels favor
+    short jobs (mean stretch must not get worse than the 1-level run)."""
+    problem = _problem()
+    metrics: dict[str, float] = {}
+    stretch_by_levels = {}
+    for levels in (1, 2, 3, 4):
+        result = run_scheduler("mlfq", problem, cpus=2, levels=levels,
+                               quantum=2.0)
+        key = f"levels{levels}"
+        metrics[f"{key}.makespan"] = round(result.metrics["makespan"], 9)
+        metrics[f"{key}.mean_stretch"] = round(result.metrics["mean_stretch"], 9)
+        metrics[f"{key}.preemptions"] = result.metrics["preemptions"]
+        stretch_by_levels[levels] = result.metrics["mean_stretch"]
+
+    rr = run_scheduler("rr", problem, cpus=2, quantum=2.0)
+    assert stretch_by_levels[1] == rr.metrics["mean_stretch"], \
+        "1-level MLFQ must degenerate to round-robin"
+    persist("sched_zoo", "ablation_levels", metrics=metrics)

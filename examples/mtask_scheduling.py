@@ -6,17 +6,20 @@ with CPA, MCPA and the MCPA2 poly-algorithm on a 32-processor cluster,
 render the schedules side by side, and spot MCPA's load-imbalance holes
 numerically (the paper spotted them visually).
 
+All three algorithms are invoked through the scheduler registry, so this
+is also the minimal example of the supported calling convention.
+
 Run:  python examples/mtask_scheduling.py
 """
 
 from pathlib import Path
 
-from repro.core.stats import low_utilization_windows, utilization
+from repro.core.stats import low_utilization_windows
 from repro.dag.generators import imbalanced_layer_dag, wide_dag
 from repro.dag.moldable import AmdahlModel
 from repro.platform.builders import homogeneous_cluster
 from repro.render.api import export_schedule
-from repro.sched import cpa_schedule, mcpa2_schedule, mcpa_schedule
+from repro.sched import DagProblem, run_scheduler
 
 OUT = Path(__file__).parent / "output"
 OUT.mkdir(exist_ok=True)
@@ -25,27 +28,28 @@ MODEL = AmdahlModel(0.02)
 platform = homogeneous_cluster(32, 1e9)
 
 print("=== pathological DAG (one wide layer, very uneven task costs) ===")
-graph = imbalanced_layer_dag(width=30, heavy_factor=12, seed=1)
-for name, algo in (("CPA", cpa_schedule), ("MCPA", mcpa_schedule),
-                   ("MCPA2", mcpa2_schedule)):
-    result = algo(graph, platform, MODEL)
+problem = DagProblem(imbalanced_layer_dag(width=30, heavy_factor=12, seed=1),
+                     platform, MODEL)
+for name in ("cpa", "mcpa", "mcpa2"):
+    result = run_scheduler(name, problem)
     holes = low_utilization_windows(result.schedule, 4,
                                     min_duration=0.05 * result.makespan)
     extra = ""
-    if name == "MCPA2":
-        extra = f"  (picked {result.mapping.meta['mcpa2_branch'].upper()})"
-    print(f"{name:6s} makespan {result.makespan:7.2f} s"
-          f"  utilization {utilization(result.schedule):5.2f}"
+    if name == "mcpa2":
+        branch = result.raw.mapping.meta["mcpa2_branch"].upper()
+        extra = f"  (picked {branch})"
+    print(f"{name.upper():6s} makespan {result.makespan:7.2f} s"
+          f"  utilization {result.metrics['utilization']:5.2f}"
           f"  idle holes {len(holes)}{extra}")
-    export_schedule(result.schedule, OUT / f"mtask_{name.lower()}.png",
-                    width=900, height=500, title=f"{name} (imbalanced layer)")
+    export_schedule(result.schedule, OUT / f"mtask_{name}.png",
+                    width=900, height=500,
+                    title=f"{name.upper()} (imbalanced layer)")
 
 print("\n=== regular wide DAG (the case MCPA was designed for) ===")
-graph2 = wide_dag(40, seed=3)
-for name, algo in (("CPA", cpa_schedule), ("MCPA", mcpa_schedule),
-                   ("MCPA2", mcpa2_schedule)):
-    result = algo(graph2, platform, MODEL)
-    print(f"{name:6s} makespan {result.makespan:7.2f} s"
-          f"  utilization {utilization(result.schedule):5.2f}")
+problem2 = DagProblem(wide_dag(40, seed=3), platform, MODEL)
+for name in ("cpa", "mcpa", "mcpa2"):
+    result = run_scheduler(name, problem2)
+    print(f"{name.upper():6s} makespan {result.makespan:7.2f} s"
+          f"  utilization {result.metrics['utilization']:5.2f}")
 
 print(f"\nimages written to {OUT}/mtask_*.png")

@@ -6,6 +6,10 @@ Reenacts Section IV: schedule four mixed-parallel applications on one
 check the resource constraints visually/numerically, compare stretches and
 fairness, and apply the conservative backfilling pass.
 
+CRA and the backfilled variant both run through the scheduler registry
+(``cra`` and ``cra-backfill``); the per-family ``CRAResult`` bookkeeping
+stays reachable under ``result.raw``.
+
 Run:  python examples/multi_dag_cra.py
 """
 
@@ -17,7 +21,7 @@ from repro.dag.generators import LayeredDagSpec, layered_dag
 from repro.dag.moldable import AmdahlModel
 from repro.platform.builders import homogeneous_cluster
 from repro.render.api import export_schedule
-from repro.sched import backfill_cra, cpa_schedule, cra_schedule
+from repro.sched import DagProblem, MultiDagProblem, run_scheduler
 from repro.sched.metrics import jain_fairness, stretches
 
 OUT = Path(__file__).parent / "output"
@@ -27,32 +31,35 @@ MODEL = AmdahlModel(0.05)
 platform = homogeneous_cluster(20, 1e9)
 graphs = [layered_dag(LayeredDagSpec(n_tasks=12, layers=4), seed=3 + i,
                       name=f"app{i}") for i in range(4)]
+batch = MultiDagProblem(graphs, platform, MODEL)
 
-dedicated = [cpa_schedule(g, platform, MODEL).makespan for g in graphs]
+dedicated = [run_scheduler("cpa", DagProblem(g, platform, MODEL)).makespan
+             for g in graphs]
 print("dedicated makespans:", " ".join(f"{m:.2f}" for m in dedicated))
 
 for policy in ("work", "width", "equal"):
-    result = cra_schedule(graphs, platform, MODEL, policy=policy, mu=0.5)
-    contended = [r.sim.schedule.end_time for r in result.app_results]
+    result = run_scheduler("cra", batch, policy=policy, mu=0.5)
+    contended = [r.sim.schedule.end_time for r in result.raw.app_results]
     s = stretches(contended, dedicated)
-    print(f"\nCRA_{policy.upper():6s} shares {result.shares}"
+    print(f"\nCRA_{policy.upper():6s} shares {result.raw.shares}"
           f"  batch makespan {result.makespan:6.2f} s")
     print(f"           stretches {' '.join(f'{x:.2f}' for x in s)}"
           f"  fairness {jain_fairness(s):.3f}")
 
 # render the work-based variant, one color per application (Figure 5)
-result = cra_schedule(graphs, platform, MODEL, policy="work", mu=0.5)
+result = run_scheduler("cra", batch, policy="work", mu=0.5)
 cmap = auto_colormap(result.schedule)
 export_schedule(result.schedule, OUT / "cra_work.png", cmap=cmap,
                 width=900, height=500, title="CRA_WORK, 4 applications")
 
 # the backfilling check of Section IV-B: no task delayed, idle time reduced
-backfilled = backfill_cra(result, graphs, platform, MODEL)
+backfilled = run_scheduler("cra-backfill", batch, policy="work", mu=0.5)
 delayed = sum(1 for t in result.schedule
-              if backfilled.task(t.id).end_time > t.end_time + 1e-9)
+              if backfilled.schedule.task(t.id).end_time > t.end_time + 1e-9)
 print(f"\nbackfilling: {delayed} tasks delayed (must be 0);"
       f" idle {idle_area(result.schedule):.1f} ->"
-      f" {idle_area(backfilled):.1f} host*s")
-export_schedule(backfilled, OUT / "cra_work_backfilled.png", cmap=cmap,
-                width=900, height=500, title="CRA_WORK after backfilling")
+      f" {idle_area(backfilled.schedule):.1f} host*s")
+export_schedule(backfilled.schedule, OUT / "cra_work_backfilled.png",
+                cmap=cmap, width=900, height=500,
+                title="CRA_WORK after backfilling")
 print(f"images written to {OUT}/cra_work*.png")

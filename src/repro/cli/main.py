@@ -271,6 +271,9 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--width", type=int, default=1000)
     rep.add_argument("--panel-height", type=int, default=260)
     rep.add_argument("--title", help="dashboard title")
+
+    from repro.cli.sched import add_sched_parser
+    add_sched_parser(sub)
     return parser
 
 
@@ -684,6 +687,12 @@ def _cmd_view(args: argparse.Namespace) -> int:
     return viewer.run()
 
 
+def _cmd_sched(args: argparse.Namespace) -> int:
+    from repro.cli.sched import cmd_sched
+
+    return cmd_sched(args)
+
+
 _COMMANDS = {
     "render": _cmd_render,
     "batch": _cmd_batch,
@@ -698,6 +707,7 @@ _COMMANDS = {
     "profile": _cmd_profile,
     "diff": _cmd_diff,
     "report": _cmd_report,
+    "sched": _cmd_sched,
 }
 
 

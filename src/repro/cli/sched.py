@@ -1,0 +1,159 @@
+"""``jedule sched`` — run any registered scheduler and render the result.
+
+The subcommand is a thin shell over the scheduler registry
+(:mod:`repro.sched.registry`):
+
+* ``jedule sched --list`` prints every registered scheduler with its
+  family, problem kind, capabilities and documented options;
+* ``jedule sched NAME`` runs ``NAME`` on a workload — an SWF trace
+  (``--trace``), a synthetic arrival stream (``--arrivals poisson|bursty``),
+  or the canonical demo problem of the scheduler's kind — prints the
+  metrics, and optionally renders the schedule to a figure (``-o``).
+
+Scheduler options are free-form ``-O key=value`` pairs; the registry
+validates the names, so a typo fails with the scheduler's option list
+instead of being silently ignored.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.errors import SchedulerError
+
+__all__ = ["add_sched_parser", "cmd_sched"]
+
+
+def add_sched_parser(sub) -> None:
+    sched = sub.add_parser(
+        "sched",
+        help="run a scheduler from the registry on a workload")
+    sched.add_argument("scheduler", nargs="?",
+                       help="registered scheduler name (see --list)")
+    sched.add_argument("--list", action="store_true", dest="list_schedulers",
+                       help="list registered schedulers and exit")
+    source = sched.add_mutually_exclusive_group()
+    source.add_argument("--trace", metavar="FILE.swf",
+                        help="replay an SWF trace as the arrival stream")
+    source.add_argument("--arrivals", choices=("poisson", "bursty"),
+                        help="generate a synthetic arrival stream")
+    sched.add_argument("--limit", type=int, metavar="N",
+                       help="use only the first N jobs of --trace")
+    sched.add_argument("--jobs", type=int, default=30, metavar="N",
+                       help="number of synthetic jobs (default: 30)")
+    sched.add_argument("--seed", type=int, default=7,
+                       help="seed for synthetic workloads (default: 7)")
+    sched.add_argument("--machines", type=int, default=32, metavar="N",
+                       help="platform width for jobs problems (default: 32)")
+    sched.add_argument("-O", "--option", action="append", default=[],
+                       metavar="KEY=VALUE", dest="options",
+                       help="scheduler option (repeatable); values are "
+                            "parsed as JSON when possible")
+    sched.add_argument("-o", "--output", metavar="FIGURE",
+                       help="render the resulting schedule to this file")
+    sched.add_argument("--width", type=int, default=900)
+    sched.add_argument("--height", type=int, default=480)
+    sched.add_argument("--color-by", default="job", metavar="META_KEY",
+                       help="meta key for per-category colors "
+                            "(default: job; '' = per task type)")
+    sched.add_argument("--json", action="store_true",
+                       help="emit machine-readable JSON instead of text")
+
+
+def _parse_options(pairs: list[str]) -> dict:
+    options = {}
+    for pair in pairs:
+        key, sep, value = pair.partition("=")
+        if not sep or not key:
+            raise SchedulerError(
+                f"bad -O option {pair!r}: expected KEY=VALUE")
+        try:
+            options[key] = json.loads(value)
+        except ValueError:
+            options[key] = value
+    return options
+
+
+def _print_listing(out) -> None:
+    from repro.sched.registry import available_schedulers
+    specs = available_schedulers()
+    width = max(len(s.name) for s in specs)
+    family = None
+    for spec in specs:
+        if spec.family != family:
+            family = spec.family
+            print(f"\n[{family}]  ({spec.problem} problems)", file=out)
+        caps = ",".join(sorted(spec.capabilities))
+        print(f"  {spec.name:<{width}}  {spec.summary}", file=out)
+        print(f"  {'':<{width}}  capabilities: {caps}", file=out)
+        for opt, help_text in sorted(spec.options.items()):
+            print(f"  {'':<{width}}    -O {opt}=...  {help_text}", file=out)
+
+
+def _load_problem(spec, args):
+    from repro.sched.registry import JobsProblem, canonical_problem
+    if spec.problem != "jobs":
+        if args.trace or args.arrivals:
+            raise SchedulerError(
+                f"--trace/--arrivals feed jobs problems, but scheduler "
+                f"{spec.name!r} wants a {spec.problem!r} problem",
+                scheduler=spec.name)
+        return canonical_problem(spec.problem, seed=args.seed)
+    if args.trace:
+        from repro.workloads.arrivals import swf_job_stream
+        jobs = list(swf_job_stream(args.trace, limit=args.limit))
+        if not jobs:
+            raise SchedulerError(f"trace {args.trace!r} holds no jobs",
+                                 scheduler=spec.name)
+        return JobsProblem(jobs, machines=args.machines)
+    if args.arrivals == "bursty":
+        from repro.workloads.arrivals import bursty_arrivals
+        return JobsProblem(bursty_arrivals(args.jobs, seed=args.seed),
+                           machines=args.machines)
+    from repro.workloads.arrivals import poisson_arrivals
+    return JobsProblem(poisson_arrivals(args.jobs, seed=args.seed),
+                       machines=args.machines)
+
+
+def cmd_sched(args: argparse.Namespace) -> int:
+    if args.list_schedulers:
+        _print_listing(sys.stdout)
+        return 0
+    if not args.scheduler:
+        print("error: name a scheduler or pass --list", file=sys.stderr)
+        return 2
+
+    from repro.sched.registry import run_scheduler, scheduler_for
+    spec = scheduler_for(args.scheduler)
+    problem = _load_problem(spec, args)
+    result = run_scheduler(spec.name, problem, **_parse_options(args.options))
+
+    figure = None
+    if args.output:
+        from repro.render.api import export_schedule
+        figure = export_schedule(
+            result.schedule, Path(args.output),
+            width=args.width, height=args.height,
+            title=f"{spec.name}: {spec.summary}",
+            auto_colors=args.color_by)
+
+    if args.json:
+        payload = result.to_json()
+        payload["capabilities"] = sorted(spec.capabilities)
+        if figure is not None:
+            payload["figure"] = str(figure)
+        print(json.dumps(payload, indent=2, sort_keys=True))
+        return 0
+
+    print(f"scheduler : {result.scheduler} [{spec.family}]")
+    for key in sorted(result.metrics):
+        print(f"  {key:<18} {result.metrics[key]:.6g}")
+    if result.meta:
+        opts = ", ".join(f"{k}={v}" for k, v in sorted(result.meta.items()))
+        print(f"  options: {opts}")
+    if figure is not None:
+        print(f"  figure: {figure}")
+    return 0

@@ -27,6 +27,17 @@ from repro.core.model import (
     merge_host_ranges,
 )
 from repro.core.select import Selection, describe_task, hit_test, tasks_in_region
+from repro.core.slices import (
+    SLICE_SEP,
+    is_continuation,
+    is_preempted,
+    job_of,
+    job_processing_times,
+    job_slices,
+    slice_index,
+    slice_task,
+    validate_slices,
+)
 from repro.core.stats import (
     UtilizationProfile,
     area_lower_bound,
@@ -45,6 +56,7 @@ from repro.core.viewport import Viewport
 
 __all__ = [
     "COMPOSITE_TYPE",
+    "SLICE_SEP",
     "Cluster",
     "ScheduleDiff",
     "TaskDelta",
@@ -78,8 +90,15 @@ __all__ = [
     "hit_test",
     "hosts_to_ranges",
     "idle_area",
+    "is_continuation",
+    "is_preempted",
+    "job_of",
+    "job_processing_times",
+    "job_slices",
     "low_utilization_windows",
     "merge_host_ranges",
+    "slice_index",
+    "slice_task",
     "per_host_busy_time",
     "per_type_area",
     "tasks_in_region",
@@ -87,5 +106,6 @@ __all__ = [
     "utilization",
     "utilization_profile",
     "validate_schedule",
+    "validate_slices",
     "with_composites",
 ]

@@ -169,6 +169,7 @@ class ColorMap:
         self.config: dict[str, str] = dict(config or {})
         self.fallback = fallback or TaskStyle(Color.from_hex("B0B0B0"))
         self._auto_cache: dict[str, TaskStyle] = {}
+        self._meta_keys = {n.split(":", 1)[0] for n in self._styles if ":" in n}
 
     # ------------------------------------------------------------- mutation
     def set_style(self, task_type: str, bg: Color | str, fg: Color | str | None = None) -> None:
@@ -176,6 +177,8 @@ class ColorMap:
         bgc = bg if isinstance(bg, Color) else Color.from_hex(bg)
         fgc = fg if (fg is None or isinstance(fg, Color)) else Color.from_hex(fg)
         self._styles[task_type] = TaskStyle(bgc, fgc)
+        if ":" in task_type:
+            self._meta_keys.add(task_type.split(":", 1)[0])
 
     def add_composite_rule(
         self, member_types: Iterable[str], bg: Color | str, fg: Color | str | None = None
@@ -217,13 +220,22 @@ class ColorMap:
         return None
 
     def style_for_task(self, task: Task) -> TaskStyle:
-        """Resolve a task's style, honoring composite rules.
+        """Resolve a task's style, honoring meta-keyed styles and composites.
 
-        A composite task first tries the rule whose member type set equals
-        the composite's ``meta["member_types"]``; with no matching rule, an
-        explicit ``composite`` type style; finally a darkened blend of the
-        fallback so overlaps remain visually distinct.
+        Styles named ``key:value`` match tasks whose meta entry ``key``
+        equals ``value`` (how :func:`auto_colormap` with a meta key colors
+        per application, user or job) and take precedence over the task's
+        type style.  A composite task first tries the rule whose member
+        type set equals the composite's ``meta["member_types"]``; with no
+        matching rule, an explicit ``composite`` type style; finally a
+        darkened blend of the fallback so overlaps remain visually distinct.
         """
+        for key in self._meta_keys:
+            value = task.meta.get(key)
+            if value is not None:
+                style = self._styles.get(f"{key}:{value}")
+                if style is not None:
+                    return style
         if task.type == COMPOSITE_TYPE:
             members = task.meta.get("member_types", "")
             if members:

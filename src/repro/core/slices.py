@@ -1,0 +1,150 @@
+"""Preemption-aware schedules: jobs rendered as sets of task *slices*.
+
+The core :class:`~repro.core.model.Task` is one uninterrupted rectangle.
+Preemptive schedulers (round-robin, SRPT, MLFQ, CFS — see
+:mod:`repro.sched.online`) execute a job as several disjoint intervals, so a
+preempted job maps to several tasks, one per slice.  This module fixes the
+encoding every backend already understands:
+
+* a slice of job ``J`` is a task with id ``"<J>@<k>"`` (``k`` = slice index,
+  0-based in execution order) and meta entries ``job=<J>``, ``slice=<k>``;
+* a slice that ends in preemption (the job still has work left afterwards)
+  additionally carries ``preempted=1`` — the renderer draws those with a
+  continuation chevron at the right edge;
+* single-slice (never preempted) jobs may be emitted as plain tasks.
+
+Because slices are ordinary tasks, every existing format, renderer and
+statistic works on preemptive schedules unchanged; this module adds the
+job-level view back: grouping, per-job processing time, and the structural
+invariants ("slices of one job never overlap and sum to its processing
+time") that the preemptive simulators are tested against.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.core.model import Schedule, Task
+from repro.errors import ScheduleError
+
+__all__ = [
+    "SLICE_SEP",
+    "slice_task",
+    "job_of",
+    "slice_index",
+    "is_continuation",
+    "is_preempted",
+    "job_slices",
+    "job_processing_times",
+    "validate_slices",
+]
+
+#: Separator between the job id and the slice index in a slice task id.
+SLICE_SEP = "@"
+
+
+def slice_task(
+    job_id: str | int,
+    index: int,
+    type: str,
+    start_time: float,
+    end_time: float,
+    configurations,
+    *,
+    preempted: bool = False,
+    meta: Mapping[str, str] | None = None,
+) -> Task:
+    """Build one slice task with the canonical id and meta encoding."""
+    if index < 0:
+        raise ScheduleError(f"slice index must be >= 0, got {index}")
+    merged = dict(meta or {})
+    merged["job"] = str(job_id)
+    merged["slice"] = str(index)
+    if preempted:
+        merged["preempted"] = "1"
+    return Task(f"{job_id}{SLICE_SEP}{index}", type, start_time, end_time,
+                configurations, merged)
+
+
+def job_of(task: Task) -> str:
+    """The job a task belongs to (itself, for plain unsliced tasks)."""
+    return str(task.meta.get("job", task.id))
+
+
+def slice_index(task: Task) -> int:
+    """Execution-order index of a slice (0 for plain unsliced tasks)."""
+    try:
+        return int(task.meta.get("slice", 0))
+    except (TypeError, ValueError):
+        return 0
+
+
+def is_continuation(task: Task) -> bool:
+    """True for every slice after a job's first one."""
+    return slice_index(task) > 0
+
+
+def is_preempted(task: Task) -> bool:
+    """True when the slice ends in preemption (the job continues later)."""
+    return task.meta.get("preempted") == "1"
+
+
+def job_slices(schedule: Schedule) -> dict[str, list[Task]]:
+    """Group a schedule's tasks by job, slices sorted by start time.
+
+    Plain tasks group as single-slice jobs, so the result is a total
+    job-level view of any schedule.
+    """
+    groups: dict[str, list[Task]] = {}
+    for task in schedule:
+        groups.setdefault(job_of(task), []).append(task)
+    for slices in groups.values():
+        slices.sort(key=lambda t: (t.start_time, slice_index(t)))
+    return groups
+
+
+def job_processing_times(schedule: Schedule) -> dict[str, float]:
+    """Total executed time per job (the sum of its slice durations)."""
+    return {job: sum(t.duration for t in slices)
+            for job, slices in job_slices(schedule).items()}
+
+
+def validate_slices(
+    schedule: Schedule,
+    *,
+    processing_times: Mapping[str, float] | None = None,
+    rel_tol: float = 1e-9,
+    abs_tol: float = 1e-6,
+) -> list[str]:
+    """Check the slice invariants; returns human-readable violations.
+
+    Checked per job: slice indices are ``0..n-1`` without gaps and ordered
+    like the slice start times; slices never overlap in time; every slice
+    but the last is marked ``preempted``; and — when ``processing_times``
+    gives the job's required work — slice durations sum to it.
+    """
+    violations: list[str] = []
+    for job, slices in job_slices(schedule).items():
+        indices = [slice_index(t) for t in slices]
+        if sorted(indices) != list(range(len(slices))):
+            violations.append(f"job {job!r}: slice indices {indices} are not 0..{len(slices) - 1}")
+        elif indices != list(range(len(slices))):
+            violations.append(f"job {job!r}: slice order by time disagrees with slice indices")
+        for prev, cur in zip(slices, slices[1:]):
+            if cur.start_time < prev.end_time - abs_tol:
+                violations.append(
+                    f"job {job!r}: slices {prev.id} and {cur.id} overlap "
+                    f"([{prev.start_time:.6g}, {prev.end_time:.6g}] vs "
+                    f"[{cur.start_time:.6g}, {cur.end_time:.6g}])")
+        for t in slices[:-1]:
+            if not is_preempted(t):
+                violations.append(f"job {job!r}: non-final slice {t.id} not marked preempted")
+        if slices and is_preempted(slices[-1]):
+            violations.append(f"job {job!r}: final slice {slices[-1].id} marked preempted")
+        if processing_times is not None and job in processing_times:
+            want = float(processing_times[job])
+            got = sum(t.duration for t in slices)
+            if abs(got - want) > max(abs_tol, rel_tol * max(abs(want), 1.0)):
+                violations.append(
+                    f"job {job!r}: slices sum to {got:.6g}, processing time is {want:.6g}")
+    return violations

@@ -18,6 +18,7 @@ __all__ = [
     "ServeError",
     "PlatformError",
     "SchedulingError",
+    "SchedulerError",
     "SimulationError",
     "WorkloadError",
 ]
@@ -93,6 +94,25 @@ class PlatformError(ReproError):
 
 class SchedulingError(ReproError):
     """A scheduling algorithm received an unusable problem instance."""
+
+
+class SchedulerError(SchedulingError):
+    """The scheduler registry could not resolve or run a scheduler.
+
+    The structured sibling of :class:`ParseError` for :mod:`repro.sched.registry`:
+    ``scheduler`` names the scheduler involved (when known) and ``option``
+    names the offending option on unknown-option errors, so CLI and service
+    layers can report machine-readable scheduling errors.
+    """
+
+    def __init__(self, message: str, *, scheduler: str | None = None,
+                 option: str | None = None):
+        loc = ""
+        if scheduler is not None:
+            loc = f" (scheduler {scheduler!r})"
+        super().__init__(message + loc)
+        self.scheduler = scheduler
+        self.option = option
 
 
 class SimulationError(ReproError):

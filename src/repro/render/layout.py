@@ -29,6 +29,7 @@ from dataclasses import dataclass
 
 from repro.core.colormap import Color, ColorMap, default_colormap
 from repro.core.model import Schedule, Task
+from repro.core.slices import is_continuation, is_preempted, job_of
 from repro.core.timeframe import TimeFrame, ViewMode, cluster_frame, global_frame
 from repro.core.viewport import Viewport
 from repro.errors import RenderError
@@ -153,15 +154,37 @@ def _cluster_bands(
 
 def _task_label(drawing: Drawing, task: Task, x: float, y: float, w: float, h: float,
                 style: Style, color: Color) -> None:
-    """Centered task-id label, shrunk to fit, dropped below the minimum size."""
+    """Centered task-id label, shrunk to fit, dropped below the minimum size.
+
+    Slices of a preempted job are labelled with the *job* id, and only on
+    the first slice — continuation slices stay unlabelled so a job chopped
+    into ten quanta does not repeat its name ten times.
+    """
+    if is_continuation(task):
+        return
+    label = job_of(task)
     size = style.font_size_label
-    needed = estimate_text_width(task.id, size)
+    needed = estimate_text_width(label, size)
     if needed > w * 0.9:
         size *= (w * 0.9) / max(needed, 1e-9)
     if size < style.min_font_size_label or size > h:
         return
-    drawing.add(Text(x + w / 2, y + h / 2, task.id, size=size, color=color,
+    drawing.add(Text(x + w / 2, y + h / 2, label, size=size, color=color,
                      halign=HAlign.CENTER, valign=VAlign.MIDDLE))
+
+
+def _preempt_mark(drawing: Drawing, x: float, y: float, w: float, h: float,
+                  style: Style) -> None:
+    """Right-edge chevron on a slice that was cut short by preemption.
+
+    Two diagonal strokes notching into the rectangle — the visual cue that
+    the job does not end here but continues in a later slice.
+    """
+    d = min(w * 0.4, h * 0.35, 5.0)
+    if d < 1.0:
+        return
+    drawing.add(Line(x + w, y, x + w - d, y + h / 2, style.axis_color, 1.0))
+    drawing.add(Line(x + w - d, y + h / 2, x + w, y + h, style.axis_color, 1.0))
 
 
 def _time_axis(drawing: Drawing, style: Style, x: float, w: float, y: float,
@@ -308,6 +331,8 @@ def _draw_band_tasks(drawing: Drawing, schedule: Schedule, band: _Band,
             drawing.add(Rect(rx, ry, rw, rh, fill=tstyle.bg,
                              stroke=style.task_border if style.draw_task_borders else None,
                              ref=f"task:{task.id}"))
+            if is_preempted(task):
+                _preempt_mark(drawing, rx, ry, rw, rh, style)
             if style.draw_labels:
                 _task_label(drawing, task, rx, ry, rw, rh, style, tstyle.label_color())
 
@@ -409,6 +434,8 @@ def _layout_windowed(schedule: Schedule, cmap: ColorMap, style: Style,
                 drawing.add(Rect(rx, ry, rw, rh, fill=tstyle.bg,
                                  stroke=style.task_border if style.draw_task_borders else None,
                                  ref=f"task:{task.id}"))
+                if is_preempted(task):
+                    _preempt_mark(drawing, rx, ry, rw, rh, style)
                 if style.draw_labels:
                     _task_label(drawing, task, rx, ry, rw, rh, style,
                                 tstyle.label_color())

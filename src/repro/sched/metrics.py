@@ -27,15 +27,26 @@ __all__ = [
     "speedup",
     "efficiency",
     "stretch_summary",
+    "flow_metrics",
 ]
 
 
 def stretch(contended_makespan: float, dedicated_makespan: float) -> float:
-    """Stretch of one application (>= 1 for any non-clairvoyant scheduler)."""
-    if dedicated_makespan <= 0:
-        raise SchedulingError(f"dedicated makespan must be > 0, got {dedicated_makespan}")
+    """Stretch of one application (>= 1 for any non-clairvoyant scheduler).
+
+    Zero-work convention: a job with ``dedicated_makespan == 0`` cannot be
+    slowed down relative to itself, so its stretch is **1.0** when it also
+    completes instantly and **inf** when contention gave it a positive
+    makespan anyway.  (The former raised ``ZeroDivisionError``-by-way-of-
+    validation, which made whole batches unanalyzable over traces that
+    contain zero-length jobs.)
+    """
+    if dedicated_makespan < 0:
+        raise SchedulingError(f"negative dedicated makespan {dedicated_makespan}")
     if contended_makespan < 0:
         raise SchedulingError(f"negative contended makespan {contended_makespan}")
+    if dedicated_makespan == 0:
+        return 1.0 if contended_makespan == 0 else math.inf
     return contended_makespan / dedicated_makespan
 
 
@@ -56,9 +67,15 @@ def max_stretch(contended: Sequence[float], dedicated: Sequence[float]) -> float
 
 
 def jain_fairness(values: Sequence[float]) -> float:
-    """Jain's fairness index in (0, 1]; 1 when all values are equal."""
+    """Jain's fairness index in (0, 1]; 1 when all values are equal.
+
+    Empty-schedule convention: an empty value list is **vacuously fair**
+    and yields 1.0 (there is nobody to treat unfairly).  This keeps the
+    index total over arbitrary schedules — an online run whose window
+    contains no completed job used to blow up the whole metrics pass.
+    """
     if not values:
-        raise SchedulingError("empty value list")
+        return 1.0
     if any(v < 0 for v in values):
         raise SchedulingError("fairness needs non-negative values")
     total = sum(values)
@@ -111,3 +128,43 @@ def efficiency(serial_time: float, parallel_time: float, p: int) -> float:
     if p < 1:
         raise SchedulingError(f"processor count must be >= 1, got {p}")
     return speedup(serial_time, parallel_time) / p
+
+
+def flow_metrics(
+    releases: Sequence[float],
+    completions: Sequence[float],
+    processing: Sequence[float],
+) -> dict[str, float]:
+    """Per-job flow/stretch metrics of an online scheduling run.
+
+    The online analogue of :func:`stretch_summary`: the flow time of job
+    ``j`` is ``C_j - r_j`` and its stretch is ``(C_j - r_j) / p_j`` (flow
+    divided by processing time — the slowdown a job experiences relative to
+    running alone the moment it arrives).  Zero-work jobs follow the
+    :func:`stretch` convention; an empty batch yields zeroed aggregates with
+    ``jain_fairness = 1.0``.
+    """
+    if not (len(releases) == len(completions) == len(processing)):
+        raise SchedulingError(
+            f"{len(releases)} releases vs {len(completions)} completions vs "
+            f"{len(processing)} processing times")
+    flows = []
+    strs = []
+    for r, c, p in zip(releases, completions, processing):
+        if c < r:
+            raise SchedulingError(f"completion {c} precedes release {r}")
+        flows.append(c - r)
+        strs.append(stretch(c - r, p))
+    n = len(flows)
+    if n == 0:
+        return {"jobs": 0.0, "mean_flow": 0.0, "max_flow": 0.0,
+                "mean_stretch": 0.0, "max_stretch": 0.0, "jain_fairness": 1.0}
+    finite = [s for s in strs if math.isfinite(s)]
+    return {
+        "jobs": float(n),
+        "mean_flow": sum(flows) / n,
+        "max_flow": max(flows),
+        "mean_stretch": (sum(finite) / len(finite)) if finite else math.inf,
+        "max_stretch": max(strs),
+        "jain_fairness": jain_fairness(finite) if finite else 1.0,
+    }

@@ -1,0 +1,38 @@
+"""Online and OS-level schedulers: jobs arrive over time, decisions are
+made without knowledge of the future.
+
+Three families live here, all driven by :mod:`repro.simulate` and all
+producing schedules renderable by every backend:
+
+* :mod:`repro.sched.online.ospack` — preemptive single/multi-CPU policies
+  (round-robin, SJF/SRPT, multilevel feedback queue, CFS-style fair
+  scheduler) on the :class:`repro.simulate.preempt.PreemptiveCpuSim`
+  substrate, producing slice-bearing schedules;
+* :mod:`repro.sched.online.listsched` — non-preemptive online list
+  scheduling on uniform machines with eligibility constraints, after
+  Szalkai & Dósa's generalized parallel-machine model;
+* :mod:`repro.sched.online.moldable` — multi-resource moldable job
+  scheduling, after Perotin, Sun & Raghavan.
+
+Every public entry point returns a :class:`repro.sched.result.SchedResult`;
+the registry (:mod:`repro.sched.registry`) exposes all of them by name.
+"""
+
+from repro.sched.online.listsched import OnlineMachine, online_list_schedule
+from repro.sched.online.moldable import moldable_list_schedule
+from repro.sched.online.ospack import (
+    cfs_schedule,
+    mlfq_schedule,
+    round_robin_schedule,
+    sjf_schedule,
+)
+
+__all__ = [
+    "OnlineMachine",
+    "cfs_schedule",
+    "mlfq_schedule",
+    "moldable_list_schedule",
+    "online_list_schedule",
+    "round_robin_schedule",
+    "sjf_schedule",
+]

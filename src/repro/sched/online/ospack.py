@@ -1,0 +1,355 @@
+"""The OS scheduler pack: preemptive CPU policies as schedule generators.
+
+Four classic operating-system scheduling disciplines, each implemented as a
+:class:`~repro.simulate.preempt.SchedClass` policy over the preemptive CPU
+simulator and wrapped in a function returning a uniform
+:class:`~repro.sched.result.SchedResult`:
+
+* :func:`round_robin_schedule` — FIFO with a fixed time quantum;
+* :func:`sjf_schedule` — shortest job first; preemptive by default, i.e.
+  SRPT (shortest remaining processing time), which is optimal for mean
+  flow time on one machine;
+* :func:`mlfq_schedule` — multilevel feedback queue: new jobs start at the
+  top priority level, each demotion doubles the quantum, and an optional
+  periodic boost returns every queued job to the top level;
+* :func:`cfs_schedule` — a CFS-style fair scheduler: jobs accumulate
+  *virtual runtime* (wall time divided by weight), the runnable job with
+  the least virtual runtime runs next, and slice lengths shrink as the run
+  queue grows (``latency / nrunnable``, floored at ``min_granularity``).
+
+Jobs are :class:`~repro.workloads.jobs.Job` records (``submit_time`` is the
+release, ``run_time`` the sequential work — every job is a single-threaded
+process here) or raw :class:`~repro.simulate.preempt.CpuJob` instances.
+Metrics combine the schedule-level basics with the online flow/stretch
+summary of :func:`repro.sched.metrics.flow_metrics`.
+
+Quantum defaults: where a time quantum (or CFS latency) is not given, it is
+derived from the workload as a quarter of the median job length — scale-free
+across traces whose run times span seconds to hours, and deterministic for
+a given job list.
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from collections import deque
+from collections.abc import Iterable, Sequence
+
+from repro.errors import SchedulingError
+from repro.obs import core as _obs
+from repro.sched.metrics import flow_metrics
+from repro.sched.result import SchedResult, base_metrics
+from repro.simulate.preempt import (
+    CpuJob,
+    CpuSimResult,
+    RunningView,
+    SchedClass,
+    run_cpu_sim,
+)
+
+__all__ = [
+    "round_robin_schedule",
+    "sjf_schedule",
+    "mlfq_schedule",
+    "cfs_schedule",
+    "auto_quantum",
+]
+
+
+# --------------------------------------------------------------------------
+# workload plumbing
+# --------------------------------------------------------------------------
+
+def _cpu_jobs(jobs: Iterable) -> list[CpuJob]:
+    out = []
+    for j in jobs:
+        if isinstance(j, CpuJob):
+            out.append(j)
+        else:  # a workloads.Job (or anything shaped like one)
+            try:
+                out.append(CpuJob(
+                    id=str(j.id),
+                    release=float(j.submit_time),
+                    work=float(j.run_time),
+                    meta={"user": str(j.user)},
+                ))
+            except AttributeError as exc:
+                raise SchedulingError(
+                    f"cannot treat {type(j).__name__} as a CPU job: {exc}"
+                ) from None
+    if not out:
+        raise SchedulingError("empty job list")
+    return out
+
+
+def auto_quantum(jobs: Sequence[CpuJob]) -> float:
+    """Default time quantum for a workload: median job length / 4."""
+    works = sorted(j.work for j in jobs if j.work > 0)
+    if not works:
+        return 1.0
+    mid = works[len(works) // 2]
+    return max(mid / 4.0, 1e-6)
+
+
+def _result(name: str, res: CpuSimResult, options: dict) -> SchedResult:
+    ids = sorted(res.releases)
+    metrics = {
+        **base_metrics(res.schedule),
+        **flow_metrics([res.releases[i] for i in ids],
+                       [res.completions[i] for i in ids],
+                       [res.works[i] for i in ids]),
+        "preemptions": float(res.preemptions),
+        "slices": float(res.slices),
+    }
+    return SchedResult(name, res.schedule, metrics,
+                       meta={k: str(v) for k, v in options.items()},
+                       raw=res)
+
+
+# --------------------------------------------------------------------------
+# round-robin
+# --------------------------------------------------------------------------
+
+class RoundRobin(SchedClass):
+    """FIFO circular queue with a fixed quantum; no arrival preemption."""
+
+    name = "rr"
+
+    def __init__(self, quantum: float):
+        if quantum <= 0:
+            raise SchedulingError(f"quantum must be > 0, got {quantum}")
+        self.quantum = quantum
+        self._queue: deque[CpuJob] = deque()
+
+    def arrive(self, job: CpuJob, remaining: float, now: float) -> None:
+        self._queue.append(job)
+
+    def select(self, now: float):
+        if not self._queue:
+            return None
+        return self._queue.popleft(), self.quantum
+
+    def quantum_expired(self, job: CpuJob, remaining: float, now: float) -> None:
+        self._queue.append(job)
+
+    preempted = quantum_expired
+
+
+def round_robin_schedule(jobs: Iterable, *, cpus: int = 1,
+                         quantum: float | None = None) -> SchedResult:
+    """Round-robin with time quantum ``quantum`` on ``cpus`` identical CPUs."""
+    cjobs = _cpu_jobs(jobs)
+    q = auto_quantum(cjobs) if quantum is None else float(quantum)
+    with _obs.span("sched.rr", jobs=len(cjobs), cpus=cpus):
+        res = run_cpu_sim(cjobs, RoundRobin(q), cpus=cpus)
+    return _result("rr", res, {"quantum": q, "cpus": cpus})
+
+
+# --------------------------------------------------------------------------
+# shortest job first / shortest remaining processing time
+# --------------------------------------------------------------------------
+
+class ShortestFirst(SchedClass):
+    """SJF (non-preemptive) or SRPT (``preemptive=True``).
+
+    The ready structure is a min-heap on remaining work; in preemptive mode
+    an arrival displaces the running job with the *most* remaining work if
+    the newcomer is strictly shorter.
+    """
+
+    def __init__(self, preemptive: bool = True):
+        self.preemptive = preemptive
+        self.name = "sjf-srpt" if preemptive else "sjf"
+        self._heap: list[tuple[float, str, CpuJob]] = []
+
+    def _push(self, job: CpuJob, remaining: float) -> None:
+        heapq.heappush(self._heap, (remaining, job.id, job))
+
+    def arrive(self, job: CpuJob, remaining: float, now: float) -> None:
+        self._push(job, remaining)
+
+    def select(self, now: float):
+        if not self._heap:
+            return None
+        _, _, job = heapq.heappop(self._heap)
+        return job, math.inf
+
+    def quantum_expired(self, job: CpuJob, remaining: float, now: float) -> None:
+        self._push(job, remaining)
+
+    preempted = quantum_expired
+
+    def preempt_on_arrival(self, job: CpuJob, running: Sequence[RunningView],
+                           now: float):
+        if not self.preemptive:
+            return None
+        victim = max(running, key=lambda r: (r.remaining, -r.cpu))
+        return victim.cpu if victim.remaining > job.work else None
+
+
+def sjf_schedule(jobs: Iterable, *, cpus: int = 1,
+                 preemptive: bool = True) -> SchedResult:
+    """Shortest job first; with ``preemptive`` (default) this is SRPT."""
+    cjobs = _cpu_jobs(jobs)
+    policy = ShortestFirst(preemptive=bool(preemptive))
+    with _obs.span("sched.sjf", jobs=len(cjobs), cpus=cpus,
+                   preemptive=preemptive):
+        res = run_cpu_sim(cjobs, policy, cpus=cpus)
+    return _result("sjf", res, {"preemptive": preemptive, "cpus": cpus})
+
+
+# --------------------------------------------------------------------------
+# multilevel feedback queue
+# --------------------------------------------------------------------------
+
+class MLFQ(SchedClass):
+    """Multilevel feedback queue with exponentially growing quanta.
+
+    New arrivals enter level 0 (quantum ``q``); burning a full quantum
+    demotes a job one level (quantum ``q * 2**level``); being displaced by
+    an arrival does *not* demote.  A level-0 arrival preempts the running
+    job at the deepest level, so short interactive jobs cut ahead of long
+    batch jobs that have already proven themselves long.  With ``boost``
+    set, a periodic timer returns every *queued* job to level 0 — the
+    classic starvation cure.
+    """
+
+    name = "mlfq"
+
+    def __init__(self, quantum: float, levels: int = 3,
+                 boost: float | None = None):
+        if quantum <= 0:
+            raise SchedulingError(f"quantum must be > 0, got {quantum}")
+        if levels < 1:
+            raise SchedulingError(f"need >= 1 level, got {levels}")
+        if boost is not None and boost <= 0:
+            raise SchedulingError(f"boost period must be > 0, got {boost}")
+        self.quantum = quantum
+        self.levels = levels
+        self.timer_period = boost
+        self._queues: list[deque[CpuJob]] = [deque() for _ in range(levels)]
+        self._level: dict[str, int] = {}
+
+    def arrive(self, job: CpuJob, remaining: float, now: float) -> None:
+        self._level[job.id] = 0
+        self._queues[0].append(job)
+
+    def select(self, now: float):
+        for level, queue in enumerate(self._queues):
+            if queue:
+                return queue.popleft(), self.quantum * (2 ** level)
+        return None
+
+    def quantum_expired(self, job: CpuJob, remaining: float, now: float) -> None:
+        level = min(self._level[job.id] + 1, self.levels - 1)
+        self._level[job.id] = level
+        self._queues[level].append(job)
+
+    def preempted(self, job: CpuJob, remaining: float, now: float) -> None:
+        self._queues[self._level[job.id]].append(job)
+
+    def preempt_on_arrival(self, job: CpuJob, running: Sequence[RunningView],
+                           now: float):
+        victim = max(running,
+                     key=lambda r: (self._level[r.job.id], r.remaining, -r.cpu))
+        return victim.cpu if self._level[victim.job.id] > 0 else None
+
+    def on_timer(self, now: float) -> None:
+        for level in range(1, self.levels):
+            while self._queues[level]:
+                job = self._queues[level].popleft()
+                self._level[job.id] = 0
+                self._queues[0].append(job)
+
+
+def mlfq_schedule(jobs: Iterable, *, cpus: int = 1, levels: int = 3,
+                  quantum: float | None = None,
+                  boost: float | None = None) -> SchedResult:
+    """Multilevel feedback queue: ``levels`` queues, base quantum ``quantum``."""
+    cjobs = _cpu_jobs(jobs)
+    q = auto_quantum(cjobs) if quantum is None else float(quantum)
+    policy = MLFQ(q, levels=int(levels),
+                  boost=None if boost is None else float(boost))
+    with _obs.span("sched.mlfq", jobs=len(cjobs), cpus=cpus, levels=levels):
+        res = run_cpu_sim(cjobs, policy, cpus=cpus)
+    return _result("mlfq", res, {"quantum": q, "levels": levels,
+                                 "boost": boost, "cpus": cpus})
+
+
+# --------------------------------------------------------------------------
+# CFS-style virtual-runtime fair scheduler
+# --------------------------------------------------------------------------
+
+class FairShare(SchedClass):
+    """CFS-style scheduler: least virtual runtime runs next.
+
+    Virtual runtime advances by ``wall_time / weight`` while a job runs.
+    A new arrival's virtual runtime is clamped up to the queue minimum, so
+    latecomers do not monopolize the CPU replaying history.  The slice
+    budget is ``latency / nrunnable`` (floored at ``min_granularity``): with
+    few runnable jobs slices are long, under load every job is still touched
+    once per latency period.  An arrival preempts the running job with the
+    largest virtual runtime when it leads by more than ``min_granularity``.
+
+    This is the textbook shape of Linux CFS, not a bug-for-bug replica.
+    """
+
+    name = "cfs"
+
+    def __init__(self, latency: float, min_granularity: float):
+        if latency <= 0 or min_granularity <= 0:
+            raise SchedulingError(
+                f"latency and min_granularity must be > 0, "
+                f"got {latency} and {min_granularity}")
+        self.latency = latency
+        self.min_granularity = min_granularity
+        self._heap: list[tuple[float, str, CpuJob]] = []
+        self._vrun: dict[str, float] = {}
+        self._min_vrun = 0.0
+
+    def _push(self, job: CpuJob) -> None:
+        heapq.heappush(self._heap, (self._vrun[job.id], job.id, job))
+
+    def arrive(self, job: CpuJob, remaining: float, now: float) -> None:
+        self._vrun[job.id] = max(self._vrun.get(job.id, 0.0), self._min_vrun)
+        self._push(job)
+
+    def select(self, now: float):
+        if not self._heap:
+            return None
+        vrun, _, job = heapq.heappop(self._heap)
+        self._min_vrun = max(self._min_vrun, vrun)
+        nrunnable = len(self._heap) + 1
+        return job, max(self.min_granularity, self.latency / nrunnable)
+
+    def quantum_expired(self, job: CpuJob, remaining: float, now: float) -> None:
+        self._push(job)
+
+    preempted = quantum_expired
+
+    def account(self, job: CpuJob, ran: float, now: float) -> None:
+        self._vrun[job.id] = self._vrun.get(job.id, 0.0) + ran / job.weight
+
+    def _vrun_now(self, view: RunningView, now: float) -> float:
+        return self._vrun.get(view.job.id, 0.0) + (now - view.started) / view.job.weight
+
+    def preempt_on_arrival(self, job: CpuJob, running: Sequence[RunningView],
+                           now: float):
+        victim = max(running, key=lambda r: (self._vrun_now(r, now), -r.cpu))
+        lead = self._vrun_now(victim, now) - self._vrun[job.id]
+        return victim.cpu if lead > self.min_granularity else None
+
+
+def cfs_schedule(jobs: Iterable, *, cpus: int = 1,
+                 latency: float | None = None,
+                 min_granularity: float | None = None) -> SchedResult:
+    """CFS-style fair scheduling; ``latency`` defaults to the median job length."""
+    cjobs = _cpu_jobs(jobs)
+    lat = (auto_quantum(cjobs) * 4.0) if latency is None else float(latency)
+    gran = (lat / 8.0) if min_granularity is None else float(min_granularity)
+    policy = FairShare(lat, gran)
+    with _obs.span("sched.cfs", jobs=len(cjobs), cpus=cpus):
+        res = run_cpu_sim(cjobs, policy, cpus=cpus)
+    return _result("cfs", res, {"latency": lat, "min_granularity": gran,
+                                "cpus": cpus})

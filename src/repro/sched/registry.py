@@ -1,0 +1,565 @@
+"""The scheduler registry: every scheduling algorithm behind one API.
+
+Mirror of :mod:`repro.io.registry`, for schedulers instead of file formats:
+each algorithm registers a :class:`SchedulerSpec` (name, family,
+capabilities, documented options, runner), callers resolve by name and run
+through the single entry point :func:`run_scheduler`, and every run yields
+the same shape — a :class:`~repro.sched.result.SchedResult`.
+
+The point of the indirection is that the repo grew five result shapes
+(``MTaskResult``, ``HeftResult``, ``MHeftResult``, ``CRAResult``, scheduled
+job lists) and as many calling conventions.  The registry normalizes all of
+them, so the CLI, the benchmark harness and the tests can iterate "every
+scheduler" without a case per family — and a new algorithm becomes reachable
+everywhere by adding one ``register_scheduler`` call.
+
+Problems come in three kinds, matching what schedulers consume:
+
+========== ============================================= =====================
+kind       problem type                                  consumed by
+========== ============================================= =====================
+dag        :class:`DagProblem` (graph + platform)        CPA family, HEFT, ...
+multi-dag  :class:`MultiDagProblem` (graphs + platform)  CRA
+jobs       :class:`JobsProblem` (arrival-ordered jobs)   cluster + online zoo
+========== ============================================= =====================
+
+Unknown scheduler names, wrong problem kinds and unknown options all raise
+:class:`~repro.errors.SchedulerError` naming the scheduler and listing what
+*is* available — same contract as the io registry's ``ParseError``.
+"""
+
+from __future__ import annotations
+
+import types
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+
+from repro.errors import SchedulerError
+from repro.obs import core as _obs
+from repro.sched.metrics import flow_metrics
+from repro.sched.result import SchedResult, base_metrics
+
+__all__ = [
+    "DagProblem",
+    "MultiDagProblem",
+    "JobsProblem",
+    "SchedulerSpec",
+    "register_scheduler",
+    "available_schedulers",
+    "scheduler_for",
+    "run_scheduler",
+    "canonical_problem",
+]
+
+
+# --------------------------------------------------------------------------
+# problems
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class DagProblem:
+    """One task graph to schedule on one platform."""
+
+    graph: object
+    platform: object
+    model: object | None = None   # SpeedupModel; scheduler default if None
+
+    kind = "dag"
+
+
+@dataclass(frozen=True)
+class MultiDagProblem:
+    """A batch of task graphs competing for one platform."""
+
+    graphs: tuple
+    platform: object
+    model: object | None = None
+
+    kind = "multi-dag"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "graphs", tuple(self.graphs))
+
+
+@dataclass(frozen=True)
+class JobsProblem:
+    """An arrival-ordered stream of cluster jobs plus a machine count.
+
+    ``machines`` is the platform width: cluster nodes for the space-sharing
+    schedulers, machine count for online list scheduling, processor count
+    for the moldable scheduler.  The OS pack has its own ``cpus`` option
+    (a time-shared CPU is not a cluster node).
+    """
+
+    jobs: tuple
+    machines: int = 32
+
+    kind = "jobs"
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "jobs", tuple(self.jobs))
+        if self.machines < 1:
+            raise SchedulerError(f"need >= 1 machine, got {self.machines}")
+
+
+_PROBLEM_KINDS = ("dag", "multi-dag", "jobs")
+
+
+# --------------------------------------------------------------------------
+# specs and registry
+# --------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class SchedulerSpec:
+    """One registered scheduler.
+
+    ``runner(problem, **options) -> SchedResult``; ``options`` documents
+    every keyword the runner accepts (name -> help text) and is also the
+    validation whitelist.  ``capabilities`` feeds the docs capability
+    matrix and lets callers filter (e.g. every ``preemptive`` scheduler).
+    """
+
+    name: str
+    family: str
+    summary: str
+    problem: str
+    runner: Callable[..., SchedResult]
+    capabilities: frozenset[str] = frozenset()
+    options: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.problem not in _PROBLEM_KINDS:
+            raise SchedulerError(
+                f"scheduler {self.name!r}: unknown problem kind "
+                f"{self.problem!r} (want one of {', '.join(_PROBLEM_KINDS)})")
+        object.__setattr__(self, "capabilities", frozenset(self.capabilities))
+        object.__setattr__(self, "options",
+                           types.MappingProxyType(dict(self.options)))
+
+
+_REGISTRY: dict[str, SchedulerSpec] = {}
+
+
+def register_scheduler(spec: SchedulerSpec) -> None:
+    """Register ``spec``; refuses duplicate names."""
+    if spec.name in _REGISTRY:
+        raise SchedulerError(f"scheduler {spec.name!r} already registered")
+    _REGISTRY[spec.name] = spec
+
+
+def available_schedulers() -> tuple[SchedulerSpec, ...]:
+    """All registered schedulers, sorted by (family, name)."""
+    return tuple(sorted(_REGISTRY.values(), key=lambda s: (s.family, s.name)))
+
+
+def scheduler_for(name: str) -> SchedulerSpec:
+    """Resolve a scheduler by name or raise a listing error."""
+    spec = _REGISTRY.get(name)
+    if spec is None:
+        names = ", ".join(sorted(_REGISTRY))
+        raise SchedulerError(
+            f"unknown scheduler {name!r}; available: {names}",
+            scheduler=name)
+    return spec
+
+
+def run_scheduler(name: str, problem, **options) -> SchedResult:
+    """Run scheduler ``name`` on ``problem`` — the one entry point.
+
+    Validates the problem kind and every option name against the spec
+    before calling the runner, so typos fail with the scheduler's option
+    list instead of a ``TypeError`` three frames deep.
+    """
+    spec = scheduler_for(name)
+    kind = getattr(problem, "kind", type(problem).__name__)
+    if kind != spec.problem:
+        raise SchedulerError(
+            f"needs a {spec.problem!r} problem, got {kind!r}",
+            scheduler=name)
+    for key in options:
+        if key not in spec.options:
+            supported = ", ".join(sorted(spec.options)) or "none"
+            raise SchedulerError(
+                f"unknown option {key!r}; supported options: {supported}",
+                scheduler=name, option=key)
+    with _obs.span("sched.registry", scheduler=name, problem=kind):
+        result = spec.runner(problem, **options)
+    if not isinstance(result, SchedResult):
+        raise SchedulerError(
+            f"runner returned {type(result).__name__}, not SchedResult",
+            scheduler=name)
+    return result
+
+
+# --------------------------------------------------------------------------
+# option coercion (CLI passes strings; python callers pass real types)
+# --------------------------------------------------------------------------
+
+def _f(name: str, value, scheduler: str) -> float:
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        raise SchedulerError(f"option {name!r} wants a number, got {value!r}",
+                             scheduler=scheduler, option=name) from None
+
+
+def _i(name: str, value, scheduler: str) -> int:
+    try:
+        return int(value)
+    except (TypeError, ValueError):
+        raise SchedulerError(f"option {name!r} wants an integer, got {value!r}",
+                             scheduler=scheduler, option=name) from None
+
+
+def _b(name: str, value, scheduler: str) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, str):
+        low = value.strip().lower()
+        if low in ("1", "true", "yes", "on"):
+            return True
+        if low in ("0", "false", "no", "off"):
+            return False
+    raise SchedulerError(f"option {name!r} wants a boolean, got {value!r}",
+                         scheduler=scheduler, option=name)
+
+
+def _floats(name: str, value, scheduler: str) -> tuple[float, ...] | None:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = [v for v in value.split(",") if v.strip()]
+    return tuple(_f(name, v, scheduler) for v in value)
+
+
+def _ints(name: str, value, scheduler: str) -> tuple[int, ...] | None:
+    if value is None:
+        return None
+    if isinstance(value, str):
+        value = [v for v in value.split(",") if v.strip()]
+    return tuple(_i(name, v, scheduler) for v in value)
+
+
+# --------------------------------------------------------------------------
+# builtin runners: the offline DAG family
+# --------------------------------------------------------------------------
+
+_TRANSFER_OPT = {"include_transfers": "also draw data transfers (bool)"}
+
+
+def _mtask_result(name: str, res) -> SchedResult:
+    return SchedResult(name, res.schedule, {
+        **base_metrics(res.schedule),
+        "allocated_procs": float(res.allocation.total()),
+    }, meta={"algorithm": res.algorithm}, raw=res)
+
+
+def _run_cpa(problem, *, include_transfers=False):
+    from repro.sched.cpa import cpa_schedule
+    return _mtask_result("cpa", cpa_schedule(
+        problem.graph, problem.platform, problem.model,
+        include_transfers=_b("include_transfers", include_transfers, "cpa")))
+
+
+def _run_mcpa(problem, *, include_transfers=False):
+    from repro.sched.mcpa import mcpa_schedule
+    return _mtask_result("mcpa", mcpa_schedule(
+        problem.graph, problem.platform, problem.model,
+        include_transfers=_b("include_transfers", include_transfers, "mcpa")))
+
+
+def _run_mcpa2(problem, *, include_transfers=False):
+    from repro.sched.mcpa2 import mcpa2_schedule
+    return _mtask_result("mcpa2", mcpa2_schedule(
+        problem.graph, problem.platform, problem.model,
+        include_transfers=_b("include_transfers", include_transfers, "mcpa2")))
+
+
+def _run_task_parallel(problem):
+    from repro.sched.baselines import task_parallel_schedule
+    return _mtask_result("task-parallel", task_parallel_schedule(
+        problem.graph, problem.platform, problem.model))
+
+
+def _run_data_parallel(problem):
+    from repro.sched.baselines import data_parallel_schedule
+    return _mtask_result("data-parallel", data_parallel_schedule(
+        problem.graph, problem.platform, problem.model))
+
+
+def _run_heft(problem, *, task_type_from_node=True):
+    from repro.sched.heft import heft_schedule
+    res = heft_schedule(problem.graph, problem.platform,
+                        task_type_from_node=_b("task_type_from_node",
+                                               task_type_from_node, "heft"))
+    return SchedResult("heft", res.schedule, base_metrics(res.schedule),
+                       meta={"algorithm": "heft"}, raw=res)
+
+
+def _run_cpop(problem):
+    from repro.sched.cpop import cpop_schedule
+    res = cpop_schedule(problem.graph, problem.platform)
+    return SchedResult("cpop", res.schedule, base_metrics(res.schedule),
+                       meta={"algorithm": "cpop"}, raw=res)
+
+
+def _run_mheft(problem, *, include_transfers=False):
+    from repro.sched.mheft import mheft_schedule
+    res = mheft_schedule(problem.graph, problem.platform, problem.model,
+                         include_transfers=_b("include_transfers",
+                                              include_transfers, "mheft"))
+    return SchedResult("mheft", res.schedule, base_metrics(res.schedule),
+                       meta={"algorithm": "mheft"}, raw=res)
+
+
+# --------------------------------------------------------------------------
+# builtin runners: multi-DAG
+# --------------------------------------------------------------------------
+
+def _cra_metrics(res) -> dict[str, float]:
+    times = res.app_completion_times
+    return {
+        "apps": float(len(times)),
+        "mean_completion": sum(times) / len(times) if times else 0.0,
+        "max_completion": max(times) if times else 0.0,
+    }
+
+
+def _run_cra(problem, *, policy="work", mu=0.5):
+    from repro.sched.cra import cra_schedule
+    res = cra_schedule(problem.graphs, problem.platform, problem.model,
+                       policy=str(policy), mu=_f("mu", mu, "cra"))
+    return SchedResult("cra", res.schedule,
+                       {**base_metrics(res.schedule), **_cra_metrics(res)},
+                       meta={"policy": res.policy.value,
+                             "shares": ",".join(map(str, res.shares))},
+                       raw=res)
+
+
+def _run_cra_backfill(problem, *, policy="work", mu=0.5):
+    from repro.dag.moldable import AmdahlModel
+    from repro.sched.backfill import backfill_cra
+    from repro.sched.cra import cra_schedule
+    model = problem.model or AmdahlModel()
+    res = cra_schedule(problem.graphs, problem.platform, model,
+                       policy=str(policy), mu=_f("mu", mu, "cra-backfill"))
+    schedule = backfill_cra(res, problem.graphs, problem.platform, model)
+    return SchedResult("cra-backfill", schedule,
+                       {**base_metrics(schedule), **_cra_metrics(res),
+                        "pre_backfill_makespan": res.schedule.makespan},
+                       meta={"policy": res.policy.value,
+                             "shares": ",".join(map(str, res.shares))},
+                       raw=res)
+
+
+# --------------------------------------------------------------------------
+# builtin runners: cluster jobs (space-sharing) and the online zoo
+# --------------------------------------------------------------------------
+
+def _run_cluster(name: str, problem, policy: str) -> SchedResult:
+    from repro.workloads.bridge import workload_schedule
+    from repro.workloads.scheduler import simulate_jobs
+    scheduled = simulate_jobs(problem.jobs, problem.machines, policy=policy)
+    schedule = workload_schedule(scheduled, problem.machines)
+    metrics = {
+        **base_metrics(schedule),
+        **flow_metrics([s.job.submit_time for s in scheduled],
+                       [s.end_time for s in scheduled],
+                       [s.job.run_time for s in scheduled]),
+        "mean_wait": (sum(s.wait_time for s in scheduled) / len(scheduled)
+                      if scheduled else 0.0),
+    }
+    return SchedResult(name, schedule, metrics,
+                       meta={"policy": policy,
+                             "machines": str(problem.machines)},
+                       raw=scheduled)
+
+
+def _run_fcfs(problem):
+    return _run_cluster("fcfs", problem, "fcfs")
+
+
+def _run_easy(problem):
+    return _run_cluster("easy", problem, "easy")
+
+
+def _run_online_list(problem, *, speeds=None, grades=None,
+                     eligibility="gos", levels=2):
+    from repro.sched.online.listsched import online_list_schedule
+    return online_list_schedule(
+        problem.jobs, machines=problem.machines,
+        speeds=_floats("speeds", speeds, "online-list"),
+        grades=_ints("grades", grades, "online-list"),
+        eligibility=str(eligibility),
+        levels=_i("levels", levels, "online-list"))
+
+
+def _run_moldable(problem, *, alpha=0.5, cap=1.0, mem_capacity=None,
+                  mem_per_proc=1.0):
+    from repro.sched.online.moldable import moldable_list_schedule
+    return moldable_list_schedule(
+        problem.jobs, procs=problem.machines,
+        alpha=_f("alpha", alpha, "moldable-list"),
+        cap=_f("cap", cap, "moldable-list"),
+        mem_capacity=(None if mem_capacity is None
+                      else _f("mem_capacity", mem_capacity, "moldable-list")),
+        mem_per_proc=_f("mem_per_proc", mem_per_proc, "moldable-list"))
+
+
+#: The OS pack time-shares a few CPUs; a cluster-sized default would
+#: dissolve all contention and show nothing.
+_OS_CPUS = 2
+
+
+def _run_rr(problem, *, cpus=_OS_CPUS, quantum=None):
+    from repro.sched.online.ospack import round_robin_schedule
+    return round_robin_schedule(
+        problem.jobs, cpus=_i("cpus", cpus, "rr"),
+        quantum=None if quantum is None else _f("quantum", quantum, "rr"))
+
+
+def _run_sjf(problem, *, cpus=_OS_CPUS, preemptive=True):
+    from repro.sched.online.ospack import sjf_schedule
+    return sjf_schedule(problem.jobs, cpus=_i("cpus", cpus, "sjf"),
+                        preemptive=_b("preemptive", preemptive, "sjf"))
+
+
+def _run_mlfq(problem, *, cpus=_OS_CPUS, levels=3, quantum=None, boost=None):
+    from repro.sched.online.ospack import mlfq_schedule
+    return mlfq_schedule(
+        problem.jobs, cpus=_i("cpus", cpus, "mlfq"),
+        levels=_i("levels", levels, "mlfq"),
+        quantum=None if quantum is None else _f("quantum", quantum, "mlfq"),
+        boost=None if boost is None else _f("boost", boost, "mlfq"))
+
+
+def _run_cfs(problem, *, cpus=_OS_CPUS, latency=None, min_granularity=None):
+    from repro.sched.online.ospack import cfs_schedule
+    return cfs_schedule(
+        problem.jobs, cpus=_i("cpus", cpus, "cfs"),
+        latency=None if latency is None else _f("latency", latency, "cfs"),
+        min_granularity=(None if min_granularity is None
+                         else _f("min_granularity", min_granularity, "cfs")))
+
+
+# --------------------------------------------------------------------------
+# canonical problems (tests, demos, `jedule sched --demo`)
+# --------------------------------------------------------------------------
+
+def canonical_problem(kind: str, *, seed: int = 7):
+    """A small deterministic problem of the given kind.
+
+    Every registered scheduler must handle the canonical problem of its
+    kind — that is the registry's round-trip test contract.
+    """
+    if kind == "dag":
+        from repro.dag.generators import fork_join_dag
+        from repro.platform.builders import homogeneous_cluster
+        return DagProblem(fork_join_dag(width=4, stages=2, seed=seed),
+                          homogeneous_cluster(8))
+    if kind == "multi-dag":
+        from repro.dag.generators import fork_join_dag
+        from repro.platform.builders import homogeneous_cluster
+        graphs = [fork_join_dag(width=3, stages=2, seed=seed + i)
+                  for i in range(3)]
+        return MultiDagProblem(graphs, homogeneous_cluster(12))
+    if kind == "jobs":
+        from repro.workloads.arrivals import poisson_arrivals
+        return JobsProblem(poisson_arrivals(n=12, rate=0.2, seed=seed),
+                           machines=32)
+    raise SchedulerError(
+        f"unknown problem kind {kind!r} (want one of {', '.join(_PROBLEM_KINDS)})")
+
+
+# --------------------------------------------------------------------------
+# builtin registrations
+# --------------------------------------------------------------------------
+
+def _register_builtins() -> None:
+    register_scheduler(SchedulerSpec(
+        "cpa", "mtask", "CPA: critical-path and area-based moldable allocation",
+        "dag", _run_cpa, {"offline", "dag", "moldable"}, _TRANSFER_OPT))
+    register_scheduler(SchedulerSpec(
+        "mcpa", "mtask", "MCPA: CPA with level-bounded allocation growth",
+        "dag", _run_mcpa, {"offline", "dag", "moldable"}, _TRANSFER_OPT))
+    register_scheduler(SchedulerSpec(
+        "mcpa2", "mtask", "MCPA2: best of CPA and MCPA per instance",
+        "dag", _run_mcpa2, {"offline", "dag", "moldable"}, _TRANSFER_OPT))
+    register_scheduler(SchedulerSpec(
+        "task-parallel", "baseline", "one processor per task",
+        "dag", _run_task_parallel, {"offline", "dag"}))
+    register_scheduler(SchedulerSpec(
+        "data-parallel", "baseline", "all processors per task, serialized",
+        "dag", _run_data_parallel, {"offline", "dag"}))
+    register_scheduler(SchedulerSpec(
+        "heft", "list", "HEFT on heterogeneous hosts",
+        "dag", _run_heft, {"offline", "dag", "heterogeneous"},
+        {"task_type_from_node": "type tasks by DAG node type (bool)"}))
+    register_scheduler(SchedulerSpec(
+        "cpop", "list", "CPOP: critical path on a processor",
+        "dag", _run_cpop, {"offline", "dag", "heterogeneous"}))
+    register_scheduler(SchedulerSpec(
+        "mheft", "list", "M-HEFT: moldable HEFT on multi-clusters",
+        "dag", _run_mheft,
+        {"offline", "dag", "moldable", "heterogeneous"}, _TRANSFER_OPT))
+    register_scheduler(SchedulerSpec(
+        "cra", "multi-dag", "constrained resource allocation over DAG batches",
+        "multi-dag", _run_cra, {"offline", "multi-dag", "moldable"},
+        {"policy": "share policy: equal | width | work | cpl (str)",
+         "mu": "blend between equal and proportional shares (float in [0,1])"}))
+    register_scheduler(SchedulerSpec(
+        "cra-backfill", "multi-dag", "CRA followed by per-share backfilling",
+        "multi-dag", _run_cra_backfill,
+        {"offline", "multi-dag", "moldable", "backfilling"},
+        {"policy": "share policy: equal | width | work | cpl (str)",
+         "mu": "blend between equal and proportional shares (float in [0,1])"}))
+    register_scheduler(SchedulerSpec(
+        "fcfs", "cluster", "first-come first-served space sharing",
+        "jobs", _run_fcfs, {"online", "jobs", "rigid"}))
+    register_scheduler(SchedulerSpec(
+        "easy", "cluster", "EASY backfilling space sharing",
+        "jobs", _run_easy, {"online", "jobs", "rigid", "backfilling"}))
+    register_scheduler(SchedulerSpec(
+        "online-list", "online",
+        "greedy online list scheduling on uniform machines with GoS grades",
+        "jobs", _run_online_list,
+        {"online", "jobs", "heterogeneous", "eligibility"},
+        {"speeds": "per-machine speeds, comma-separated (floats)",
+         "grades": "per-machine GoS grades, comma-separated (ints)",
+         "eligibility": "'gos' (grade-restricted) or 'all' (str)",
+         "levels": "number of GoS levels (int)"}))
+    register_scheduler(SchedulerSpec(
+        "moldable-list", "online",
+        "multi-resource moldable list scheduling (procs + memory)",
+        "jobs", _run_moldable,
+        {"online", "jobs", "moldable", "multi-resource"},
+        {"alpha": "minimum allocation fraction of a job's width (float)",
+         "cap": "max fraction of the machine one job may hold (float)",
+         "mem_capacity": "total memory units (float; default 0.75*procs)",
+         "mem_per_proc": "memory units per processor of width (float)"}))
+    register_scheduler(SchedulerSpec(
+        "rr", "os", "round-robin with a fixed time quantum",
+        "jobs", _run_rr, {"online", "jobs", "preemptive"},
+        {"cpus": "number of time-shared CPUs (int)",
+         "quantum": "time quantum (float; default median work / 4)"}))
+    register_scheduler(SchedulerSpec(
+        "sjf", "os", "shortest job first (preemptive = SRPT)",
+        "jobs", _run_sjf, {"online", "jobs", "preemptive"},
+        {"cpus": "number of time-shared CPUs (int)",
+         "preemptive": "preempt on shorter arrivals (bool; default true)"}))
+    register_scheduler(SchedulerSpec(
+        "mlfq", "os", "multilevel feedback queue with exponential quanta",
+        "jobs", _run_mlfq, {"online", "jobs", "preemptive"},
+        {"cpus": "number of time-shared CPUs (int)",
+         "levels": "number of priority levels (int)",
+         "quantum": "level-0 quantum (float; default median work / 4)",
+         "boost": "starvation-cure boost period (float; default off)"}))
+    register_scheduler(SchedulerSpec(
+        "cfs", "os", "CFS-style virtual-runtime fair scheduler",
+        "jobs", _run_cfs, {"online", "jobs", "preemptive"},
+        {"cpus": "number of time-shared CPUs (int)",
+         "latency": "target period touching every runnable job (float)",
+         "min_granularity": "slice length floor (float)"}))
+
+
+_register_builtins()

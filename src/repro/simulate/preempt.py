@@ -1,0 +1,318 @@
+"""Preemptive multi-CPU simulation on top of :class:`~repro.simulate.engine.SimEngine`.
+
+The OS-scheduler scenario pack (:mod:`repro.sched.online.ospack`) needs what
+the DAG executor never did: jobs that *arrive over time* and CPUs whose
+current occupant can be **preempted** — by an expiring time quantum or by a
+newly arrived higher-priority job.  This module is that substrate: an
+event-driven simulator over a fixed set of CPUs, driven by a pluggable
+:class:`SchedClass` policy, producing a slice-bearing schedule in the
+:mod:`repro.core.slices` encoding (every preemption ends one slice and a
+later dispatch opens the next).
+
+The split of responsibilities:
+
+* the **simulator** owns time, CPUs, remaining work and slice recording;
+* the **policy** owns the ready structure: which job runs next, for how
+  long (its budget), what happens when a quantum expires, and whether an
+  arrival preempts a running job.
+
+All policy callbacks receive the authoritative remaining work from the
+simulator, so policies never do float time accounting of their own.
+Determinism: all ties are broken by job id, and the engine fires equal-time
+events in scheduling order.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping, Sequence
+from dataclasses import dataclass, field
+
+from repro.core.model import Cluster, Configuration, Schedule, Task
+from repro.core.slices import slice_task
+from repro.errors import SimulationError
+from repro.obs import core as _obs
+from repro.simulate.engine import EventHandle, SimEngine
+
+__all__ = ["CpuJob", "RunningView", "SchedClass", "CpuSimResult",
+           "PreemptiveCpuSim", "run_cpu_sim"]
+
+#: Relative tolerance under which remaining work counts as finished.
+_EPS = 1e-9
+
+
+@dataclass(frozen=True, slots=True)
+class CpuJob:
+    """One job of a preemptive CPU workload.
+
+    ``work`` is the processing time the job needs on one (unit-speed) CPU;
+    ``weight`` only matters to share-based policies (CFS).  ``meta`` is
+    copied onto every slice the job produces.
+    """
+
+    id: str
+    release: float
+    work: float
+    weight: float = 1.0
+    type: str = "job"
+    meta: Mapping[str, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.release < 0 or not math.isfinite(self.release):
+            raise SimulationError(f"job {self.id!r}: bad release time {self.release}")
+        if self.work < 0 or not math.isfinite(self.work):
+            raise SimulationError(f"job {self.id!r}: bad work {self.work}")
+        if self.weight <= 0:
+            raise SimulationError(f"job {self.id!r}: weight must be > 0")
+
+
+@dataclass(frozen=True, slots=True)
+class RunningView:
+    """What a policy may see of one occupied CPU at preemption-check time."""
+
+    cpu: int
+    job: CpuJob
+    remaining: float
+    started: float
+
+
+class SchedClass:
+    """Base policy: FIFO, run-to-completion.  Subclasses override hooks.
+
+    ``select`` returns ``(job, budget)`` — the next job for a free CPU and
+    the maximum slice length it may run before :meth:`quantum_expired` is
+    invoked (``math.inf`` = run to completion).  ``arrive``/``requeue`` push
+    into the ready structure; :meth:`preempt_on_arrival` may name the CPU
+    whose occupant the new arrival displaces.
+    """
+
+    name = "fifo"
+    #: period of the optional housekeeping timer (:meth:`on_timer`), or None
+    timer_period: float | None = None
+
+    def __init__(self) -> None:
+        self._ready: list[CpuJob] = []
+
+    # -- ready structure -----------------------------------------------
+    def arrive(self, job: CpuJob, remaining: float, now: float) -> None:
+        self._ready.append(job)
+
+    def select(self, now: float) -> tuple[CpuJob, float] | None:
+        if not self._ready:
+            return None
+        return self._ready.pop(0), math.inf
+
+    def quantum_expired(self, job: CpuJob, remaining: float, now: float) -> None:
+        """Budget ran out with work left: re-enqueue."""
+        self._ready.append(job)
+
+    def preempted(self, job: CpuJob, remaining: float, now: float) -> None:
+        """Displaced by an arrival: re-enqueue (no demotion by default)."""
+        self._ready.append(job)
+
+    # -- optional hooks ------------------------------------------------
+    def account(self, job: CpuJob, ran: float, now: float) -> None:
+        """Called after every slice with the time the job actually ran."""
+
+    def preempt_on_arrival(self, job: CpuJob, running: Sequence[RunningView],
+                           now: float) -> int | None:
+        """CPU index to preempt for ``job``, or None (never, by default)."""
+        return None
+
+    def on_timer(self, now: float) -> None:
+        """Periodic housekeeping (MLFQ priority boost)."""
+
+
+@dataclass(frozen=True)
+class CpuSimResult:
+    """Outcome of a preemptive CPU simulation."""
+
+    schedule: Schedule
+    releases: dict[str, float]
+    completions: dict[str, float]
+    works: dict[str, float]
+    slices: int
+    preemptions: int
+
+    @property
+    def makespan(self) -> float:
+        return self.schedule.makespan
+
+
+@dataclass
+class _Running:
+    job: CpuJob
+    start: float
+    remaining_at_start: float
+    handle: EventHandle
+
+
+class PreemptiveCpuSim:
+    """Event-driven preemptive simulation of ``cpus`` identical processors."""
+
+    def __init__(self, jobs: Iterable[CpuJob], policy: SchedClass, *,
+                 cpus: int = 1, cluster_id: str = "cpu",
+                 cluster_name: str | None = None,
+                 max_events: int | None = 2_000_000):
+        self.jobs = sorted(jobs, key=lambda j: (j.release, j.id))
+        ids = [j.id for j in self.jobs]
+        if len(ids) != len(set(ids)):
+            raise SimulationError("duplicate job ids in CPU workload")
+        if cpus < 1:
+            raise SimulationError(f"need >= 1 CPU, got {cpus}")
+        self.policy = policy
+        self.cpus = cpus
+        self.cluster_id = cluster_id
+        self.cluster_name = cluster_name or f"{cpus} cpu{'s' if cpus > 1 else ''}"
+        self.max_events = max_events
+
+    # ------------------------------------------------------------------ run
+    def run(self) -> CpuSimResult:
+        engine = SimEngine()
+        policy = self.policy
+        remaining: dict[str, float] = {}
+        running: dict[int, _Running] = {}
+        free: list[int] = list(range(self.cpus))
+        completions: dict[str, float] = {}
+        slices: dict[str, list[tuple[int, float, float, bool]]] = {}
+        preemptions = 0
+
+        def finished(job: CpuJob) -> bool:
+            return remaining[job.id] <= _EPS * max(1.0, job.work)
+
+        def record(job: CpuJob, cpu: int, t0: float, t1: float, *,
+                   preempted: bool) -> None:
+            # a quantum expiry that re-selects the same job on the same CPU
+            # is not an observable interruption: extend the open slice
+            runs = slices.setdefault(job.id, [])
+            if runs and runs[-1][0] == cpu \
+                    and t0 - runs[-1][2] <= _EPS * max(1.0, t0):
+                runs[-1] = (cpu, runs[-1][1], t1, preempted)
+            else:
+                runs.append((cpu, t0, t1, preempted))
+
+        def dispatch(cpu: int) -> None:
+            sel = policy.select(engine.now)
+            if sel is None:
+                if cpu not in free:
+                    free.append(cpu)
+                return
+            if cpu in free:
+                free.remove(cpu)
+            job, budget = sel
+            if budget <= 0:
+                raise SimulationError(
+                    f"policy {policy.name!r} returned budget {budget}")
+            length = min(budget, remaining[job.id])
+            handle = engine.after(length, lambda c=cpu: slice_end(c))
+            running[cpu] = _Running(job, engine.now, remaining[job.id], handle)
+
+        def close_slice(cpu: int, *, preempted: bool) -> CpuJob:
+            run = running.pop(cpu)
+            ran = engine.now - run.start
+            remaining[run.job.id] = max(run.remaining_at_start - ran, 0.0)
+            done = finished(run.job)
+            record(run.job, cpu, run.start, engine.now, preempted=not done)
+            policy.account(run.job, ran, engine.now)
+            if done:
+                completions[run.job.id] = engine.now
+            elif preempted:
+                policy.preempted(run.job, remaining[run.job.id], engine.now)
+            else:
+                policy.quantum_expired(run.job, remaining[run.job.id], engine.now)
+            return run.job
+
+        def slice_end(cpu: int) -> None:
+            close_slice(cpu, preempted=False)
+            dispatch(cpu)
+
+        def arrival(job: CpuJob) -> None:
+            if job.work == 0:  # instantly done; never enters the ready queue
+                remaining[job.id] = 0.0
+                completions[job.id] = engine.now
+                record(job, free[0] if free else 0, engine.now, engine.now,
+                       preempted=False)
+                return
+            remaining[job.id] = job.work
+            policy.arrive(job, job.work, engine.now)
+            if free:
+                dispatch(free[0])
+                return
+            view = [RunningView(c, r.job, max(r.remaining_at_start -
+                                              (engine.now - r.start), 0.0),
+                                r.start)
+                    for c, r in sorted(running.items())]
+            victim = policy.preempt_on_arrival(job, view, engine.now)
+            if victim is not None:
+                if victim not in running:
+                    raise SimulationError(
+                        f"policy {policy.name!r} preempted idle CPU {victim}")
+                nonlocal preemptions
+                preemptions += 1
+                running[victim].handle.cancel()
+                close_slice(victim, preempted=True)
+                dispatch(victim)
+
+        for job in self.jobs:
+            engine.at(job.release, lambda j=job: arrival(j))
+
+        if policy.timer_period is not None:
+            if policy.timer_period <= 0:
+                raise SimulationError(
+                    f"policy {policy.name!r}: timer period must be > 0")
+
+            def tick() -> None:
+                policy.on_timer(engine.now)
+                if len(completions) < len(self.jobs):
+                    engine.after(policy.timer_period, tick)
+
+            engine.after(policy.timer_period, tick)
+
+        with _obs.span("sim.preempt", policy=policy.name, jobs=len(self.jobs),
+                       cpus=self.cpus):
+            engine.run(max_events=self.max_events)
+
+        if len(completions) != len(self.jobs):
+            missing = sorted(set(j.id for j in self.jobs) - set(completions))
+            raise SimulationError(
+                f"policy {policy.name!r} never finished job(s) {missing[:5]}")
+
+        return CpuSimResult(
+            schedule=self._build_schedule(slices),
+            releases={j.id: j.release for j in self.jobs},
+            completions=completions,
+            works={j.id: j.work for j in self.jobs},
+            slices=sum(len(s) for s in slices.values()),
+            preemptions=preemptions,
+        )
+
+    # ------------------------------------------------------------- schedule
+    def _build_schedule(
+            self, slices: dict[str, list[tuple[int, float, float, bool]]],
+    ) -> Schedule:
+        schedule = Schedule(meta={"policy": self.policy.name,
+                                  "cpus": str(self.cpus)})
+        schedule.add_cluster(Cluster(self.cluster_id, self.cpus,
+                                     self.cluster_name))
+        by_job = {j.id: j for j in self.jobs}
+        for job in self.jobs:
+            runs = slices.get(job.id, [])
+            if len(runs) == 1 and not runs[0][3]:
+                cpu, t0, t1, _ = runs[0]
+                schedule.add_task(Task(
+                    job.id, job.type, t0, t1,
+                    [Configuration(self.cluster_id, [(cpu, 1)])],
+                    {**dict(by_job[job.id].meta), "job": job.id}))
+                continue
+            for k, (cpu, t0, t1, preempted) in enumerate(runs):
+                schedule.add_task(slice_task(
+                    job.id, k, job.type, t0, t1,
+                    [Configuration(self.cluster_id, [(cpu, 1)])],
+                    preempted=preempted, meta=dict(by_job[job.id].meta)))
+        return schedule
+
+
+def run_cpu_sim(jobs: Iterable[CpuJob], policy: SchedClass, *,
+                cpus: int = 1, **kwargs) -> CpuSimResult:
+    """One-call wrapper around :class:`PreemptiveCpuSim`."""
+    return PreemptiveCpuSim(jobs, policy, cpus=cpus, **kwargs).run()

@@ -1,0 +1,134 @@
+"""Arrival-trace generators: workloads for the *online* scheduler family.
+
+Offline schedulers see the whole problem up front; the online zoo
+(:mod:`repro.sched.online`) sees jobs only when they are released.  This
+module produces such release streams as plain :class:`~repro.workloads.jobs.Job`
+lists — the same type the cluster scheduler and the SWF bridge speak — so
+one workload can be replayed through every scheduler family:
+
+* :func:`poisson_arrivals` — memoryless arrivals with lognormal service
+  times and power-of-two-ish widths (the classic supercomputer-trace shape);
+* :func:`bursty_arrivals` — the same marginals, but arrivals clustered into
+  bursts separated by idle gaps (stresses backlog behaviour);
+* :func:`swf_job_stream` — replay a real SWF trace as an online stream,
+  record by record (streaming: a multi-year PWA file never has to fit in
+  memory).
+
+All generators are deterministic for a given seed.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+from pathlib import Path
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.io.swf import iter_load
+from repro.workloads.jobs import Job, iter_jobs_from_swf
+
+__all__ = ["poisson_arrivals", "bursty_arrivals", "swf_job_stream"]
+
+_WIDTHS = (1, 1, 1, 2, 2, 4, 4, 8, 16, 32)
+
+
+def _jobs_from_arrays(submit: np.ndarray, runtimes: np.ndarray,
+                      widths: np.ndarray, users: np.ndarray) -> list[Job]:
+    jobs = []
+    for i in range(len(submit)):
+        run = float(runtimes[i])
+        jobs.append(Job(
+            id=i + 1,
+            submit_time=float(submit[i]),
+            nodes=int(widths[i]),
+            run_time=run,
+            requested_time=run * 1.5,
+            user=int(users[i]),
+            group=int(users[i]) % 4,
+        ))
+    return jobs
+
+
+def _service_samples(rng: np.random.Generator, n: int, mean_work: float,
+                     sigma: float) -> np.ndarray:
+    mu = math.log(mean_work) - sigma * sigma / 2.0  # lognormal with that mean
+    return np.maximum(rng.lognormal(mu, sigma, n), 1e-3)
+
+
+def poisson_arrivals(
+    n: int = 50,
+    *,
+    rate: float = 0.1,
+    mean_work: float = 20.0,
+    sigma: float = 0.8,
+    n_users: int = 8,
+    seed: int = 0,
+) -> list[Job]:
+    """``n`` jobs with exponential inter-arrival gaps of rate ``rate``.
+
+    ``mean_work`` is the mean sequential run time; widths are drawn from a
+    small power-of-two-heavy distribution (relevant only to schedulers that
+    read ``Job.nodes`` — the OS pack treats every job as one process).
+    """
+    if n < 1:
+        raise WorkloadError(f"need >= 1 job, got {n}")
+    if rate <= 0:
+        raise WorkloadError(f"arrival rate must be > 0, got {rate}")
+    rng = np.random.default_rng(seed)
+    submit = np.cumsum(rng.exponential(1.0 / rate, n))
+    submit -= submit[0]  # first job arrives at t = 0
+    runtimes = _service_samples(rng, n, mean_work, sigma)
+    widths = rng.choice(_WIDTHS, size=n)
+    users = rng.integers(100, 100 + n_users, size=n)
+    return _jobs_from_arrays(submit, runtimes, widths, users)
+
+
+def bursty_arrivals(
+    n: int = 50,
+    *,
+    bursts: int = 5,
+    burst_span: float = 5.0,
+    gap: float = 60.0,
+    mean_work: float = 20.0,
+    sigma: float = 0.8,
+    n_users: int = 8,
+    seed: int = 0,
+) -> list[Job]:
+    """``n`` jobs arriving in ``bursts`` tight clusters ``gap`` seconds apart.
+
+    Each burst packs ``n / bursts`` jobs uniformly into ``burst_span``
+    seconds; service times share the :func:`poisson_arrivals` marginals.
+    """
+    if n < 1:
+        raise WorkloadError(f"need >= 1 job, got {n}")
+    if bursts < 1 or bursts > n:
+        raise WorkloadError(f"bursts must be in 1..{n}, got {bursts}")
+    rng = np.random.default_rng(seed)
+    burst_of = np.sort(rng.integers(0, bursts, size=n))
+    submit = np.sort(burst_of * gap + rng.uniform(0.0, burst_span, size=n))
+    submit -= submit[0]
+    runtimes = _service_samples(rng, n, mean_work, sigma)
+    widths = rng.choice(_WIDTHS, size=n)
+    users = rng.integers(100, 100 + n_users, size=n)
+    return _jobs_from_arrays(submit, runtimes, widths, users)
+
+
+def swf_job_stream(path: str | Path, *,
+                   only_completed: bool = True,
+                   limit: int | None = None) -> Iterator[Job]:
+    """Replay an SWF trace file as an online job stream, lazily.
+
+    Yields jobs in file order (PWA traces are submit-ordered); ``limit``
+    truncates the stream after that many yielded jobs, so a huge trace can
+    feed a quick interactive run.  Composes with every scheduler in the
+    zoo — they treat any job iterable as an arrival stream.
+    """
+    produced = 0
+    for job in iter_jobs_from_swf(iter_load(path),
+                                  only_completed=only_completed):
+        yield job
+        produced += 1
+        if limit is not None and produced >= limit:
+            return

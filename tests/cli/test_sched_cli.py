@@ -1,0 +1,105 @@
+"""Tests for the ``jedule sched`` subcommand."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cli.main import main
+
+
+class TestListing:
+    def test_list_groups_by_family(self, capsys):
+        assert main(["sched", "--list"]) == 0
+        out = capsys.readouterr().out
+        for family in ("[mtask]", "[list]", "[multi-dag]", "[cluster]",
+                       "[online]", "[os]"):
+            assert family in out
+        for name in ("cpa", "heft", "cra", "easy", "online-list", "mlfq"):
+            assert name in out
+        assert "-O quantum=" in out       # options are documented
+
+    def test_no_scheduler_and_no_list_fails(self, capsys):
+        assert main(["sched"]) == 2
+        assert "name a scheduler" in capsys.readouterr().err
+
+
+class TestRun:
+    def test_canonical_problem_for_dag_scheduler(self, capsys):
+        assert main(["sched", "heft"]) == 0
+        out = capsys.readouterr().out
+        assert "scheduler : heft" in out
+        assert "makespan" in out
+
+    def test_os_scheduler_on_poisson_arrivals(self, capsys):
+        assert main(["sched", "rr", "--arrivals", "poisson", "--jobs", "10",
+                     "--seed", "3", "-O", "cpus=2", "-O", "quantum=2"]) == 0
+        out = capsys.readouterr().out
+        assert "preemptions" in out and "mean_stretch" in out
+
+    def test_json_output_is_deterministic(self, capsys):
+        args = ["sched", "sjf", "--arrivals", "poisson", "--jobs", "12",
+                "--seed", "5", "--json"]
+        assert main(args) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(args) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first["metrics"] == second["metrics"]
+        assert first["scheduler"] == "sjf"
+        assert "preemptive" in first["capabilities"]
+
+    def test_bursty_arrivals(self, capsys):
+        assert main(["sched", "cfs", "--arrivals", "bursty",
+                     "--jobs", "8"]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_trace_replay(self, tmp_path, capsys):
+        from repro.io.swf import dump
+        from repro.workloads.jobs import Job, jobs_to_swf
+        jobs = [Job(id=i + 1, submit_time=2.0 * i, nodes=2, run_time=6.0,
+                    user=1) for i in range(5)]
+        path = tmp_path / "t.swf"
+        dump(jobs_to_swf(jobs, max_procs=8), path)
+        assert main(["sched", "fcfs", "--trace", str(path),
+                     "--machines", "8", "--limit", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["metrics"]["jobs"] == 4
+
+
+class TestRendering:
+    def test_renders_figure(self, tmp_path, capsys):
+        out = tmp_path / "fig.svg"
+        assert main(["sched", "mlfq", "--arrivals", "poisson", "--jobs", "10",
+                     "-O", "quantum=2", "-o", str(out)]) == 0
+        assert out.stat().st_size > 100
+        assert "figure" in capsys.readouterr().out
+
+    def test_json_includes_figure_path(self, tmp_path, capsys):
+        out = tmp_path / "fig.svg"
+        assert main(["sched", "rr", "--arrivals", "poisson", "--jobs", "6",
+                     "-o", str(out), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["figure"].endswith("fig.svg")
+
+
+class TestErrors:
+    def test_unknown_scheduler(self, capsys):
+        assert main(["sched", "nope"]) != 0
+        err = capsys.readouterr().err
+        assert "unknown scheduler" in err and "available" in err
+
+    def test_unknown_option_names_scheduler(self, capsys):
+        assert main(["sched", "rr", "--arrivals", "poisson",
+                     "-O", "bogus=1"]) != 0
+        err = capsys.readouterr().err
+        assert "bogus" in err and "rr" in err and "quantum" in err
+
+    def test_malformed_option(self, capsys):
+        assert main(["sched", "rr", "--arrivals", "poisson",
+                     "-O", "noequals"]) != 0
+        assert "KEY=VALUE" in capsys.readouterr().err
+
+    def test_arrivals_rejected_for_dag_scheduler(self, capsys):
+        assert main(["sched", "heft", "--arrivals", "poisson"]) != 0
+        assert "dag" in capsys.readouterr().err

@@ -1,0 +1,124 @@
+"""Tests for the preemption slice encoding (repro.core.slices)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.model import Configuration, Schedule, Task
+from repro.core.slices import (
+    SLICE_SEP,
+    is_continuation,
+    is_preempted,
+    job_of,
+    job_processing_times,
+    job_slices,
+    slice_index,
+    slice_task,
+    validate_slices,
+)
+from repro.errors import ScheduleError
+
+
+def conf(host: int = 0) -> list[Configuration]:
+    return [Configuration("c0", [(host, 1)])]
+
+
+def sliced_schedule() -> Schedule:
+    """Job A runs in two slices around one slice of job B; C is plain."""
+    s = Schedule()
+    s.new_cluster("c0", 2)
+    s.add_task(slice_task("A", 0, "job", 0.0, 1.0, conf(), preempted=True))
+    s.add_task(slice_task("B", 0, "job", 1.0, 2.0, conf()))
+    s.add_task(slice_task("A", 1, "job", 2.0, 3.5, conf()))
+    s.add_task(Task("C", "job", 0.0, 2.0, conf(1), {"job": "C"}))
+    return s
+
+
+class TestSliceTask:
+    def test_canonical_encoding(self):
+        t = slice_task("A", 2, "job", 1.0, 2.0, conf(), preempted=True,
+                       meta={"user": "7"})
+        assert t.id == f"A{SLICE_SEP}2"
+        assert t.meta["job"] == "A"
+        assert t.meta["slice"] == "2"
+        assert t.meta["preempted"] == "1"
+        assert t.meta["user"] == "7"
+
+    def test_unpreempted_slice_has_no_mark(self):
+        t = slice_task("A", 0, "job", 0.0, 1.0, conf())
+        assert "preempted" not in t.meta
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ScheduleError):
+            slice_task("A", -1, "job", 0.0, 1.0, conf())
+
+    def test_accessors(self):
+        first = slice_task("A", 0, "job", 0.0, 1.0, conf(), preempted=True)
+        later = slice_task("A", 3, "job", 5.0, 6.0, conf())
+        plain = Task("C", "job", 0.0, 1.0, conf())
+        assert job_of(first) == job_of(later) == "A"
+        assert job_of(plain) == "C"
+        assert slice_index(later) == 3 and slice_index(plain) == 0
+        assert is_continuation(later) and not is_continuation(first)
+        assert is_preempted(first) and not is_preempted(later)
+
+
+class TestJobView:
+    def test_grouping_and_order(self):
+        groups = job_slices(sliced_schedule())
+        assert sorted(groups) == ["A", "B", "C"]
+        assert [t.id for t in groups["A"]] == ["A@0", "A@1"]
+        assert len(groups["C"]) == 1
+
+    def test_processing_times_sum_slices(self):
+        times = job_processing_times(sliced_schedule())
+        assert times["A"] == pytest.approx(2.5)
+        assert times["B"] == pytest.approx(1.0)
+        assert times["C"] == pytest.approx(2.0)
+
+
+class TestValidateSlices:
+    def test_clean_schedule(self):
+        assert validate_slices(sliced_schedule()) == []
+
+    def test_processing_time_check(self):
+        s = sliced_schedule()
+        assert validate_slices(s, processing_times={"A": 2.5}) == []
+        bad = validate_slices(s, processing_times={"A": 4.0})
+        assert len(bad) == 1 and "sum to 2.5" in bad[0]
+
+    def test_index_gap(self):
+        s = Schedule()
+        s.new_cluster("c0", 1)
+        s.add_task(slice_task("A", 0, "job", 0.0, 1.0, conf(), preempted=True))
+        s.add_task(slice_task("A", 2, "job", 2.0, 3.0, conf()))
+        assert any("not 0..1" in v for v in validate_slices(s))
+
+    def test_overlapping_slices(self):
+        s = Schedule()
+        s.new_cluster("c0", 1)
+        s.add_task(slice_task("A", 0, "job", 0.0, 2.0, conf(), preempted=True))
+        s.add_task(slice_task("A", 1, "job", 1.5, 3.0, conf()))
+        assert any("overlap" in v for v in validate_slices(s))
+
+    def test_missing_preempted_mark(self):
+        s = Schedule()
+        s.new_cluster("c0", 1)
+        s.add_task(slice_task("A", 0, "job", 0.0, 1.0, conf()))
+        s.add_task(slice_task("A", 1, "job", 2.0, 3.0, conf()))
+        assert any("not marked preempted" in v for v in validate_slices(s))
+
+    def test_final_slice_must_not_be_preempted(self):
+        s = Schedule()
+        s.new_cluster("c0", 1)
+        s.add_task(slice_task("A", 0, "job", 0.0, 1.0, conf(), preempted=True))
+        s.add_task(slice_task("A", 1, "job", 2.0, 3.0, conf(),
+                              preempted=True))
+        assert any("final slice" in v for v in validate_slices(s))
+
+    def test_time_order_must_match_indices(self):
+        s = Schedule()
+        s.new_cluster("c0", 1)
+        s.add_task(slice_task("A", 1, "job", 0.0, 1.0, conf(), preempted=True))
+        s.add_task(slice_task("A", 0, "job", 2.0, 3.0, conf()))
+        assert any("disagrees" in v for v in validate_slices(s))

@@ -1,0 +1,115 @@
+"""Tests for multi-resource moldable list scheduling."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched.online.moldable import moldable_list_schedule
+from repro.workloads.jobs import Job
+
+
+def job(id, submit, nodes, run_time=1.0):
+    return Job(id=id, submit_time=submit, nodes=nodes, run_time=run_time)
+
+
+def allocs(result):
+    """task id -> (procs, start, end)."""
+    return {t.id: (int(t.meta["procs"]), t.start_time, t.end_time)
+            for t in result.schedule}
+
+
+class TestAllocation:
+    def test_full_width_when_free(self):
+        res = moldable_list_schedule([job(1, 0, 4)], procs=8,
+                                     mem_capacity=8.0)
+        p, start, end = allocs(res)["1"]
+        assert (p, start, end) == (4, 0.0, 1.0)
+        assert res.metrics["shrunk_jobs"] == 0
+
+    def test_shrinks_under_pressure_conserving_work(self):
+        # job 1 holds 6 of 8 procs; job 2 (width 4, work 4) shrinks to the
+        # 2 free procs (alpha allows >= 2) and runs 4/2 = 2 time units
+        res = moldable_list_schedule(
+            [job(1, 0, 6, run_time=4.0), job(2, 0, 4)], procs=8,
+            mem_capacity=8.0, alpha=0.5)
+        a = allocs(res)
+        assert a["1"][0] == 6
+        assert a["2"] == (2, 0.0, 2.0)
+        assert res.metrics["shrunk_jobs"] == 1
+
+    def test_waits_when_below_minimum(self):
+        # alpha=1 forbids shrinking: job 2 must wait for job 1 to finish
+        res = moldable_list_schedule(
+            [job(1, 0, 6, run_time=2.0), job(2, 0, 4)], procs=8,
+            mem_capacity=8.0, alpha=1.0)
+        a = allocs(res)
+        assert a["1"] == (6, 0.0, 2.0)
+        assert a["2"] == (4, 2.0, 3.0)
+
+    def test_cap_bounds_single_job(self):
+        res = moldable_list_schedule([job(1, 0, 32)], procs=8,
+                                     mem_capacity=8.0, cap=0.5)
+        p, _, end = allocs(res)["1"]
+        assert p == 4
+        # width is capped to 4, so work = run_time * nodes runs at width 4
+        assert end == pytest.approx(32.0 / 4)
+
+
+class TestMemory:
+    def test_memory_binds_before_processors(self):
+        # 8 procs but memory for only 4 proc-units: two width-4 jobs
+        # cannot overlap even though processors are free
+        res = moldable_list_schedule(
+            [job(1, 0, 4), job(2, 0, 4)], procs=8, mem_capacity=4.0,
+            alpha=1.0)
+        a = allocs(res)
+        assert a["1"] == (4, 0.0, 1.0)
+        assert a["2"] == (4, 1.0, 2.0)
+
+    def test_memory_shrinks_allocation(self):
+        # memory for 3 proc-units: a width-4 job shrinks to 3 procs
+        res = moldable_list_schedule([job(1, 0, 4)], procs=8,
+                                     mem_capacity=3.0, alpha=0.5)
+        assert allocs(res)["1"][0] == 3
+
+    def test_infeasible_memory_demand(self):
+        with pytest.raises(SchedulingError, match="memory"):
+            moldable_list_schedule([job(1, 0, 8)], procs=8,
+                                   mem_capacity=2.0, alpha=1.0)
+
+    def test_mem_meta_recorded(self):
+        res = moldable_list_schedule([job(1, 0, 2)], procs=4,
+                                     mem_capacity=4.0, mem_per_proc=2.0)
+        t = next(iter(res.schedule))
+        assert t.meta["mem"] == "4"   # 2 procs * 2 mem each
+
+
+class TestFifoOrder:
+    def test_release_order_is_respected(self):
+        # job 2 arrives first among the waiters and starts first even
+        # though job 3 would fit the leftover space better
+        res = moldable_list_schedule(
+            [job(1, 0, 8, run_time=2.0), job(2, 0.5, 8), job(3, 1, 2)],
+            procs=8, mem_capacity=8.0, alpha=0.5)
+        a = allocs(res)
+        assert a["2"][1] >= a["1"][2] or a["2"][0] <= 4
+        assert a["2"][1] <= a["3"][1] + 1e-9
+
+
+class TestValidation:
+    @pytest.mark.parametrize("kwargs", [
+        {"procs": 0},
+        {"alpha": 0.0},
+        {"alpha": 1.5},
+        {"cap": 0.0},
+        {"mem_per_proc": 0.0},
+        {"mem_capacity": -1.0},
+    ])
+    def test_bad_parameters(self, kwargs):
+        with pytest.raises(SchedulingError):
+            moldable_list_schedule([job(1, 0, 1)], **kwargs)
+
+    def test_empty_jobs(self):
+        with pytest.raises(SchedulingError, match="empty"):
+            moldable_list_schedule([])

@@ -1,0 +1,116 @@
+"""Tests for Szalkai–Dósa online list scheduling (GoS + speeds)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.sched.online.listsched import OnlineMachine, online_list_schedule
+from repro.workloads.jobs import Job
+
+
+def job(id, submit, run_time, group=0):
+    return Job(id=id, submit_time=submit, nodes=1, run_time=run_time,
+               group=group)
+
+
+def placement(result):
+    """task id -> (machine index, start, end)."""
+    return {t.id: (int(t.meta["machine"]), t.start_time, t.end_time)
+            for t in result.schedule}
+
+
+class TestOnlineMachine:
+    def test_validation(self):
+        with pytest.raises(SchedulingError, match="speed"):
+            OnlineMachine(0, speed=0.0)
+        with pytest.raises(SchedulingError, match="grade"):
+            OnlineMachine(0, grade=-1)
+
+
+class TestGreedyRule:
+    def test_picks_earliest_completion(self):
+        # machine 0 twice as fast: job 1 finishes at 2 there vs 4 on
+        # machine 1.  Job 2 then sees finish 2+2=4 on the loaded fast
+        # machine and 4 on the idle slow one — a tie, kept on machine 0;
+        # job 3 sees 4+2=6 vs 4 and spills to machine 1.
+        res = online_list_schedule(
+            [job(1, 0, 4), job(2, 0, 4), job(3, 0, 4)],
+            speeds=[2.0, 1.0], eligibility="all")
+        where = placement(res)
+        assert where["1"] == (0, 0.0, 2.0)
+        assert where["2"] == (0, 2.0, 4.0)
+        assert where["3"] == (1, 0.0, 4.0)
+
+    def test_tie_breaks_to_lowest_index(self):
+        res = online_list_schedule([job(1, 0, 2)], speeds=[1.0, 1.0],
+                                   eligibility="all")
+        assert placement(res)["1"][0] == 0
+
+    def test_irrevocable_assignment_queues_behind_backlog(self):
+        # one machine: jobs queue in arrival order
+        res = online_list_schedule(
+            [job(1, 0, 3), job(2, 1, 3)], machines=1, eligibility="all")
+        where = placement(res)
+        assert where["1"] == (0, 0.0, 3.0)
+        assert where["2"] == (0, 3.0, 6.0)
+
+    def test_speeds_vector_defines_platform(self):
+        res = online_list_schedule([job(1, 0, 1)], machines=8,
+                                   speeds=[1.0, 1.0], eligibility="all")
+        assert res.metrics["hosts"] == 2
+        assert res.meta["machines"] == "2"
+
+
+class TestEligibility:
+    def test_gos_restricts_to_capable_machines(self):
+        # grades [0, 1]: a grade-0 job may only use machine 0, even when
+        # machine 1 is idle and faster
+        res = online_list_schedule(
+            [job(1, 0, 2, group=0), job(2, 0, 2, group=0)],
+            speeds=[1.0, 10.0], grades=[0, 1], levels=2)
+        where = placement(res)
+        assert where["1"][0] == 0 and where["2"][0] == 0
+        assert where["2"][1:] == (2.0, 4.0)   # queued, not offloaded
+
+    def test_high_grade_job_uses_any_machine(self):
+        res = online_list_schedule(
+            [job(1, 0, 2, group=1), job(2, 0, 2, group=1)],
+            speeds=[1.0, 1.0], grades=[0, 1], levels=2)
+        machines = {placement(res)[i][0] for i in ("1", "2")}
+        assert machines == {0, 1}
+
+    def test_all_mode_ignores_grades(self):
+        res = online_list_schedule(
+            [job(1, 0, 2, group=0), job(2, 0, 2, group=0)],
+            speeds=[1.0, 1.0], grades=[0, 1], levels=2, eligibility="all")
+        machines = {placement(res)[i][0] for i in ("1", "2")}
+        assert machines == {0, 1}
+
+    def test_default_grade_ladder(self):
+        res = online_list_schedule([job(1, 0, 1)], machines=4, levels=2)
+        assert res.meta["grades"] == "0,0,1,1"
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError, match="eligibility"):
+            online_list_schedule([job(1, 0, 1)], eligibility="nope")
+        with pytest.raises(SchedulingError, match="grades"):
+            online_list_schedule([job(1, 0, 1)], machines=3, grades=[0])
+        with pytest.raises(SchedulingError, match="empty"):
+            online_list_schedule([])
+
+
+class TestMetrics:
+    def test_stretch_against_fastest_eligible(self):
+        # alone on the platform the job would take 1 on the speed-2
+        # machine; it actually lands there, so stretch is exactly 1
+        res = online_list_schedule([job(1, 0, 2)], speeds=[2.0, 1.0],
+                                   eligibility="all")
+        assert res.metrics["mean_stretch"] == pytest.approx(1.0)
+        assert res.metrics["max_load"] == pytest.approx(1.0)
+
+    def test_load_imbalance(self):
+        res = online_list_schedule(
+            [job(i, 0, 1) for i in range(4)], machines=2,
+            eligibility="all")
+        assert res.metrics["load_imbalance"] == pytest.approx(1.0)

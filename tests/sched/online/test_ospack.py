@@ -1,0 +1,167 @@
+"""Hand-computed traces for the OS scheduler pack (RR, SRPT, MLFQ, CFS)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.slices import job_slices, validate_slices
+from repro.errors import SchedulingError
+from repro.sched.online.ospack import (
+    auto_quantum,
+    cfs_schedule,
+    mlfq_schedule,
+    round_robin_schedule,
+    sjf_schedule,
+)
+from repro.simulate.preempt import CpuJob
+
+
+def intervals(result, job):
+    """The (start, end) intervals of one job's slices, in time order."""
+    return [(t.start_time, t.end_time)
+            for t in job_slices(result.schedule)[job]]
+
+
+class TestRoundRobin:
+    def test_two_jobs_alternate(self):
+        # A(work 3) and B(work 2) at t=0 on one CPU, quantum 1:
+        # A B A B A, one time unit each.
+        res = round_robin_schedule([CpuJob("A", 0, 3), CpuJob("B", 0, 2)],
+                                   cpus=1, quantum=1.0)
+        assert intervals(res, "A") == [(0, 1), (2, 3), (4, 5)]
+        assert intervals(res, "B") == [(1, 2), (3, 4)]
+        assert res.metrics["slices"] == 5
+        assert validate_slices(res.schedule,
+                               processing_times={"A": 3, "B": 2}) == []
+
+    def test_huge_quantum_degenerates_to_fcfs(self):
+        res = round_robin_schedule([CpuJob("A", 0, 3), CpuJob("B", 0, 2)],
+                                   cpus=1, quantum=100.0)
+        assert intervals(res, "A") == [(0, 3)]
+        assert intervals(res, "B") == [(3, 5)]
+        assert res.metrics["preemptions"] == 0
+
+    def test_two_cpus_run_in_parallel(self):
+        res = round_robin_schedule([CpuJob("A", 0, 3), CpuJob("B", 0, 3)],
+                                   cpus=2, quantum=1.0)
+        assert res.makespan == pytest.approx(3.0)
+        assert res.metrics["slices"] == 2  # nobody ever waits
+
+    def test_bad_quantum(self):
+        with pytest.raises(SchedulingError, match="quantum"):
+            round_robin_schedule([CpuJob("A", 0, 1)], quantum=0.0)
+
+
+class TestSJF:
+    def test_srpt_preempts_on_shorter_arrival(self):
+        # A(work 5) from t=0; B(work 2) lands at t=1 with less work than
+        # A's remaining 4, takes the CPU, and A resumes after.
+        res = sjf_schedule([CpuJob("A", 0, 5), CpuJob("B", 1, 2)], cpus=1)
+        assert intervals(res, "A") == [(0, 1), (3, 7)]
+        assert intervals(res, "B") == [(1, 3)]
+
+    def test_non_preemptive_runs_to_completion(self):
+        res = sjf_schedule([CpuJob("A", 0, 5), CpuJob("B", 1, 2)], cpus=1,
+                           preemptive=False)
+        assert intervals(res, "A") == [(0, 5)]
+        assert intervals(res, "B") == [(5, 7)]
+        assert res.metrics["preemptions"] == 0
+
+    def test_srpt_beats_rr_on_mean_flow(self):
+        jobs = [CpuJob(f"j{i}", i * 0.5, 1.0 + i) for i in range(6)]
+        srpt = sjf_schedule(jobs, cpus=1)
+        rr = round_robin_schedule(jobs, cpus=1, quantum=0.5)
+        assert srpt.metrics["mean_flow"] <= rr.metrics["mean_flow"]
+
+
+class TestMLFQ:
+    def test_demotion_and_level0_preemption(self):
+        # A(work 3) burns its level-0 quantum at t=1 and is demoted but
+        # keeps the CPU (one continuous slice); B arrives at t=1.5 into
+        # level 0 and preempts it; A finishes last.
+        res = mlfq_schedule([CpuJob("A", 0, 3), CpuJob("B", 1.5, 1)],
+                            cpus=1, levels=2, quantum=1.0)
+        assert intervals(res, "A") == [(0, 1.5), (2.5, 4)]
+        assert intervals(res, "B") == [(1.5, 2.5)]
+        assert validate_slices(res.schedule,
+                               processing_times={"A": 3, "B": 1}) == []
+
+    def test_one_level_equals_round_robin(self):
+        jobs = [CpuJob("A", 0, 3), CpuJob("B", 0, 2), CpuJob("C", 1, 4)]
+        one = mlfq_schedule(jobs, cpus=1, levels=1, quantum=1.0)
+        rr = round_robin_schedule(jobs, cpus=1, quantum=1.0)
+        assert one.metrics["mean_flow"] == pytest.approx(
+            rr.metrics["mean_flow"])
+
+    def test_boost_rescues_demoted_jobs(self):
+        # one long job against a steady stream of short ones; the boost
+        # bounds how long the long job can starve at the bottom level
+        jobs = [CpuJob("long", 0, 30)] + \
+            [CpuJob(f"s{i}", 2.0 * i, 1.5) for i in range(12)]
+        starved = mlfq_schedule(jobs, cpus=1, levels=3, quantum=1.0)
+        boosted = mlfq_schedule(jobs, cpus=1, levels=3, quantum=1.0,
+                                boost=5.0)
+        done = lambda r: r.raw.completions["long"]
+        assert done(boosted) <= done(starved)
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError, match="level"):
+            mlfq_schedule([CpuJob("A", 0, 1)], levels=0)
+        with pytest.raises(SchedulingError, match="boost"):
+            mlfq_schedule([CpuJob("A", 0, 1)], boost=-1.0)
+
+
+class TestCFS:
+    def test_equal_jobs_interleave(self):
+        # two equal jobs share the CPU latency/2 at a time and finish
+        # within one slice of each other
+        res = cfs_schedule([CpuJob("A", 0, 4), CpuJob("B", 0, 4)], cpus=1,
+                           latency=2.0, min_granularity=0.5)
+        a, b = intervals(res, "A"), intervals(res, "B")
+        assert a[0] == (0, 2)   # alone in the queue: full latency budget
+        assert abs(a[-1][1] - b[-1][1]) <= 1.0
+        assert validate_slices(res.schedule) == []
+
+    def test_weights_shift_the_split(self):
+        # a weight-2 job accrues vruntime at half speed, so it gets about
+        # twice the CPU and finishes well before an equal-work rival
+        res = cfs_schedule([CpuJob("heavy", 0, 6, weight=2.0),
+                            CpuJob("light", 0, 6)], cpus=1,
+                           latency=2.0, min_granularity=0.5)
+        assert res.raw.completions["heavy"] < res.raw.completions["light"]
+
+    def test_late_arrival_does_not_monopolize(self):
+        # the latecomer's vruntime is clamped to the queue minimum, so it
+        # cannot replay the history it missed
+        res = cfs_schedule([CpuJob("A", 0, 10), CpuJob("B", 8, 2)], cpus=1,
+                           latency=2.0, min_granularity=0.5)
+        b = intervals(res, "B")
+        assert b[0][0] >= 8.0
+        assert res.raw.completions["A"] <= 13.0
+
+
+class TestAutoQuantum:
+    def test_median_over_four(self):
+        jobs = [CpuJob("a", 0, 4), CpuJob("b", 0, 8), CpuJob("c", 0, 100)]
+        assert auto_quantum(jobs) == pytest.approx(2.0)
+
+    def test_zero_work_jobs_ignored(self):
+        assert auto_quantum([CpuJob("a", 0, 0)]) == 1.0
+
+    def test_used_as_default(self):
+        jobs = [CpuJob("a", 0, 4), CpuJob("b", 0, 8)]
+        res = round_robin_schedule(jobs, cpus=1)
+        assert float(res.meta["quantum"]) == pytest.approx(2.0)
+
+
+class TestWorkloadCoercion:
+    def test_workload_jobs_accepted(self):
+        from repro.workloads.jobs import Job
+        jobs = [Job(id=1, submit_time=0.0, nodes=4, run_time=3.0, user=9),
+                Job(id=2, submit_time=1.0, nodes=1, run_time=2.0, user=8)]
+        res = round_robin_schedule(jobs, cpus=1, quantum=1.0)
+        assert set(job_slices(res.schedule)) == {"1", "2"}
+
+    def test_empty_jobs_rejected(self):
+        with pytest.raises(SchedulingError, match="empty"):
+            round_robin_schedule([])

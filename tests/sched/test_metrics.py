@@ -2,11 +2,14 @@
 
 from __future__ import annotations
 
+import math
+
 import pytest
 
 from repro.errors import SchedulingError
 from repro.sched.metrics import (
     efficiency,
+    flow_metrics,
     jain_fairness,
     max_stretch,
     speedup,
@@ -25,11 +28,17 @@ class TestStretch:
     def test_dedicated_equals_contended(self):
         assert stretch(5.0, 5.0) == 1.0
 
+    def test_zero_work_conventions(self):
+        # a zero-work job that completes instantly is not slowed down at all
+        assert stretch(0.0, 0.0) == 1.0
+        # ...but one that had to wait was slowed down infinitely
+        assert stretch(1.0, 0.0) == math.inf
+
     def test_validation(self):
         with pytest.raises(SchedulingError):
-            stretch(1.0, 0.0)
-        with pytest.raises(SchedulingError):
             stretch(-1.0, 1.0)
+        with pytest.raises(SchedulingError):
+            stretch(1.0, -1.0)
 
     def test_stretches_elementwise(self):
         assert stretches([6, 4], [2, 2]) == [3.0, 2.0]
@@ -67,11 +76,43 @@ class TestFairness:
     def test_all_zero(self):
         assert jain_fairness([0.0, 0.0]) == 1.0
 
+    def test_empty_is_vacuously_fair(self):
+        assert jain_fairness([]) == 1.0
+
     def test_validation(self):
         with pytest.raises(SchedulingError):
-            jain_fairness([])
-        with pytest.raises(SchedulingError):
             jain_fairness([-1.0])
+
+
+class TestFlowMetrics:
+    def test_single_machine_batch(self):
+        # two jobs released at 0; the second waits for the first
+        m = flow_metrics([0.0, 0.0], [2.0, 5.0], [2.0, 3.0])
+        assert m["jobs"] == 2.0
+        assert m["mean_flow"] == pytest.approx(3.5)
+        assert m["max_flow"] == 5.0
+        assert m["max_stretch"] == pytest.approx(5.0 / 3.0)
+        assert m["mean_stretch"] == pytest.approx((1.0 + 5.0 / 3.0) / 2)
+
+    def test_empty_batch(self):
+        m = flow_metrics([], [], [])
+        assert m == {"jobs": 0.0, "mean_flow": 0.0, "max_flow": 0.0,
+                     "mean_stretch": 0.0, "max_stretch": 0.0,
+                     "jain_fairness": 1.0}
+
+    def test_zero_work_job(self):
+        # a delayed zero-work job has infinite stretch but does not poison
+        # the finite aggregates
+        m = flow_metrics([0.0, 0.0], [1.0, 1.0], [1.0, 0.0])
+        assert m["max_stretch"] == math.inf
+        assert m["mean_stretch"] == 1.0
+        assert m["jain_fairness"] == 1.0
+
+    def test_validation(self):
+        with pytest.raises(SchedulingError):
+            flow_metrics([0.0], [1.0, 2.0], [1.0, 1.0])
+        with pytest.raises(SchedulingError):
+            flow_metrics([2.0], [1.0], [1.0])
 
 
 class TestSpeedup:

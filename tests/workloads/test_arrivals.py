@@ -1,0 +1,90 @@
+"""Tests for the online arrival-trace generators."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.arrivals import (
+    bursty_arrivals,
+    poisson_arrivals,
+    swf_job_stream,
+)
+
+
+class TestPoissonArrivals:
+    def test_deterministic_for_seed(self):
+        a = poisson_arrivals(n=20, seed=3)
+        b = poisson_arrivals(n=20, seed=3)
+        assert a == b
+        assert a != poisson_arrivals(n=20, seed=4)
+
+    def test_shape(self):
+        jobs = poisson_arrivals(n=30, rate=0.5, seed=1)
+        assert len(jobs) == 30
+        assert jobs[0].submit_time == 0.0
+        submits = [j.submit_time for j in jobs]
+        assert submits == sorted(submits)
+        assert all(j.run_time > 0 and j.nodes >= 1 for j in jobs)
+        assert all(100 <= j.user < 108 for j in jobs)
+        assert all(j.group == j.user % 4 for j in jobs)
+
+    def test_mean_work_is_roughly_respected(self):
+        jobs = poisson_arrivals(n=2000, mean_work=10.0, seed=0)
+        mean = sum(j.run_time for j in jobs) / len(jobs)
+        assert mean == pytest.approx(10.0, rel=0.15)
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            poisson_arrivals(n=0)
+        with pytest.raises(WorkloadError):
+            poisson_arrivals(rate=0.0)
+
+
+class TestBurstyArrivals:
+    def test_deterministic_and_sorted(self):
+        a = bursty_arrivals(n=25, seed=5)
+        assert a == bursty_arrivals(n=25, seed=5)
+        submits = [j.submit_time for j in a]
+        assert submits == sorted(submits)
+        assert submits[0] == 0.0
+
+    def test_arrivals_cluster_into_bursts(self):
+        jobs = bursty_arrivals(n=40, bursts=4, burst_span=2.0, gap=100.0,
+                               seed=2)
+        # every submit lands inside some burst window [k*gap, k*gap+span)
+        # (shifted so the stream starts at 0)
+        offset = min(j.submit_time for j in jobs)
+        for j in jobs:
+            within = (j.submit_time + offset) % 100.0
+            assert within <= 2.0 + 1e-9 or within >= 98.0
+
+    def test_validation(self):
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(n=0)
+        with pytest.raises(WorkloadError):
+            bursty_arrivals(n=5, bursts=6)
+
+
+class TestSwfJobStream:
+    @pytest.fixture
+    def trace(self, tmp_path):
+        from repro.workloads.jobs import Job, jobs_to_swf
+        from repro.io.swf import dump
+        jobs = [Job(id=i + 1, submit_time=float(i), nodes=2,
+                    run_time=5.0, user=7) for i in range(6)]
+        path = tmp_path / "t.swf"
+        dump(jobs_to_swf(jobs, max_procs=16), path)
+        return path
+
+    def test_streams_in_order(self, trace):
+        jobs = list(swf_job_stream(trace))
+        assert [j.id for j in jobs] == [1, 2, 3, 4, 5, 6]
+        assert all(j.nodes == 2 for j in jobs)
+
+    def test_limit_truncates(self, trace):
+        assert len(list(swf_job_stream(trace, limit=2))) == 2
+
+    def test_is_lazy(self, trace):
+        stream = swf_job_stream(trace, limit=3)
+        assert next(stream).id == 1
